@@ -1,0 +1,160 @@
+// Command ttmqo-sim runs a single sensor-network simulation scenario and
+// prints its radio accounting and result statistics.
+//
+// Usage:
+//
+//	ttmqo-sim [-side N] [-scheme baseline|base-station|in-network|ttmqo]
+//	          [-workload A|B|C|random] [-minutes M] [-seed S] [-alpha A]
+//	          [-concurrency C] [-queries Q] [-v]
+//
+// With -workload random, the §4.3 adaptive workload is replayed (arrivals
+// and terminations); otherwise the named static workload runs for the whole
+// interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ttmqo "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttmqo-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	side := flag.Int("side", 4, "grid side length (side² nodes)")
+	schemeName := flag.String("scheme", "ttmqo", "baseline, base-station, in-network or ttmqo")
+	workloadName := flag.String("workload", "C", "A, B, C or random")
+	minutes := flag.Int("minutes", 10, "simulated minutes")
+	seed := flag.Int64("seed", 1, "random seed")
+	alpha := flag.Float64("alpha", ttmqo.DefaultAlpha, "termination parameter α")
+	concurrency := flag.Int("concurrency", 8, "average concurrent queries (random workload)")
+	queries := flag.Int("queries", 100, "total queries (random workload)")
+	verbose := flag.Bool("v", false, "print per-query delivery counts")
+	traceOut := flag.String("trace", "", "write the run's event log as CSV to this file")
+	fieldCSV := flag.String("field", "", "replay sensor readings from this CSV trace instead of the synthetic field")
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	topo, err := ttmqo.PaperGrid(*side)
+	if err != nil {
+		return err
+	}
+	var buf *ttmqo.Trace
+	if *traceOut != "" {
+		buf = &ttmqo.Trace{}
+	}
+	var source ttmqo.Source
+	if *fieldCSV != "" {
+		f, err := os.Open(*fieldCSV)
+		if err != nil {
+			return err
+		}
+		source, err = ttmqo.LoadTraceCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+		Topo:           topo,
+		Scheme:         scheme,
+		Seed:           *seed,
+		Alpha:          *alpha,
+		Source:         source,
+		DiscardResults: !*verbose,
+		Trace:          buf,
+	})
+	if err != nil {
+		return err
+	}
+
+	var ws []ttmqo.TimedQuery
+	switch *workloadName {
+	case "A":
+		ws = ttmqo.WorkloadA()
+	case "B":
+		ws = ttmqo.WorkloadB()
+	case "C":
+		ws = ttmqo.WorkloadC()
+	case "random":
+		ws = ttmqo.RandomWorkload(ttmqo.RandomWorkloadConfig{
+			Seed:              *seed,
+			NumQueries:        *queries,
+			TargetConcurrency: *concurrency,
+		})
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+	for _, w := range ws {
+		sim.PostAt(w.Arrive, w.Query)
+		if w.Depart != 0 {
+			sim.CancelAt(w.Depart, w.Query.ID)
+		}
+	}
+
+	dur := time.Duration(*minutes) * time.Minute
+	start := time.Now()
+	sim.Run(dur)
+	wall := time.Since(start)
+
+	fmt.Printf("scheme=%s nodes=%d workload=%s simulated=%v wall=%v\n",
+		scheme, topo.Size(), *workloadName, dur, wall.Round(time.Millisecond))
+	fmt.Printf("avg transmission time: %.4f%%\n", sim.AvgTransmissionTime()*100)
+	fmt.Printf("radio: %s\n", sim.Metrics())
+	if lat := sim.Metrics().Latency(); lat.N() > 0 {
+		fmt.Printf("result latency: mean %.0fms, max %.0fms over %d messages\n",
+			lat.Mean()*1000, lat.Max()*1000, lat.N())
+	}
+	if opt := sim.Optimizer(); opt != nil {
+		fmt.Printf("optimizer: %d live user queries in %d synthetic queries\n",
+			opt.UserCount(), opt.SyntheticCount())
+		for _, sq := range opt.SyntheticQueries() {
+			fmt.Printf("  syn %d serves %v: %s\n", sq.ID, opt.FromList(sq.ID), sq)
+		}
+	}
+	if buf != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := buf.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (%s)\n", *traceOut, buf.Summary())
+	}
+	if *verbose {
+		for _, w := range ws {
+			id := w.Query.ID
+			if n := sim.Results().RowEpochs(id); n > 0 {
+				fmt.Printf("  q%d: %d acquisition epochs\n", id, n)
+			}
+			if n := sim.Results().AggEpochs(id); n > 0 {
+				fmt.Printf("  q%d: %d aggregation epochs\n", id, n)
+			}
+		}
+	}
+	return nil
+}
+
+func parseScheme(s string) (ttmqo.Scheme, error) {
+	for _, sc := range []ttmqo.Scheme{
+		ttmqo.SchemeBaseline, ttmqo.SchemeBSOnly, ttmqo.SchemeInNetworkOnly, ttmqo.SchemeTTMQO,
+	} {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}

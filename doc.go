@@ -1,0 +1,44 @@
+// Package ttmqo is a from-scratch reproduction of "Two-Tier Multiple Query
+// Optimization for Sensor Networks" (Xiang, Lim, Tan, Zhou — ICDCS 2007):
+// a complete sensor-network query-processing stack with the paper's
+// two-tier multi-query optimizer on top of a packet-level network
+// simulator.
+//
+// # Architecture
+//
+// Tier 1 (base-station optimization, §3.1) rewrites the live set of user
+// queries into a smaller set of synthetic queries using a cost-based greedy
+// algorithm, and derives every user query's results from the synthetic
+// streams. Tier 2 (in-network optimization, §3.2) executes the injected
+// queries inside the network, sharing sampling across queries on a
+// GCD-aligned epoch clock, routing results over a query-aware DAG instead
+// of TinyDB's fixed tree, packing one radio message for all queries a
+// reading serves, and letting data-less nodes sleep.
+//
+// The substrate is a deterministic discrete-event simulator with a
+// broadcast radio medium (airtime, carrier queueing, contention-dependent
+// collisions and retransmissions), a TinyDB-dialect query language, and a
+// seeded spatially/temporally correlated sensor field — everything the
+// paper ran on TinyDB/TOSSIM, rebuilt in pure Go with no dependencies
+// beyond the standard library.
+//
+// # Quick start
+//
+//	topo, _ := ttmqo.PaperGrid(4) // 16 nodes, 20ft spacing, 50ft range
+//	sim, _ := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+//		Topo:   topo,
+//		Scheme: ttmqo.SchemeTTMQO,
+//		Seed:   1,
+//	})
+//	id, _ := sim.Post(ttmqo.MustParseQuery(
+//		"SELECT nodeid, light WHERE light > 200 EPOCH DURATION 4096ms"))
+//	sim.Run(5 * time.Minute)
+//	for _, epoch := range sim.Results().RowsFor(id) {
+//		fmt.Println(epoch.Time, epoch.Rows)
+//	}
+//
+// The tier-1 optimizer is also usable standalone (see NewOptimizer), and
+// the experiment harnesses under RunFigure… regenerate every figure of the
+// paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+package ttmqo

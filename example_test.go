@@ -1,0 +1,86 @@
+package ttmqo_test
+
+import (
+	"fmt"
+	"time"
+
+	ttmqo "repro"
+)
+
+// Example runs two queries through the full two-tier stack and reads back
+// an aggregate stream.
+func Example() {
+	topo, _ := ttmqo.PaperGrid(4)
+	sim, _ := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+		Topo:   topo,
+		Scheme: ttmqo.SchemeTTMQO,
+		Seed:   7,
+	})
+	ids, _ := sim.PostBatch([]ttmqo.Query{
+		ttmqo.MustParseQuery("SELECT nodeid, light WHERE light > 200 EPOCH DURATION 4096"),
+		ttmqo.MustParseQuery("SELECT MAX(light) WHERE light > 250 EPOCH DURATION 8192"),
+	})
+	sim.Run(30 * time.Second)
+
+	fmt.Printf("%d queries ran as %d synthetic\n", len(ids), sim.Optimizer().SyntheticCount())
+	agg := sim.Results().AggsFor(ids[1])
+	fmt.Printf("MAX(light) epochs delivered: %d\n", len(agg))
+	// Output:
+	// 2 queries ran as 1 synthetic
+	// MAX(light) epochs delivered: 3
+}
+
+// ExampleParseQuery shows the TinyDB dialect the library accepts.
+func ExampleParseQuery() {
+	q, err := ttmqo.ParseQuery(
+		"SELECT AVG(temp) WHERE 10 < temp AND temp < 90 GROUP BY nodeid BUCKET 4 EPOCH DURATION 8192 LIFETIME 60s")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.IsAggregation(), q.Epoch, q.Lifetime)
+	// Output: true 8.192s 1m0s
+}
+
+// ExampleOptimizer shows the tier-1 optimizer used standalone: feed it user
+// queries, apply the returned changes to your own network.
+func ExampleOptimizer() {
+	topo, _ := ttmqo.PaperGrid(4)
+	model, _ := ttmqo.NewCostModel(topo.LevelSizes(), ttmqo.CostConfig{})
+	opt := ttmqo.NewOptimizer(model, ttmqo.OptimizerOptions{Alpha: ttmqo.DefaultAlpha})
+
+	q1 := ttmqo.MustParseQuery("SELECT light WHERE 100 < light AND light < 300 EPOCH DURATION 8192")
+	q1.ID = 1
+	q2 := ttmqo.MustParseQuery("SELECT light WHERE 150 < light AND light < 500 EPOCH DURATION 8192")
+	q2.ID = 2
+
+	ch1, _ := opt.Insert(q1)
+	fmt.Printf("q1: inject %d, abort %d\n", len(ch1.Inject), len(ch1.Abort))
+	ch2, _ := opt.Insert(q2)
+	fmt.Printf("q2: inject %d, abort %d (merged)\n", len(ch2.Inject), len(ch2.Abort))
+	fmt.Println("synthetic queries running:", opt.SyntheticCount())
+	// Output:
+	// q1: inject 1, abort 0
+	// q2: inject 1, abort 1 (merged)
+	// synthetic queries running: 1
+}
+
+// ExampleOptimizer_Explain shows the EXPLAIN facility.
+func ExampleOptimizer_Explain() {
+	topo, _ := ttmqo.PaperGrid(4)
+	model, _ := ttmqo.NewCostModel(topo.LevelSizes(), ttmqo.CostConfig{})
+	opt := ttmqo.NewOptimizer(model, ttmqo.OptimizerOptions{})
+
+	q1 := ttmqo.MustParseQuery("SELECT light, temp WHERE light >= 0 AND light <= 600 EPOCH DURATION 2048")
+	q1.ID = 1
+	q2 := ttmqo.MustParseQuery("SELECT light WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096")
+	q2.ID = 2
+	opt.Insert(q1)
+	opt.Insert(q2)
+
+	e, _ := opt.Explain(2)
+	fmt.Println("shared with:", e.SharedWith)
+	fmt.Println(e.Steps[0])
+	// Output:
+	// shared with: [1]
+	// decimate epochs: deliver every 4.096s of the 2.048s stream
+}

@@ -1,0 +1,103 @@
+// Firewatch: a wildfire-monitoring deployment combining the library's
+// extension features — grouped aggregation (GROUP BY), query lifetimes,
+// injected node failures (sensors burn out), and the energy model. A 49-node
+// grid watches for hot, dry conditions; a ranger dashboard tracks per-region
+// maxima while short-lived investigation queries come and go.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ttmqo "repro"
+)
+
+func main() {
+	topo, err := ttmqo.PaperGrid(7) // 49 nodes
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := &ttmqo.Trace{Max: 50000}
+	sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+		Topo:   topo,
+		Scheme: ttmqo.SchemeTTMQO,
+		Seed:   21,
+		Trace:  buf,
+		// Harsh environment: sensors fail roughly every 8 minutes and take
+		// ~45 s to watchdog-reboot.
+		Failures: ttmqo.FailureConfig{
+			MTBF: 8 * time.Minute,
+			MTTR: 45 * time.Second,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The standing dashboard: per-region (7-node ID bands) temperature
+	// maxima and hot-spot counts, every ~16 s.
+	regionMax, err := sim.Post(ttmqo.MustParseQuery(
+		"SELECT MAX(temp) GROUP BY nodeid BUCKET 7 EPOCH DURATION 16384"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hotCount, err := sim.Post(ttmqo.MustParseQuery(
+		"SELECT COUNT(temp) WHERE temp > 60 EPOCH DURATION 16384"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A ranger investigates one region for two minutes: full rows, short
+	// lifetime — the query cleans itself up.
+	investigate, err := sim.Post(ttmqo.MustParseQuery(
+		"SELECT nodeid, temp, humidity WHERE temp > 50 EPOCH DURATION 8192 LIFETIME 120s"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const runFor = 12 * time.Minute
+	sim.Run(runFor)
+
+	fmt.Printf("firewatch: 49 nodes, %v simulated, %d node outages survived\n\n",
+		runFor, sim.Failures())
+
+	// Latest per-region picture.
+	aggs := sim.Results().AggsFor(regionMax)
+	last := aggs[len(aggs)-1]
+	fmt.Printf("region MAX(temp) at t=%v:\n", time.Duration(last.Time))
+	for _, r := range last.Results {
+		bar := ""
+		for i := 0; i < int(r.Value/5); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  region %d (nodes %2d-%2d): %5.1f°C %s\n",
+			r.Group, r.Group*7, r.Group*7+6, r.Value, bar)
+	}
+
+	counts := sim.Results().AggsFor(hotCount)
+	fmt.Printf("\nhot sensors (>60°C) over time: ")
+	for i := 0; i < len(counts); i += 4 {
+		r := counts[i].Results[0]
+		if r.Empty {
+			fmt.Print("0 ")
+		} else {
+			fmt.Printf("%.0f ", r.Value)
+		}
+	}
+	fmt.Println()
+
+	fmt.Printf("\ninvestigation query q%d delivered %d epochs before its LIFETIME expired\n",
+		investigate, sim.Results().RowEpochs(investigate))
+	if sim.Optimizer().UserCount() != 2 {
+		log.Fatalf("expected the investigation to have auto-terminated")
+	}
+
+	// Energy outlook under this workload.
+	em := ttmqo.DefaultEnergyModel()
+	fmt.Printf("\nenergy: %.1f J spent network-wide; projected lifetime %v (battery-limited node)\n",
+		sim.Metrics().TotalEnergy(em),
+		sim.Metrics().NetworkLifetime(runFor, em).Round(24*time.Hour))
+	fmt.Printf("radio: %s\n", sim.Metrics())
+	fmt.Printf("trace: %s\n", buf.Summary())
+}

@@ -1,0 +1,159 @@
+package ttmqo_test
+
+import (
+	"testing"
+	"time"
+
+	ttmqo "repro"
+)
+
+// The facade tests exercise the library exactly the way README's examples
+// do: through the public API only.
+
+func TestQuickstartFlow(t *testing.T) {
+	topo, err := ttmqo.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+		Topo:   topo,
+		Scheme: ttmqo.SchemeTTMQO,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sim.Post(ttmqo.MustParseQuery(
+		"SELECT nodeid, light WHERE light > 200 EPOCH DURATION 4096ms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2 * time.Minute)
+	if sim.Results().RowEpochs(id) == 0 {
+		t.Fatal("no epochs delivered")
+	}
+	if sim.AvgTransmissionTime() <= 0 {
+		t.Fatal("no radio activity measured")
+	}
+}
+
+func TestStandaloneOptimizer(t *testing.T) {
+	topo, err := ttmqo.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ttmqo.NewCostModel(topo.LevelSizes(), ttmqo.CostConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ttmqo.NewOptimizer(model, ttmqo.OptimizerOptions{Alpha: ttmqo.DefaultAlpha})
+
+	q1 := ttmqo.MustParseQuery("SELECT light WHERE 100 < light AND light < 300 EPOCH DURATION 8192")
+	q1.ID = 1
+	q2 := ttmqo.MustParseQuery("SELECT light WHERE 150 < light AND light < 500 EPOCH DURATION 8192")
+	q2.ID = 2
+	ch1, err := opt.Insert(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch1.Inject) != 1 {
+		t.Fatalf("first insert: %+v", ch1)
+	}
+	ch2, err := opt.Insert(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch2.Inject) != 1 || len(ch2.Abort) != 1 {
+		t.Fatalf("merge expected: %+v", ch2)
+	}
+	if opt.SyntheticCount() != 1 {
+		t.Fatalf("synthetic count = %d", opt.SyntheticCount())
+	}
+}
+
+func TestSchemesComparable(t *testing.T) {
+	topo, err := ttmqo.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make(map[ttmqo.Scheme]float64)
+	for _, scheme := range []ttmqo.Scheme{ttmqo.SchemeBaseline, ttmqo.SchemeTTMQO} {
+		sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+			Topo: topo, Scheme: scheme, Seed: 3, DiscardResults: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ttmqo.WorkloadA() {
+			sim.PostAt(w.Arrive, w.Query)
+		}
+		sim.Run(3 * time.Minute)
+		tx[scheme] = sim.AvgTransmissionTime()
+	}
+	if save := ttmqo.Savings(tx[ttmqo.SchemeBaseline], tx[ttmqo.SchemeTTMQO]); save < 0.4 {
+		t.Fatalf("TTMQO savings on workload A = %.2f, want ≥ 0.4", save)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if got := ttmqo.EpochGCD(8192*time.Millisecond, 12288*time.Millisecond); got != 4096*time.Millisecond {
+		t.Fatalf("EpochGCD = %v", got)
+	}
+	if ttmqo.AttrLight.String() != "light" {
+		t.Fatal("attr naming broken")
+	}
+	q := ttmqo.MustParseQuery("SELECT MAX(light) EPOCH DURATION 4096")
+	if !q.IsAggregation() || q.Aggs[0].Op != ttmqo.Max {
+		t.Fatalf("parsed: %v", q)
+	}
+	ws := ttmqo.RandomWorkload(ttmqo.RandomWorkloadConfig{Seed: 1, NumQueries: 10})
+	if len(ws) != 10 {
+		t.Fatal("workload generation broken")
+	}
+	if _, err := ttmqo.Figure2Topology(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ttmqo.NewTopology([]ttmqo.Point{{X: 0, Y: 0}, {X: 30, Y: 0}}, 50); err != nil {
+		t.Fatal(err)
+	}
+	topo, _ := ttmqo.PaperGrid(3)
+	f := ttmqo.NewField(topo, ttmqo.FieldConfig{Seed: 9})
+	if v := f.Reading(1, ttmqo.AttrLight, time.Minute); v < 0 || v > 1000 {
+		t.Fatalf("field reading %f out of range", v)
+	}
+	p := ttmqo.InNetworkPolicy()
+	if !p.AlignedEpochs || !p.QueryAwareDAG || !p.SharedMessages {
+		t.Fatal("in-network policy incomplete")
+	}
+}
+
+func TestAblationViaPolicyOverride(t *testing.T) {
+	topo, err := ttmqo.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full in-network policy versus no-DAG ablation on workload B.
+	run := func(p ttmqo.Policy) float64 {
+		sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+			Topo: topo, Scheme: ttmqo.SchemeInNetworkOnly, Seed: 5,
+			PolicyOverride: &p, DiscardResults: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ttmqo.WorkloadB() {
+			sim.PostAt(w.Arrive, w.Query)
+		}
+		sim.Run(3 * time.Minute)
+		return sim.AvgTransmissionTime()
+	}
+	full := run(ttmqo.InNetworkPolicy())
+	noDAG := ttmqo.InNetworkPolicy()
+	noDAG.QueryAwareDAG = false
+	noDAG.Multicast = false
+	noDAG.Sleep = false
+	ablated := run(noDAG)
+	if full >= ablated {
+		t.Fatalf("DAG ablation should cost traffic: full=%.5f ablated=%.5f", full, ablated)
+	}
+}

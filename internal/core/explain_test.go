@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainSharedAcquisition(t *testing.T) {
+	o := newTestOptimizer(t, 0.6)
+	mustInsert(t, o, 1, "SELECT light, temp WHERE light >= 0 AND light <= 600 EPOCH DURATION 2048")
+	mustInsert(t, o, 2, "SELECT light WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096")
+
+	e, err := o.Explain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.SharedWith) != 1 || e.SharedWith[0] != 1 {
+		t.Fatalf("shared with %v", e.SharedWith)
+	}
+	text := e.String()
+	for _, want := range []string{"re-filter rows", "project rows", "decimate epochs", "shared:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+	if e.UserCost <= 0 || e.SyntheticShare <= 0 || e.GroupSavings <= 0 {
+		t.Fatalf("estimates not populated: %+v", e)
+	}
+	if e.EstSelectivity <= 0 || e.EstSelectivity > 1 {
+		t.Fatalf("selectivity = %f", e.EstSelectivity)
+	}
+}
+
+func TestExplainDerivedAggregate(t *testing.T) {
+	o := newTestOptimizer(t, 0.6)
+	mustInsert(t, o, 1, "SELECT light, nodeid WHERE light >= 0 AND light <= 600 EPOCH DURATION 2048")
+	mustInsert(t, o, 2, "SELECT MAX(light) WHERE light >= 100 AND light <= 300 GROUP BY nodeid BUCKET 4 EPOCH DURATION 4096")
+	e, err := o.Explain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := e.String()
+	for _, want := range []string{"compute MAX(light)", "bucket rows by GROUP BY nodeid BUCKET 4"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainAggregationShared(t *testing.T) {
+	o := newTestOptimizer(t, 0.6)
+	mustInsert(t, o, 1, "SELECT MAX(light) WHERE temp > 20 EPOCH DURATION 4096")
+	mustInsert(t, o, 2, "SELECT MIN(light) WHERE temp > 20 EPOCH DURATION 4096")
+	e, err := o.Explain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "project aggregates MAX(light)") {
+		t.Errorf("explanation:\n%s", e)
+	}
+}
+
+func TestExplainSolo(t *testing.T) {
+	o := newTestOptimizer(t, 0.6)
+	mustInsert(t, o, 1, "SELECT MAX(light) EPOCH DURATION 4096")
+	e, err := o.Explain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := e.String()
+	if !strings.Contains(text, "runs alone") || !strings.Contains(text, "as-is") {
+		t.Errorf("explanation:\n%s", text)
+	}
+	if _, err := o.Explain(99); err == nil {
+		t.Fatal("unknown query must error")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// UserRows is one epoch of acquisition results delivered to a user query
+// after mapping.
+type UserRows struct {
+	QueryID query.ID
+	Time    sim.Time
+	Rows    []query.Row
+}
+
+// UserAgg is one epoch of aggregation results delivered to a user query
+// after mapping.
+type UserAgg struct {
+	QueryID query.ID
+	Time    sim.Time
+	Results []query.AggResult
+}
+
+// MapAcquisition derives user results from one epoch of an acquisition
+// synthetic query's stream ("corresponding results for user queries can be
+// easily obtained through mapping and calculation", §1). For every user
+// query in the synthetic query's from-list whose epoch fires at t (epochs
+// are aligned to multiples of the duration, §3.2.1):
+//
+//   - an acquisition user query receives the rows re-filtered by its own
+//     predicates and projected to its attribute list;
+//   - an aggregation user query receives its aggregates computed over the
+//     re-filtered rows.
+//
+// Predicates the synthetic query applies identically in-network are skipped
+// during re-filtering (the rows arrive pre-filtered, and the attribute may
+// not have been acquired).
+func (o *Optimizer) MapAcquisition(synID query.ID, t sim.Time, rows []query.Row) (acq []UserRows, agg []UserAgg) {
+	s, ok := o.syn[synID]
+	if !ok {
+		return nil, nil
+	}
+	for _, uq := range sortedQueries(s.from) {
+		if !fires(uq, t) {
+			continue
+		}
+		matched := filterRows(s.q, uq, rows)
+		if uq.IsAggregation() {
+			agg = append(agg, UserAgg{QueryID: uq.ID, Time: t, Results: AggregateRows(uq, t, matched)})
+			continue
+		}
+		rowAttrs := uq.RowAttrs()
+		projected := make([]query.Row, 0, len(matched))
+		for _, r := range matched {
+			vals := make(map[field.Attr]float64, len(rowAttrs))
+			for _, a := range rowAttrs {
+				if v, ok := r.Values[a]; ok {
+					vals[a] = v
+				}
+			}
+			projected = append(projected, query.Row{Node: r.Node, Time: r.Time, Values: vals})
+		}
+		acq = append(acq, UserRows{QueryID: uq.ID, Time: t, Rows: projected})
+	}
+	return acq, agg
+}
+
+// MapAggregation derives user results from one epoch of an aggregation
+// synthetic query's stream. Every contributor shares the synthetic query's
+// predicates (a §3.1.2 correctness constraint), so mapping is a projection
+// of the requested aggregates.
+func (o *Optimizer) MapAggregation(synID query.ID, t sim.Time, states []query.AggState) []UserAgg {
+	s, ok := o.syn[synID]
+	if !ok {
+		return nil
+	}
+	var out []UserAgg
+	for _, uq := range sortedQueries(s.from) {
+		if !fires(uq, t) {
+			continue
+		}
+		out = append(out, UserAgg{QueryID: uq.ID, Time: t, Results: AggregateStates(uq, t, states)})
+	}
+	return out
+}
+
+// AggregateStates projects a set of (possibly grouped) partial aggregate
+// states onto one user query's result tuples. For ungrouped queries every
+// requested aggregate yields exactly one tuple (Empty if no node matched);
+// for GROUP BY queries each present bucket yields one tuple per aggregate,
+// sorted by bucket.
+func AggregateStates(uq query.Query, t sim.Time, states []query.AggState) []query.AggResult {
+	results := make([]query.AggResult, 0, len(uq.Aggs))
+	for _, a := range uq.Aggs {
+		var matching []query.AggState
+		for _, st := range states {
+			if st.Agg == a {
+				matching = append(matching, st)
+			}
+		}
+		if uq.GroupBy == nil {
+			if len(matching) == 0 {
+				results = append(results, query.AggResult{Time: t, Agg: a, Empty: true})
+				continue
+			}
+			v, okv := matching[0].Result()
+			results = append(results, query.AggResult{Time: t, Agg: a, Value: v, Empty: !okv})
+			continue
+		}
+		sort.Slice(matching, func(i, j int) bool { return matching[i].Group < matching[j].Group })
+		for _, st := range matching {
+			v, okv := st.Result()
+			results = append(results, query.AggResult{Time: t, Agg: a, Group: st.Group, Value: v, Empty: !okv})
+		}
+	}
+	return results
+}
+
+// AggregateRows computes a user query's (possibly grouped) aggregates from
+// raw rows — the base-station "calculation" path when an aggregation query
+// is served by an acquisition synthetic query.
+func AggregateRows(uq query.Query, t sim.Time, rows []query.Row) []query.AggResult {
+	var states []query.AggState
+	for _, r := range rows {
+		var group int64
+		if uq.GroupBy != nil {
+			gv, ok := r.Values[uq.GroupBy.Attr]
+			if !ok {
+				continue
+			}
+			group = uq.GroupBy.Key(gv)
+		}
+		for _, a := range uq.Aggs {
+			v, ok := r.Values[a.Attr]
+			if !ok {
+				continue
+			}
+			st := query.NewGroupedAggState(a, group)
+			st.Add(v)
+			states = foldState(states, st)
+		}
+	}
+	return AggregateStates(uq, t, states)
+}
+
+func foldState(states []query.AggState, st query.AggState) []query.AggState {
+	for i := range states {
+		if states[i].Agg == st.Agg && states[i].Group == st.Group {
+			states[i].Merge(st)
+			return states
+		}
+	}
+	return append(states, st)
+}
+
+// fires reports whether a query with aligned epochs produces results at t
+// (windowed queries report every Slide epochs).
+func fires(q query.Query, t sim.Time) bool {
+	re := q.ReportEvery()
+	return re > 0 && t%sim.Time(re) == 0
+}
+
+// filterRows re-applies uq's predicates to the synthetic stream, skipping
+// predicates syn already applies identically in-network.
+func filterRows(syn, uq query.Query, rows []query.Row) []query.Row {
+	var preds []query.Predicate
+	for _, p := range uq.Preds {
+		if sp, ok := syn.PredFor(p.Attr); ok && sp == p {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		return rows
+	}
+	filter := query.Query{Preds: preds}
+	out := make([]query.Row, 0, len(rows))
+	for _, r := range rows {
+		if filter.MatchesRow(r.Values) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+)
+
+// Regression for a coverage-violation bug: after the α keep-stale path, an
+// ACQUISITION synthetic query can end up serving only AGGREGATION members.
+// benefitRate checks rewritability against the synthetic's (acquisition)
+// form, but Synthesize recombines the members — and its pure-aggregation
+// merge used to adopt the first member's predicates unconditionally,
+// producing a synthetic that did not cover the other members. With
+// zero-selectivity predicates the broken merge even scored benefit rate
+// 1.0. The exact operation sequence below (found by testing/quick)
+// triggered it at step 29.
+func TestRegressionStaleAggRecombination(t *testing.T) {
+	ops := []uint32{0xdb8e5839, 0x25dd1bf7, 0x2fe91148, 0xf21ef1cc, 0xe54f4217,
+		0x86f1ec02, 0x9f211b18, 0xc62649f9, 0x5d895b75, 0xc95b379e, 0x983a744d,
+		0x410f4b02, 0xb2a0d788, 0xd78b1a0f, 0xdf5e7cda, 0x87efb2ad, 0x70cfaa6c,
+		0x6701090f, 0x9b9b484f, 0xd6073f9, 0x223aa555, 0x2a361e77, 0x61ec2c9a,
+		0xc0b7deb2, 0x4f614516, 0x4c9e1feb, 0x24afb50b, 0x47250c4b, 0x4626aa63,
+		0x5c9c9f68, 0x579fe5e1, 0x14152b00, 0x58fe8b88, 0x9ce54fa2, 0x1c36a730}
+	o := newTestOptimizerQuick(0.2)
+	nextID := query.ID(1)
+	var liveIDs []query.ID
+	for step, op := range ops {
+		if op%3 != 0 || len(liveIDs) == 0 {
+			q := genQueryFromSeed(op, op%5 == 1)
+			q.ID = nextID
+			nextID++
+			if _, err := o.Insert(q); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			liveIDs = append(liveIDs, q.ID)
+		} else {
+			idx := int(op>>8) % len(liveIDs)
+			if _, err := o.Terminate(liveIDs[idx]); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			liveIDs = append(liveIDs[:idx], liveIDs[idx+1:]...)
+		}
+		checkInvariants(t, o)
+	}
+}
+
+// Soak: the same randomized interleaving as
+// TestOptimizerInvariantsUnderRandomWorkload, but across several fixed
+// quick seeds so runs are reproducible AND cover more of the input space
+// than quick's single time-based seed.
+func TestOptimizerInvariantSoak(t *testing.T) {
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(seed))}
+		f := func(ops []uint32, alphaSel uint8) bool {
+			alphas := []float64{0, 0.2, 0.6, 1.0, 5}
+			o := newTestOptimizerQuick(alphas[int(alphaSel)%len(alphas)])
+			nextID := query.ID(1)
+			var liveIDs []query.ID
+			for _, op := range ops {
+				if op%3 != 0 || len(liveIDs) == 0 {
+					q := genQueryFromSeed(op, op%5 == 1)
+					q.ID = nextID
+					nextID++
+					if _, err := o.Insert(q); err != nil {
+						return false
+					}
+					liveIDs = append(liveIDs, q.ID)
+				} else {
+					idx := int(op>>8) % len(liveIDs)
+					if _, err := o.Terminate(liveIDs[idx]); err != nil {
+						return false
+					}
+					liveIDs = append(liveIDs[:idx], liveIDs[idx+1:]...)
+				}
+				ft := &fatalCollector{}
+				checkInvariants(ft, o)
+				if ft.failed {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: the two-tier
+// multiple query optimizer. This file and optimizer.go implement tier 1, the
+// base-station optimization of §3.1 — cost-guided rewriting of user queries
+// into a smaller set of synthetic queries (Algorithm 1), adaptive handling
+// of query termination (Algorithm 2), and the bookkeeping that lets the base
+// station derive every user query's results from the synthetic streams
+// (mapper.go).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/query"
+)
+
+// Synthesize returns the canonical synthetic query serving a set of user
+// queries: the exact data requirement of the set, independent of the order
+// in which the set was assembled.
+//
+// If every query is an aggregation query (they then share identical
+// predicates, enforced by query.Rewritable), the result aggregates the union
+// of their agg lists at the GCD of their epochs. Otherwise the result is an
+// acquisition query whose projection is the union of all queries'
+// projections and aggregate inputs, plus the predicate attributes needed for
+// base-station re-filtering: attribute A is acquired for a query whose
+// predicate on A differs from the merged predicate (identically filtered
+// attributes arrive pre-filtered and need no raw value). The merged
+// predicate list is the n-ary conjunctive-superset union and the epoch is
+// the GCD.
+//
+// This is the associative/commutative closure of query.Integrate with the
+// re-filter attributes computed exactly rather than pairwise-conservatively;
+// the paper's count fields (§3.1.1) are realized by recomputing this
+// canonical form from the surviving contributors (see DESIGN.md).
+func Synthesize(qs []query.Query) query.Query {
+	if len(qs) == 0 {
+		return query.Query{}
+	}
+	allWin := true
+	allAgg := true
+	for _, q := range qs {
+		if !q.IsAggregation() {
+			allAgg = false
+		}
+		if !q.IsWindowed() {
+			allWin = false
+		}
+	}
+	// The pure-aggregation merge is only sound when every member shares one
+	// predicate list and group spec. Pairwise Rewritable guarantees that for
+	// sets assembled agg-with-agg — but a synthetic query can end up serving
+	// only aggregation members through another route: an acquisition
+	// synthetic whose acquisition members terminated while α kept it alive.
+	// Recombining those members must NOT silently adopt the first member's
+	// predicates; fall back to the acquisition form, which covers any mix.
+	if allAgg {
+		for _, q := range qs[1:] {
+			if !query.PredsEqual(qs[0].Preds, q.Preds) || !qs[0].GroupBy.Equal(q.GroupBy) {
+				allAgg = false
+				break
+			}
+		}
+	}
+	if allWin {
+		// Windowed queries only ever merge with compatible windowed queries
+		// (query.Rewritable): identical predicates and epoch; the merged
+		// query reports on the GCD slide schedule.
+		merged := qs[0].Clone()
+		merged.ID = 0
+		for _, q := range qs[1:] {
+			merged.Wins = append(merged.Wins, q.Wins...)
+		}
+		slide := merged.Wins[0].Slide
+		for _, w := range merged.Wins[1:] {
+			slide = gcdSlides(slide, w.Slide)
+		}
+		for i := range merged.Wins {
+			merged.Wins[i].Slide = slide
+		}
+		return merged.Normalize()
+	}
+	epoch := qs[0].Epoch
+	for _, q := range qs[1:] {
+		epoch = query.EpochGCD(epoch, q.Epoch)
+	}
+	if allAgg {
+		var aggs []query.Agg
+		for _, q := range qs {
+			aggs = append(aggs, q.Aggs...)
+		}
+		return query.Query{
+			Aggs:    aggs,
+			Preds:   qs[0].Preds,
+			Epoch:   epoch,
+			GroupBy: qs[0].GroupBy, // identical across the set (Rewritable)
+		}.Normalize()
+	}
+
+	// Merged predicates: attribute constrained iff constrained in every
+	// query, with the widened range.
+	merged := qs[0].Preds
+	for _, q := range qs[1:] {
+		merged = query.UnionPreds(merged, q.Preds)
+	}
+	mergedFor := make(map[field.Attr]query.Predicate, len(merged))
+	for _, p := range merged {
+		mergedFor[p.Attr] = p
+	}
+
+	attrSet := make(map[field.Attr]bool)
+	for _, q := range qs {
+		for _, a := range q.Attrs {
+			attrSet[a] = true
+		}
+		for _, a := range q.AggAttrs() {
+			attrSet[a] = true
+		}
+		if q.GroupBy != nil {
+			attrSet[q.GroupBy.Attr] = true
+		}
+		for _, p := range q.Preds {
+			if mp, ok := mergedFor[p.Attr]; ok && mp == p {
+				continue // filtered identically in-network; no raw value needed
+			}
+			attrSet[p.Attr] = true
+		}
+	}
+	attrs := make([]field.Attr, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+
+	return query.Query{
+		Attrs: attrs,
+		Preds: merged,
+		Epoch: epoch,
+	}.Normalize()
+}
+
+// gcdSlides is the GCD of two reporting slides.
+func gcdSlides(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

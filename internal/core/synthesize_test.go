@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/query"
+)
+
+func TestSynthesizeEmpty(t *testing.T) {
+	if got := Synthesize(nil); len(got.Attrs) != 0 || len(got.Aggs) != 0 {
+		t.Fatalf("empty synthesize = %v", got)
+	}
+}
+
+func TestSynthesizeSingleton(t *testing.T) {
+	q := query.MustParse("SELECT light WHERE light > 100 EPOCH DURATION 4096")
+	s := Synthesize([]query.Query{q})
+	if !s.Equal(q) {
+		t.Fatalf("singleton synthesize changed query: %v vs %v", s, q)
+	}
+	// In particular, the predicate attribute is NOT acquired: the predicate
+	// is applied identically in-network.
+	if s.HasAttr(field.AttrLight) && len(s.Attrs) != 1 {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+}
+
+func TestSynthesizeAllAggregation(t *testing.T) {
+	a := query.MustParse("SELECT MAX(light) WHERE temp > 20 EPOCH DURATION 4096")
+	b := query.MustParse("SELECT MIN(light) WHERE temp > 20 EPOCH DURATION 8192")
+	s := Synthesize([]query.Query{a, b})
+	if !s.IsAggregation() {
+		t.Fatal("all-aggregation set must synthesize to an aggregation query")
+	}
+	if len(s.Aggs) != 2 || s.Epoch != 4096*time.Millisecond {
+		t.Fatalf("synthesized = %v", s)
+	}
+	if !query.PredsEqual(s.Preds, a.Preds) {
+		t.Fatalf("preds changed: %v", s.Preds)
+	}
+}
+
+func TestSynthesizeMixed(t *testing.T) {
+	acq := query.MustParse("SELECT light WHERE light > 100 EPOCH DURATION 4096")
+	agg := query.MustParse("SELECT MAX(temp) WHERE light > 200 EPOCH DURATION 8192")
+	s := Synthesize([]query.Query{acq, agg})
+	if s.IsAggregation() {
+		t.Fatal("mixed set must synthesize to acquisition")
+	}
+	// light predicate widened to >100; both queries' predicates differ from
+	// the merged one... acq's (100,∞) equals merged, agg's (200,∞) differs →
+	// light must be acquired for re-filtering the aggregation query.
+	if !s.HasAttr(field.AttrLight) || !s.HasAttr(field.AttrTemp) {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+	if s.Epoch != 4096*time.Millisecond {
+		t.Fatalf("epoch = %v", s.Epoch)
+	}
+}
+
+func TestSynthesizeIdenticalPredsNotAcquired(t *testing.T) {
+	// Two queries with the same predicate on humidity: filtering happens
+	// in-network; humidity need not be acquired.
+	a := query.MustParse("SELECT light WHERE humidity > 50 EPOCH DURATION 4096")
+	b := query.MustParse("SELECT temp WHERE humidity > 50 EPOCH DURATION 4096")
+	s := Synthesize([]query.Query{a, b})
+	if s.HasAttr(field.AttrHumidity) {
+		t.Fatalf("humidity acquired unnecessarily: %v", s.Attrs)
+	}
+	if _, ok := s.PredFor(field.AttrHumidity); !ok {
+		t.Fatal("shared predicate must be retained")
+	}
+}
+
+func TestSynthesizeDivergentPredsAcquired(t *testing.T) {
+	a := query.MustParse("SELECT light WHERE humidity > 50 EPOCH DURATION 4096")
+	b := query.MustParse("SELECT temp WHERE humidity > 70 EPOCH DURATION 4096")
+	s := Synthesize([]query.Query{a, b})
+	if !s.HasAttr(field.AttrHumidity) {
+		t.Fatalf("humidity needed for re-filtering: %v", s.Attrs)
+	}
+	p, ok := s.PredFor(field.AttrHumidity)
+	if !ok || p.Min != 50.000000000000007 && !(p.Min > 50 && p.Min < 50.01) {
+		t.Fatalf("merged humidity pred = %v", p)
+	}
+}
+
+func TestSynthesizeOrderIndependent(t *testing.T) {
+	qs := []query.Query{
+		query.MustParse("SELECT light WHERE light > 100 AND temp > 10 EPOCH DURATION 4096"),
+		query.MustParse("SELECT temp WHERE light > 200 EPOCH DURATION 8192"),
+		query.MustParse("SELECT MAX(humidity) WHERE light > 50 EPOCH DURATION 16384"),
+	}
+	s1 := Synthesize([]query.Query{qs[0], qs[1], qs[2]})
+	s2 := Synthesize([]query.Query{qs[2], qs[0], qs[1]})
+	s3 := Synthesize([]query.Query{qs[1], qs[2], qs[0]})
+	if !s1.Equal(s2) || !s1.Equal(s3) {
+		t.Fatalf("order dependence:\n%v\n%v\n%v", s1, s2, s3)
+	}
+}
+
+// Property: Synthesize covers every constituent.
+func TestSynthesizeCoversProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 8 {
+			seeds = seeds[:8]
+		}
+		qs := make([]query.Query, 0, len(seeds))
+		for _, s := range seeds {
+			qs = append(qs, genQueryFromSeed(s, false))
+		}
+		syn := Synthesize(qs)
+		for _, q := range qs {
+			if !query.Covers(syn, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for all-aggregation sets with shared predicates, the synthesis
+// stays an aggregation query and covers all.
+func TestSynthesizeAggCoversProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 8 {
+			seeds = seeds[:8]
+		}
+		shared := []query.Predicate{{Attr: field.AttrTemp, Min: 10, Max: 60}}
+		qs := make([]query.Query, 0, len(seeds))
+		for _, s := range seeds {
+			q := genQueryFromSeed(s, true)
+			q.Preds = shared
+			q = q.Normalize()
+			qs = append(qs, q)
+		}
+		syn := Synthesize(qs)
+		if !syn.IsAggregation() {
+			return false
+		}
+		for _, q := range qs {
+			if !query.Covers(syn, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genQueryFromSeed deterministically derives a small valid query from a
+// 32-bit seed; used by property tests in this package.
+func genQueryFromSeed(seed uint32, agg bool) query.Query {
+	attrs := []field.Attr{field.AttrLight, field.AttrTemp, field.AttrHumidity, field.AttrNodeID}
+	a := attrs[seed%4]
+	pa := attrs[(seed>>2)%4]
+	lo := float64((seed >> 4) % 500)
+	hi := lo + 1 + float64((seed>>13)%500)
+	epoch := time.Duration(1+(seed>>22)%12) * query.MinEpoch
+	q := query.Query{
+		Preds: []query.Predicate{{Attr: pa, Min: lo, Max: hi}},
+		Epoch: epoch,
+	}
+	if agg {
+		ops := []query.AggOp{query.Max, query.Min, query.Sum, query.Count, query.Avg}
+		q.Aggs = []query.Agg{{Op: ops[(seed>>9)%5], Attr: a}}
+	} else {
+		q.Attrs = []field.Attr{a}
+	}
+	return q.Normalize()
+}

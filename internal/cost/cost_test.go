@@ -1,0 +1,315 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/query"
+)
+
+// fourLevels: base station + 3 sensors at level 1, 6 at level 2, 6 at
+// level 3 (15 sensors).
+func fourLevels(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel([]int{1, 3, 6, 6}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(nil, Config{}); err == nil {
+		t.Fatal("empty levelSizes should error")
+	}
+	if _, err := NewModel([]int{2, 3}, Config{}); err == nil {
+		t.Fatal("levelSizes[0] != 1 should error")
+	}
+}
+
+func TestHistogramUniformSelectivity(t *testing.T) {
+	h := NewHistogram(field.AttrLight, 0, 1000, 64)
+	cases := []struct {
+		min, max, want float64
+	}{
+		{0, 1000, 1},
+		{0, 500, 0.5},
+		{250, 750, 0.5},
+		{-100, 2000, 1}, // clamped to the range
+		{900, 910, 0.01},
+		{500, 400, 0}, // empty
+	}
+	for _, c := range cases {
+		got := h.Selectivity(c.min, c.max)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("sel[%f,%f] = %f, want %f", c.min, c.max, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveShiftsMass(t *testing.T) {
+	h := NewHistogram(field.AttrLight, 0, 1000, 10)
+	before := h.Selectivity(0, 100)
+	for i := 0; i < 1000; i++ {
+		h.Observe(50)
+	}
+	after := h.Selectivity(0, 100)
+	if after <= before {
+		t.Fatalf("observing mass at 50 should raise sel[0,100]: %f -> %f", before, after)
+	}
+	if after < 0.9 {
+		t.Fatalf("sel[0,100] = %f after 1000 observations at 50", after)
+	}
+}
+
+func TestHistogramObserveOutOfRangeClamps(t *testing.T) {
+	h := NewHistogram(field.AttrTemp, 0, 100, 4)
+	h.Observe(-50)
+	h.Observe(500)
+	// Mass lands in the edge buckets rather than being lost.
+	if h.Selectivity(0, 100) != 1 {
+		t.Fatal("full-range selectivity must stay 1")
+	}
+}
+
+func TestSelectivityIndependence(t *testing.T) {
+	m := fourLevels(t)
+	preds := []query.Predicate{
+		{Attr: field.AttrLight, Min: 0, Max: 500}, // 0.5
+		{Attr: field.AttrTemp, Min: 0, Max: 25},   // 0.25
+	}
+	got := m.Selectivity(preds)
+	if math.Abs(got-0.125) > 1e-9 {
+		t.Fatalf("selectivity = %f, want 0.125", got)
+	}
+	if m.Selectivity(nil) != 1 {
+		t.Fatal("no predicates means selectivity 1")
+	}
+}
+
+func TestResultRateEq1(t *testing.T) {
+	m := fourLevels(t)
+	q := query.MustParse("SELECT light WHERE light >= 0 AND light <= 500 EPOCH DURATION 4096")
+	// sel=0.5, |N_2|=6, epoch=4.096s → 0.5*6/4.096.
+	want := 0.5 * 6 / 4.096
+	if got := m.ResultRate(q, 2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("result rate = %f, want %f", got, want)
+	}
+	if m.ResultRate(q, 0) != 0 {
+		t.Fatal("base station generates no results")
+	}
+	if m.ResultRate(q, 99) != 0 {
+		t.Fatal("levels beyond maxDepth generate no results")
+	}
+}
+
+func TestTransAcquisitionEq2(t *testing.T) {
+	m := fourLevels(t)
+	q := query.MustParse("SELECT light EPOCH DURATION 2048")
+	// sel=1: Σ k·|N_k|/epoch = (1·3 + 2·6 + 3·6)/2.048 = 33/2.048.
+	want := 33.0 / 2.048
+	if got := m.Trans(q); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("trans = %f, want %f", got, want)
+	}
+}
+
+func TestTransAggregationLowerBound(t *testing.T) {
+	m := fourLevels(t)
+	q := query.MustParse("SELECT MAX(light) EPOCH DURATION 2048")
+	// Lower bound: sel·|N|/epoch = 15/2.048 (every generating node transmits
+	// exactly once).
+	want := 15.0 / 2.048
+	if got := m.Trans(q); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("agg trans = %f, want %f", got, want)
+	}
+	acq := query.MustParse("SELECT light EPOCH DURATION 2048")
+	if m.Trans(q) >= m.Trans(acq) {
+		t.Fatal("aggregation lower bound must be below acquisition Eq.2")
+	}
+}
+
+func TestCostEq3(t *testing.T) {
+	m := fourLevels(t)
+	q := query.MustParse("SELECT light EPOCH DURATION 2048")
+	perMsg := DefaultCstart.Seconds() + DefaultCtrans.Seconds()*float64(MsgLen(q))
+	want := m.Trans(q) * perMsg
+	if got := m.Cost(q); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+}
+
+func TestMsgLen(t *testing.T) {
+	acq := query.MustParse("SELECT light, temp")
+	if got := MsgLen(acq); got != HeaderBytes+2*BytesPerAttr {
+		t.Fatalf("acq len = %d", got)
+	}
+	agg := query.MustParse("SELECT MAX(light), MIN(light), AVG(temp)")
+	if got := MsgLen(agg); got != HeaderBytes+3*BytesPerAgg {
+		t.Fatalf("agg len = %d", got)
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	m := fourLevels(t)
+	narrow := query.MustParse("SELECT light WHERE light >= 0 AND light <= 100 EPOCH DURATION 4096")
+	wide := query.MustParse("SELECT light WHERE light >= 0 AND light <= 900 EPOCH DURATION 4096")
+	if m.Cost(narrow) >= m.Cost(wide) {
+		t.Fatal("wider predicate must cost at least as much")
+	}
+	slow := query.MustParse("SELECT light EPOCH DURATION 8192")
+	fast := query.MustParse("SELECT light EPOCH DURATION 2048")
+	if m.Cost(slow) >= m.Cost(fast) {
+		t.Fatal("shorter epoch must cost more")
+	}
+}
+
+func TestBenefitSymmetric(t *testing.T) {
+	m := fourLevels(t)
+	q1 := query.MustParse("SELECT light WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096")
+	q2 := query.MustParse("SELECT light WHERE light >= 200 AND light <= 600 EPOCH DURATION 4096")
+	if math.Abs(m.Benefit(q1, q2)-m.Benefit(q2, q1)) > 1e-12 {
+		t.Fatal("benefit should be symmetric")
+	}
+}
+
+func TestBenefitRateCoverageIsOne(t *testing.T) {
+	m := fourLevels(t)
+	syn := query.MustParse("SELECT light, temp WHERE light >= 0 AND light <= 600 EPOCH DURATION 2048")
+	q := query.MustParse("SELECT light WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096")
+	if got := m.BenefitRate(q, syn); got != 1 {
+		t.Fatalf("rate = %f, want exactly 1 for coverage", got)
+	}
+}
+
+func TestBenefitRateNonRewritable(t *testing.T) {
+	m := fourLevels(t)
+	a := query.MustParse("SELECT MAX(light) WHERE temp > 20")
+	b := query.MustParse("SELECT MAX(light) WHERE temp > 30")
+	if got := m.BenefitRate(a, b); got != 0 {
+		t.Fatalf("rate = %f, want 0 for non-rewritable pair", got)
+	}
+}
+
+// The §3.1.3 worked example: with uniform light in [0,1000] and unit message
+// cost, q1(280,600)@2 and q2(100,300)@4 must NOT merge; q3(150,500)@4 merges
+// with q2; the result then merges with q1. We scale epochs 2→4096ms, 4→8192ms
+// (ratios preserved).
+func TestPaperRewritingExample(t *testing.T) {
+	m := fourLevels(t)
+	q1 := query.MustParse("select light where 280<light<600 epoch duration 4096")
+	q2 := query.MustParse("select light where 100<light<300 epoch duration 8192")
+	q3 := query.MustParse("select light where 150<light<500 epoch duration 8192")
+
+	if b := m.Benefit(q1, q2); b >= 0 {
+		t.Fatalf("benefit(q1,q2) = %f, want < 0 (paper: 320/2+200/4-500/2 < 0)", b)
+	}
+	if b := m.Benefit(q2, q3); b <= 0 {
+		t.Fatalf("benefit(q2,q3) = %f, want > 0 (paper: 200/4+350/4-400/4 > 0)", b)
+	}
+	// The paper claims benefit(q1',q3) < 0, but its own formula gives
+	// d/L·(320/2 + 350/4 − 450/2) = +22.5·d/L (the union of (280,600) and
+	// (150,500) is (150,600), width 450 — the paper's "350/2" is a typo).
+	// The greedy outcome is unchanged because the benefit *rate* against q2'
+	// (37.5/87.5) beats q1' (22.5/87.5), so q3 still merges with q2'.
+	if m.BenefitRate(q3, q1) >= m.BenefitRate(q3, q2) {
+		t.Fatalf("greedy must prefer q2': rate(q3,q1)=%f, rate(q3,q2)=%f",
+			m.BenefitRate(q3, q1), m.BenefitRate(q3, q2))
+	}
+	q23 := query.Integrate(q2, q3)
+	if b := m.Benefit(q1, q23); b <= 0 {
+		t.Fatalf("benefit(q1,q2'') = %f, want > 0 (paper: 320/2+400/4-500/2 > 0)", b)
+	}
+	final := query.Integrate(q1, q23)
+	// Final: light in (100,600), epoch 4096ms.
+	if len(final.Preds) != 1 {
+		t.Fatalf("final preds = %v", final.Preds)
+	}
+	p := final.Preds[0]
+	if !(p.Min > 100 && p.Min < 100.01 && p.Max > 599.99 && p.Max < 600) {
+		t.Fatalf("final pred = %v, want (100,600)", p)
+	}
+	if final.Epoch != 4096*time.Millisecond {
+		t.Fatalf("final epoch = %v, want 4096ms", final.Epoch)
+	}
+}
+
+// Property: integrating never yields benefit rate above 1 and coverage
+// always yields exactly 1.
+func TestBenefitRateBounds(t *testing.T) {
+	m := fourLevels(t)
+	f := func(lo1, hi1, lo2, hi2 float64, e1, e2 uint8) bool {
+		mk := func(lo, hi float64, e uint8) query.Query {
+			lo = math.Mod(math.Abs(lo), 1000)
+			hi = lo + math.Mod(math.Abs(hi), 1000-lo+1)
+			return query.Query{
+				Attrs: []field.Attr{field.AttrLight},
+				Preds: []query.Predicate{{Attr: field.AttrLight, Min: lo, Max: hi}},
+				Epoch: time.Duration(1+int(e)%12) * query.MinEpoch,
+			}.Normalize()
+		}
+		qi := mk(lo1, hi1, e1)
+		qj := mk(lo2, hi2, e2)
+		rate := m.BenefitRate(qi, qj)
+		if rate > 1 {
+			return false
+		}
+		if query.Covers(qj, qi) && rate != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgDepth(t *testing.T) {
+	m := fourLevels(t)
+	// (1·3 + 2·6 + 3·6)/15 = 33/15 = 2.2
+	if got := m.AvgDepth(); math.Abs(got-2.2) > 1e-9 {
+		t.Fatalf("avg depth = %f, want 2.2", got)
+	}
+	if m.Sensors() != 15 {
+		t.Fatalf("sensors = %d, want 15", m.Sensors())
+	}
+}
+
+func TestObserveRefinesSelectivity(t *testing.T) {
+	m := fourLevels(t)
+	before := m.Selectivity([]query.Predicate{{Attr: field.AttrLight, Min: 0, Max: 100}})
+	for i := 0; i < 500; i++ {
+		m.Observe(field.AttrLight, 50)
+	}
+	after := m.Selectivity([]query.Predicate{{Attr: field.AttrLight, Min: 0, Max: 100}})
+	if after <= before {
+		t.Fatal("Observe should shift estimated selectivity")
+	}
+}
+
+// Exponential decay: after a distribution shift, the histogram tracks the
+// new distribution instead of averaging over its whole history.
+func TestHistogramDecayTracksDrift(t *testing.T) {
+	h := NewHistogram(field.AttrLight, 0, 1000, 10)
+	// Phase 1: mass at 100.
+	for i := 0; i < 3*decayEveryDefault; i++ {
+		h.Observe(100)
+	}
+	if s := h.Selectivity(0, 200); s < 0.9 {
+		t.Fatalf("phase 1 sel = %f", s)
+	}
+	// Phase 2: the phenomenon moves to 900.
+	for i := 0; i < 3*decayEveryDefault; i++ {
+		h.Observe(900)
+	}
+	hi := h.Selectivity(800, 1000)
+	lo := h.Selectivity(0, 200)
+	if hi < 0.8 {
+		t.Fatalf("after drift, sel[800,1000] = %f, want ≥ 0.8", hi)
+	}
+	if lo > 0.2 {
+		t.Fatalf("after drift, stale sel[0,200] = %f, want ≤ 0.2", lo)
+	}
+}

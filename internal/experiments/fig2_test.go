@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestFigure2Example checks the §3.2.2 worked example end to end: exact
+// message and node counts for both modes and both query types.
+func TestFigure2Example(t *testing.T) {
+	rows, err := RunFigure2Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AcqMessages != r.WantAcqMessages {
+			t.Errorf("%s: acquisition messages = %d, want %d", r.Mode, r.AcqMessages, r.WantAcqMessages)
+		}
+		if r.AcqNodes != r.WantAcqNodes {
+			t.Errorf("%s: involved nodes = %d, want %d", r.Mode, r.AcqNodes, r.WantAcqNodes)
+		}
+		if r.AggMessages != r.WantAggMessages {
+			t.Errorf("%s: aggregation messages = %d, want %d", r.Mode, r.AggMessages, r.WantAggMessages)
+		}
+	}
+}

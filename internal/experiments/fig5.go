@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Fig5Config parametrizes the Figure 5 study: transmission-time savings of
+// TTMQO over the baseline as a function of predicate selectivity, for
+// different aggregation/acquisition mixes.
+type Fig5Config struct {
+	Seed int64
+	// Side of the deployment grid (default 4 — the paper's 16-node setup
+	// with 8 concurrent queries).
+	Side int
+	// Duration of each run (default 10 minutes).
+	Duration time.Duration
+	// Selectivities swept (default 0.2 … 1.0 step 0.2).
+	Selectivities []float64
+	// AggFractions lists the mixes (default 0, 0.5, 1 — the paper's
+	// "100% acquisition", "50/50" and "100% aggregation" series).
+	AggFractions []float64
+	// Runs averages each point over this many seeds (default 3).
+	Runs int
+}
+
+func (c *Fig5Config) setDefaults() {
+	if c.Side == 0 {
+		c.Side = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if len(c.Selectivities) == 0 {
+		c.Selectivities = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if c.AggFractions == nil {
+		c.AggFractions = []float64{0, 0.5, 1}
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+}
+
+// Fig5Row is one point of a Figure 5 series.
+type Fig5Row struct {
+	AggFraction float64
+	Selectivity float64
+	// BaselineTxPct and TTMQOTxPct are average transmission times (%).
+	BaselineTxPct float64
+	TTMQOTxPct    float64
+	// SavingsPct is the figure's y axis; SavingsStd is its sample standard
+	// deviation across seeds.
+	SavingsPct float64
+	SavingsStd float64
+}
+
+// RunFigure5 sweeps predicate selectivity for three query mixes with 8
+// concurrent queries (§4.3). Expected shape: savings grow with selectivity
+// for every mix; 100 % acquisition with a shared epoch duration reaches
+// ≈ 7/8 at selectivity 1 (and can exceed it — fewer messages mean fewer
+// collision-induced retransmissions); the 100 % aggregation series is low
+// until it jumps sharply at selectivity 1, where the predicates become
+// identical and tier 1 can suddenly merge the aggregation queries.
+func RunFigure5(cfg Fig5Config) ([]Fig5Row, error) {
+	cfg.setDefaults()
+	topo, err := topology.PaperGrid(cfg.Side)
+	if err != nil {
+		return nil, err
+	}
+	type point struct {
+		frac, sel float64
+	}
+	var points []point
+	for _, frac := range cfg.AggFractions {
+		for _, sel := range cfg.Selectivities {
+			points = append(points, point{frac, sel})
+		}
+	}
+	// Each (mix, selectivity) cell is an independent pair of simulations;
+	// the grid runs across CPUs.
+	return stats.ParallelMap(len(points), func(i int) (Fig5Row, error) {
+		pt := points[i]
+		var base, opt, save stats.Series
+		for r := 0; r < cfg.Runs; r++ {
+			seed := cfg.Seed + int64(r)*104729
+			ws := workload.Selectivity(workload.SelectivityConfig{
+				Seed:        seed,
+				AggFraction: pt.frac,
+				Selectivity: pt.sel,
+				Nodes:       topo.Size(),
+				// All series share one epoch duration: the paper's 7/8
+				// bound for the acquisition series presumes it, and the
+				// sharp aggregation jump at selectivity 1 requires the
+				// tier-1 merge not to oversample at a shorter GCD.
+				SameEpoch: true,
+			})
+			b, err := runFig5Once(topo, network.Baseline, seed, ws, cfg.Duration)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			o, err := runFig5Once(topo, network.TTMQO, seed, ws, cfg.Duration)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			base.Add(b)
+			opt.Add(o)
+			save.Add(metrics.Savings(b, o) * 100)
+		}
+		return Fig5Row{
+			AggFraction:   pt.frac,
+			Selectivity:   pt.sel,
+			BaselineTxPct: base.Mean() * 100,
+			TTMQOTxPct:    opt.Mean() * 100,
+			SavingsPct:    save.Mean(),
+			SavingsStd:    save.Stddev(),
+		}, nil
+	})
+}
+
+func runFig5Once(topo *topology.Topology, scheme network.Scheme, seed int64,
+	ws []workload.TimedQuery, d time.Duration) (float64, error) {
+	s, err := network.New(network.Config{
+		Topo:           topo,
+		Scheme:         scheme,
+		Seed:           seed,
+		Radio:          radio.Config{CollisionFactor: radio.DefaultCollisionFactor},
+		DiscardResults: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, w := range ws {
+		s.PostAt(w.Arrive, w.Query)
+	}
+	s.Run(d)
+	return s.AvgTransmissionTime(), nil
+}
+
+// Fig5String renders rows as a text table.
+func Fig5String(rows []Fig5Row) string {
+	out := fmt.Sprintf("%8s %12s %13s %10s %9s\n",
+		"aggFrac", "selectivity", "baseline(%)", "ttmqo(%)", "save(%)")
+	for _, r := range rows {
+		out += fmt.Sprintf("%8.2f %12.2f %13.4f %10.4f %9.1f\n",
+			r.AggFraction, r.Selectivity, r.BaselineTxPct, r.TTMQOTxPct, r.SavingsPct)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// LifetimeConfig parametrizes the network-lifetime study: the classic WSN
+// metric (time until the busiest node's battery dies) under each scheme.
+// The paper argues its savings "can save much bandwidth and energy" (§4.2);
+// this study quantifies the energy half of that claim with the
+// metrics.EnergyModel.
+type LifetimeConfig struct {
+	Seed int64
+	// Side of the grid (default 8).
+	Side int
+	// Duration measured before extrapolating (default 10 minutes).
+	Duration time.Duration
+	// Workload name (default C).
+	Workload string
+	// Energy model; zero values take mica2-flavoured defaults.
+	Energy metrics.EnergyModel
+}
+
+func (c *LifetimeConfig) setDefaults() {
+	if c.Side == 0 {
+		c.Side = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.Workload == "" {
+		c.Workload = "C"
+	}
+}
+
+// LifetimeRow is one scheme's energy outcome.
+type LifetimeRow struct {
+	Scheme network.Scheme
+	// TotalJ is the network-wide energy spent during the measured interval.
+	TotalJ float64
+	// Lifetime is the extrapolated time until the busiest sensor node
+	// exhausts its battery.
+	Lifetime time.Duration
+	// GainPct is the lifetime extension over the baseline.
+	GainPct float64
+}
+
+// RunLifetime measures energy consumption and extrapolated network lifetime
+// for all four schemes under one workload. Expected shape: lifetime
+// ordering mirrors the transmission-time ordering of Figure 3 — radio work
+// dominates the energy budget, so sharing extends lifetime.
+func RunLifetime(cfg LifetimeConfig) ([]LifetimeRow, error) {
+	cfg.setDefaults()
+	topo, err := topology.PaperGrid(cfg.Side)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	schemes := network.AllSchemes()
+	rows, err := stats.ParallelMap(len(schemes), func(i int) (LifetimeRow, error) {
+		s, err := network.New(network.Config{
+			Topo:           topo,
+			Scheme:         schemes[i],
+			Seed:           cfg.Seed,
+			Radio:          radio.Config{CollisionFactor: radio.DefaultCollisionFactor},
+			DiscardResults: true,
+		})
+		if err != nil {
+			return LifetimeRow{}, err
+		}
+		for _, w := range ws {
+			s.PostAt(w.Arrive, w.Query)
+			if w.Depart != 0 {
+				s.CancelAt(w.Depart, w.Query.ID)
+			}
+		}
+		s.Run(cfg.Duration)
+		return LifetimeRow{
+			Scheme:   schemes[i],
+			TotalJ:   s.Metrics().TotalEnergy(cfg.Energy),
+			Lifetime: s.Metrics().NetworkLifetime(cfg.Duration, cfg.Energy),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseline time.Duration
+	for _, r := range rows {
+		if r.Scheme == network.Baseline {
+			baseline = r.Lifetime
+		}
+	}
+	for i := range rows {
+		if baseline > 0 {
+			rows[i].GainPct = (rows[i].Lifetime.Seconds() - baseline.Seconds()) / baseline.Seconds() * 100
+		}
+	}
+	return rows, nil
+}
+
+// LifetimeString renders the study as a text table.
+func LifetimeString(rows []LifetimeRow) string {
+	out := fmt.Sprintf("%-13s %10s %14s %9s\n", "scheme", "energy(J)", "lifetime", "gain")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-13s %10.1f %14s %+8.1f%%\n",
+			r.Scheme, r.TotalJ, r.Lifetime.Round(time.Hour), r.GainPct)
+	}
+	return out
+}

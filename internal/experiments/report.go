@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ReportConfig parametrizes a full evaluation run (every figure and every
+// extension study).
+type ReportConfig struct {
+	Seed int64
+	// Duration per packet-level run (default 10 minutes).
+	Duration time.Duration
+	// Runs per stochastic point (default 3).
+	Runs int
+}
+
+func (c *ReportConfig) setDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+}
+
+// Report bundles the results of one full evaluation run.
+type Report struct {
+	Config      ReportConfig
+	Fig2        []Fig2Row
+	Fig3        []Fig3Row
+	Fig4A       []Fig4Point
+	Fig4B       []Fig4Point
+	Fig4C       []Fig4Point
+	Fig5        []Fig5Row
+	Ablation    []AblationRow
+	Reliability []ReliabilityRow
+	Lifetime    []LifetimeRow
+	Scaling     []ScalingRow
+	Elapsed     time.Duration
+}
+
+// RunAll executes every study and returns the bundled report. Wall-clock
+// timing is measured by the caller and stored in Elapsed if desired.
+func RunAll(cfg ReportConfig) (*Report, error) {
+	cfg.setDefaults()
+	r := &Report{Config: cfg}
+	var err error
+	if r.Fig2, err = RunFigure2Example(); err != nil {
+		return nil, fmt.Errorf("figure 2: %w", err)
+	}
+	if r.Fig3, err = RunFigure3(Fig3Config{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+		return nil, fmt.Errorf("figure 3: %w", err)
+	}
+	if r.Fig4A, err = RunFigure4A(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs}); err != nil {
+		return nil, fmt.Errorf("figure 4a: %w", err)
+	}
+	if r.Fig4B, err = RunFigure4B(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs, Side: 8}); err != nil {
+		return nil, fmt.Errorf("figure 4b: %w", err)
+	}
+	if r.Fig4C, err = RunFigure4C(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs}); err != nil {
+		return nil, fmt.Errorf("figure 4c: %w", err)
+	}
+	if r.Fig5, err = RunFigure5(Fig5Config{Seed: cfg.Seed, Duration: cfg.Duration, Runs: cfg.Runs}); err != nil {
+		return nil, fmt.Errorf("figure 5: %w", err)
+	}
+	if r.Ablation, err = RunAblation(AblationConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
+	if r.Reliability, err = RunReliability(ReliabilityConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+		return nil, fmt.Errorf("reliability: %w", err)
+	}
+	if r.Lifetime, err = RunLifetime(LifetimeConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+		return nil, fmt.Errorf("lifetime: %w", err)
+	}
+	if r.Scaling, err = RunScaling(ScalingConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+		return nil, fmt.Errorf("scaling: %w", err)
+	}
+	return r, nil
+}
+
+// Markdown renders the report as a self-contained document.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TTMQO evaluation report\n\n")
+	fmt.Fprintf(&b, "Seed %d · %v per packet-level run · %d seeds per stochastic point",
+		r.Config.Seed, r.Config.Duration, r.Config.Runs)
+	if r.Elapsed > 0 {
+		fmt.Fprintf(&b, " · generated in %v", r.Elapsed.Round(time.Second))
+	}
+	b.WriteString("\n\n")
+
+	b.WriteString("## Figure 2 — worked example (§3.2.2)\n\n")
+	b.WriteString("| mode | acquisition msgs | involved nodes | aggregation msgs |\n|---|---|---|---|\n")
+	for _, row := range r.Fig2 {
+		fmt.Fprintf(&b, "| %s | %d (paper: %d) | %d (paper: %d) | %d (paper: %d) |\n",
+			row.Mode, row.AcqMessages, row.WantAcqMessages,
+			row.AcqNodes, row.WantAcqNodes, row.AggMessages, row.WantAggMessages)
+	}
+
+	b.WriteString("\n## Figure 3 — average transmission time\n\n")
+	b.WriteString("| workload | nodes | scheme | avgTx (%) | savings (%) | messages | retrans |\n|---|---|---|---|---|---|---|\n")
+	for _, row := range r.Fig3 {
+		fmt.Fprintf(&b, "| %s | %d | %s | %.4f | %.1f | %d | %d |\n",
+			row.Workload, row.Nodes, row.Scheme, row.AvgTxPct, row.SavingsPct,
+			row.Messages, row.Retransmissions)
+	}
+
+	b.WriteString("\n## Figure 4(a) — benefit ratio vs concurrency (α = 0.6)\n\n")
+	writeFig4Table(&b, r.Fig4A)
+	b.WriteString("\n## Figure 4(b) — benefit ratio vs α (8 concurrent, 64-node model)\n\n")
+	writeFig4Table(&b, r.Fig4B)
+	b.WriteString("\n## Figure 4(c) — synthetic query count\n\n")
+	writeFig4Table(&b, r.Fig4C)
+
+	b.WriteString("\n## Figure 5 — savings vs predicate selectivity\n\n")
+	b.WriteString("| agg mix | selectivity | baseline (%) | ttmqo (%) | savings (%) | ±σ |\n|---|---|---|---|---|---|\n")
+	for _, row := range r.Fig5 {
+		fmt.Fprintf(&b, "| %.0f%% | %.1f | %.4f | %.4f | %.1f | %.1f |\n",
+			row.AggFraction*100, row.Selectivity, row.BaselineTxPct, row.TTMQOTxPct,
+			row.SavingsPct, row.SavingsStd)
+	}
+
+	b.WriteString("\n## Tier-2 mechanism ablation (extension)\n\n")
+	b.WriteString("| variant | avgTx (%) | vs full | messages |\n|---|---|---|---|\n")
+	for _, row := range r.Ablation {
+		fmt.Fprintf(&b, "| %s | %.4f | %+.1f%% | %d |\n",
+			row.Variant, row.AvgTxPct, row.DeltaPct, row.Messages)
+	}
+
+	b.WriteString("\n## Reliability under node failures (extension)\n\n")
+	b.WriteString("| scheme | MTBF | completeness | failures | avgTx (%) |\n|---|---|---|---|---|\n")
+	for _, row := range r.Reliability {
+		mtbf := "none"
+		if row.MTBF > 0 {
+			mtbf = row.MTBF.String()
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.1f%% | %d | %.4f |\n",
+			row.Scheme, mtbf, row.Completeness*100, row.Failures, row.AvgTxPct)
+	}
+
+	b.WriteString("\n## Scaling with network size (extension)\n\n")
+	b.WriteString("| nodes | scheme | avgTx (%) | savings (%) | latency (ms) | messages |\n|---|---|---|---|---|---|\n")
+	for _, row := range r.Scaling {
+		fmt.Fprintf(&b, "| %d | %s | %.4f | %.1f | %.0f | %d |\n",
+			row.Nodes, row.Scheme, row.AvgTxPct, row.SavingsPct, row.MeanLatencyMS, row.Messages)
+	}
+
+	b.WriteString("\n## Energy & network lifetime (extension)\n\n")
+	b.WriteString("| scheme | energy (J) | lifetime | gain |\n|---|---|---|---|\n")
+	for _, row := range r.Lifetime {
+		fmt.Fprintf(&b, "| %s | %.1f | %s | %+.1f%% |\n",
+			row.Scheme, row.TotalJ, row.Lifetime.Round(time.Hour), row.GainPct)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func writeFig4Table(b *strings.Builder, pts []Fig4Point) {
+	b.WriteString("| concurrency | α | benefit (%) | ±σ | avg synthetic | reinjections |\n|---|---|---|---|---|---|\n")
+	for _, p := range pts {
+		fmt.Fprintf(b, "| %d | %.2f | %.1f | %.1f | %.2f | %d |\n",
+			p.Concurrency, p.Alpha, p.BenefitRatio*100, p.BenefitStd*100,
+			p.AvgSynthetic, p.Reinjections)
+	}
+}

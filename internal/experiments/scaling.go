@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ScalingConfig parametrizes the network-size scaling study — an extension
+// of Figure 3's two sizes (16 and 64 nodes) to a full curve.
+type ScalingConfig struct {
+	Seed int64
+	// Sides lists the grid side lengths swept (default 4, 6, 8, 10, 12 —
+	// 16 to 144 nodes).
+	Sides []int
+	// Duration per run (default 10 minutes).
+	Duration time.Duration
+	// Workload name (default A — the workload both tiers share).
+	Workload string
+}
+
+func (c *ScalingConfig) setDefaults() {
+	if len(c.Sides) == 0 {
+		c.Sides = []int{4, 6, 8, 10, 12}
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.Workload == "" {
+		c.Workload = "A"
+	}
+}
+
+// ScalingRow is one (size, scheme) cell.
+type ScalingRow struct {
+	Nodes  int
+	Scheme network.Scheme
+	// AvgTxPct is the average transmission time (%).
+	AvgTxPct float64
+	// SavingsPct is the reduction versus the baseline at the same size.
+	SavingsPct float64
+	// MeanLatencyMS is the mean result-delivery latency.
+	MeanLatencyMS float64
+	Messages      int
+}
+
+// RunScaling measures how the baseline's and TTMQO's transmission time and
+// result latency evolve with network size. Expected shape: the baseline's
+// cost grows superlinearly (more relaying, more contention, more
+// retransmissions), TTMQO's much slower — so the savings percentage grows
+// with size, extending the Figure 3 observation into a curve.
+func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	cfg.setDefaults()
+	ws, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		side   int
+		scheme network.Scheme
+	}
+	var cells []cell
+	for _, side := range cfg.Sides {
+		for _, scheme := range []network.Scheme{network.Baseline, network.TTMQO} {
+			cells = append(cells, cell{side, scheme})
+		}
+	}
+	rows, err := statsParallel(cells, func(c cell) (ScalingRow, error) {
+		topo, err := topology.PaperGrid(c.side)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		s, err := network.New(network.Config{
+			Topo:           topo,
+			Scheme:         c.scheme,
+			Seed:           cfg.Seed,
+			Radio:          radio.Config{CollisionFactor: radio.DefaultCollisionFactor},
+			DiscardResults: true,
+		})
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		for _, w := range ws {
+			s.PostAt(w.Arrive, w.Query)
+			if w.Depart != 0 {
+				s.CancelAt(w.Depart, w.Query.ID)
+			}
+		}
+		s.Run(cfg.Duration)
+		return ScalingRow{
+			Nodes:         topo.Size(),
+			Scheme:        c.scheme,
+			AvgTxPct:      s.AvgTransmissionTime() * 100,
+			MeanLatencyMS: s.Metrics().Latency().Mean() * 1000,
+			Messages:      s.Metrics().Messages(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := make(map[int]float64, len(cfg.Sides))
+	for _, r := range rows {
+		if r.Scheme == network.Baseline {
+			baseline[r.Nodes] = r.AvgTxPct
+		}
+	}
+	for i := range rows {
+		rows[i].SavingsPct = metrics.Savings(baseline[rows[i].Nodes], rows[i].AvgTxPct) * 100
+	}
+	return rows, nil
+}
+
+// ScalingString renders the study as a text table.
+func ScalingString(rows []ScalingRow) string {
+	out := fmt.Sprintf("%6s %-13s %10s %9s %12s %9s\n",
+		"nodes", "scheme", "avgTx(%)", "save(%)", "latency(ms)", "messages")
+	for _, r := range rows {
+		out += fmt.Sprintf("%6d %-13s %10.4f %9.1f %12.0f %9d\n",
+			r.Nodes, r.Scheme, r.AvgTxPct, r.SavingsPct, r.MeanLatencyMS, r.Messages)
+	}
+	return out
+}
+
+// statsParallel adapts stats.ParallelMap to a typed cell slice.
+func statsParallel[C any, R any](cells []C, fn func(C) (R, error)) ([]R, error) {
+	return stats.ParallelMap(len(cells), func(i int) (R, error) { return fn(cells[i]) })
+}

@@ -1,0 +1,184 @@
+package field
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TraceSource replays recorded sensor readings — the hook for substituting
+// a real deployment trace (e.g. the Intel Lab data) for the synthetic
+// field. Readings are step-interpolated: a node reports the most recent
+// recorded value at or before the query instant, and the first recorded
+// value before that. Attributes or nodes absent from the trace read zero.
+type TraceSource struct {
+	// series[node][attr] is the time-ordered list of samples.
+	series map[topology.NodeID]map[Attr][]sample
+}
+
+type sample struct {
+	at sim.Time
+	v  float64
+}
+
+// NewTraceSource builds an empty trace; fill it with Add or load one with
+// LoadTraceCSV.
+func NewTraceSource() *TraceSource {
+	return &TraceSource{series: make(map[topology.NodeID]map[Attr][]sample)}
+}
+
+// Add records one reading. Samples may be added in any order; they are kept
+// sorted per (node, attribute).
+func (ts *TraceSource) Add(id topology.NodeID, a Attr, at sim.Time, v float64) {
+	byAttr, ok := ts.series[id]
+	if !ok {
+		byAttr = make(map[Attr][]sample)
+		ts.series[id] = byAttr
+	}
+	s := byAttr[a]
+	s = append(s, sample{at: at, v: v})
+	// Keep sorted; appends are usually already in order.
+	for i := len(s) - 1; i > 0 && s[i].at < s[i-1].at; i-- {
+		s[i], s[i-1] = s[i-1], s[i]
+	}
+	byAttr[a] = s
+}
+
+// Reading implements Source by step interpolation.
+func (ts *TraceSource) Reading(id topology.NodeID, a Attr, t sim.Time) float64 {
+	if a == AttrNodeID {
+		return float64(id)
+	}
+	s := ts.series[id][a]
+	if len(s) == 0 {
+		return 0
+	}
+	// Last sample with at ≤ t; before the first sample, hold its value.
+	idx := sort.Search(len(s), func(i int) bool { return s[i].at > t })
+	if idx == 0 {
+		return s[0].v
+	}
+	return s[idx-1].v
+}
+
+// Len returns the total number of recorded samples.
+func (ts *TraceSource) Len() int {
+	n := 0
+	for _, byAttr := range ts.series {
+		for _, s := range byAttr {
+			n += len(s)
+		}
+	}
+	return n
+}
+
+// LoadTraceCSV reads a trace in the format
+//
+//	at_ms,node,attr,value
+//	0,1,light,412.5
+//	2048,1,light,415.0
+//
+// A header row is optional (detected by a non-numeric first field).
+func LoadTraceCSV(r io.Reader) (*TraceSource, error) {
+	ts := NewTraceSource()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("field: trace line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 {
+			if _, err := strconv.ParseInt(rec[0], 10, 64); err != nil {
+				continue // header row
+			}
+		}
+		atMS, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("field: trace line %d: bad timestamp %q", line, rec[0])
+		}
+		node, err := strconv.Atoi(rec[1])
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("field: trace line %d: bad node %q", line, rec[1])
+		}
+		attr, err := ParseAttr(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("field: trace line %d: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("field: trace line %d: bad value %q", line, rec[3])
+		}
+		ts.Add(topology.NodeID(node), attr, sim.Time(atMS)*sim.Time(time.Millisecond), v)
+	}
+	if ts.Len() == 0 {
+		return nil, fmt.Errorf("field: empty trace")
+	}
+	return ts, nil
+}
+
+// SaveTraceCSV writes the trace in LoadTraceCSV's format, sorted by node,
+// attribute and time.
+func (ts *TraceSource) SaveTraceCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"at_ms", "node", "attr", "value"}); err != nil {
+		return err
+	}
+	nodes := make([]topology.NodeID, 0, len(ts.series))
+	for id := range ts.series {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, id := range nodes {
+		attrs := make([]Attr, 0, len(ts.series[id]))
+		for a := range ts.series[id] {
+			attrs = append(attrs, a)
+		}
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+		for _, a := range attrs {
+			for _, s := range ts.series[id][a] {
+				rec := []string{
+					strconv.FormatInt(int64(time.Duration(s.at)/time.Millisecond), 10),
+					strconv.Itoa(int(id)),
+					a.String(),
+					strconv.FormatFloat(s.v, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Record samples a Source at fixed intervals over [0, span] for every
+// sensor node and attribute, producing a trace — useful for exporting a
+// synthetic field into the CSV form, or capturing a scenario for replay.
+func Record(src Source, topo *topology.Topology, attrs []Attr, every, span time.Duration) *TraceSource {
+	ts := NewTraceSource()
+	for i := 1; i < topo.Size(); i++ {
+		id := topology.NodeID(i)
+		for _, a := range attrs {
+			for at := time.Duration(0); at <= span; at += every {
+				ts.Add(id, a, sim.Time(at), src.Reading(id, a, sim.Time(at)))
+			}
+		}
+	}
+	return ts
+}
+
+var _ Source = (*TraceSource)(nil)

@@ -1,0 +1,113 @@
+package field
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestTraceSourceStepInterpolation(t *testing.T) {
+	ts := NewTraceSource()
+	ts.Add(1, AttrLight, sim.Time(10*time.Second), 100)
+	ts.Add(1, AttrLight, sim.Time(20*time.Second), 200)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{5 * time.Second, 100},  // before first sample: hold
+		{10 * time.Second, 100}, // exact
+		{15 * time.Second, 100}, // step
+		{20 * time.Second, 200},
+		{99 * time.Second, 200}, // after last: hold
+	}
+	for _, c := range cases {
+		if got := ts.Reading(1, AttrLight, sim.Time(c.at)); got != c.want {
+			t.Errorf("reading at %v = %f, want %f", c.at, got, c.want)
+		}
+	}
+	// Missing node/attr reads zero; nodeid is the id.
+	if ts.Reading(2, AttrLight, 0) != 0 || ts.Reading(1, AttrTemp, 0) != 0 {
+		t.Fatal("missing series must read 0")
+	}
+	if ts.Reading(3, AttrNodeID, 0) != 3 {
+		t.Fatal("nodeid pseudo-attribute broken")
+	}
+}
+
+func TestTraceSourceOutOfOrderAdds(t *testing.T) {
+	ts := NewTraceSource()
+	ts.Add(1, AttrTemp, sim.Time(30*time.Second), 30)
+	ts.Add(1, AttrTemp, sim.Time(10*time.Second), 10)
+	ts.Add(1, AttrTemp, sim.Time(20*time.Second), 20)
+	if got := ts.Reading(1, AttrTemp, sim.Time(25*time.Second)); got != 20 {
+		t.Fatalf("reading = %f, want 20", got)
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	ts := NewTraceSource()
+	ts.Add(1, AttrLight, sim.Time(2048*time.Millisecond), 412.5)
+	ts.Add(2, AttrTemp, sim.Time(4096*time.Millisecond), 21.25)
+	var buf bytes.Buffer
+	if err := ts.SaveTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	if got := back.Reading(1, AttrLight, sim.Time(3*time.Second)); got != 412.5 {
+		t.Fatalf("reading = %f", got)
+	}
+	if got := back.Reading(2, AttrTemp, sim.Time(5*time.Second)); got != 21.25 {
+		t.Fatalf("reading = %f", got)
+	}
+}
+
+func TestLoadTraceCSVHeaderAndErrors(t *testing.T) {
+	good := "at_ms,node,attr,value\n0,1,light,5\n2048,1,light,7\n"
+	ts, err := LoadTraceCSV(strings.NewReader(good))
+	if err != nil || ts.Len() != 2 {
+		t.Fatalf("ts=%v err=%v", ts, err)
+	}
+	bad := []string{
+		"",
+		"x,y\n",
+		"0,1,bogus,5\n",
+		"0,nope,light,5\n",
+		"0,1,light,nope\n",
+		"nope,1,light,5\nalso,1,light,5\n",
+	}
+	for _, doc := range bad {
+		if _, err := LoadTraceCSV(strings.NewReader(doc)); err == nil {
+			t.Errorf("LoadTraceCSV(%q): expected error", doc)
+		}
+	}
+}
+
+func TestRecordCapturesField(t *testing.T) {
+	topo, err := topology.PaperGrid(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(topo, Config{Seed: 4})
+	ts := Record(f, topo, []Attr{AttrLight}, 2048*time.Millisecond, 10*2048*time.Millisecond)
+	if ts.Len() != (topo.Size()-1)*11 {
+		t.Fatalf("samples = %d", ts.Len())
+	}
+	// Replay must match the field exactly at the sampled instants.
+	at := sim.Time(4 * 2048 * time.Millisecond)
+	for i := 1; i < topo.Size(); i++ {
+		id := topology.NodeID(i)
+		if ts.Reading(id, AttrLight, at) != f.Reading(id, AttrLight, at) {
+			t.Fatalf("replay diverges from field at node %d", id)
+		}
+	}
+}

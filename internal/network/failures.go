@@ -1,0 +1,68 @@
+package network
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// FailureConfig injects node failures: each sensor node alternates between
+// up and down states with exponentially distributed durations. The base
+// station never fails. This exercises the paper's stated future work
+// ("node failures and unreliable wireless transmissions"); the runtime's
+// failover — death suspicion, reroutes, beacon anti-entropy — bounds the
+// damage, and the experiments/reliability harness quantifies the remaining
+// result loss.
+type FailureConfig struct {
+	// MTBF is the mean up-time between failures; zero disables failures.
+	MTBF time.Duration
+	// MTTR is the mean down-time per failure (default 30 s).
+	MTTR time.Duration
+}
+
+// startFailures arms the per-node up/down processes.
+func (s *Simulation) startFailures(cfg FailureConfig, rng *sim.Rand) {
+	if cfg.MTBF <= 0 {
+		return
+	}
+	if cfg.MTTR <= 0 {
+		cfg.MTTR = 30 * time.Second
+	}
+	for i := 1; i < s.topo.Size(); i++ {
+		id := topology.NodeID(i)
+		r := rng.Fork(int64(i))
+		s.scheduleFailure(id, cfg, r)
+	}
+}
+
+func (s *Simulation) scheduleFailure(id topology.NodeID, cfg FailureConfig, rng *sim.Rand) {
+	up := time.Duration(rng.ExpFloat64() * float64(cfg.MTBF))
+	s.engine.After(up, func() {
+		s.Node(id).SetDown(true)
+		s.failures++
+		down := time.Duration(rng.ExpFloat64() * float64(cfg.MTTR))
+		s.engine.After(down, func() {
+			s.Node(id).SetDown(false)
+			s.scheduleFailure(id, cfg, rng)
+		})
+	})
+}
+
+// Failures returns how many node failures have occurred so far.
+func (s *Simulation) Failures() int { return s.failures }
+
+// FailNode manually fails a node (tests); ReviveNode brings it back.
+func (s *Simulation) FailNode(id topology.NodeID) {
+	if n := s.Node(id); n != nil {
+		n.SetDown(true)
+		s.failures++
+	}
+}
+
+// ReviveNode revives a manually failed node.
+func (s *Simulation) ReviveNode(id topology.NodeID) {
+	if n := s.Node(id); n != nil {
+		n.SetDown(false)
+	}
+}

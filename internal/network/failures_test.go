@@ -1,0 +1,208 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/topology"
+)
+
+// chainTopo builds BS—1—2—3 (each node only reaches its neighbors), so a
+// mid-chain failure partitions the tail.
+func chainTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New([]topology.Point{{X: 0}, {X: 40}, {X: 80}, {X: 120}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// diamondTopo builds BS with two level-1 relays and one level-2 leaf that
+// reaches both, so the leaf can fail over between them.
+func diamondTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New([]topology.Point{
+		{X: 0, Y: 0},    // BS
+		{X: 40, Y: 15},  // relay 1 (closer to leaf)
+		{X: 40, Y: -20}, // relay 2
+		{X: 75, Y: 0},   // leaf, in range of both relays
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestFailedNodeStopsTransmitting(t *testing.T) {
+	s := newSim(t, chainTopo(t), Baseline, 1)
+	q := query.MustParse("SELECT light EPOCH DURATION 2048")
+	q.ID = 1
+	if _, err := s.Post(q); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10 * time.Second)
+	s.FailNode(3)
+	before := s.Metrics().MessagesFrom("result", 3)
+	s.Run(20 * time.Second)
+	if got := s.Metrics().MessagesFrom("result", 3); got != before {
+		t.Fatalf("failed node kept transmitting: %d -> %d", before, got)
+	}
+	if s.Failures() != 1 {
+		t.Fatalf("failures = %d", s.Failures())
+	}
+	if !s.Node(3).Down() {
+		t.Fatal("node should report down")
+	}
+}
+
+func TestFailoverToAlternateParent(t *testing.T) {
+	topo := diamondTopo(t)
+	s := newSim(t, topo, InNetworkOnly, 2)
+	q := query.MustParse("SELECT nodeid, light EPOCH DURATION 2048")
+	q.ID = 1
+	if _, err := s.Post(q); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10 * time.Second)
+	baseline := len(s.Results().RowsFor(1))
+	if baseline == 0 {
+		t.Fatal("no epochs before failure")
+	}
+
+	// Kill the leaf's preferred relay; the leaf must reroute via the other.
+	s.FailNode(1)
+	s.Run(30 * time.Second)
+	epochs := s.Results().RowsFor(1)
+	// Find a recent epoch and confirm the leaf's row still arrives.
+	last := epochs[len(epochs)-1]
+	found := false
+	for _, r := range last.Rows {
+		if r.Node == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leaf's row lost after relay failure: %+v", last.Rows)
+	}
+	// Relay 2 must now be carrying traffic.
+	if s.Metrics().MessagesFrom("result", 2) == 0 {
+		t.Fatal("alternate relay carried no traffic")
+	}
+}
+
+func TestReviveRestoresAndRepairs(t *testing.T) {
+	topo := chainTopo(t)
+	s, err := New(Config{
+		Topo:                topo,
+		Scheme:              Baseline,
+		Seed:                3,
+		MaintenanceInterval: 10 * time.Second, // anti-entropy carrier
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail node 3 BEFORE the query is injected: it misses the flood.
+	s.FailNode(3)
+	q := query.MustParse("SELECT nodeid, light EPOCH DURATION 2048")
+	q.ID = 1
+	if _, err := s.Post(q); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * time.Second)
+	if got := s.Node(3).Queries(); len(got) != 0 {
+		t.Fatalf("down node installed a query: %v", got)
+	}
+	// Revive: within a maintenance interval the beacon digest repair
+	// re-teaches the query.
+	s.ReviveNode(3)
+	s.Run(60 * time.Second)
+	if got := s.Node(3).Queries(); len(got) != 1 {
+		t.Fatalf("anti-entropy did not repair the revived node: %v", got)
+	}
+	// And its rows flow again.
+	epochs := s.Results().RowsFor(1)
+	last := epochs[len(epochs)-1]
+	found := false
+	for _, r := range last.Rows {
+		if r.Node == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("revived node's rows missing: %+v", last.Rows)
+	}
+}
+
+func TestAntiEntropyRepairsMissedAbort(t *testing.T) {
+	topo := chainTopo(t)
+	s, err := New(Config{
+		Topo:                topo,
+		Scheme:              Baseline,
+		Seed:                4,
+		MaintenanceInterval: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustParse("SELECT light EPOCH DURATION 2048")
+	q.ID = 1
+	if _, err := s.Post(q); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * time.Second)
+	// Node 3 misses the abort while down.
+	s.FailNode(3)
+	s.Run(6 * time.Second)
+	if err := s.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(12 * time.Second)
+	s.ReviveNode(3)
+	if got := s.Node(3).Queries(); len(got) != 1 {
+		t.Fatalf("precondition: revived node should still hold the stale query, got %v", got)
+	}
+	s.Run(60 * time.Second)
+	if got := s.Node(3).Queries(); len(got) != 0 {
+		t.Fatalf("anti-entropy did not abort the stale query: %v", got)
+	}
+}
+
+func TestRandomFailuresKeepRunning(t *testing.T) {
+	topo := grid4(t)
+	s, err := New(Config{
+		Topo:   topo,
+		Scheme: TTMQO,
+		Seed:   5,
+		Failures: FailureConfig{
+			MTBF: 60 * time.Second,
+			MTTR: 10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustParse("SELECT nodeid, light EPOCH DURATION 4096")
+	q.ID = 1
+	if _, err := s.Post(q); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * time.Minute)
+	if s.Failures() == 0 {
+		t.Fatal("no failures occurred")
+	}
+	epochs := s.Results().RowsFor(1)
+	if len(epochs) < 60 {
+		t.Fatalf("only %d epochs delivered under churn", len(epochs))
+	}
+	// Despite failures, most rows still arrive: average ≥ 60% of sensors.
+	total := 0
+	for _, ep := range epochs {
+		total += len(ep.Rows)
+	}
+	avg := float64(total) / float64(len(epochs))
+	if avg < 0.6*float64(topo.Size()-1) {
+		t.Fatalf("average rows per epoch = %.1f of %d", avg, topo.Size()-1)
+	}
+}

@@ -1,0 +1,59 @@
+package network
+
+import (
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Results collects the user-visible result streams of a simulation. Hooks
+// fire on every delivery; retention can be disabled for long metric-only
+// runs.
+type Results struct {
+	keep bool
+	rows map[query.ID][]core.UserRows
+	aggs map[query.ID][]core.UserAgg
+
+	// OnRows and OnAggs, when set, observe every delivery.
+	OnRows func(core.UserRows)
+	OnAggs func(core.UserAgg)
+}
+
+func newResults(keep bool) *Results {
+	return &Results{
+		keep: keep,
+		rows: make(map[query.ID][]core.UserRows),
+		aggs: make(map[query.ID][]core.UserAgg),
+	}
+}
+
+func (r *Results) addRows(ur core.UserRows) {
+	if r.OnRows != nil {
+		r.OnRows(ur)
+	}
+	if r.keep {
+		r.rows[ur.QueryID] = append(r.rows[ur.QueryID], ur)
+	}
+}
+
+func (r *Results) addAgg(ua core.UserAgg) {
+	if r.OnAggs != nil {
+		r.OnAggs(ua)
+	}
+	if r.keep {
+		r.aggs[ua.QueryID] = append(r.aggs[ua.QueryID], ua)
+	}
+}
+
+// RowsFor returns the acquisition epochs delivered for one user query, in
+// delivery order.
+func (r *Results) RowsFor(qid query.ID) []core.UserRows { return r.rows[qid] }
+
+// AggsFor returns the aggregation epochs delivered for one user query, in
+// delivery order.
+func (r *Results) AggsFor(qid query.ID) []core.UserAgg { return r.aggs[qid] }
+
+// RowEpochs returns how many acquisition epochs were delivered for a query.
+func (r *Results) RowEpochs(qid query.ID) int { return len(r.rows[qid]) }
+
+// AggEpochs returns how many aggregation epochs were delivered for a query.
+func (r *Results) AggEpochs(qid query.ID) int { return len(r.aggs[qid]) }

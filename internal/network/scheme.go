@@ -1,0 +1,81 @@
+// Package network assembles the full simulated sensor network: topology,
+// physical field, radio medium, sensor-node runtimes and the base station —
+// and executes query workloads under one of the paper's four schemes
+// (baseline, base-station optimization only, in-network optimization only,
+// and the full TTMQO).
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+)
+
+// Scheme selects which optimization tiers run (the four bars of Figure 3).
+type Scheme uint8
+
+const (
+	// Baseline is unmodified TinyDB: every user query is injected as-is and
+	// runs independently — per-query epochs and messages on the fixed
+	// routing tree (§4.1's comparison strategy).
+	Baseline Scheme = iota + 1
+	// BSOnly applies only the tier-1 base-station rewriting; the rewritten
+	// synthetic queries execute with TinyDB's in-network behaviour.
+	BSOnly
+	// InNetworkOnly injects user queries unrewritten but runs the tier-2
+	// in-network optimizations (aligned epochs, query-aware DAG routing,
+	// shared messages, sleep).
+	InNetworkOnly
+	// TTMQO is the full two-tier scheme.
+	TTMQO
+)
+
+// String names the scheme as the figures label it.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case BSOnly:
+		return "base-station"
+	case InNetworkOnly:
+		return "in-network"
+	case TTMQO:
+		return "ttmqo"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme converts a scheme name (as printed by String) back to a value.
+func ParseScheme(s string) (Scheme, error) {
+	for _, sc := range []Scheme{Baseline, BSOnly, InNetworkOnly, TTMQO} {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("network: unknown scheme %q", s)
+}
+
+// AllSchemes lists the four schemes in figure order.
+func AllSchemes() []Scheme {
+	return []Scheme{Baseline, BSOnly, InNetworkOnly, TTMQO}
+}
+
+// UsesBaseStationOpt reports whether the scheme rewrites queries at the base
+// station (tier 1).
+func (s Scheme) UsesBaseStationOpt() bool { return s == BSOnly || s == TTMQO }
+
+// Policy returns the tier-2 node policy of the scheme. BSOnly aligns epochs
+// — the rewriting's epoch-GCD semantics require nested epochs — but takes
+// none of the in-network sharing optimizations, so its radio behaviour is
+// TinyDB executing the synthetic queries.
+func (s Scheme) Policy() node.Policy {
+	switch s {
+	case BSOnly:
+		return node.Policy{AlignedEpochs: true, SRT: true}
+	case InNetworkOnly, TTMQO:
+		return node.InNetwork()
+	default:
+		return node.Baseline()
+	}
+}

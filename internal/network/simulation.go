@@ -1,0 +1,535 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/field"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/query"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config parametrizes a simulation run.
+type Config struct {
+	// Topo is the deployment; required.
+	Topo *topology.Topology
+	// Scheme selects the optimization tiers; required.
+	Scheme Scheme
+	// Seed drives every random choice (field, jitter, collisions).
+	Seed int64
+	// Alpha is the tier-1 termination parameter (core.DefaultAlpha if 0).
+	Alpha float64
+	// Source overrides the sensed field (defaults to a correlated
+	// field.Field seeded from Seed).
+	Source field.Source
+	// Radio tunes the medium; zero values take radio defaults.
+	Radio radio.Config
+	// MaintenanceInterval is the network-maintenance beacon period; zero
+	// means DefaultMaintenanceInterval, negative disables maintenance.
+	MaintenanceInterval time.Duration
+	// PolicyOverride replaces the scheme's tier-2 policy (ablations).
+	PolicyOverride *node.Policy
+	// DiscardResults disables user-result retention for long metric-only
+	// runs.
+	DiscardResults bool
+	// Failures injects node outages (zero value disables them).
+	Failures FailureConfig
+	// Trace, when set, records a structured event log of the run.
+	Trace *trace.Buffer
+}
+
+// DefaultMaintenanceInterval is the beacon period.
+const DefaultMaintenanceInterval = 30 * time.Second
+
+// installedQuery is a network query (synthetic or raw user) the base
+// station is currently collecting results for.
+type installedQuery struct {
+	q     query.Query
+	start sim.Time
+	flush sim.Handle
+}
+
+type bufKey struct {
+	qid    query.ID
+	epochT sim.Time
+}
+
+// epochBuffer accumulates one epoch's worth of arrivals for one query.
+type epochBuffer struct {
+	rows   map[topology.NodeID]query.Row // by origin, deduplicated
+	states []query.AggState
+}
+
+// Simulation is a runnable sensor network executing one scheme.
+type Simulation struct {
+	cfg    Config
+	policy node.Policy
+
+	engine *sim.Engine
+	topo   *topology.Topology
+	source field.Source
+	medium *radio.Medium
+	coll   *metrics.Collector
+	opt    *core.Optimizer // nil unless the scheme uses tier 1
+	nodes  []*node.Node
+
+	installed map[query.ID]*installedQuery
+	buffers   map[bufKey]*epochBuffer
+	// identity maps user queries when tier 1 is off.
+	users map[query.ID]query.Query
+
+	results  *Results
+	nextID   query.ID
+	failures int
+}
+
+// New builds a simulation. Queries are admitted with Post/PostAt and the
+// virtual clock advanced with Run.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("network: Topo is required")
+	}
+	if cfg.Scheme == 0 {
+		return nil, fmt.Errorf("network: Scheme is required")
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewRand(cfg.Seed)
+	source := cfg.Source
+	if source == nil {
+		source = field.New(cfg.Topo, field.Config{Seed: cfg.Seed})
+	}
+	coll := metrics.NewCollector(cfg.Topo.Size())
+	medium := radio.New(engine, cfg.Topo, coll, rng.Fork(1), cfg.Radio)
+	medium.SetTracer(cfg.Trace)
+
+	policy := cfg.Scheme.Policy()
+	if cfg.PolicyOverride != nil {
+		policy = *cfg.PolicyOverride
+	}
+
+	maint := cfg.MaintenanceInterval
+	if maint == 0 {
+		maint = DefaultMaintenanceInterval
+	}
+	if maint < 0 {
+		maint = 0
+	}
+
+	s := &Simulation{
+		cfg:       cfg,
+		policy:    policy,
+		engine:    engine,
+		topo:      cfg.Topo,
+		source:    source,
+		medium:    medium,
+		coll:      coll,
+		installed: make(map[query.ID]*installedQuery),
+		buffers:   make(map[bufKey]*epochBuffer),
+		users:     make(map[query.ID]query.Query),
+		results:   newResults(!cfg.DiscardResults),
+		nextID:    1,
+	}
+	if cfg.Scheme.UsesBaseStationOpt() {
+		model, err := cost.NewModel(cfg.Topo.LevelSizes(), cost.Config{})
+		if err != nil {
+			return nil, err
+		}
+		s.opt = core.NewOptimizer(model, core.Options{Alpha: cfg.Alpha})
+	}
+
+	s.nodes = make([]*node.Node, 0, cfg.Topo.Size()-1)
+	for i := 1; i < cfg.Topo.Size(); i++ {
+		s.nodes = append(s.nodes, node.New(node.Config{
+			ID:                  topology.NodeID(i),
+			Topo:                cfg.Topo,
+			Engine:              engine,
+			Medium:              medium,
+			Source:              source,
+			Policy:              policy,
+			MaintenanceInterval: maint,
+			Rand:                rng.Fork(int64(100 + i)),
+			Metrics:             coll,
+			Trace:               cfg.Trace,
+		}))
+	}
+	medium.SetHandler(topology.BaseStation, s.onReceive)
+	s.startFailures(cfg.Failures, rng.Fork(7))
+	return s, nil
+}
+
+// Engine exposes the virtual clock (examples and tests).
+func (s *Simulation) Engine() *sim.Engine { return s.engine }
+
+// Topology returns the deployment the simulation runs on.
+func (s *Simulation) Topology() *topology.Topology { return s.topo }
+
+// Metrics returns the radio accounting collector.
+func (s *Simulation) Metrics() *metrics.Collector { return s.coll }
+
+// Results returns the delivered user results.
+func (s *Simulation) Results() *Results { return s.results }
+
+// Optimizer returns the tier-1 optimizer, or nil for schemes without it.
+func (s *Simulation) Optimizer() *core.Optimizer { return s.opt }
+
+// Node returns the runtime of sensor node id (tests).
+func (s *Simulation) Node(id topology.NodeID) *node.Node {
+	if id <= 0 || int(id) > len(s.nodes) {
+		return nil
+	}
+	return s.nodes[id-1]
+}
+
+// Run advances the simulation by d of virtual time.
+func (s *Simulation) Run(d time.Duration) {
+	s.engine.Run(s.engine.Now() + sim.Time(d))
+}
+
+// AvgTransmissionTime returns the paper's metric over the elapsed virtual
+// time, as a fraction in [0, 1].
+func (s *Simulation) AvgTransmissionTime() float64 {
+	return s.coll.AvgTransmissionTime(time.Duration(s.engine.Now()))
+}
+
+// NextID allocates a fresh user query ID.
+func (s *Simulation) NextID() query.ID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// Post admits a user query at the current virtual time. If q.ID is zero a
+// fresh ID is assigned; the (possibly assigned) ID is returned.
+func (s *Simulation) Post(q query.Query) (query.ID, error) {
+	q = q.Normalize()
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if q.ID == 0 {
+		q.ID = s.NextID()
+	} else if q.ID >= s.nextID {
+		s.nextID = q.ID + 1
+	}
+	if err := s.admit(q); err != nil {
+		return 0, err
+	}
+	s.cfg.Trace.Emitf(s.engine.Now(), trace.KindAdmit, topology.BaseStation, "q%d %s", q.ID, q)
+	// TinyDB LIFETIME clause: the query terminates itself. Manual
+	// cancellation may race ahead; the auto-cancel then finds the query
+	// gone and does nothing.
+	if q.Lifetime > 0 {
+		qid := q.ID
+		s.engine.After(q.Lifetime, func() {
+			_ = s.Cancel(qid)
+		})
+	}
+	return q.ID, nil
+}
+
+// PostBatch admits several user queries as one operation. Under a tier-1
+// scheme the optimizer computes the net change, so synthetic queries that
+// the batch itself supersedes are never flooded; without tier 1 it is
+// equivalent to posting each query in turn. Returns the assigned IDs.
+func (s *Simulation) PostBatch(qs []query.Query) ([]query.ID, error) {
+	prepared := make([]query.Query, 0, len(qs))
+	ids := make([]query.ID, 0, len(qs))
+	for _, q := range qs {
+		q = q.Normalize()
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		if q.ID == 0 {
+			q.ID = s.NextID()
+		} else if q.ID >= s.nextID {
+			s.nextID = q.ID + 1
+		}
+		prepared = append(prepared, q)
+		ids = append(ids, q.ID)
+	}
+	if s.opt != nil {
+		ch, err := s.opt.InsertBatch(prepared)
+		s.apply(ch)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, q := range prepared {
+			if _, dup := s.users[q.ID]; dup {
+				return nil, fmt.Errorf("network: duplicate query ID %d", q.ID)
+			}
+			s.users[q.ID] = q
+			s.apply(core.Change{Inject: []query.Query{q}})
+		}
+	}
+	for _, q := range prepared {
+		s.cfg.Trace.Emitf(s.engine.Now(), trace.KindAdmit, topology.BaseStation, "q%d %s", q.ID, q)
+		if q.Lifetime > 0 {
+			qid := q.ID
+			s.engine.After(q.Lifetime, func() { _ = s.Cancel(qid) })
+		}
+	}
+	return ids, nil
+}
+
+// PostAt schedules a user query admission at virtual time t (tests and
+// workload replay). The query must carry an explicit ID.
+func (s *Simulation) PostAt(t time.Duration, q query.Query) {
+	s.engine.Schedule(sim.Time(t), func() {
+		if _, err := s.Post(q); err != nil {
+			panic(fmt.Sprintf("network: PostAt(%v, %v): %v", t, q, err))
+		}
+	})
+}
+
+// Cancel terminates a user query at the current virtual time.
+func (s *Simulation) Cancel(qid query.ID) error {
+	s.cfg.Trace.Emitf(s.engine.Now(), trace.KindCancel, topology.BaseStation, "q%d", qid)
+	if s.opt != nil {
+		ch, err := s.opt.Terminate(qid)
+		if err != nil {
+			return err
+		}
+		s.apply(ch)
+		return nil
+	}
+	if _, ok := s.users[qid]; !ok {
+		return fmt.Errorf("network: unknown query %d", qid)
+	}
+	delete(s.users, qid)
+	s.apply(core.Change{Abort: []query.ID{qid}})
+	return nil
+}
+
+// CancelAt schedules a cancellation.
+func (s *Simulation) CancelAt(t time.Duration, qid query.ID) {
+	s.engine.Schedule(sim.Time(t), func() {
+		if err := s.Cancel(qid); err != nil {
+			panic(fmt.Sprintf("network: CancelAt(%v, %d): %v", t, qid, err))
+		}
+	})
+}
+
+// admit routes a validated user query through tier 1 (when enabled) and
+// floods the resulting network changes.
+func (s *Simulation) admit(q query.Query) error {
+	if s.opt != nil {
+		ch, err := s.opt.Insert(q)
+		if err != nil {
+			return err
+		}
+		s.apply(ch)
+		return nil
+	}
+	if _, dup := s.users[q.ID]; dup {
+		return fmt.Errorf("network: duplicate query ID %d", q.ID)
+	}
+	s.users[q.ID] = q
+	s.apply(core.Change{Inject: []query.Query{q}})
+	return nil
+}
+
+// apply floods the aborts and injections of a tier-1 change set.
+func (s *Simulation) apply(ch core.Change) {
+	for _, qid := range ch.Abort {
+		s.floodAbort(qid)
+	}
+	for _, q := range ch.Inject {
+		s.floodQuery(q)
+	}
+}
+
+// startTime picks the first epoch of a query: aligned schemes snap to the
+// next multiple of the reporting period after a propagation guard (§3.2.1 —
+// "the epoch start time ... is set to be divisible by the epoch duration";
+// windowed queries align to their slide schedule so the base station's
+// collection windows coincide with the nodes' reports); the baseline keeps
+// TinyDB's injection-derived phase.
+func (s *Simulation) startTime(q query.Query) sim.Time {
+	now := s.engine.Now()
+	if s.policy.AlignedEpochs {
+		period := sim.Time(q.ReportEvery())
+		guard := now + sim.Time(node.StartGuard)
+		k := guard / period
+		if guard%period != 0 {
+			k++
+		}
+		if k == 0 {
+			k = 1
+		}
+		return k * period
+	}
+	return now + sim.Time(q.Epoch)
+}
+
+// floodQuery injects a network query: the base station broadcasts the
+// propagation message (each node rebroadcasts once — see node.onQuery) and
+// starts collecting its results.
+func (s *Simulation) floodQuery(q query.Query) {
+	start := s.startTime(q)
+	inst := &installedQuery{q: q, start: start}
+	s.installed[q.ID] = inst
+	s.medium.Send(&radio.Message{
+		Kind:  radio.KindQuery,
+		Src:   topology.BaseStation,
+		Bytes: queryBytes(q),
+		Payload: &node.QueryMsg{
+			Q:     q,
+			Start: start,
+		},
+	})
+	s.scheduleFlush(inst, start)
+}
+
+func (s *Simulation) floodAbort(qid query.ID) {
+	inst, ok := s.installed[qid]
+	if !ok {
+		return
+	}
+	delete(s.installed, qid)
+	if inst.flush.Pending() {
+		inst.flush.Cancel()
+	}
+	for k := range s.buffers {
+		if k.qid == qid {
+			delete(s.buffers, k)
+		}
+	}
+	s.medium.Send(&radio.Message{
+		Kind:    radio.KindAbort,
+		Src:     topology.BaseStation,
+		Bytes:   abortBytes(),
+		Payload: &node.AbortMsg{QID: qid},
+	})
+}
+
+// flushDelay is how long after an epoch fires the base station closes its
+// collection window: every level's slot plus queueing slack.
+func (s *Simulation) flushDelay() sim.Time {
+	return sim.Time(time.Duration(s.topo.MaxDepth()+1)*node.SlotTime + 500*time.Millisecond)
+}
+
+func (s *Simulation) scheduleFlush(inst *installedQuery, epochT sim.Time) {
+	inst.flush = s.engine.Schedule(epochT+s.flushDelay(), func() {
+		s.flush(inst, epochT)
+		s.scheduleFlush(inst, epochT+sim.Time(inst.q.ReportEvery()))
+	})
+}
+
+// onReceive is the base station's radio handler: addressed result messages
+// land in per-(query, epoch) buffers until their flush.
+func (s *Simulation) onReceive(d radio.Delivery) {
+	if !d.Addressed {
+		return
+	}
+	msg, ok := d.Msg.Payload.(*node.ResultMsg)
+	if !ok {
+		return
+	}
+	s.coll.AddLatency(time.Duration(s.engine.Now() - msg.EpochT))
+	for _, qid := range msg.QueriesFor(topology.BaseStation) {
+		if _, live := s.installed[qid]; !live {
+			continue
+		}
+		key := bufKey{qid: qid, epochT: msg.EpochT}
+		buf, ok := s.buffers[key]
+		if !ok {
+			buf = &epochBuffer{rows: make(map[topology.NodeID]query.Row)}
+			s.buffers[key] = buf
+		}
+		if msg.IsAggregation() {
+			for _, qs := range msg.States {
+				if qs.QID == qid {
+					buf.states = mergeStates(buf.states, qs.State)
+				}
+			}
+		} else if msg.Row != nil {
+			buf.rows[msg.Origin] = query.Row{Node: msg.Origin, Time: msg.EpochT, Values: msg.Row}
+		}
+	}
+}
+
+// flush closes one epoch's collection window and delivers user results,
+// through the tier-1 mapper when the scheme rewrites queries and as-is
+// otherwise.
+func (s *Simulation) flush(inst *installedQuery, epochT sim.Time) {
+	s.cfg.Trace.Emitf(s.engine.Now(), trace.KindFlush, topology.BaseStation, "q%d epoch=%v", inst.q.ID, epochT)
+	key := bufKey{qid: inst.q.ID, epochT: epochT}
+	buf := s.buffers[key]
+	delete(s.buffers, key)
+
+	var rows []query.Row
+	var states []query.AggState
+	if buf != nil {
+		rows = make([]query.Row, 0, len(buf.rows))
+		for _, r := range buf.rows {
+			rows = append(rows, r)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Node < rows[j].Node })
+		states = buf.states
+	}
+
+	if s.opt != nil {
+		// §3.1.2 statistics maintenance: returned readings refine the
+		// optimizer's per-attribute histograms, so future selectivity
+		// estimates track the live data distribution.
+		for _, r := range rows {
+			for a, v := range r.Values {
+				s.opt.Model().Observe(a, v)
+			}
+		}
+		if inst.q.IsAggregation() {
+			for _, ua := range s.opt.MapAggregation(inst.q.ID, epochT, states) {
+				s.results.addAgg(ua)
+			}
+			return
+		}
+		acq, agg := s.opt.MapAcquisition(inst.q.ID, epochT, rows)
+		for _, ur := range acq {
+			s.results.addRows(ur)
+		}
+		for _, ua := range agg {
+			s.results.addAgg(ua)
+		}
+		return
+	}
+
+	// Identity mapping: the network query is the user query.
+	uq, live := s.users[inst.q.ID]
+	if !live {
+		return
+	}
+	if uq.IsAggregation() {
+		s.results.addAgg(core.UserAgg{
+			QueryID: uq.ID,
+			Time:    epochT,
+			Results: core.AggregateStates(uq, epochT, states),
+		})
+		return
+	}
+	s.results.addRows(core.UserRows{QueryID: uq.ID, Time: epochT, Rows: rows})
+}
+
+func mergeStates(states []query.AggState, st query.AggState) []query.AggState {
+	for i := range states {
+		if states[i].Agg == st.Agg && states[i].Group == st.Group {
+			states[i].Merge(st)
+			return states
+		}
+	}
+	return append(states, st)
+}
+
+func queryBytes(q query.Query) int {
+	return cost.HeaderBytes + 6 + cost.BytesPerAttr*len(q.Attrs) +
+		cost.BytesPerAgg*len(q.Aggs) + 5*len(q.Preds)
+}
+
+func abortBytes() int { return cost.HeaderBytes + 2 }

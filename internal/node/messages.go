@@ -1,0 +1,165 @@
+package node
+
+import (
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/field"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// QueryMsg propagates a (synthetic) query through the network. Per §3.2.2's
+// query propagation phase, the sender piggybacks whether its own current
+// readings satisfy the query so receivers learn which upper-level neighbors
+// hold data.
+type QueryMsg struct {
+	Q query.Query
+	// Start is the network-wide time of the query's first epoch.
+	Start sim.Time
+	// SenderHasData piggybacks the sender's current predicate match.
+	SenderHasData bool
+	// Hops counts propagation depth (diagnostics).
+	Hops int
+}
+
+// AbortMsg floods a query abortion.
+type AbortMsg struct {
+	QID query.ID
+}
+
+// BeaconMsg is the periodic network-maintenance message of §4.1. It carries
+// the sender's installed query IDs as an anti-entropy digest: a neighbor
+// that knows a query the sender is missing re-sends its propagation message
+// (repairing nodes that were down during the flood), and a neighbor that
+// knows a query in the digest was aborted re-floods the abort.
+type BeaconMsg struct {
+	QIDs []query.ID
+}
+
+// WakeMsg is the one-hop broadcast a waking node sends when its data starts
+// satisfying queries, so lower-level neighbors consider it as a relay option
+// again (§3.2.2).
+type WakeMsg struct {
+	// QIDs lists the queries the sender now has data for.
+	QIDs []query.ID
+}
+
+// ResultMsg carries query results toward the base station. Exactly one of
+// Row / States is set: acquisition messages carry one origin row, and
+// aggregation messages carry partial aggregate states.
+type ResultMsg struct {
+	// EpochT is the network-wide fire time of the epoch the data belongs to.
+	EpochT sim.Time
+	// QIDs lists the (synthetic) queries this message serves. Baseline
+	// (per-query) messages have exactly one entry.
+	QIDs []query.ID
+	// Origin is the node whose reading produced Row (acquisition only).
+	Origin topology.NodeID
+	// Row holds the acquired attribute values (acquisition only).
+	Row map[field.Attr]float64
+	// States holds partial aggregates, one per (query, aggregate) pair
+	// (aggregation only).
+	States []QueryAggState
+	// OwnQIDs lists the queries for which the *sender's own reading*
+	// contributed to this message (as opposed to pure relaying). Neighbors
+	// overhear it to learn who holds data for which queries — the §3.2.2
+	// knowledge behind query-aware parent selection.
+	OwnQIDs []query.ID
+	// Reroutes counts link-failure reroutes of this message; capped to keep
+	// a partitioned network from looping traffic forever.
+	Reroutes int
+	// Subsets optionally maps each multicast destination to the queries it
+	// is responsible for forwarding; nil means every destination forwards
+	// everything (§3.2.2's packet-header query mapping).
+	Subsets map[topology.NodeID][]query.ID
+}
+
+// QueryAggState ties a partial aggregate to the query it belongs to.
+type QueryAggState struct {
+	QID   query.ID
+	State query.AggState
+}
+
+// IsAggregation reports whether the message carries partial aggregates.
+func (m *ResultMsg) IsAggregation() bool { return len(m.States) > 0 }
+
+// QueriesFor returns the queries the given receiver must forward: the
+// per-destination subset when present, otherwise all of them.
+func (m *ResultMsg) QueriesFor(id topology.NodeID) []query.ID {
+	if m.Subsets == nil {
+		return m.QIDs
+	}
+	return m.Subsets[id]
+}
+
+// --- On-air size model -------------------------------------------------
+
+// queryMsgBytes sizes a propagation message: header, epoch/start fields and
+// the query body (attrs, aggs, predicate ranges).
+func queryMsgBytes(q query.Query) int {
+	return cost.HeaderBytes + 6 +
+		cost.BytesPerAttr*len(q.Attrs) +
+		cost.BytesPerAgg*len(q.Aggs) +
+		5*len(q.Preds)
+}
+
+// resultMsgBytes sizes a result message: header, origin/epoch fields, the
+// payload (row values or aggregate states — equal-valued aggregate states
+// shared between queries are carried once), per-query tags when the message
+// serves several queries, and per-extra-destination addressing for
+// multicast.
+func resultMsgBytes(m *ResultMsg) int {
+	b := cost.HeaderBytes
+	if m.IsAggregation() {
+		b += distinctStateGroups(m.States) * cost.BytesPerAgg
+	} else {
+		b += cost.BytesPerAttr * len(m.Row)
+	}
+	if len(m.QIDs) > 1 {
+		b += cost.BytesPerQueryTag * len(m.QIDs)
+	}
+	if len(m.Subsets) > 1 {
+		b += 2 * (len(m.Subsets) - 1)
+	}
+	return b
+}
+
+// distinctStateGroups counts the aggregate states that must physically
+// appear in the packet: states with the same operator and identical partial
+// value are transmitted once and shared among their queries (§3.2.2).
+func distinctStateGroups(states []QueryAggState) int {
+	n := 0
+	for i := range states {
+		shared := false
+		for j := 0; j < i; j++ {
+			if states[j].State.SameValue(states[i].State) {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			n++
+		}
+	}
+	return n
+}
+
+func abortMsgBytes() int { return cost.HeaderBytes + 2 }
+func beaconMsgBytes(installed int) int {
+	return cost.HeaderBytes + 4 + cost.BytesPerQueryTag*installed
+}
+func wakeMsgBytes(n int) int {
+	return cost.HeaderBytes + 2 + cost.BytesPerQueryTag*n
+}
+
+// sortedIDs returns a sorted copy of a query-ID set.
+func sortedIDs(set map[query.ID]bool) []query.ID {
+	out := make([]query.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

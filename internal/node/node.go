@@ -1,0 +1,1076 @@
+package node
+
+import (
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config wires a Node into a simulation.
+type Config struct {
+	ID     topology.NodeID
+	Topo   *topology.Topology
+	Engine *sim.Engine
+	Medium *radio.Medium
+	Source field.Source
+	Policy Policy
+	// MaintenanceInterval is the period of network-maintenance beacons
+	// (§4.1 counts them); zero disables maintenance traffic.
+	MaintenanceInterval time.Duration
+	// Rand provides the node's jitter stream.
+	Rand *sim.Rand
+	// Metrics, when set, receives sensing-activity accounting (sample
+	// counts for the energy model).
+	Metrics *metrics.Collector
+	// Trace, when set, records this node's lifecycle events.
+	Trace *trace.Buffer
+}
+
+// installed tracks one query running on this node.
+type installed struct {
+	q     query.Query
+	start sim.Time
+	timer sim.Handle // per-query timer (independent mode only)
+	// rings holds per-attribute sample history for windowed aggregates.
+	rings map[field.Attr]*query.WindowRing
+}
+
+// pendKey identifies an aggregation assembly buffer.
+type pendKey struct {
+	qid    query.ID
+	epochT sim.Time
+}
+
+// Node is one simulated sensor mote.
+type Node struct {
+	cfg     Config
+	id      topology.NodeID
+	level   int
+	queries map[query.ID]*installed
+
+	// tick is the shared GCD clock (aligned mode).
+	tick sim.Handle
+
+	// knowledge[nb][qid] is when we last learned that neighbor nb has data
+	// for query qid (piggybacked during propagation, overheard from result
+	// traffic, or announced by a wake message).
+	knowledge map[topology.NodeID]map[query.ID]sim.Time
+
+	// pending accumulates partial aggregates per (query, epoch) until this
+	// node's transmission slot; pendingOwn marks the buffers this node's
+	// own reading contributed to.
+	pending    map[pendKey][]query.AggState
+	pendingOwn map[pendKey]bool
+
+	// aborted tombstones query IDs whose abortion this node has seen, so a
+	// query flood arriving after (or racing) its abort flood cannot
+	// reinstall the query and set off a query/abort ping-pong storm. Query
+	// IDs are never reused, so tombstones are permanent.
+	aborted map[query.ID]bool
+	// pruned records queries this node's SRT index excluded, so repeated
+	// neighbor rebroadcasts are ignored and their aborts need no forward.
+	pruned map[query.ID]bool
+
+	asleep       bool
+	lastUseful   sim.Time // last instant with own data or addressed traffic
+	sawAddressed bool
+	wakeCheck    sim.Handle
+	maintTimer   sim.Handle
+
+	// down models node failure: the radio is off and all activity is
+	// suspended until SetDown(false).
+	down bool
+	// suspectDead records neighbors whose last unicast went unacknowledged;
+	// routing avoids them until they are heard from again or the suspicion
+	// expires.
+	suspectDead map[topology.NodeID]sim.Time
+}
+
+// New creates the node and attaches it to the medium. The base station is
+// not a Node; the network package handles node 0 itself.
+func New(cfg Config) *Node {
+	n := &Node{
+		cfg:         cfg,
+		id:          cfg.ID,
+		level:       cfg.Topo.Level(cfg.ID),
+		queries:     make(map[query.ID]*installed),
+		knowledge:   make(map[topology.NodeID]map[query.ID]sim.Time),
+		pending:     make(map[pendKey][]query.AggState),
+		pendingOwn:  make(map[pendKey]bool),
+		aborted:     make(map[query.ID]bool),
+		pruned:      make(map[query.ID]bool),
+		suspectDead: make(map[topology.NodeID]sim.Time),
+	}
+	cfg.Medium.SetHandler(n.id, n.onReceive)
+	if cfg.MaintenanceInterval > 0 {
+		// Stagger first beacons across the interval by node ID.
+		offset := cfg.MaintenanceInterval * time.Duration(n.id) / time.Duration(cfg.Topo.Size())
+		n.maintTimer = cfg.Engine.After(cfg.MaintenanceInterval+offset, n.beacon)
+	}
+	return n
+}
+
+// Queries returns the IDs of the queries currently installed (tests).
+func (n *Node) Queries() []query.ID {
+	set := make(map[query.ID]bool, len(n.queries))
+	for id := range n.queries {
+		set[id] = true
+	}
+	return sortedIDs(set)
+}
+
+// Asleep reports whether the node is in sleep mode (tests).
+func (n *Node) Asleep() bool { return n.asleep }
+
+// Down reports whether the node is failed.
+func (n *Node) Down() bool { return n.down }
+
+// SetDown fails or revives the node. While down the radio is off (nothing
+// is heard or sent, unicasts to it go unacknowledged) and all sampling and
+// timers are suppressed. A revived node keeps its installed queries but has
+// missed any floods that happened meanwhile; the beacon anti-entropy digest
+// repairs that within a maintenance interval.
+func (n *Node) SetDown(down bool) {
+	if down == n.down {
+		return
+	}
+	n.down = down
+	if down {
+		n.cfg.Trace.Emitf(n.cfg.Engine.Now(), trace.KindFail, n.id, "")
+		n.cfg.Medium.SetHandler(n.id, nil)
+		// Stale partial aggregates and window histories die with the outage.
+		n.pending = make(map[pendKey][]query.AggState)
+		n.pendingOwn = make(map[pendKey]bool)
+		for _, inst := range n.queries {
+			inst.rings = nil
+		}
+		return
+	}
+	n.cfg.Trace.Emitf(n.cfg.Engine.Now(), trace.KindRevive, n.id, "")
+	n.cfg.Medium.SetHandler(n.id, n.onReceive)
+	n.asleep = false
+	n.lastUseful = n.cfg.Engine.Now()
+	if n.cfg.Policy.AlignedEpochs {
+		n.rescheduleTick()
+	}
+}
+
+// --- Receive path --------------------------------------------------------
+
+func (n *Node) onReceive(d radio.Delivery) {
+	if n.down {
+		return // radio off; defensive — the handler is detached while down
+	}
+	// Hearing anything from a neighbor clears its death suspicion.
+	delete(n.suspectDead, d.Msg.Src)
+	switch msg := d.Msg.Payload.(type) {
+	case *QueryMsg:
+		n.onQuery(d.Msg.Src, msg)
+	case *AbortMsg:
+		n.onAbort(msg)
+	case *WakeMsg:
+		n.learnMany(d.Msg.Src, msg.QIDs)
+	case *BeaconMsg:
+		n.onBeacon(msg)
+	case *ResultMsg:
+		n.onResult(d, msg)
+	}
+}
+
+// onBeacon runs the anti-entropy repair over the sender's installed-query
+// digest: re-send a missing query's propagation message, or the abort of a
+// query the sender should have dropped. One repair per beacon bounds the
+// traffic.
+func (n *Node) onBeacon(bm *BeaconMsg) {
+	digest := make(map[query.ID]bool, len(bm.QIDs))
+	for _, qid := range bm.QIDs {
+		digest[qid] = true
+	}
+	// The sender still runs a query we know is aborted: repair with the
+	// abort flood (tombstoned here, so re-sending is loop-free).
+	for _, qid := range bm.QIDs {
+		if n.aborted[qid] {
+			n.cfg.Medium.Send(&radio.Message{
+				Kind:    radio.KindAbort,
+				Src:     n.id,
+				Bytes:   abortMsgBytes(),
+				Payload: &AbortMsg{QID: qid},
+			})
+			return
+		}
+	}
+	// The sender is missing a query we run: re-send its propagation
+	// message (the receiver's dup/SRT logic applies as usual). Node-id
+	// based queries are skipped under SRT — the sender may have pruned
+	// them deliberately, which a digest cannot distinguish from loss.
+	for _, inst := range n.queries {
+		if n.cfg.Policy.SRT {
+			if _, nodeIDBased := inst.q.PredFor(field.AttrNodeID); nodeIDBased {
+				continue
+			}
+		}
+		if !digest[inst.q.ID] {
+			n.cfg.Medium.Send(&radio.Message{
+				Kind:    radio.KindQuery,
+				Src:     n.id,
+				Bytes:   queryMsgBytes(inst.q),
+				Payload: &QueryMsg{Q: inst.q, Start: inst.start, SenderHasData: n.matchesNow(inst.q)},
+			})
+			return
+		}
+	}
+}
+
+// onQuery installs a newly flooded query and rebroadcasts it once,
+// piggybacking whether this node currently has data for it (§3.2.2 query
+// propagation phase). Control traffic is processed even while asleep
+// (low-power listening wakes the radio for long-preamble floods).
+func (n *Node) onQuery(src topology.NodeID, qm *QueryMsg) {
+	if n.aborted[qm.Q.ID] || n.pruned[qm.Q.ID] {
+		return
+	}
+	if qm.SenderHasData {
+		n.learn(src, qm.Q.ID)
+	}
+	if _, dup := n.queries[qm.Q.ID]; dup {
+		return
+	}
+	// SRT pruning: a node-id-based query whose ID range misses this node's
+	// entire routing-tree subtree has no answer node below here; neither
+	// install nor forward it. Answer nodes still hear the query from their
+	// own tree ancestors, which all overlap the range.
+	if n.cfg.Policy.SRT && n.srtPrunes(qm.Q) {
+		n.pruned[qm.Q.ID] = true
+		return
+	}
+	inst := &installed{q: qm.Q, start: qm.Start}
+	n.queries[qm.Q.ID] = inst
+	n.scheduleQuery(inst)
+	n.cfg.Trace.Emitf(n.cfg.Engine.Now(), trace.KindInstall, n.id, "q%d start=%v", qm.Q.ID, qm.Start)
+
+	hasData := n.matchesNow(qm.Q)
+	fwd := &QueryMsg{Q: qm.Q, Start: qm.Start, SenderHasData: hasData, Hops: qm.Hops + 1}
+	n.cfg.Medium.Send(&radio.Message{
+		Kind:    radio.KindQuery,
+		Src:     n.id,
+		Bytes:   queryMsgBytes(qm.Q),
+		Payload: fwd,
+	})
+}
+
+// srtPrunes reports whether the query's node-id predicate excludes this
+// node's entire subtree.
+func (n *Node) srtPrunes(q query.Query) bool {
+	p, ok := q.PredFor(field.AttrNodeID)
+	if !ok {
+		return false
+	}
+	lo, hi := n.cfg.Topo.SubtreeInterval(n.id)
+	return p.Max < float64(lo) || p.Min > float64(hi)
+}
+
+func (n *Node) onAbort(am *AbortMsg) {
+	if n.aborted[am.QID] {
+		return
+	}
+	if n.pruned[am.QID] {
+		// The query never entered this subtree, so no one below needs the
+		// abort either; tombstone silently.
+		n.aborted[am.QID] = true
+		delete(n.pruned, am.QID)
+		return
+	}
+	// Tombstone first: even a node that never saw the query flood must
+	// rebroadcast the abort once (the abort flood may be ahead of the query
+	// flood) and must refuse a late installation.
+	n.aborted[am.QID] = true
+	if inst, ok := n.queries[am.QID]; ok {
+		delete(n.queries, am.QID)
+		if inst.timer.Pending() {
+			inst.timer.Cancel()
+		}
+		n.cfg.Trace.Emitf(n.cfg.Engine.Now(), trace.KindAbort, n.id, "q%d", am.QID)
+	}
+	for k := range n.pending {
+		if k.qid == am.QID {
+			delete(n.pending, k)
+			delete(n.pendingOwn, k)
+		}
+	}
+	if len(n.queries) == 0 && n.tick.Pending() {
+		n.tick.Cancel()
+	}
+	n.cfg.Medium.Send(&radio.Message{
+		Kind:    radio.KindAbort,
+		Src:     n.id,
+		Bytes:   abortMsgBytes(),
+		Payload: am,
+	})
+}
+
+// onResult handles result traffic: addressed messages are relayed (or
+// merged into this node's partial aggregates); overheard messages refresh
+// neighbor knowledge — the broadcast nature of the channel at work.
+func (n *Node) onResult(d radio.Delivery, msg *ResultMsg) {
+	if !d.Addressed {
+		if !n.asleep && n.cfg.Policy.QueryAwareDAG {
+			// A neighbor whose own reading contributed to this message has
+			// data to share for those queries; pure relaying teaches us
+			// nothing about the neighbor's data.
+			n.learnMany(d.Msg.Src, msg.OwnQIDs)
+		}
+		return
+	}
+	// Addressed traffic marks this node as an active relay and wakes it.
+	n.sawAddressed = true
+	if n.asleep {
+		n.resume()
+	}
+	n.learnMany(d.Msg.Src, msg.OwnQIDs)
+
+	mine := msg.QueriesFor(n.id)
+	if len(mine) == 0 {
+		return
+	}
+	if msg.IsAggregation() {
+		n.relayAggregation(msg, mine)
+		return
+	}
+	n.relayAcquisition(msg, mine)
+}
+
+// relayAcquisition forwards an origin row toward the base station, trimmed
+// to the attributes its remaining queries need.
+func (n *Node) relayAcquisition(msg *ResultMsg, mine []query.ID) {
+	row := msg.Row
+	if trimmed := n.trimRow(msg.Row, mine); trimmed != nil {
+		row = trimmed
+	}
+	out := &ResultMsg{EpochT: msg.EpochT, QIDs: mine, Origin: msg.Origin, Row: row}
+	n.route(out)
+}
+
+// relayAggregation merges incoming partial states into this node's pending
+// buffers when its own slot for the epoch is still ahead; otherwise (late
+// arrival, or epochs this node is not running) the states are forwarded
+// unmerged — less aggregation, same answer at the base station.
+func (n *Node) relayAggregation(msg *ResultMsg, mine []query.ID) {
+	mineSet := make(map[query.ID]bool, len(mine))
+	for _, id := range mine {
+		mineSet[id] = true
+	}
+	var late []QueryAggState
+	for _, qs := range msg.States {
+		if !mineSet[qs.QID] {
+			continue
+		}
+		inst, have := n.queries[qs.QID]
+		if have && n.slotTime(msg.EpochT) > n.cfg.Engine.Now() && n.firesAt(inst, msg.EpochT) {
+			k := pendKey{qid: qs.QID, epochT: msg.EpochT}
+			n.pending[k] = mergeState(n.pending[k], qs.State)
+			continue
+		}
+		late = append(late, qs)
+	}
+	if len(late) == 0 {
+		return
+	}
+	perQuery := make(map[query.ID][]query.AggState)
+	for _, qs := range late {
+		perQuery[qs.QID] = append(perQuery[qs.QID], qs.State)
+	}
+	n.sendAggStates(msg.EpochT, perQuery, nil)
+}
+
+// --- Epoch scheduling -----------------------------------------------------
+
+// scheduleQuery arms the timers for a fresh installation.
+func (n *Node) scheduleQuery(inst *installed) {
+	if n.cfg.Policy.AlignedEpochs {
+		n.rescheduleTick()
+		return
+	}
+	// Independent mode: a per-query clock with the query's own phase. A
+	// late (re)installation — e.g. the anti-entropy repair after an outage
+	// — catches up to the next firing on the original phase.
+	at := inst.start
+	if now := n.cfg.Engine.Now(); at <= now {
+		missed := (now-at)/sim.Time(inst.q.Epoch) + 1
+		at += missed * sim.Time(inst.q.Epoch)
+	}
+	inst.timer = n.cfg.Engine.Schedule(at, func() { n.fireOne(inst) })
+}
+
+// fireOne drives one query in independent mode.
+func (n *Node) fireOne(inst *installed) {
+	if _, live := n.queries[inst.q.ID]; !live {
+		return
+	}
+	t := n.cfg.Engine.Now()
+	inst.timer = n.cfg.Engine.After(inst.q.Epoch, func() { n.fireOne(inst) })
+	if n.asleep || n.down {
+		return
+	}
+	n.processFiring(t, []*installed{inst})
+}
+
+// gcdEpoch returns the GCD clock period over installed queries.
+func (n *Node) gcdEpoch() time.Duration {
+	var g time.Duration
+	for _, inst := range n.queries {
+		g = query.EpochGCD(g, inst.q.Epoch)
+	}
+	return g
+}
+
+// rescheduleTick (re)arms the shared clock at the next GCD grid point
+// (§3.2.1: "we (re)set the node's clock to fire at the GCD of the epoch
+// durations of all the queries").
+func (n *Node) rescheduleTick() {
+	if n.tick.Pending() {
+		n.tick.Cancel()
+	}
+	g := n.gcdEpoch()
+	if g <= 0 {
+		return
+	}
+	now := n.cfg.Engine.Now()
+	next := (now/g + 1) * g
+	n.tick = n.cfg.Engine.Schedule(next, n.onTick)
+}
+
+// onTick fires every GCD period; queries whose epoch divides the current
+// instant sample together ("a shared data acquisition is conducted for all
+// such q_i").
+func (n *Node) onTick() {
+	t := n.cfg.Engine.Now()
+	n.rescheduleTick()
+	if n.asleep || n.down {
+		return
+	}
+	var firing []*installed
+	for _, inst := range n.queries {
+		if n.firesAt(inst, t) {
+			firing = append(firing, inst)
+		}
+	}
+	if len(firing) == 0 {
+		return
+	}
+	n.processFiring(t, firing)
+}
+
+// firesAt reports whether a query produces an epoch at time t.
+func (n *Node) firesAt(inst *installed, t sim.Time) bool {
+	if t < inst.start {
+		return false
+	}
+	if n.cfg.Policy.AlignedEpochs {
+		return t%inst.q.Epoch == 0
+	}
+	return (t-inst.start)%inst.q.Epoch == 0
+}
+
+// processFiring samples once for all firing queries and generates result
+// traffic at this node's transmission slot.
+func (n *Node) processFiring(t sim.Time, firing []*installed) {
+	n.cfg.Trace.Emitf(t, trace.KindFire, n.id, "%d queries", len(firing))
+	// Shared data acquisition: one sample covers every firing query.
+	attrSet := make(map[field.Attr]bool)
+	for _, inst := range firing {
+		for _, a := range inst.q.SampledAttrs() {
+			attrSet[a] = true
+		}
+	}
+	sample := make(map[field.Attr]float64, len(attrSet))
+	for a := range attrSet {
+		sample[a] = n.cfg.Source.Reading(n.id, a, t)
+	}
+	if n.cfg.Metrics != nil {
+		n.cfg.Metrics.CountSamples(n.id, len(attrSet))
+	}
+
+	var acqMatched []*installed
+	var aggFiring []*installed
+	var winReport []*installed
+	hadOwnData := false
+	for _, inst := range firing {
+		matched := inst.q.MatchesRow(sample)
+		if inst.q.IsWindowed() {
+			// The sample history advances every epoch regardless of the
+			// predicate; the node reports at slide boundaries when its
+			// current reading qualifies.
+			if inst.rings == nil {
+				inst.rings = make(map[field.Attr]*query.WindowRing, len(inst.q.Wins))
+			}
+			for _, w := range inst.q.Wins {
+				r, ok := inst.rings[w.Attr]
+				if !ok {
+					r = query.NewWindowRing(w.Window)
+					inst.rings[w.Attr] = r
+				}
+				r.Push(sample[w.Attr])
+			}
+			if matched && n.reportsAt(inst, t) {
+				hadOwnData = true
+				winReport = append(winReport, inst)
+			}
+			continue
+		}
+		if inst.q.IsAggregation() {
+			aggFiring = append(aggFiring, inst)
+			if matched {
+				hadOwnData = true
+				k := pendKey{qid: inst.q.ID, epochT: t}
+				n.pendingOwn[k] = true
+				var group int64
+				if inst.q.GroupBy != nil {
+					group = inst.q.GroupBy.Key(sample[inst.q.GroupBy.Attr])
+				}
+				for _, a := range inst.q.Aggs {
+					st := query.NewGroupedAggState(a, group)
+					st.Add(sample[a.Attr])
+					n.pending[k] = mergeState(n.pending[k], st)
+				}
+			}
+			continue
+		}
+		if matched {
+			hadOwnData = true
+			acqMatched = append(acqMatched, inst)
+		}
+	}
+
+	slot := n.slotTime(t) + sim.Time(n.jitter())
+	if len(acqMatched) > 0 {
+		n.cfg.Engine.Schedule(slot, func() { n.sendAcquisition(t, acqMatched, sample) })
+	}
+	if len(winReport) > 0 {
+		n.cfg.Engine.Schedule(slot, func() { n.sendWindowed(t, winReport) })
+	}
+	if len(aggFiring) > 0 {
+		n.cfg.Engine.Schedule(slot, func() { n.finalizeAggregation(t, aggFiring) })
+	}
+
+	n.updateSleepState(hadOwnData)
+}
+
+// reportsAt reports whether a windowed query emits a result at firing t:
+// every Slide epochs on the query's schedule.
+func (n *Node) reportsAt(inst *installed, t sim.Time) bool {
+	re := sim.Time(inst.q.ReportEvery())
+	if re <= 0 {
+		return false
+	}
+	if n.cfg.Policy.AlignedEpochs {
+		return t%re == 0
+	}
+	return (t-inst.start)%re == 0
+}
+
+// sendWindowed emits this node's windowed-aggregate rows. Each windowed
+// query sends its own message: window values are query-specific derivations,
+// so cross-query packing would put conflicting values under one attribute.
+func (n *Node) sendWindowed(t sim.Time, reporting []*installed) {
+	for _, inst := range reporting {
+		row := make(map[field.Attr]float64, len(inst.q.Wins))
+		for _, w := range inst.q.Wins {
+			if r, ok := inst.rings[w.Attr]; ok {
+				if v, okv := r.Aggregate(w.Op); okv {
+					row[w.Attr] = v
+				}
+			}
+		}
+		if len(row) == 0 {
+			continue
+		}
+		qids := []query.ID{inst.q.ID}
+		n.route(&ResultMsg{EpochT: t, QIDs: qids, Origin: n.id, Row: row, OwnQIDs: qids})
+	}
+}
+
+// slotTime staggers transmissions by level: deeper nodes send earlier so
+// parents can merge partial aggregates before their own slot.
+func (n *Node) slotTime(epochT sim.Time) sim.Time {
+	depth := n.cfg.Topo.MaxDepth()
+	return epochT + sim.Time(time.Duration(depth-n.level)*SlotTime)
+}
+
+// jitter spreads same-slot transmissions across the first half of the slot
+// window, a stand-in for CSMA's random access. The other half of the slot
+// leaves room for the airtime and relay hops before the next level's slot.
+func (n *Node) jitter() time.Duration {
+	return time.Duration(n.cfg.Rand.Float64() * float64(SlotTime) * 0.5)
+}
+
+// sendAcquisition emits this node's own readings for the matched
+// acquisition queries: one packed message under SharedMessages, one message
+// per query otherwise (TinyDB behaviour).
+func (n *Node) sendAcquisition(t sim.Time, matched []*installed, sample map[field.Attr]float64) {
+	if n.cfg.Policy.SharedMessages {
+		ids := make(map[query.ID]bool, len(matched))
+		row := make(map[field.Attr]float64)
+		for _, inst := range matched {
+			ids[inst.q.ID] = true
+			for _, a := range inst.q.Attrs {
+				row[a] = sample[a]
+			}
+		}
+		qids := sortedIDs(ids)
+		n.route(&ResultMsg{EpochT: t, QIDs: qids, Origin: n.id, Row: row, OwnQIDs: qids})
+		return
+	}
+	for _, inst := range matched {
+		row := make(map[field.Attr]float64, len(inst.q.Attrs))
+		for _, a := range inst.q.Attrs {
+			row[a] = sample[a]
+		}
+		qids := []query.ID{inst.q.ID}
+		n.route(&ResultMsg{EpochT: t, QIDs: qids, Origin: n.id, Row: row, OwnQIDs: qids})
+	}
+}
+
+// finalizeAggregation flushes the pending partial aggregates of the firing
+// queries at this node's slot: own reading and child contributions merged
+// into one partial state record per (query, aggregate).
+func (n *Node) finalizeAggregation(t sim.Time, firing []*installed) {
+	perQuery := make(map[query.ID][]query.AggState)
+	own := make(map[query.ID]bool)
+	for _, inst := range firing {
+		k := pendKey{qid: inst.q.ID, epochT: t}
+		states, ok := n.pending[k]
+		if !ok {
+			continue
+		}
+		delete(n.pending, k)
+		perQuery[inst.q.ID] = states
+		if n.pendingOwn[k] {
+			own[inst.q.ID] = true
+			delete(n.pendingOwn, k)
+		}
+	}
+	if len(perQuery) == 0 {
+		return
+	}
+	n.sendAggStates(t, perQuery, own)
+}
+
+// sendAggStates emits partial-aggregate messages. Under SharedMessages,
+// queries whose entire partial states are identical share one message
+// (§3.2.2: "one data message can be packed to share among all of the
+// queries whose partial aggregation value are the same"); queries with
+// different partials — e.g. a node that aggregated extra children for one
+// of them, as node B does in the Figure 2 walk-through — go in separate
+// messages. Without SharedMessages every query gets its own message.
+func (n *Node) sendAggStates(t sim.Time, perQuery map[query.ID][]query.AggState, own map[query.ID]bool) {
+	ownOf := func(qids []query.ID) []query.ID {
+		var out []query.ID
+		for _, qid := range qids {
+			if own[qid] {
+				out = append(out, qid)
+			}
+		}
+		return out
+	}
+	if !n.cfg.Policy.SharedMessages {
+		for _, qid := range sortedKeys(perQuery) {
+			qs := make([]QueryAggState, 0, len(perQuery[qid]))
+			for _, st := range perQuery[qid] {
+				qs = append(qs, QueryAggState{QID: qid, State: st})
+			}
+			qids := []query.ID{qid}
+			n.route(&ResultMsg{EpochT: t, QIDs: qids, States: qs, OwnQIDs: ownOf(qids)})
+		}
+		return
+	}
+	// Partition queries into classes with identical state lists.
+	type class struct {
+		states []query.AggState
+		qids   []query.ID
+	}
+	var classes []*class
+	for _, qid := range sortedKeys(perQuery) {
+		states := perQuery[qid]
+		placed := false
+		for _, c := range classes {
+			if stateListsEqual(c.states, states) {
+				c.qids = append(c.qids, qid)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, &class{states: states, qids: []query.ID{qid}})
+		}
+	}
+	for _, c := range classes {
+		var qs []QueryAggState
+		for _, qid := range c.qids {
+			for _, st := range c.states {
+				qs = append(qs, QueryAggState{QID: qid, State: st})
+			}
+		}
+		n.route(&ResultMsg{EpochT: t, QIDs: c.qids, States: qs, OwnQIDs: ownOf(c.qids)})
+	}
+}
+
+// stateListsEqual reports whether two partial-state lists are identical
+// (same aggregates, same partial values), i.e. packable into one message.
+func stateListsEqual(a, b []query.AggState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, sa := range a {
+		found := false
+		for _, sb := range b {
+			if sa.Agg == sb.Agg {
+				found = sa.SameValue(sb)
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[query.ID][]query.AggState) []query.ID {
+	set := make(map[query.ID]bool, len(m))
+	for id := range m {
+		set[id] = true
+	}
+	return sortedIDs(set)
+}
+
+// --- Routing ---------------------------------------------------------------
+
+// route picks the next hop(s) for a result message and transmits it. Under
+// FixedTree everything unicasts to the TinyDB tree parent; under
+// QueryAwareDAG the node prefers upper-level neighbors that hold data for
+// the same queries, splitting across parents with one multicast when no
+// single neighbor serves every query (§3.2.2 result collection phase).
+func (n *Node) route(msg *ResultMsg) {
+	upper := n.liveUpper()
+	if len(upper) == 0 {
+		return // cannot happen in a connected topology
+	}
+	if !n.cfg.Policy.QueryAwareDAG {
+		// TinyDB parent selection by link quality; a suspected-dead parent
+		// fails over to the next-best upper neighbor.
+		n.transmit(msg, []topology.NodeID{upper[0]})
+		return
+	}
+	if len(upper) == 1 || len(msg.QIDs) == 0 {
+		n.transmit(msg, []topology.NodeID{upper[0]})
+		return
+	}
+
+	// Score candidates by how many of the message's queries they have data
+	// for; upper is ordered best-link-first, so ties favor stable links.
+	now := n.cfg.Engine.Now()
+	covered := func(nb topology.NodeID, qid query.ID) bool {
+		seen, ok := n.knowledge[nb][qid]
+		if !ok {
+			return false
+		}
+		inst, have := n.queries[qid]
+		if !have {
+			return now-seen <= sim.Time(KnowledgeTTL*query.MinEpoch)
+		}
+		return now-seen <= sim.Time(KnowledgeTTL)*sim.Time(inst.q.Epoch)
+	}
+	best := upper[0]
+	bestScore := 0
+	for _, nb := range upper {
+		score := 0
+		for _, qid := range msg.QIDs {
+			if covered(nb, qid) {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = nb, score
+		}
+	}
+	if bestScore == 0 || bestScore == len(msg.QIDs) {
+		n.transmit(msg, []topology.NodeID{best})
+		return
+	}
+
+	// Partial coverage: greedily assign each query to a knowledgeable
+	// parent; queries nobody has data for ride with the primary parent.
+	assign := make(map[topology.NodeID][]query.ID)
+	for _, qid := range msg.QIDs {
+		dest := best
+		if !covered(best, qid) {
+			for _, nb := range upper {
+				if covered(nb, qid) {
+					dest = nb
+					break
+				}
+			}
+		}
+		assign[dest] = append(assign[dest], qid)
+	}
+	if len(assign) == 1 || !n.cfg.Policy.Multicast {
+		if len(assign) == 1 {
+			n.transmit(msg, []topology.NodeID{best})
+			return
+		}
+		// Without multicast: one unicast per parent, each with its subset.
+		for dest, qids := range assign {
+			sub := n.subsetMsg(msg, qids)
+			n.transmit(sub, []topology.NodeID{dest})
+		}
+		return
+	}
+	// One multicast with a per-destination query mapping in the header.
+	dests := make([]topology.NodeID, 0, len(assign))
+	for dest := range assign {
+		dests = append(dests, dest)
+	}
+	sortNodeIDs(dests)
+	msg.Subsets = assign
+	n.transmit(msg, dests)
+}
+
+// subsetMsg projects a result message onto a subset of its queries.
+func (n *Node) subsetMsg(msg *ResultMsg, qids []query.ID) *ResultMsg {
+	out := &ResultMsg{EpochT: msg.EpochT, QIDs: qids, Origin: msg.Origin, Reroutes: msg.Reroutes}
+	want := make(map[query.ID]bool, len(qids))
+	for _, id := range qids {
+		want[id] = true
+	}
+	for _, id := range msg.OwnQIDs {
+		if want[id] {
+			out.OwnQIDs = append(out.OwnQIDs, id)
+		}
+	}
+	if msg.IsAggregation() {
+		for _, qs := range msg.States {
+			if want[qs.QID] {
+				out.States = append(out.States, qs)
+			}
+		}
+	} else {
+		out.Row = msg.Row
+		if trimmed := n.trimRow(msg.Row, qids); trimmed != nil {
+			out.Row = trimmed
+		}
+	}
+	return out
+}
+
+// trimRow reduces a row to the attributes the given queries request; nil if
+// any query is unknown locally (keep everything in that case).
+func (n *Node) trimRow(row map[field.Attr]float64, qids []query.ID) map[field.Attr]float64 {
+	need := make(map[field.Attr]bool)
+	for _, qid := range qids {
+		inst, ok := n.queries[qid]
+		if !ok {
+			return nil
+		}
+		for _, a := range inst.q.RowAttrs() {
+			need[a] = true
+		}
+	}
+	out := make(map[field.Attr]float64, len(need))
+	for a := range need {
+		if v, ok := row[a]; ok {
+			out[a] = v
+		}
+	}
+	return out
+}
+
+// liveUpper returns the upper-level neighbors not currently suspected dead
+// (best link first); if every candidate is suspected, suspicion is ignored
+// — a stale blacklist must not partition the network.
+func (n *Node) liveUpper() []topology.NodeID {
+	upper := n.cfg.Topo.UpperNeighbors(n.id)
+	now := n.cfg.Engine.Now()
+	live := make([]topology.NodeID, 0, len(upper))
+	for _, nb := range upper {
+		if at, ok := n.suspectDead[nb]; ok && now-at < sim.Time(DeadSuspicionTTL) {
+			continue
+		}
+		live = append(live, nb)
+	}
+	if len(live) == 0 {
+		return upper
+	}
+	return live
+}
+
+func (n *Node) transmit(msg *ResultMsg, dests []topology.NodeID) {
+	n.cfg.Medium.Send(&radio.Message{
+		Kind:    radio.KindResult,
+		Src:     n.id,
+		Dests:   dests,
+		Bytes:   resultMsgBytes(msg),
+		Payload: msg,
+		Undeliverable: func(dest topology.NodeID) {
+			n.onUndeliverable(msg, dest)
+		},
+	})
+}
+
+// onUndeliverable is the link-layer "no ACK" signal: the destination's
+// radio was off when the transmission completed. The sender blacklists the
+// neighbor and reroutes the affected queries through another parent.
+func (n *Node) onUndeliverable(msg *ResultMsg, dest topology.NodeID) {
+	if n.down {
+		return
+	}
+	n.suspectDead[dest] = n.cfg.Engine.Now()
+	if msg.Reroutes >= MaxReroutes {
+		return
+	}
+	sub := n.subsetMsg(msg, msg.QueriesFor(dest))
+	if len(sub.QIDs) == 0 {
+		return
+	}
+	sub.Reroutes = msg.Reroutes + 1
+	n.route(sub)
+}
+
+// --- Sleep mode -------------------------------------------------------------
+
+// updateSleepState implements §3.2.2's sleep rule: a node whose data
+// satisfies no query and which is relaying nothing dozes off once it has
+// been idle for SleepAfterIdle.
+func (n *Node) updateSleepState(hadOwnData bool) {
+	if !n.cfg.Policy.Sleep || !n.cfg.Policy.QueryAwareDAG {
+		return
+	}
+	now := n.cfg.Engine.Now()
+	if hadOwnData || n.sawAddressed {
+		n.lastUseful = now
+	}
+	n.sawAddressed = false
+	if !n.asleep && now-n.lastUseful >= sim.Time(SleepAfterIdle) {
+		n.asleep = true
+		n.wakeCheck = n.cfg.Engine.After(SleepCheck, n.onWakeCheck)
+		n.cfg.Trace.Emitf(now, trace.KindSleep, n.id, "idle since %v", time.Duration(n.lastUseful))
+	}
+}
+
+// onWakeCheck re-evaluates a sleeping node's readings: if they now satisfy
+// a query, the node wakes and broadcasts a one-hop wake message so lower
+// neighbors reconsider it as a relay (§3.2.2); otherwise it keeps sleeping.
+func (n *Node) onWakeCheck() {
+	if !n.asleep {
+		return
+	}
+	var matched []query.ID
+	for qid, inst := range n.queries {
+		if n.matchesNow(inst.q) {
+			matched = append(matched, qid)
+		}
+	}
+	if len(matched) == 0 {
+		n.wakeCheck = n.cfg.Engine.After(SleepCheck, n.onWakeCheck)
+		return
+	}
+	n.resume()
+	set := make(map[query.ID]bool, len(matched))
+	for _, id := range matched {
+		set[id] = true
+	}
+	n.cfg.Medium.Send(&radio.Message{
+		Kind:    radio.KindWake,
+		Src:     n.id,
+		Bytes:   wakeMsgBytes(len(matched)),
+		Payload: &WakeMsg{QIDs: sortedIDs(set)},
+	})
+}
+
+// resume leaves sleep mode; when waking because data reappeared the caller
+// sends the wake broadcast.
+func (n *Node) resume() {
+	if n.asleep {
+		n.cfg.Trace.Emitf(n.cfg.Engine.Now(), trace.KindWake, n.id, "")
+	}
+	n.asleep = false
+	n.lastUseful = n.cfg.Engine.Now()
+	if n.wakeCheck.Pending() {
+		n.wakeCheck.Cancel()
+	}
+}
+
+// matchesNow evaluates a query's predicates against this node's current
+// readings.
+func (n *Node) matchesNow(q query.Query) bool {
+	now := n.cfg.Engine.Now()
+	vals := make(map[field.Attr]float64, len(q.Preds))
+	for _, p := range q.Preds {
+		vals[p.Attr] = n.cfg.Source.Reading(n.id, p.Attr, now)
+	}
+	return q.MatchesRow(vals)
+}
+
+// --- Maintenance -------------------------------------------------------------
+
+// beacon emits the periodic network-maintenance message; sleeping nodes
+// skip it (part of the §3.2.2 energy saving).
+func (n *Node) beacon() {
+	n.maintTimer = n.cfg.Engine.After(n.cfg.MaintenanceInterval, n.beacon)
+	if n.asleep || n.down {
+		return
+	}
+	digest := make(map[query.ID]bool, len(n.queries))
+	for qid := range n.queries {
+		digest[qid] = true
+	}
+	qids := sortedIDs(digest)
+	n.cfg.Medium.Send(&radio.Message{
+		Kind:    radio.KindBeacon,
+		Src:     n.id,
+		Bytes:   beaconMsgBytes(len(qids)),
+		Payload: &BeaconMsg{QIDs: qids},
+	})
+}
+
+// --- Knowledge --------------------------------------------------------------
+
+func (n *Node) learn(nb topology.NodeID, qid query.ID) {
+	m, ok := n.knowledge[nb]
+	if !ok {
+		m = make(map[query.ID]sim.Time)
+		n.knowledge[nb] = m
+	}
+	m[qid] = n.cfg.Engine.Now()
+}
+
+func (n *Node) learnMany(nb topology.NodeID, qids []query.ID) {
+	for _, qid := range qids {
+		n.learn(nb, qid)
+	}
+}
+
+// mergeState folds one partial into a state list; partials combine only
+// within the same aggregate AND the same GROUP BY bucket.
+func mergeState(states []query.AggState, st query.AggState) []query.AggState {
+	for i := range states {
+		if states[i].Agg == st.Agg && states[i].Group == st.Group {
+			states[i].Merge(st)
+			return states
+		}
+	}
+	return append(states, st)
+}
+
+func sortNodeIDs(ids []topology.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

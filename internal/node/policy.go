@@ -1,0 +1,87 @@
+// Package node implements the sensor-node runtime: epoch scheduling, sample
+// acquisition, result generation, in-network aggregation and routing. The
+// tier-2 in-network optimizations of §3.2 — sharing over time (GCD-aligned
+// epochs with shared sampling), sharing over space (query-aware dynamic DAG
+// routing with multicast), shared/packed result messages, and sleep mode —
+// are switchable policies, so the same runtime executes the paper's baseline
+// (unmodified TinyDB behaviour) and every ablation in between.
+package node
+
+import "time"
+
+// Policy selects the tier-2 behaviours of a node. The zero value is the
+// TinyDB baseline: independent per-query epochs, fixed link-quality routing
+// tree, one message per query, no sleeping.
+type Policy struct {
+	// AlignedEpochs snaps every query's epochs to multiples of its duration
+	// (§3.2.1 "sharing over time"): queries with the same duration sample
+	// together, and a single GCD clock drives the node.
+	AlignedEpochs bool
+	// QueryAwareDAG replaces the fixed routing tree with per-message parent
+	// selection among all upper-level neighbors, preferring neighbors that
+	// hold data for the same queries (§3.2.2 "sharing over space").
+	QueryAwareDAG bool
+	// SharedMessages packs one result message for all queries a reading or
+	// partial aggregate serves, instead of one message per query.
+	SharedMessages bool
+	// Multicast allows a single multicast transmission when different
+	// queries are best served by different parents; without it the node
+	// falls back to one unicast per parent. Only meaningful with
+	// QueryAwareDAG.
+	Multicast bool
+	// Sleep lets nodes whose readings satisfy no query suspend sampling,
+	// result generation and maintenance beacons. Only meaningful with
+	// QueryAwareDAG.
+	Sleep bool
+	// SRT prunes the dissemination of node-id-based queries with TinyDB's
+	// Semantic Routing Tree (§3.2.2: "if the query is a region-based query
+	// or a node-id based query, the set of answer nodes are known in
+	// advance, and more efficient techniques such as SRT can be used").
+	// SRT is a TinyDB facility, so it is on in the baseline too.
+	SRT bool
+}
+
+// InNetwork is the full §3.2 policy set.
+func InNetwork() Policy {
+	return Policy{
+		AlignedEpochs:  true,
+		QueryAwareDAG:  true,
+		SharedMessages: true,
+		Multicast:      true,
+		Sleep:          true,
+		SRT:            true,
+	}
+}
+
+// Baseline is the TinyDB single-query behaviour (the comparison baseline of
+// §4.1). SRT is part of TinyDB and stays on.
+func Baseline() Policy { return Policy{SRT: true} }
+
+// Timing constants of the node runtime.
+const (
+	// SlotTime staggers transmissions by level within an epoch: a node at
+	// level l sends its own results at fire + (maxDepth−l)·SlotTime, so
+	// children transmit before parents and partial aggregates can merge on
+	// the way up (TinyDB's epoch schedule).
+	SlotTime = 200 * time.Millisecond
+	// StartGuard delays a query's first epoch so the propagation flood
+	// finishes before sampling begins.
+	StartGuard = 500 * time.Millisecond
+	// SleepCheck is how long a node sleeps before re-evaluating its
+	// readings ("wake up after a predefined time", §3.2.2).
+	SleepCheck = 8192 * time.Millisecond
+	// SleepAfterIdle is how long a node tolerates having no own data and
+	// relaying nothing before it goes to sleep. Time-based (rather than
+	// firing-count-based) so the behaviour is identical under aligned and
+	// independent epoch scheduling.
+	SleepAfterIdle = 16384 * time.Millisecond
+	// KnowledgeTTL bounds how long an overheard "neighbor has data for
+	// query q" observation stays valid, in multiples of the query's epoch.
+	KnowledgeTTL = 3
+	// DeadSuspicionTTL is how long a neighbor stays routing-blacklisted
+	// after a unicast to it went unacknowledged; hearing from it clears the
+	// suspicion immediately.
+	DeadSuspicionTTL = 60 * time.Second
+	// MaxReroutes caps link-failure reroutes per message.
+	MaxReroutes = 3
+)

@@ -1,0 +1,145 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestSRTPrunesDissemination(t *testing.T) {
+	// Chain BS—1—2: a query for nodeid = 1 must not reach (or be forwarded
+	// by) node 2, whose subtree is {2}.
+	topo := chain3(t)
+	r := newRig(t, topo, Baseline(), field.UniformField{N: 3})
+	q := query.MustParse("SELECT nodeid WHERE nodeid = 1 EPOCH DURATION 4096")
+	q.ID = 1
+	r.flood(q, 4096*time.Millisecond)
+	r.engine.Run(2 * time.Second)
+
+	if got := r.nodes[1].Queries(); len(got) != 1 {
+		t.Fatalf("node 1 must install: %v", got)
+	}
+	if got := r.nodes[2].Queries(); len(got) != 0 {
+		t.Fatalf("node 2 must be pruned: %v", got)
+	}
+	// BS + node 1 rebroadcast; node 2 stays silent.
+	if got := r.coll.MessagesOf("query"); got != 2 {
+		t.Fatalf("query messages = %d, want 2", got)
+	}
+
+	// The pruned node also swallows the abort silently.
+	r.abort(1)
+	r.engine.Run(4 * time.Second)
+	if got := r.coll.MessagesOf("abort"); got != 2 {
+		t.Fatalf("abort messages = %d, want 2 (BS + node 1)", got)
+	}
+}
+
+func TestSRTOffFloodsEverywhere(t *testing.T) {
+	topo := chain3(t)
+	p := Baseline()
+	p.SRT = false
+	r := newRig(t, topo, p, field.UniformField{N: 3})
+	q := query.MustParse("SELECT nodeid WHERE nodeid = 1 EPOCH DURATION 4096")
+	q.ID = 1
+	r.flood(q, 4096*time.Millisecond)
+	r.engine.Run(2 * time.Second)
+	if got := r.nodes[2].Queries(); len(got) != 1 {
+		t.Fatalf("without SRT node 2 installs: %v", got)
+	}
+	if got := r.coll.MessagesOf("query"); got != 3 {
+		t.Fatalf("query messages = %d, want 3", got)
+	}
+}
+
+func TestSRTValueQueriesUnaffected(t *testing.T) {
+	// Value-based queries must still flood ("for a value-based query,
+	// flooding is necessary", §3.2.2).
+	topo := chain3(t)
+	r := newRig(t, topo, Baseline(), field.UniformField{N: 3})
+	q := query.MustParse("SELECT light WHERE light > 900 EPOCH DURATION 4096")
+	q.ID = 1
+	r.flood(q, 4096*time.Millisecond)
+	r.engine.Run(2 * time.Second)
+	for id, n := range r.nodes {
+		if len(n.Queries()) != 1 {
+			t.Fatalf("node %d must install a value-based query", id)
+		}
+	}
+}
+
+func TestSRTResultsStillCorrect(t *testing.T) {
+	// Grid: nodeid <= 3 with and without SRT must deliver the same rows to
+	// the base station.
+	topo, err := topology.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(srt bool) map[topology.NodeID]bool {
+		p := Baseline()
+		p.SRT = srt
+		r := newRig(t, topo, p, field.UniformField{N: topo.Size()})
+		q := query.MustParse("SELECT nodeid WHERE nodeid >= 1 AND nodeid <= 3 EPOCH DURATION 4096")
+		q.ID = 1
+		r.flood(q, 4096*time.Millisecond)
+		r.engine.Run(sim.Time(4096*time.Millisecond) + sim.Time(2*time.Second))
+		got := make(map[topology.NodeID]bool)
+		for _, m := range r.atBS {
+			got[m.Origin] = true
+		}
+		return got
+	}
+	with := run(true)
+	without := run(false)
+	if len(with) != 3 || len(without) != 3 {
+		t.Fatalf("rows: with=%v without=%v", with, without)
+	}
+	for id := range without {
+		if !with[id] {
+			t.Fatalf("SRT lost node %d's row", id)
+		}
+	}
+}
+
+func TestSubtreeIntervals(t *testing.T) {
+	topo := chain3(t)
+	cases := []struct {
+		id     topology.NodeID
+		lo, hi topology.NodeID
+	}{
+		{0, 0, 2},
+		{1, 1, 2},
+		{2, 2, 2},
+	}
+	for _, c := range cases {
+		lo, hi := topo.SubtreeInterval(c.id)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("subtree(%d) = [%d,%d], want [%d,%d]", c.id, lo, hi, c.lo, c.hi)
+		}
+	}
+
+	grid, err := topology.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root covers everything; every node's interval contains itself and is
+	// within its parent's.
+	if lo, hi := grid.SubtreeInterval(0); lo != 0 || hi != topology.NodeID(grid.Size()-1) {
+		t.Fatalf("root subtree = [%d,%d]", lo, hi)
+	}
+	for i := 1; i < grid.Size(); i++ {
+		id := topology.NodeID(i)
+		lo, hi := grid.SubtreeInterval(id)
+		if id < lo || id > hi {
+			t.Fatalf("node %d outside own subtree [%d,%d]", id, lo, hi)
+		}
+		plo, phi := grid.SubtreeInterval(grid.TreeParent(id))
+		if lo < plo || hi > phi {
+			t.Fatalf("subtree(%d)=[%d,%d] escapes parent [%d,%d]", id, lo, hi, plo, phi)
+		}
+	}
+}

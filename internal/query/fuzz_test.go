@@ -1,0 +1,52 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser's robustness invariants on arbitrary input:
+// it must never panic, and anything it accepts must be valid, printable,
+// and re-parse to a semantically identical query.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT light",
+		"SELECT light, temp WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096ms",
+		"select light where 280<light<600 epoch duration 4096",
+		"SELECT MAX(light), MIN(temp) WHERE temp > 20 EPOCH DURATION 8192ms",
+		"SELECT AVG(light) GROUP BY temp BUCKET 10 EPOCH DURATION 4096",
+		"SELECT COUNT(nodeid) WHERE nodeid BETWEEN 3 AND 9 EPOCH DURATION 2048 LIFETIME 60s",
+		"SELECT humidity FROM sensors WHERE 10 <= humidity EPOCH DURATION 24576",
+		"SELECT light WHERE light = 5",
+		"SELECT light WHERE",
+		"SELECT MAX( EPOCH",
+		"sElEcT LiGhT ePoCh DuRaTiOn 2048",
+		"SELECT light WHERE light > 1e3 EPOCH DURATION 4096",
+		"SELECT light WHERE light > -5 EPOCH DURATION 4096",
+		strings.Repeat("SELECT ", 50),
+		"SELECT light \x00 WHERE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input) // must not panic
+		if err != nil {
+			return
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an invalid query %q: %v", input, verr)
+		}
+		printed := q.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not re-parse: %v", printed, input, err)
+		}
+		if !q.Equal(back) {
+			t.Fatalf("round trip changed semantics:\n in:  %q\n q:   %s\n back:%s", input, q, back)
+		}
+		if q.Lifetime != back.Lifetime {
+			t.Fatalf("lifetime lost in round trip: %v vs %v", q.Lifetime, back.Lifetime)
+		}
+	})
+}

@@ -1,0 +1,533 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"repro/internal/field"
+)
+
+// Parse parses a TinyDB-dialect query string:
+//
+//	SELECT light, temp FROM sensors WHERE 280 < light AND light < 600
+//	    EPOCH DURATION 4096ms
+//	SELECT MAX(light), MIN(temp) WHERE temp >= 20 EPOCH DURATION 8s
+//	select light where 280<light<600 epoch duration 2048
+//
+// Keywords are case-insensitive. The FROM clause is accepted and ignored
+// (the network is the only table). WHERE accepts comparisons
+// (<, <=, >, >=, =), chained comparisons (lo < attr < hi), and BETWEEN
+// lo AND hi, all joined by AND. EPOCH DURATION takes an integer with an
+// optional ms/s suffix; a bare integer means milliseconds. A query without
+// an EPOCH DURATION clause defaults to MinEpoch.
+//
+// The returned query is normalized and validated; its ID is zero.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, fmt.Errorf("query: parse %q: %w", input, err)
+	}
+	q = q.Normalize()
+	if err := q.Validate(); err != nil {
+		return Query{}, fmt.Errorf("query: parse %q: %w", input, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse for tests, examples and hand-written workloads; it
+// panics on error.
+func MustParse(input string) Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind uint8
+
+const (
+	tokWord tokKind = iota + 1
+	tokNumber
+	tokOp     // < <= > >= =
+	tokLParen // (
+	tokRParen // )
+	tokComma
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ","})
+			i++
+		case c == '<' || c == '>' || c == '=':
+			op := string(c)
+			i++
+			if i < len(s) && s[i] == '=' && op != "=" {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: op})
+		case unicode.IsDigit(c) || c == '.' || c == '-' || c == '+':
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.' || s[j] == 'e' || s[j] == 'E') {
+				// allow exponent sign
+				if (s[j] == 'e' || s[j] == 'E') && j+1 < len(s) && (s[j+1] == '-' || s[j+1] == '+') {
+					j++
+				}
+				j++
+			}
+			text := s[i:j]
+			// A trailing unit (ms/s) belongs to the duration syntax; keep it
+			// as a following word token.
+			num, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q", text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: num})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectWord(word string) error {
+	t := p.next()
+	if t.kind != tokWord || !strings.EqualFold(t.text, word) {
+		return fmt.Errorf("expected %q, got %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *parser) peekWord(word string) bool {
+	t := p.peek()
+	return t.kind == tokWord && strings.EqualFold(t.text, word)
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	var q Query
+	if err := p.expectWord("SELECT"); err != nil {
+		return q, err
+	}
+	if err := p.parseSelectList(&q); err != nil {
+		return q, err
+	}
+	if p.peekWord("FROM") {
+		p.next()
+		if t := p.next(); t.kind != tokWord {
+			return q, fmt.Errorf("expected table name after FROM, got %q", t.text)
+		}
+	}
+	if p.peekWord("WHERE") {
+		p.next()
+		if err := p.parseWhere(&q); err != nil {
+			return q, err
+		}
+	}
+	if p.peekWord("GROUP") {
+		p.next()
+		if err := p.expectWord("BY"); err != nil {
+			return q, err
+		}
+		at := p.next()
+		if at.kind != tokWord {
+			return q, fmt.Errorf("expected attribute after GROUP BY, got %q", at.text)
+		}
+		attr, err := field.ParseAttr(strings.ToLower(at.text))
+		if err != nil {
+			return q, err
+		}
+		g := &GroupBy{Attr: attr, Width: 1}
+		if p.peekWord("BUCKET") {
+			p.next()
+			w := p.next()
+			if w.kind != tokNumber {
+				return q, fmt.Errorf("expected bucket width, got %q", w.text)
+			}
+			g.Width = w.num
+		}
+		q.GroupBy = g
+	}
+	q.Epoch = MinEpoch
+	if p.peekWord("EPOCH") {
+		p.next()
+		if err := p.expectWord("DURATION"); err != nil {
+			return q, err
+		}
+		d, err := p.parseDuration()
+		if err != nil {
+			return q, err
+		}
+		q.Epoch = d
+	}
+	if p.peekWord("LIFETIME") {
+		p.next()
+		d, err := p.parseDuration()
+		if err != nil {
+			return q, err
+		}
+		q.Lifetime = d
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return q, fmt.Errorf("unexpected trailing input %q", t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	for {
+		t := p.next()
+		if t.kind != tokWord {
+			return fmt.Errorf("expected attribute or aggregate, got %q", t.text)
+		}
+		if p.peek().kind == tokLParen {
+			if win, ok := strings.CutPrefix(strings.ToUpper(t.text), "WIN"); ok && win != "" {
+				w, err := p.parseWin(win)
+				if err != nil {
+					return err
+				}
+				q.Wins = append(q.Wins, w)
+				goto next
+			}
+			op, err := ParseAggOp(t.text)
+			if err != nil {
+				return err
+			}
+			p.next() // (
+			at := p.next()
+			if at.kind != tokWord {
+				return fmt.Errorf("expected attribute inside %s(), got %q", op, at.text)
+			}
+			attr, err := field.ParseAttr(strings.ToLower(at.text))
+			if err != nil {
+				return err
+			}
+			if t := p.next(); t.kind != tokRParen {
+				return fmt.Errorf("expected ) after %s(%s", op, attr)
+			}
+			q.Aggs = append(q.Aggs, Agg{Op: op, Attr: attr})
+		} else {
+			attr, err := field.ParseAttr(strings.ToLower(t.text))
+			if err != nil {
+				return err
+			}
+			q.Attrs = append(q.Attrs, attr)
+		}
+	next:
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseWin parses the tail of a windowed aggregate after the leading
+// "WIN<op>" word: "(attr, window[, slide])".
+func (p *parser) parseWin(opName string) (Win, error) {
+	op, err := ParseAggOp(opName)
+	if err != nil {
+		return Win{}, fmt.Errorf("unknown windowed aggregate WIN%s", opName)
+	}
+	p.next() // (
+	at := p.next()
+	if at.kind != tokWord {
+		return Win{}, fmt.Errorf("expected attribute inside WIN%s(), got %q", op, at.text)
+	}
+	attr, err := field.ParseAttr(strings.ToLower(at.text))
+	if err != nil {
+		return Win{}, err
+	}
+	w := Win{Op: op, Attr: attr, Slide: 1}
+	if t := p.next(); t.kind != tokComma {
+		return Win{}, fmt.Errorf("expected window size in WIN%s(%s, ...)", op, attr)
+	}
+	size := p.next()
+	if size.kind != tokNumber || size.num != float64(int(size.num)) {
+		return Win{}, fmt.Errorf("expected integer window size, got %q", size.text)
+	}
+	w.Window = int(size.num)
+	if p.peek().kind == tokComma {
+		p.next()
+		slide := p.next()
+		if slide.kind != tokNumber || slide.num != float64(int(slide.num)) {
+			return Win{}, fmt.Errorf("expected integer slide, got %q", slide.text)
+		}
+		w.Slide = int(slide.num)
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return Win{}, fmt.Errorf("expected ) after WIN%s(...)", op)
+	}
+	return w, nil
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		if err := p.parseCondition(q); err != nil {
+			return err
+		}
+		if p.peekWord("AND") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseCondition handles:
+//
+//	attr op number | number op attr | number op attr op number
+//	attr BETWEEN number AND number
+func (p *parser) parseCondition(q *Query) error {
+	t := p.next()
+	switch t.kind {
+	case tokWord:
+		attr, err := field.ParseAttr(strings.ToLower(t.text))
+		if err != nil {
+			return err
+		}
+		if p.peekWord("BETWEEN") {
+			p.next()
+			lo := p.next()
+			if lo.kind != tokNumber {
+				return fmt.Errorf("expected number after BETWEEN, got %q", lo.text)
+			}
+			if err := p.expectWord("AND"); err != nil {
+				return err
+			}
+			hi := p.next()
+			if hi.kind != tokNumber {
+				return fmt.Errorf("expected number after BETWEEN ... AND, got %q", hi.text)
+			}
+			q.Preds = append(q.Preds, Predicate{Attr: attr, Min: lo.num, Max: hi.num})
+			return nil
+		}
+		op := p.next()
+		if op.kind != tokOp {
+			return fmt.Errorf("expected comparison operator, got %q", op.text)
+		}
+		v := p.next()
+		if v.kind != tokNumber {
+			return fmt.Errorf("expected number, got %q", v.text)
+		}
+		pred, err := predFromCmp(attr, op.text, v.num, false)
+		if err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, pred)
+		return nil
+
+	case tokNumber:
+		op1 := p.next()
+		if op1.kind != tokOp {
+			return fmt.Errorf("expected comparison operator after %v, got %q", t.num, op1.text)
+		}
+		at := p.next()
+		if at.kind != tokWord {
+			return fmt.Errorf("expected attribute, got %q", at.text)
+		}
+		attr, err := field.ParseAttr(strings.ToLower(at.text))
+		if err != nil {
+			return err
+		}
+		pred, err := predFromCmp(attr, op1.text, t.num, true)
+		if err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, pred)
+		// Chained comparison: 280 < light < 600.
+		if p.peek().kind == tokOp {
+			op2 := p.next()
+			v2 := p.next()
+			if v2.kind != tokNumber {
+				return fmt.Errorf("expected number after %q, got %q", op2.text, v2.text)
+			}
+			pred2, err := predFromCmp(attr, op2.text, v2.num, false)
+			if err != nil {
+				return err
+			}
+			q.Preds = append(q.Preds, pred2)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("expected condition, got %q", t.text)
+	}
+}
+
+// predFromCmp builds the range predicate for a single comparison. flipped
+// means the literal is on the left (lit op attr), which mirrors the
+// operator. Strict bounds are nudged one ULP inward so the interval algebra
+// stays closed.
+func predFromCmp(attr field.Attr, op string, lit float64, flipped bool) (Predicate, error) {
+	if flipped {
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	p := Predicate{Attr: attr, Min: math.Inf(-1), Max: math.Inf(1)}
+	switch op {
+	case "<":
+		p.Max = math.Nextafter(lit, math.Inf(-1))
+	case "<=":
+		p.Max = lit
+	case ">":
+		p.Min = math.Nextafter(lit, math.Inf(1))
+	case ">=":
+		p.Min = lit
+	case "=":
+		p.Min, p.Max = lit, lit
+	default:
+		return p, fmt.Errorf("unknown operator %q", op)
+	}
+	return p, nil
+}
+
+func (p *parser) parseDuration() (time.Duration, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("expected duration, got %q", t.text)
+	}
+	unit := time.Millisecond
+	if nt := p.peek(); nt.kind == tokWord {
+		switch strings.ToLower(nt.text) {
+		case "ms":
+			p.next()
+		case "s", "sec", "seconds":
+			unit = time.Second
+			p.next()
+		}
+	}
+	return time.Duration(t.num * float64(unit)), nil
+}
+
+// String renders the query in the dialect Parse accepts; Parse(q.String())
+// returns a query Equal to q.
+func (q Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	first := true
+	for _, a := range q.Attrs {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(a.String())
+	}
+	for _, a := range q.Aggs {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(a.String())
+	}
+	for _, w := range q.Wins {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(w.String())
+	}
+	if len(q.Preds) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, p := range q.Preds {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			writePred(&sb, p)
+		}
+	}
+	if q.GroupBy != nil {
+		sb.WriteString(" ")
+		sb.WriteString(q.GroupBy.String())
+	}
+	fmt.Fprintf(&sb, " EPOCH DURATION %dms", q.Epoch/time.Millisecond)
+	if q.Lifetime > 0 {
+		fmt.Fprintf(&sb, " LIFETIME %dms", q.Lifetime/time.Millisecond)
+	}
+	return sb.String()
+}
+
+func writePred(sb *strings.Builder, p Predicate) {
+	switch {
+	case math.IsInf(p.Min, -1) && math.IsInf(p.Max, 1):
+		// Unconstrained predicates are dropped at normalization; render a
+		// tautology defensively.
+		fmt.Fprintf(sb, "%s >= %s", p.Attr, formatNum(math.Inf(-1)))
+	case math.IsInf(p.Min, -1):
+		fmt.Fprintf(sb, "%s <= %s", p.Attr, formatNum(p.Max))
+	case math.IsInf(p.Max, 1):
+		fmt.Fprintf(sb, "%s >= %s", p.Attr, formatNum(p.Min))
+	case p.Min == p.Max:
+		fmt.Fprintf(sb, "%s = %s", p.Attr, formatNum(p.Min))
+	default:
+		fmt.Fprintf(sb, "%s >= %s AND %s <= %s", p.Attr, formatNum(p.Min), p.Attr, formatNum(p.Max))
+	}
+}
+
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

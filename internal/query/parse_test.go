@@ -1,0 +1,228 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+)
+
+func TestParseAcquisition(t *testing.T) {
+	q, err := Parse("SELECT light, temp FROM sensors WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsAggregation() {
+		t.Fatal("acquisition query classified as aggregation")
+	}
+	if len(q.Attrs) != 2 || q.Attrs[0] != field.AttrLight || q.Attrs[1] != field.AttrTemp {
+		t.Fatalf("attrs = %v", q.Attrs)
+	}
+	if q.Epoch != 4096*time.Millisecond {
+		t.Fatalf("epoch = %v", q.Epoch)
+	}
+	if len(q.Preds) != 1 || q.Preds[0] != (Predicate{field.AttrLight, 100, 300}) {
+		t.Fatalf("preds = %v", q.Preds)
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// §3.1.3 example, with epochs scaled to legal multiples of 2048ms.
+	q, err := Parse("select light where 280<light<600 epoch duration 4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 {
+		t.Fatalf("preds = %v", q.Preds)
+	}
+	p := q.Preds[0]
+	if p.Attr != field.AttrLight {
+		t.Fatalf("pred attr = %v", p.Attr)
+	}
+	// Strict bounds nudged one ULP inward.
+	if !(p.Min > 280 && p.Min < 280.001) || !(p.Max < 600 && p.Max > 599.999) {
+		t.Fatalf("pred = %+v", p)
+	}
+	if p.Matches(280) || !p.Matches(280.0001) || p.Matches(600) || !p.Matches(599.9999) {
+		t.Fatal("strictness wrong")
+	}
+}
+
+func TestParseAggregation(t *testing.T) {
+	q, err := Parse("SELECT MAX(light), MIN(temp) WHERE temp > 20 EPOCH DURATION 8192ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsAggregation() {
+		t.Fatal("not classified as aggregation")
+	}
+	if len(q.Aggs) != 2 {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	// Normalized order: by attribute then op; light < temp.
+	if q.Aggs[0] != (Agg{Max, field.AttrLight}) || q.Aggs[1] != (Agg{Min, field.AttrTemp}) {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if q.Epoch != 8192*time.Millisecond {
+		t.Fatalf("epoch = %v", q.Epoch)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q, err := Parse("SELECT light WHERE light BETWEEN 100 AND 300 AND temp > 5 EPOCH DURATION 2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %v", q.Preds)
+	}
+	if q.Preds[0] != (Predicate{field.AttrLight, 100, 300}) {
+		t.Fatalf("between pred = %v", q.Preds[0])
+	}
+}
+
+func TestParseDefaultEpoch(t *testing.T) {
+	q, err := Parse("SELECT light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Epoch != MinEpoch {
+		t.Fatalf("default epoch = %v, want %v", q.Epoch, MinEpoch)
+	}
+}
+
+func TestParseEquality(t *testing.T) {
+	q, err := Parse("SELECT light WHERE nodeid = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0] != (Predicate{field.AttrNodeID, 5, 5}) {
+		t.Fatalf("pred = %v", q.Preds[0])
+	}
+}
+
+func TestParseFlippedComparison(t *testing.T) {
+	q1 := MustParse("SELECT light WHERE 100 <= light")
+	q2 := MustParse("SELECT light WHERE light >= 100")
+	if !q1.Equal(q2) {
+		t.Fatal("flipped comparison differs")
+	}
+	q3 := MustParse("SELECT light WHERE 100 > light")
+	q4 := MustParse("SELECT light WHERE light < 100")
+	if !q3.Equal(q4) {
+		t.Fatal("flipped strict comparison differs")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"FOO light",
+		"SELECT bogus",
+		"SELECT light WHERE",
+		"SELECT light WHERE light",
+		"SELECT light WHERE light >",
+		"SELECT light WHERE light > x",
+		"SELECT light EPOCH",
+		"SELECT light EPOCH DURATION",
+		"SELECT light EPOCH DURATION abc",
+		"SELECT light EPOCH DURATION 3000", // not multiple of 2048
+		"SELECT light EPOCH DURATION 0",
+		"SELECT FROB(light)",
+		"SELECT MAX(light",
+		"SELECT MAX()",
+		"SELECT light WHERE light BETWEEN 5",
+		"SELECT light WHERE light BETWEEN 5 AND",
+		"SELECT light WHERE light < 5 GARBAGE",
+		"SELECT light WHERE light > 10 AND light < 5", // empty range
+		"SELECT light WHERE light @ 5",
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	q1 := MustParse("select max(LIGHT) from SENSORS where TEMP >= 10 epoch duration 2048MS")
+	q2 := MustParse("SELECT MAX(light) WHERE temp >= 10 EPOCH DURATION 2048ms")
+	if !q1.Equal(q2) {
+		t.Fatal("case sensitivity broke parsing")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT light EPOCH DURATION 2048ms",
+		"SELECT light, temp WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096ms",
+		"SELECT MAX(light), MIN(light), MAX(temp) WHERE temp > 20 AND humidity < 80 EPOCH DURATION 8192ms",
+		"SELECT nodeid, light WHERE nodeid = 7 EPOCH DURATION 24576ms",
+		"SELECT light WHERE 280 < light AND light < 600 EPOCH DURATION 4096ms",
+		"SELECT COUNT(nodeid) EPOCH DURATION 6144ms",
+		"SELECT AVG(voltage) WHERE voltage <= 3 EPOCH DURATION 2048ms",
+	}
+	for _, s := range cases {
+		q := MustParse(s)
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q (printed %q): %v", s, q.String(), err)
+		}
+		if !q.Equal(back) {
+			t.Fatalf("round trip changed query:\n  in:  %s\n  out: %s", q, back)
+		}
+	}
+}
+
+func TestStringHalfOpenPredicates(t *testing.T) {
+	q := MustParse("SELECT light WHERE light >= 10")
+	s := q.String()
+	if strings.Contains(s, "Inf") {
+		t.Fatalf("printed form leaks Inf: %s", s)
+	}
+	back := MustParse(s)
+	if !q.Equal(back) {
+		t.Fatalf("half-open round trip broken: %s vs %s", q, back)
+	}
+	if !math.IsInf(back.Preds[0].Max, 1) {
+		t.Fatal("upper bound should remain +Inf")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("NOT A QUERY")
+}
+
+func TestParseLifetime(t *testing.T) {
+	q, err := Parse("SELECT light EPOCH DURATION 4096 LIFETIME 60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lifetime != 60*time.Second {
+		t.Fatalf("lifetime = %v", q.Lifetime)
+	}
+	back := MustParse(q.String())
+	if back.Lifetime != q.Lifetime {
+		t.Fatalf("lifetime round trip: %v vs %v", back.Lifetime, q.Lifetime)
+	}
+	// Lifetime is lifecycle metadata: Equal ignores it.
+	noLife := MustParse("SELECT light EPOCH DURATION 4096")
+	if !q.Equal(noLife) {
+		t.Fatal("Equal must ignore lifetime")
+	}
+	// Shorter than one epoch is rejected.
+	if _, err := Parse("SELECT light EPOCH DURATION 4096 LIFETIME 2048"); err == nil {
+		t.Fatal("lifetime < epoch must be rejected")
+	}
+	if err := (Query{Attrs: q.Attrs, Epoch: q.Epoch, Lifetime: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative lifetime must be rejected")
+	}
+}

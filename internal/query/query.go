@@ -1,0 +1,535 @@
+// Package query defines the declarative query model of TinyDB that TTMQO
+// optimizes: SELECT-FROM-WHERE with selection, projection and aggregation,
+// plus an EPOCH DURATION clause giving the sampling period (§2 of the paper).
+//
+// A query is either a *data acquisition* query (it retrieves attribute
+// values from every node whose readings satisfy the predicates) or a *data
+// aggregation* query (it retrieves aggregates of an attribute over those
+// nodes); for a single user query exactly one of the two lists is non-empty.
+// Predicates are per-attribute value ranges ⟨attribute, min, max⟩ combined
+// conjunctively, matching the paper's data structures (§3.1.1).
+//
+// The package also provides the semantic algebra the base-station optimizer
+// relies on: coverage tests, the conjunctive-superset predicate union,
+// epoch-duration arithmetic, and partial-aggregate state for in-network
+// aggregation.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// MinEpoch is the smallest allowed epoch duration (§3.2.1: 2048 ms); every
+// epoch duration must be a positive multiple of it.
+const MinEpoch = 2048 * time.Millisecond
+
+// ID identifies a user or synthetic query.
+type ID int
+
+// AggOp is an aggregation operator.
+type AggOp uint8
+
+// Aggregation operators. The paper's experiments use MAX and MIN; SUM,
+// COUNT and AVG round out the usual TinyDB set.
+const (
+	Max AggOp = iota + 1
+	Min
+	Sum
+	Count
+	Avg
+)
+
+// String returns the SQL spelling of the operator.
+func (op AggOp) String() string {
+	switch op {
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AGG(%d)", uint8(op))
+	}
+}
+
+// ParseAggOp converts a SQL operator name (any case) to an AggOp.
+func ParseAggOp(s string) (AggOp, error) {
+	switch strings.ToUpper(s) {
+	case "MAX":
+		return Max, nil
+	case "MIN":
+		return Min, nil
+	case "SUM":
+		return Sum, nil
+	case "COUNT":
+		return Count, nil
+	case "AVG":
+		return Avg, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate %q", s)
+	}
+}
+
+// Agg is one ⟨operator, attribute⟩ entry of a query's agg_list.
+type Agg struct {
+	Op   AggOp
+	Attr field.Attr
+}
+
+// String returns e.g. "MAX(light)".
+func (a Agg) String() string { return fmt.Sprintf("%s(%s)", a.Op, a.Attr) }
+
+// Predicate is a closed value range on one attribute: Min ≤ value ≤ Max.
+// Open-ended sides use ±Inf. Strict comparisons are represented by nudging
+// the bound one ULP inward, which keeps the predicate algebra purely
+// interval-based.
+type Predicate struct {
+	Attr field.Attr
+	Min  float64
+	Max  float64
+}
+
+// Matches reports whether v satisfies the predicate.
+func (p Predicate) Matches(v float64) bool { return v >= p.Min && v <= p.Max }
+
+// Empty reports whether no value can satisfy the predicate.
+func (p Predicate) Empty() bool { return p.Min > p.Max }
+
+// Contains reports whether p's range contains q's range (same attribute
+// required): every value satisfying q satisfies p.
+func (p Predicate) Contains(q Predicate) bool {
+	return p.Attr == q.Attr && p.Min <= q.Min && p.Max >= q.Max
+}
+
+// Union returns the smallest single range covering both predicates
+// (same attribute required).
+func (p Predicate) Union(q Predicate) Predicate {
+	return Predicate{Attr: p.Attr, Min: math.Min(p.Min, q.Min), Max: math.Max(p.Max, q.Max)}
+}
+
+// String renders the predicate as one or two SQL comparisons.
+func (p Predicate) String() string {
+	switch {
+	case math.IsInf(p.Min, -1) && math.IsInf(p.Max, 1):
+		return fmt.Sprintf("%s IS ANY", p.Attr) // never produced by the parser
+	case math.IsInf(p.Min, -1):
+		return fmt.Sprintf("%s <= %g", p.Attr, p.Max)
+	case math.IsInf(p.Max, 1):
+		return fmt.Sprintf("%s >= %g", p.Attr, p.Min)
+	case p.Min == p.Max:
+		return fmt.Sprintf("%s = %g", p.Attr, p.Min)
+	default:
+		return fmt.Sprintf("%s >= %g AND %s <= %g", p.Attr, p.Min, p.Attr, p.Max)
+	}
+}
+
+// Query is a parsed, normalized continuous query.
+type Query struct {
+	ID    ID
+	Attrs []field.Attr // projection list of an acquisition query
+	Aggs  []Agg        // agg_list of an aggregation query
+	Wins  []Win        // windowed (temporal) aggregates, node-local
+	Preds []Predicate  // conjunctive; normalized to at most one per attribute
+	Epoch time.Duration
+	// Lifetime, when positive, auto-terminates the query that long after
+	// admission (TinyDB's LIFETIME clause). It is lifecycle metadata, not
+	// part of the query's data requirement: Equal ignores it and synthetic
+	// queries never carry one.
+	Lifetime time.Duration
+	// GroupBy, when non-nil, partitions an aggregation query's results
+	// into value buckets of one attribute (TinyDB's GROUP BY clause).
+	GroupBy *GroupBy
+}
+
+// GroupBy buckets an aggregation by ⌊value/Width⌋ of one attribute.
+type GroupBy struct {
+	Attr  field.Attr
+	Width float64
+}
+
+// Key returns the bucket of a reading.
+func (g GroupBy) Key(v float64) int64 { return int64(math.Floor(v / g.Width)) }
+
+// Equal reports whether two optional group specs are the same.
+func (g *GroupBy) Equal(o *GroupBy) bool {
+	if g == nil || o == nil {
+		return g == o
+	}
+	return g.Attr == o.Attr && g.Width == o.Width
+}
+
+// String returns the SQL form, e.g. "GROUP BY temp BUCKET 10".
+func (g GroupBy) String() string {
+	if g.Width == 1 {
+		return fmt.Sprintf("GROUP BY %s", g.Attr)
+	}
+	return fmt.Sprintf("GROUP BY %s BUCKET %g", g.Attr, g.Width)
+}
+
+// IsAggregation reports whether the query computes aggregates rather than
+// returning raw rows.
+func (q Query) IsAggregation() bool { return len(q.Aggs) > 0 }
+
+// Validate checks the structural invariants of a user query.
+func (q Query) Validate() error {
+	if len(q.Attrs) == 0 && len(q.Aggs) == 0 && len(q.Wins) == 0 {
+		return fmt.Errorf("query %d: empty select list", q.ID)
+	}
+	if len(q.Attrs) > 0 && len(q.Aggs) > 0 {
+		return fmt.Errorf("query %d: both attribute and aggregate lists set", q.ID)
+	}
+	if err := q.validateWins(); err != nil {
+		return err
+	}
+	if q.Epoch <= 0 {
+		return fmt.Errorf("query %d: non-positive epoch %v", q.ID, q.Epoch)
+	}
+	if q.Epoch%MinEpoch != 0 {
+		return fmt.Errorf("query %d: epoch %v not a multiple of %v", q.ID, q.Epoch, MinEpoch)
+	}
+	if q.Lifetime < 0 {
+		return fmt.Errorf("query %d: negative lifetime %v", q.ID, q.Lifetime)
+	}
+	if q.Lifetime > 0 && q.Lifetime < q.Epoch {
+		return fmt.Errorf("query %d: lifetime %v shorter than one epoch %v", q.ID, q.Lifetime, q.Epoch)
+	}
+	if q.GroupBy != nil {
+		if len(q.Aggs) == 0 {
+			return fmt.Errorf("query %d: GROUP BY requires aggregation", q.ID)
+		}
+		if q.GroupBy.Width <= 0 {
+			return fmt.Errorf("query %d: non-positive GROUP BY bucket %g", q.ID, q.GroupBy.Width)
+		}
+	}
+	seen := make(map[field.Attr]bool, len(q.Preds))
+	for _, p := range q.Preds {
+		if p.Empty() {
+			return fmt.Errorf("query %d: unsatisfiable predicate on %s", q.ID, p.Attr)
+		}
+		if seen[p.Attr] {
+			return fmt.Errorf("query %d: duplicate predicate attribute %s", q.ID, p.Attr)
+		}
+		seen[p.Attr] = true
+	}
+	return nil
+}
+
+// Normalize sorts the attribute, aggregate and predicate lists, removes
+// duplicates and intersects multiple predicates on the same attribute. It
+// returns a new Query; the receiver is unchanged.
+func (q Query) Normalize() Query {
+	out := q
+	out.Attrs = dedupAttrs(q.Attrs)
+	out.Aggs = dedupAggs(q.Aggs)
+	out.Wins = dedupWins(q.Wins)
+	out.Preds = normalizePreds(q.Preds)
+	return out
+}
+
+func dedupAttrs(attrs []field.Attr) []field.Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]field.Attr, 0, len(attrs))
+	seen := make(map[field.Attr]bool, len(attrs))
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func dedupAggs(aggs []Agg) []Agg {
+	if len(aggs) == 0 {
+		return nil
+	}
+	out := make([]Agg, 0, len(aggs))
+	seen := make(map[Agg]bool, len(aggs))
+	for _, a := range aggs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+func normalizePreds(preds []Predicate) []Predicate {
+	if len(preds) == 0 {
+		return nil
+	}
+	byAttr := make(map[field.Attr]Predicate, len(preds))
+	for _, p := range preds {
+		if cur, ok := byAttr[p.Attr]; ok {
+			// Conjunction of two ranges on the same attribute: intersect.
+			byAttr[p.Attr] = Predicate{
+				Attr: p.Attr,
+				Min:  math.Max(cur.Min, p.Min),
+				Max:  math.Min(cur.Max, p.Max),
+			}
+		} else {
+			byAttr[p.Attr] = p
+		}
+	}
+	out := make([]Predicate, 0, len(byAttr))
+	for _, p := range byAttr {
+		// Drop tautologies (both sides unbounded): they constrain nothing
+		// and would otherwise leak ±Inf into the printed form.
+		if math.IsInf(p.Min, -1) && math.IsInf(p.Max, 1) {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// MatchesRow reports whether a reading vector satisfies every predicate.
+// Attributes missing from the row fail the corresponding predicate.
+func (q Query) MatchesRow(values map[field.Attr]float64) bool {
+	for _, p := range q.Preds {
+		v, ok := values[p.Attr]
+		if !ok || !p.Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// PredFor returns the predicate on attribute a, if any.
+func (q Query) PredFor(a field.Attr) (Predicate, bool) {
+	for _, p := range q.Preds {
+		if p.Attr == a {
+			return p, true
+		}
+	}
+	return Predicate{}, false
+}
+
+// PredAttrs returns the attributes constrained by the query's predicates.
+func (q Query) PredAttrs() []field.Attr {
+	attrs := make([]field.Attr, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		attrs = append(attrs, p.Attr)
+	}
+	return attrs
+}
+
+// AggAttrs returns the attributes aggregated by the query.
+func (q Query) AggAttrs() []field.Attr {
+	attrs := make([]field.Attr, 0, len(q.Aggs))
+	for _, a := range q.Aggs {
+		attrs = append(attrs, a.Attr)
+	}
+	return dedupAttrs(attrs)
+}
+
+// HasAttr reports whether a is in the acquisition list.
+func (q Query) HasAttr(a field.Attr) bool {
+	for _, x := range q.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAgg reports whether the aggregate is in the agg list.
+func (q Query) HasAgg(a Agg) bool {
+	for _, x := range q.Aggs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// SampledAttrs returns every attribute the query needs a node to sample:
+// projection attributes, aggregate inputs, predicate attributes and the
+// grouping attribute.
+func (q Query) SampledAttrs() []field.Attr {
+	attrs := make([]field.Attr, 0, len(q.Attrs)+len(q.Aggs)+len(q.Preds)+1)
+	attrs = append(attrs, q.Attrs...)
+	for _, a := range q.Aggs {
+		attrs = append(attrs, a.Attr)
+	}
+	attrs = append(attrs, q.PredAttrs()...)
+	for _, w := range q.Wins {
+		attrs = append(attrs, w.Attr)
+	}
+	if q.GroupBy != nil {
+		attrs = append(attrs, q.GroupBy.Attr)
+	}
+	return dedupAttrs(attrs)
+}
+
+// Clone returns a deep copy (the list fields are otherwise shared).
+func (q Query) Clone() Query {
+	out := q
+	out.Attrs = append([]field.Attr(nil), q.Attrs...)
+	out.Aggs = append([]Agg(nil), q.Aggs...)
+	out.Wins = append([]Win(nil), q.Wins...)
+	out.Preds = append([]Predicate(nil), q.Preds...)
+	if q.GroupBy != nil {
+		g := *q.GroupBy
+		out.GroupBy = &g
+	}
+	return out
+}
+
+// Equal reports whether two queries are semantically identical up to
+// normalization (IDs are ignored).
+func (q Query) Equal(o Query) bool {
+	a, b := q.Normalize(), o.Normalize()
+	if a.Epoch != b.Epoch ||
+		!a.GroupBy.Equal(b.GroupBy) ||
+		len(a.Attrs) != len(b.Attrs) ||
+		len(a.Aggs) != len(b.Aggs) ||
+		len(a.Wins) != len(b.Wins) ||
+		len(a.Preds) != len(b.Preds) {
+		return false
+	}
+	for i := range a.Wins {
+		if a.Wins[i] != b.Wins[i] {
+			return false
+		}
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Aggs {
+		if a.Aggs[i] != b.Aggs[i] {
+			return false
+		}
+	}
+	for i := range a.Preds {
+		if a.Preds[i] != b.Preds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row is one tuple of an acquisition query's result stream.
+type Row struct {
+	Node   topology.NodeID
+	Time   sim.Time
+	Values map[field.Attr]float64
+}
+
+// AggState is a mergeable partial aggregate, the "partial state record" of
+// in-network aggregation: internal nodes merge children's states with their
+// own reading and forward a single state upward (§3.2.2).
+type AggState struct {
+	Agg Agg
+	// Group is the GROUP BY bucket this partial belongs to (0 for
+	// ungrouped queries). Partials merge and share only within a group.
+	Group int64
+	Sum   float64
+	Count int64
+	MinV  float64
+	MaxV  float64
+}
+
+// NewAggState returns an empty state for the aggregate.
+func NewAggState(a Agg) AggState {
+	return AggState{Agg: a, MinV: math.Inf(1), MaxV: math.Inf(-1)}
+}
+
+// NewGroupedAggState returns an empty state for one bucket of a grouped
+// aggregate.
+func NewGroupedAggState(a Agg, group int64) AggState {
+	s := NewAggState(a)
+	s.Group = group
+	return s
+}
+
+// Add folds one reading into the state.
+func (s *AggState) Add(v float64) {
+	s.Sum += v
+	s.Count++
+	s.MinV = math.Min(s.MinV, v)
+	s.MaxV = math.Max(s.MaxV, v)
+}
+
+// Merge folds another partial state (for the same aggregate) into s.
+func (s *AggState) Merge(o AggState) {
+	s.Sum += o.Sum
+	s.Count += o.Count
+	s.MinV = math.Min(s.MinV, o.MinV)
+	s.MaxV = math.Max(s.MaxV, o.MaxV)
+}
+
+// Valid reports whether any reading has been folded in.
+func (s AggState) Valid() bool { return s.Count > 0 }
+
+// Result returns the final aggregate value; ok is false for an empty state
+// (no node satisfied the predicates this epoch).
+func (s AggState) Result() (v float64, ok bool) {
+	if s.Count == 0 {
+		return 0, false
+	}
+	switch s.Agg.Op {
+	case Max:
+		return s.MaxV, true
+	case Min:
+		return s.MinV, true
+	case Sum:
+		return s.Sum, true
+	case Count:
+		return float64(s.Count), true
+	case Avg:
+		return s.Sum / float64(s.Count), true
+	default:
+		return 0, false
+	}
+}
+
+// SameValue reports whether two partial states are identical and can
+// therefore ride in one packet shared between their queries. §3.2.2 shares
+// one message among "all of the queries whose partial aggregation value are
+// the same"; the paper's Figure 2 walk-through shows the criterion is the
+// partial *state* — node B there sends separate messages for two MAX
+// queries whose numeric maxima coincide but whose contributing sets differ.
+// Identical full state (sum, count, min, max) is exactly "same partial
+// aggregation", and is safe for every operator including AVG.
+func (s AggState) SameValue(o AggState) bool {
+	return s.Agg == o.Agg && s.Group == o.Group &&
+		s.Sum == o.Sum && s.Count == o.Count &&
+		s.MinV == o.MinV && s.MaxV == o.MaxV
+}
+
+// AggResult is one tuple of an aggregation query's result stream.
+type AggResult struct {
+	Time sim.Time
+	Agg  Agg
+	// Group is the GROUP BY bucket of the value (0 for ungrouped queries).
+	Group int64
+	Value float64
+	// Empty marks an epoch where no node satisfied the predicates.
+	Empty bool
+}

@@ -1,0 +1,306 @@
+// Package radio simulates the packet-level wireless medium: broadcast
+// delivery within radio range, per-message airtime (Cstart + Ctrans·len),
+// carrier queueing per node, and contention-dependent collisions with
+// backoff and retransmission.
+//
+// This is the substitute for TOSSIM's packet-level radio stack (§4.1). Two
+// properties of real sensor radios matter to the paper and are reproduced
+// faithfully:
+//
+//   - the *broadcast nature* of the channel: every neighbor hears every
+//     transmission, addressed or not, which is what lets the in-network
+//     optimizer piggyback information and learn which neighbors hold data
+//     for which queries (§3.2.2);
+//   - *contention*: the more messages on the air in a neighborhood, the more
+//     collisions and retransmissions, which is why cutting the number of
+//     result messages saves more than proportionally (§4.3's observation
+//     that savings can exceed the 7/8 analytic bound).
+//
+// The paper otherwise assumes a lossless environment; with retries enabled
+// (the default) delivery is eventually reliable.
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Kind classifies messages for accounting (§4.1 counts result, query
+// propagation/abortion, maintenance, and retransmission messages).
+type Kind uint8
+
+// Message kinds.
+const (
+	KindResult Kind = iota + 1
+	KindQuery
+	KindAbort
+	KindBeacon
+	KindWake
+)
+
+// String returns the accounting label of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindResult:
+		return "result"
+	case KindQuery:
+		return "query"
+	case KindAbort:
+		return "abort"
+	case KindBeacon:
+		return "beacon"
+	case KindWake:
+		return "wake"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one packet on the air. Payloads are passed by reference rather
+// than serialized; Bytes carries the on-air length the payload would have.
+type Message struct {
+	Kind Kind
+	Src  topology.NodeID
+	// Dests lists the addressed receivers: nil means broadcast, one entry is
+	// a unicast, several entries are a multicast (§3.2.2 sends one multicast
+	// when different queries need different parents).
+	Dests   []topology.NodeID
+	Bytes   int
+	Payload any
+	// Undeliverable, if set, is invoked once per addressed destination whose
+	// radio is off (failed node) when the transmission completes — the
+	// link-layer "no ACK" signal senders use for failover routing.
+	Undeliverable func(to topology.NodeID)
+}
+
+// addressedTo reports whether id is an addressed receiver.
+func (m *Message) addressedTo(id topology.NodeID) bool {
+	if m.Dests == nil {
+		return true
+	}
+	for _, d := range m.Dests {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Delivery hands a received message to a node. Addressed is false for
+// overheard traffic — delivered anyway because the channel is broadcast.
+type Delivery struct {
+	To        topology.NodeID
+	Addressed bool
+	Msg       *Message
+}
+
+// Handler consumes deliveries for one node.
+type Handler func(Delivery)
+
+// Config tunes the medium.
+type Config struct {
+	// Cstart is the per-message startup airtime (default 2 ms).
+	Cstart time.Duration
+	// Ctrans is the airtime per byte (default 208 µs ≈ 38.4 kbps).
+	Ctrans time.Duration
+	// CollisionFactor is the per-contender collision probability; the
+	// probability a transmission with k concurrent in-range contenders
+	// collides is 1 − (1−CollisionFactor)^k. Zero disables collisions.
+	CollisionFactor float64
+	// LossRate is the per-transmission probability of a contention-free
+	// link-layer loss (fading, interference). Lost transmissions follow
+	// the same backoff/retry path as collisions. Zero disables it.
+	LossRate float64
+	// MaxRetries bounds collision retries per message (default 5). The
+	// final retry always succeeds, matching the paper's lossless
+	// assumption while still costing airtime for every attempt.
+	MaxRetries int
+	// BackoffBase is the base retransmission backoff (default 20 ms);
+	// attempt i waits i·BackoffBase plus uniform jitter of the same scale.
+	BackoffBase time.Duration
+}
+
+// DefaultCollisionFactor makes contention visible without dominating.
+const DefaultCollisionFactor = 0.05
+
+func (c *Config) setDefaults() {
+	if c.Cstart == 0 {
+		c.Cstart = 2 * time.Millisecond
+	}
+	if c.Ctrans == 0 {
+		c.Ctrans = 208 * time.Microsecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 20 * time.Millisecond
+	}
+}
+
+// Medium is the shared radio channel.
+type Medium struct {
+	cfg      Config
+	engine   *sim.Engine
+	topo     *topology.Topology
+	rng      *sim.Rand
+	coll     *metrics.Collector
+	tracer   *trace.Buffer
+	handlers []Handler
+	// busyUntil serializes each node's transmissions (half-duplex radio).
+	busyUntil []sim.Time
+	// active tracks in-flight transmissions for the contention estimate.
+	active []activeTx
+}
+
+type activeTx struct {
+	src        topology.NodeID
+	start, end sim.Time
+}
+
+// New builds a medium over the topology, driven by the engine, accounting
+// into coll, with randomness from rng.
+func New(engine *sim.Engine, topo *topology.Topology, coll *metrics.Collector, rng *sim.Rand, cfg Config) *Medium {
+	cfg.setDefaults()
+	return &Medium{
+		cfg:       cfg,
+		engine:    engine,
+		topo:      topo,
+		rng:       rng,
+		coll:      coll,
+		handlers:  make([]Handler, topo.Size()),
+		busyUntil: make([]sim.Time, topo.Size()),
+	}
+}
+
+// SetTracer attaches a structured event log; nil detaches it.
+func (m *Medium) SetTracer(t *trace.Buffer) { m.tracer = t }
+
+// SetHandler registers the receive callback for a node. Passing nil detaches
+// the node (it stops hearing traffic — used for sleep mode).
+func (m *Medium) SetHandler(id topology.NodeID, h Handler) {
+	m.handlers[id] = h
+}
+
+// Airtime returns the on-air duration of a message of the given length.
+func (m *Medium) Airtime(bytes int) time.Duration {
+	return m.cfg.Cstart + time.Duration(bytes)*m.cfg.Ctrans
+}
+
+// Send queues msg for transmission from msg.Src. The message is transmitted
+// when the sender's radio is free, may collide and retry, and is delivered
+// to every in-range neighbor (addressed or overhearing) when it completes.
+func (m *Medium) Send(msg *Message) {
+	if msg.Bytes <= 0 {
+		msg.Bytes = 1
+	}
+	m.attempt(msg, 1)
+}
+
+func (m *Medium) attempt(msg *Message, try int) {
+	now := m.engine.Now()
+	start := now
+	if m.busyUntil[msg.Src] > start {
+		start = m.busyUntil[msg.Src]
+	}
+	air := m.Airtime(msg.Bytes)
+	end := start + air
+	m.busyUntil[msg.Src] = end
+
+	m.engine.Schedule(start, func() {
+		m.transmit(msg, try, air)
+	})
+}
+
+// transmit puts the message on the air: accrues airtime, decides collision,
+// and either schedules delivery or a retry.
+func (m *Medium) transmit(msg *Message, try int, air time.Duration) {
+	now := m.engine.Now()
+	end := now + air
+
+	contenders := m.contention(msg.Src, now, end)
+	m.pruneActive(now)
+	m.active = append(m.active, activeTx{src: msg.Src, start: now, end: end})
+
+	// Every attempt costs airtime and is counted (§4.1).
+	m.coll.AddTxTime(msg.Src, air)
+	m.coll.CountMessage(msg.Kind.String(), msg.Src, msg.Bytes)
+	m.tracer.Emitf(now, trace.KindTx, msg.Src, "%s %dB try=%d dests=%v",
+		msg.Kind, msg.Bytes, try, msg.Dests)
+
+	collided := false
+	if try <= m.cfg.MaxRetries {
+		pOK := 1 - m.cfg.LossRate
+		for i := 0; i < contenders; i++ {
+			pOK *= 1 - m.cfg.CollisionFactor
+		}
+		if pOK < 1 {
+			collided = m.rng.Float64() > pOK
+		}
+	}
+
+	if collided {
+		m.coll.CountRetransmission()
+		m.tracer.Emitf(now, trace.KindRetry, msg.Src, "%s contenders=%d try=%d",
+			msg.Kind, contenders, try)
+		backoff := time.Duration(try)*m.cfg.BackoffBase +
+			time.Duration(m.rng.Float64()*float64(m.cfg.BackoffBase))
+		m.engine.Schedule(end+sim.Time(backoff), func() {
+			m.attempt(msg, try+1)
+		})
+		return
+	}
+
+	m.engine.Schedule(end, func() {
+		for _, nb := range m.topo.Neighbors(msg.Src) {
+			h := m.handlers[nb]
+			if h == nil {
+				continue // radio off (failed node)
+			}
+			// Every powered radio in range spends the airtime receiving,
+			// addressed or merely overhearing.
+			m.coll.AddRxTime(nb, air)
+			h(Delivery{To: nb, Addressed: msg.addressedTo(nb), Msg: msg})
+		}
+		if msg.Undeliverable == nil || msg.Dests == nil {
+			return
+		}
+		for _, dest := range msg.Dests {
+			if m.handlers[dest] == nil || !m.topo.InRange(msg.Src, dest) {
+				msg.Undeliverable(dest)
+			}
+		}
+	})
+}
+
+// contention counts in-flight transmissions overlapping [start, end] from
+// senders within interference range (twice the radio range) of src.
+func (m *Medium) contention(src topology.NodeID, start, end sim.Time) int {
+	interfere := 2 * m.topo.RadioRange()
+	pos := m.topo.Position(src)
+	n := 0
+	for _, tx := range m.active {
+		if tx.end <= start || tx.start >= end || tx.src == src {
+			continue
+		}
+		if pos.Dist(m.topo.Position(tx.src)) <= interfere {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Medium) pruneActive(now sim.Time) {
+	kept := m.active[:0]
+	for _, tx := range m.active {
+		if tx.end > now {
+			kept = append(kept, tx)
+		}
+	}
+	m.active = kept
+}

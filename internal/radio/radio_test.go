@@ -1,0 +1,238 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// chain builds BS—1—2 with 40ft spacing and 50ft range: 0↔1 and 1↔2 are
+// neighbors; 0 and 2 are not.
+func chain(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New([]topology.Point{{X: 0}, {X: 40}, {X: 80}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+type harness struct {
+	engine *sim.Engine
+	topo   *topology.Topology
+	coll   *metrics.Collector
+	medium *Medium
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	topo := chain(t)
+	engine := sim.NewEngine()
+	coll := metrics.NewCollector(topo.Size())
+	med := New(engine, topo, coll, sim.NewRand(1), cfg)
+	return &harness{engine: engine, topo: topo, coll: coll, medium: med}
+}
+
+func TestBroadcastReachesAllNeighbors(t *testing.T) {
+	h := newHarness(t, Config{})
+	var got []Delivery
+	for i := 0; i < 3; i++ {
+		id := topology.NodeID(i)
+		h.medium.SetHandler(id, func(d Delivery) { got = append(got, d) })
+	}
+	h.medium.Send(&Message{Kind: KindBeacon, Src: 1, Bytes: 10})
+	h.engine.RunAll()
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (both neighbors of node 1)", len(got))
+	}
+	for _, d := range got {
+		if !d.Addressed {
+			t.Fatal("broadcast is addressed to everyone")
+		}
+		if d.Msg.Src != 1 {
+			t.Fatal("wrong source")
+		}
+	}
+}
+
+func TestUnicastOverheard(t *testing.T) {
+	h := newHarness(t, Config{})
+	var at0, at2 *Delivery
+	h.medium.SetHandler(0, func(d Delivery) { at0 = &d })
+	h.medium.SetHandler(2, func(d Delivery) { at2 = &d })
+	h.medium.Send(&Message{Kind: KindResult, Src: 1, Dests: []topology.NodeID{0}, Bytes: 10})
+	h.engine.RunAll()
+	if at0 == nil || !at0.Addressed {
+		t.Fatal("addressed receiver must get an addressed delivery")
+	}
+	if at2 == nil || at2.Addressed {
+		t.Fatal("neighbor must overhear the unicast (broadcast nature of the channel)")
+	}
+}
+
+func TestOutOfRangeNotDelivered(t *testing.T) {
+	h := newHarness(t, Config{})
+	heard := false
+	h.medium.SetHandler(2, func(Delivery) { heard = true })
+	h.medium.Send(&Message{Kind: KindBeacon, Src: 0, Bytes: 10})
+	h.engine.RunAll()
+	if heard {
+		t.Fatal("node 2 is out of range of node 0")
+	}
+}
+
+func TestAirtimeAccrual(t *testing.T) {
+	h := newHarness(t, Config{Cstart: 2 * time.Millisecond, Ctrans: 100 * time.Microsecond})
+	h.medium.Send(&Message{Kind: KindResult, Src: 1, Bytes: 30})
+	h.engine.RunAll()
+	want := 2*time.Millisecond + 30*100*time.Microsecond
+	if got := h.coll.TxTime(1); got != want {
+		t.Fatalf("tx time = %v, want %v", got, want)
+	}
+	if h.coll.Messages() != 1 || h.coll.MessagesOf("result") != 1 {
+		t.Fatalf("counts: %s", h.coll)
+	}
+}
+
+func TestSenderSerialization(t *testing.T) {
+	// Two back-to-back sends from one node must not overlap: second delivery
+	// lands at 2× airtime.
+	h := newHarness(t, Config{Cstart: time.Millisecond, Ctrans: 0})
+	var deliveredAt []sim.Time
+	h.medium.SetHandler(0, func(Delivery) { deliveredAt = append(deliveredAt, h.engine.Now()) })
+	h.medium.Send(&Message{Kind: KindResult, Src: 1, Dests: []topology.NodeID{0}, Bytes: 10})
+	h.medium.Send(&Message{Kind: KindResult, Src: 1, Dests: []topology.NodeID{0}, Bytes: 10})
+	h.engine.RunAll()
+	if len(deliveredAt) != 2 {
+		t.Fatalf("deliveries = %d", len(deliveredAt))
+	}
+	air := h.medium.Airtime(10)
+	if deliveredAt[0] != sim.Time(air) || deliveredAt[1] != sim.Time(2*air) {
+		t.Fatalf("delivery times = %v, want %v and %v", deliveredAt, air, 2*air)
+	}
+}
+
+func TestSleepingNodeHearsNothing(t *testing.T) {
+	h := newHarness(t, Config{})
+	heard := 0
+	h.medium.SetHandler(0, func(Delivery) { heard++ })
+	h.medium.SetHandler(0, nil) // sleep
+	h.medium.Send(&Message{Kind: KindBeacon, Src: 1, Bytes: 5})
+	h.engine.RunAll()
+	if heard != 0 {
+		t.Fatal("detached node must not receive")
+	}
+}
+
+func TestCollisionsCauseRetransmissions(t *testing.T) {
+	// Force heavy contention: many simultaneous senders in range, high
+	// collision factor.
+	topo, err := topology.PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine()
+	coll := metrics.NewCollector(topo.Size())
+	med := New(engine, topo, coll, sim.NewRand(7), Config{CollisionFactor: 0.5})
+	for i := 0; i < topo.Size(); i++ {
+		med.SetHandler(topology.NodeID(i), func(Delivery) {})
+	}
+	for i := 1; i < topo.Size(); i++ {
+		med.Send(&Message{Kind: KindResult, Src: topology.NodeID(i), Bytes: 20})
+	}
+	engine.RunAll()
+	if coll.Retransmissions() == 0 {
+		t.Fatal("heavy contention must cause retransmissions")
+	}
+	// Reliability: despite collisions, the final retry always succeeds, so
+	// nothing is dropped.
+	if coll.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0 (lossless assumption)", coll.Dropped())
+	}
+	// Retransmissions cost airtime: total messages > initial sends.
+	if coll.Messages() <= topo.Size()-1 {
+		t.Fatal("retries must be counted as messages")
+	}
+}
+
+func TestNoCollisionsWhenFactorZero(t *testing.T) {
+	h := newHarness(t, Config{})
+	for i := 0; i < 3; i++ {
+		h.medium.SetHandler(topology.NodeID(i), func(Delivery) {})
+	}
+	for i := 0; i < 3; i++ {
+		h.medium.Send(&Message{Kind: KindResult, Src: topology.NodeID(i), Bytes: 20})
+	}
+	h.engine.RunAll()
+	if h.coll.Retransmissions() != 0 {
+		t.Fatal("collision factor 0 must disable collisions")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, time.Duration) {
+		topo, _ := topology.PaperGrid(4)
+		engine := sim.NewEngine()
+		coll := metrics.NewCollector(topo.Size())
+		med := New(engine, topo, coll, sim.NewRand(42), Config{CollisionFactor: 0.3})
+		for i := 0; i < topo.Size(); i++ {
+			med.SetHandler(topology.NodeID(i), func(Delivery) {})
+		}
+		for i := 1; i < topo.Size(); i++ {
+			med.Send(&Message{Kind: KindResult, Src: topology.NodeID(i), Bytes: 25})
+		}
+		engine.RunAll()
+		return coll.Messages(), coll.TotalTxTime()
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if m1 != m2 || t1 != t2 {
+		t.Fatalf("same seed diverged: (%d,%v) vs (%d,%v)", m1, t1, m2, t2)
+	}
+}
+
+func TestMulticastAddressing(t *testing.T) {
+	h := newHarness(t, Config{})
+	msg := &Message{Kind: KindResult, Src: 1, Dests: []topology.NodeID{0, 2}, Bytes: 10}
+	addressed := 0
+	for _, id := range []topology.NodeID{0, 2} {
+		h.medium.SetHandler(id, func(d Delivery) {
+			if d.Addressed {
+				addressed++
+			}
+		})
+	}
+	h.medium.Send(msg)
+	h.engine.RunAll()
+	if addressed != 2 {
+		t.Fatalf("addressed deliveries = %d, want 2", addressed)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindResult: "result", KindQuery: "query", KindAbort: "abort",
+		KindBeacon: "beacon", KindWake: "wake",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestZeroByteMessageClamped(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.medium.SetHandler(0, func(Delivery) {})
+	h.medium.Send(&Message{Kind: KindBeacon, Src: 1, Bytes: 0})
+	h.engine.RunAll()
+	if h.coll.Bytes() != 1 {
+		t.Fatalf("bytes = %d, want clamped to 1", h.coll.Bytes())
+	}
+}

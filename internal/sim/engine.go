@@ -1,0 +1,190 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the packet-level sensor-network simulator.
+//
+// The engine keeps a virtual clock and an ordered heap of scheduled events.
+// Events scheduled for the same instant fire in scheduling order, which —
+// together with explicitly seeded randomness (see Rand) — makes every
+// simulation in this repository fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp, expressed as the duration elapsed since the
+// start of the simulation. Using time.Duration keeps all arithmetic in the
+// standard time units without tying the simulation to the wall clock.
+type Time = time.Duration
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Engine.Schedule and Engine.After.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+	// index is maintained by the heap implementation; -1 once popped.
+	index int
+	// cancelled events stay in the heap but are skipped when popped.
+	cancelled bool
+}
+
+// Handle identifies a scheduled event so that it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.index < 0 {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && h.ev.index >= 0
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all interaction with a running simulation happens from
+// within event callbacks, which the engine serialises.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (e *Engine) Len() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule enqueues fn to run at the absolute virtual time at. Scheduling in
+// the past (at < Now) is a programming error and panics: allowing it would
+// silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After enqueues fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the next event lies
+// strictly beyond until. The clock is left at min(until, last event time);
+// events at exactly until do fire.
+func (e *Engine) Run(until Time) {
+	e.halted = false
+	for !e.halted && e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue drains. Intended for tests; a
+// simulation with periodic maintenance never drains, so prefer Run.
+func (e *Engine) RunAll() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// Halt stops Run/RunAll after the current event returns. Useful for
+// terminating a simulation early from inside a callback.
+func (e *Engine) Halt() { e.halted = true }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "math/rand"
+
+// Rand is the deterministic random source threaded through every stochastic
+// component of the simulator (collision draws, backoff jitter, workload
+// generation). It wraps math/rand with an explicit seed so that a simulation
+// is a pure function of its configuration.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream labelled by id. Components each fork
+// their own stream so that adding a random draw in one component does not
+// perturb the others.
+func (r *Rand) Fork(id int64) *Rand {
+	return NewRand(r.r.Int63() ^ (id * 0x5851F42D4C957F2D))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Int63n returns a uniform value in [0, n).
+func (r *Rand) Int63n(n int64) int64 { return r.r.Int63n(n) }
+
+// NormFloat64 returns a standard normal deviate.
+func (r *Rand) NormFloat64() float64 { return r.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential deviate with rate 1.
+func (r *Rand) ExpFloat64() float64 { return r.r.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }
+
+// Shuffle pseudo-randomises the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.r.Shuffle(n, swap) }

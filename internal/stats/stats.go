@@ -1,0 +1,114 @@
+// Package stats provides the small summary-statistics toolkit the
+// experiment harnesses use to report multi-seed results honestly: running
+// mean and standard deviation (Welford's algorithm), min/max, and a
+// parallel map utility for running independent simulations across CPUs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Series accumulates scalar observations with Welford's online algorithm —
+// numerically stable, single pass, O(1) memory.
+type Series struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (s *Series) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		s.min = math.Min(s.min, v)
+		s.max = math.Max(s.max, v)
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the observation count.
+func (s *Series) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty series).
+func (s *Series) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (s *Series) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Series) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the extremes (0 for an empty series).
+func (s *Series) Min() float64 {
+	return s.min
+}
+
+// Max returns the largest observation.
+func (s *Series) Max() float64 {
+	return s.max
+}
+
+// String renders "mean ± stddev (n=N)".
+func (s *Series) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.Stddev(), s.n)
+}
+
+// ParallelMap runs fn(i) for i in [0, n) across min(n, GOMAXPROCS) workers
+// and collects the results in order. The first error wins and is returned
+// after all workers drain; results computed before the error are still
+// populated. fn must be safe to call concurrently (our simulations are
+// independent value worlds, so they are).
+func ParallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, firstErr
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Stddev() != 0 || s.N() != 0 {
+		t.Fatal("empty series must be zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("n=%d mean=%f", s.N(), s.Mean())
+	}
+	// Sample stddev of the classic example: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %f, want %f", s.Stddev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSeriesSinglePoint(t *testing.T) {
+	var s Series
+	s.Add(42)
+	if s.Mean() != 42 || s.Stddev() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestSeriesMatchesNaive(t *testing.T) {
+	f := func(vs []float64) bool {
+		clean := make([]float64, 0, len(vs))
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var s Series
+		var sum float64
+		for _, v := range clean {
+			s.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(clean))
+		var m2 float64
+		for _, v := range clean {
+			m2 += (v - mean) * (v - mean)
+		}
+		naiveVar := m2 / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(s.Mean()-mean) < 1e-6*math.Max(1, math.Abs(mean)) &&
+			math.Abs(s.Var()-naiveVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMapOrderAndConcurrency(t *testing.T) {
+	var calls atomic.Int64
+	out, err := ParallelMap(100, func(i int) (int, error) {
+		calls.Add(1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 100 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := ParallelMap(10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Other results still present.
+	if out[3] != 3 || out[9] != 9 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	out, err := ParallelMap(0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

@@ -1,0 +1,9 @@
+package topology
+
+import "math/rand"
+
+// newTestRand returns a seeded source for property tests without importing
+// the sim package (keeping topology dependency-free).
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,323 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperGridSmall(t *testing.T) {
+	// 4x4 grid, 20ft spacing, 50ft range: each node reaches everything
+	// within 50ft — orthogonal neighbors at 20 and 40ft, diagonals at
+	// ~28.3ft, knight moves at ~44.7ft.
+	topo, err := PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != 16 {
+		t.Fatalf("size = %d, want 16", topo.Size())
+	}
+	// Corner node 0: reaches (0,1),(0,2),(1,0),(2,0),(1,1),(1,2),(2,1);
+	// the (2,2) diagonal is 56.6ft, out of the 50ft range.
+	if got := len(topo.Neighbors(0)); got != 7 {
+		t.Fatalf("corner neighbors = %d, want 7: %v", got, topo.Neighbors(0))
+	}
+	if topo.Level(BaseStation) != 0 {
+		t.Fatal("base station must be level 0")
+	}
+	// Farthest corner (3,3) = node 15: (1,1)?(2,1) knight hop + remainder →
+	// 2 hops (e.g. via (1,2) then (3,3) is (2,1) away).
+	if topo.Level(15) != 2 {
+		t.Fatalf("level(15) = %d, want 2", topo.Level(15))
+	}
+	if topo.MaxDepth() != 2 {
+		t.Fatalf("maxDepth = %d, want 2", topo.MaxDepth())
+	}
+}
+
+func TestPaperGrid8(t *testing.T) {
+	topo, err := PaperGrid(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != 64 {
+		t.Fatalf("size = %d, want 64", topo.Size())
+	}
+	// Node (7,7) = 63: each hop advances at most (2,1) cells (the 2,2
+	// diagonal is out of range), so covering (7,7) needs ⌈14/3⌉ = 5 hops.
+	if topo.Level(63) != 5 {
+		t.Fatalf("level(63) = %d, want 5", topo.Level(63))
+	}
+	sizes := topo.LevelSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 64 {
+		t.Fatalf("level sizes sum to %d, want 64", total)
+	}
+	if sizes[0] != 1 {
+		t.Fatalf("level 0 size = %d, want 1", sizes[0])
+	}
+}
+
+func TestLevelsAreBFSConsistent(t *testing.T) {
+	topo, err := PaperGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.Size(); i++ {
+		id := NodeID(i)
+		if id == BaseStation {
+			continue
+		}
+		// Every node must have at least one upper neighbor, and all
+		// neighbors must be within one level.
+		if len(topo.UpperNeighbors(id)) == 0 {
+			t.Fatalf("node %d has no upper neighbors", id)
+		}
+		for _, nb := range topo.Neighbors(id) {
+			dl := topo.Level(nb) - topo.Level(id)
+			if dl < -1 || dl > 1 {
+				t.Fatalf("neighbor levels differ by %d between %d and %d", dl, id, nb)
+			}
+		}
+	}
+}
+
+func TestTreeParentBestQuality(t *testing.T) {
+	topo, err := PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < topo.Size(); i++ {
+		id := NodeID(i)
+		p := topo.TreeParent(id)
+		if p < 0 {
+			t.Fatalf("node %d has no parent", id)
+		}
+		if topo.Level(p) != topo.Level(id)-1 {
+			t.Fatalf("parent of %d at level %d, node at %d", id, topo.Level(p), topo.Level(id))
+		}
+		for _, u := range topo.UpperNeighbors(id) {
+			if topo.Quality(id, u) > topo.Quality(id, p) {
+				t.Fatalf("node %d parent %d has quality %f < neighbor %d quality %f",
+					id, p, topo.Quality(id, p), u, topo.Quality(id, u))
+			}
+		}
+	}
+}
+
+func TestTreeChildrenInverse(t *testing.T) {
+	topo, err := PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[NodeID]bool)
+	for i := 0; i < topo.Size(); i++ {
+		for _, c := range topo.TreeChildren(NodeID(i)) {
+			if topo.TreeParent(c) != NodeID(i) {
+				t.Fatalf("child %d of %d has parent %d", c, i, topo.TreeParent(c))
+			}
+			if seen[c] {
+				t.Fatalf("node %d is child of two parents", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != topo.Size()-1 {
+		t.Fatalf("tree covers %d nodes, want %d", len(seen), topo.Size()-1)
+	}
+}
+
+func TestDisconnectedTopologyRejected(t *testing.T) {
+	_, err := New([]Point{{0, 0}, {1000, 1000}}, 50)
+	if err == nil {
+		t.Fatal("expected error for disconnected topology")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := New(nil, 50); err == nil {
+		t.Fatal("empty positions should error")
+	}
+	if _, err := New([]Point{{0, 0}}, 0); err == nil {
+		t.Fatal("zero range should error")
+	}
+	if _, err := NewGrid(0, 20, 50); err == nil {
+		t.Fatal("zero side should error")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	topo, err := New([]Point{{0, 0}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.MaxDepth() != 0 || topo.AvgDepth() != 0 {
+		t.Fatal("single-node topology should have depth 0")
+	}
+}
+
+func TestAvgDepth(t *testing.T) {
+	// Chain of 3: BS - n1 - n2 at spacing 40, range 50 → levels 0,1,2.
+	topo, err := New([]Point{{0, 0}, {40, 0}, {80, 0}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Level(2) != 2 {
+		t.Fatalf("level(2) = %d, want 2", topo.Level(2))
+	}
+	if got, want := topo.AvgDepth(), 1.5; got != want {
+		t.Fatalf("avgDepth = %f, want %f", got, want)
+	}
+}
+
+func TestQualitySymmetricAndBounded(t *testing.T) {
+	topo, err := PaperGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.Size(); i++ {
+		for _, nb := range topo.Neighbors(NodeID(i)) {
+			q1 := topo.Quality(NodeID(i), nb)
+			q2 := topo.Quality(nb, NodeID(i))
+			if q1 != q2 {
+				t.Fatalf("quality not symmetric between %d and %d", i, nb)
+			}
+			if q1 <= 0 || q1 > 1 {
+				t.Fatalf("quality %f out of (0,1]", q1)
+			}
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	topo, err := PaperGrid(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.InRange(0, 1) {
+		t.Fatal("adjacent grid nodes must be in range")
+	}
+	if !topo.InRange(4, 4) {
+		t.Fatal("a node is in range of itself")
+	}
+	if topo.InRange(0, 8) {
+		t.Fatal("opposite corners of a 3x3/20ft grid are ~56.6ft apart, out of 50ft range")
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	topo, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevel := map[NodeID]int{
+		Fig2A: 1, Fig2B: 1,
+		Fig2C: 2, Fig2D: 2, Fig2E: 2, Fig2F: 2,
+		Fig2G: 3, Fig2H: 3,
+	}
+	for id, l := range wantLevel {
+		if topo.Level(id) != l {
+			t.Errorf("level(%d) = %d, want %d", id, topo.Level(id), l)
+		}
+	}
+	wantParent := map[NodeID]NodeID{
+		Fig2A: BaseStation, Fig2B: BaseStation,
+		Fig2C: Fig2A, Fig2D: Fig2B, Fig2E: Fig2B, Fig2F: Fig2B,
+		Fig2G: Fig2C, Fig2H: Fig2D,
+	}
+	for id, p := range wantParent {
+		if topo.TreeParent(id) != p {
+			t.Errorf("parent(%d) = %d, want %d", id, topo.TreeParent(id), p)
+		}
+	}
+	// G must be able to divert through D (the DAG edge the example uses).
+	upG := topo.UpperNeighbors(Fig2G)
+	hasD := false
+	for _, u := range upG {
+		if u == Fig2D {
+			hasD = true
+		}
+	}
+	if !hasD {
+		t.Fatalf("G's upper neighbors %v must include D", upG)
+	}
+	// H must have D as its only upper neighbor.
+	upH := topo.UpperNeighbors(Fig2H)
+	if len(upH) != 1 || upH[0] != Fig2D {
+		t.Fatalf("H's upper neighbors = %v, want [D]", upH)
+	}
+}
+
+// Property: on random connected deployments, levels differ by at most one
+// across any edge and every non-root node has an upper neighbor.
+func TestLevelInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random positions in a 100x100 box with a generous range keep the
+		// graph connected nearly always; skip disconnected draws.
+		r := newTestRand(seed)
+		n := 5 + r.Intn(20)
+		pos := make([]Point, n)
+		for i := range pos {
+			pos[i] = Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+		}
+		topo, err := New(pos, 60)
+		if err != nil {
+			return true // disconnected draw — vacuously fine
+		}
+		for i := 0; i < topo.Size(); i++ {
+			id := NodeID(i)
+			if id != BaseStation && len(topo.UpperNeighbors(id)) == 0 {
+				return false
+			}
+			for _, nb := range topo.Neighbors(id) {
+				d := topo.Level(nb) - topo.Level(id)
+				if d < -1 || d > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRandomDeployment(t *testing.T) {
+	topo, err := NewRandom(30, 150, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != 30 {
+		t.Fatalf("size = %d", topo.Size())
+	}
+	// Connected by construction; base station at the center.
+	p := topo.Position(BaseStation)
+	if p.X != 75 || p.Y != 75 {
+		t.Fatalf("base station at %v", p)
+	}
+	for i := 1; i < topo.Size(); i++ {
+		if len(topo.UpperNeighbors(NodeID(i))) == 0 {
+			t.Fatalf("node %d unreachable", i)
+		}
+	}
+	// Deterministic per seed.
+	again, err := NewRandom(30, 150, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.Size(); i++ {
+		if topo.Position(NodeID(i)) != again.Position(NodeID(i)) {
+			t.Fatal("same seed must give the same deployment")
+		}
+	}
+	if _, err := NewRandom(0, 100, 50, 1); err == nil {
+		t.Fatal("zero nodes must error")
+	}
+	// Impossible density: sparse nodes in a huge box cannot connect.
+	if _, err := NewRandom(5, 100000, 30, 1); err == nil {
+		t.Fatal("unconnectable deployment must error")
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace records a structured event log of a simulation run — every
+// transmission, query lifecycle step and epoch flush — for debugging,
+// inspection in the shell, and offline analysis (CSV export).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds.
+const (
+	KindTx      Kind = "tx"      // a transmission put on the air
+	KindRetry   Kind = "retry"   // collision/loss retransmission scheduled
+	KindInstall Kind = "install" // query installed at a node
+	KindAbort   Kind = "abort"   // query aborted at a node
+	KindFire    Kind = "fire"    // epoch fired at a node
+	KindSleep   Kind = "sleep"   // node entered sleep mode
+	KindWake    Kind = "wake"    // node left sleep mode
+	KindFail    Kind = "fail"    // node went down
+	KindRevive  Kind = "revive"  // node came back up
+	KindFlush   Kind = "flush"   // base station closed an epoch window
+	KindAdmit   Kind = "admit"   // user query admitted at the base station
+	KindCancel  Kind = "cancel"  // user query terminated at the base station
+)
+
+// Event is one log entry.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Node   topology.NodeID
+	Detail string
+}
+
+// String renders one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s node=%-3d %-8s %s",
+		time.Duration(e.At).Round(time.Millisecond), e.Node, e.Kind, e.Detail)
+}
+
+// Buffer is a bounded in-memory event log. A zero Max keeps everything.
+// Buffer is not safe for concurrent use; the simulation engine serializes
+// all writers.
+type Buffer struct {
+	// Max bounds retained events; older events are dropped (0 = unbounded).
+	Max int
+	// Kinds filters recording to the listed kinds (nil = all).
+	Kinds []Kind
+
+	events  []Event
+	dropped int
+}
+
+// Emit records an event (subject to the kind filter and size bound).
+func (b *Buffer) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	if len(b.Kinds) > 0 {
+		ok := false
+		for _, k := range b.Kinds {
+			if k == e.Kind {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	b.events = append(b.events, e)
+	if b.Max > 0 && len(b.events) > b.Max {
+		over := len(b.events) - b.Max
+		b.events = append(b.events[:0], b.events[over:]...)
+		b.dropped += over
+	}
+}
+
+// Emitf records a formatted event.
+func (b *Buffer) Emitf(at sim.Time, kind Kind, node topology.NodeID, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: kind, Node: node, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the retained events in order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	return b.events
+}
+
+// Dropped returns how many events the size bound discarded.
+func (b *Buffer) Dropped() int {
+	if b == nil {
+		return 0
+	}
+	return b.dropped
+}
+
+// Len returns the retained event count.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// Tail returns the last n events.
+func (b *Buffer) Tail(n int) []Event {
+	ev := b.Events()
+	if n >= len(ev) {
+		return ev
+	}
+	return ev[len(ev)-n:]
+}
+
+// CountByKind summarizes the log.
+func (b *Buffer) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range b.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteText dumps the log, one event per line.
+func (b *Buffer) WriteText(w io.Writer) error {
+	for _, e := range b.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the log as CSV (at_ms, kind, node, detail).
+func (b *Buffer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_ms,kind,node,detail"); err != nil {
+		return err
+	}
+	for _, e := range b.Events() {
+		detail := strings.ReplaceAll(e.Detail, `"`, `""`)
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,\"%s\"\n",
+			time.Duration(e.At)/time.Millisecond, e.Kind, e.Node, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts, sorted by kind.
+func (b *Buffer) Summary() string {
+	counts := b.CountByKind()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d events", b.Len())
+	if b.Dropped() > 0 {
+		fmt.Fprintf(&sb, " (+%d dropped)", b.Dropped())
+	}
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, " %s=%d", k, counts[Kind(k)])
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBufferBasics(t *testing.T) {
+	var b Buffer
+	b.Emitf(sim.Time(time.Second), KindTx, 3, "result %dB", 20)
+	b.Emit(Event{At: sim.Time(2 * time.Second), Kind: KindSleep, Node: 5})
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if got := b.Events()[0].String(); !strings.Contains(got, "result 20B") || !strings.Contains(got, "node=3") {
+		t.Fatalf("event string = %q", got)
+	}
+	counts := b.CountByKind()
+	if counts[KindTx] != 1 || counts[KindSleep] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if s := b.Summary(); !strings.Contains(s, "2 events") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestBufferBound(t *testing.T) {
+	b := Buffer{Max: 3}
+	for i := 0; i < 10; i++ {
+		b.Emitf(sim.Time(i)*sim.Time(time.Second), KindTx, 1, "%d", i)
+	}
+	if b.Len() != 3 || b.Dropped() != 7 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	if b.Events()[0].Detail != "7" {
+		t.Fatalf("oldest retained = %q", b.Events()[0].Detail)
+	}
+	tail := b.Tail(2)
+	if len(tail) != 2 || tail[1].Detail != "9" {
+		t.Fatalf("tail = %v", tail)
+	}
+	if got := b.Tail(99); len(got) != 3 {
+		t.Fatalf("oversized tail = %d", len(got))
+	}
+}
+
+func TestBufferKindFilter(t *testing.T) {
+	b := Buffer{Kinds: []Kind{KindSleep, KindWake}}
+	b.Emitf(0, KindTx, 1, "noise")
+	b.Emitf(0, KindSleep, 2, "")
+	if b.Len() != 1 || b.Events()[0].Kind != KindSleep {
+		t.Fatalf("filter broken: %v", b.Events())
+	}
+}
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Emitf(0, KindTx, 1, "x") // must not panic
+	b.Emit(Event{})
+	if b.Len() != 0 || b.Dropped() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer must be inert")
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	var b Buffer
+	b.Emitf(sim.Time(1500*time.Millisecond), KindFlush, 0, `q1 "quoted"`)
+	var text, csv strings.Builder
+	if err := b.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "flush") {
+		t.Fatalf("text = %q", text.String())
+	}
+	if err := b.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	got := csv.String()
+	if !strings.HasPrefix(got, "at_ms,kind,node,detail\n") {
+		t.Fatalf("csv header missing: %q", got)
+	}
+	if !strings.Contains(got, "1500,flush,0,") || !strings.Contains(got, `""quoted""`) {
+		t.Fatalf("csv = %q", got)
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/query"
+)
+
+// jsonEntry is the on-disk form of one TimedQuery. The query itself is
+// stored in the TinyDB dialect (human-editable, and immune to JSON's
+// inability to encode the ±Inf bounds of half-open predicates); Parse and
+// String round-trip exactly.
+type jsonEntry struct {
+	ID       query.ID `json:"id"`
+	Query    string   `json:"query"`
+	ArriveMS int64    `json:"arrive_ms,omitempty"`
+	DepartMS int64    `json:"depart_ms,omitempty"`
+}
+
+// SaveJSON writes a workload as indented JSON.
+func SaveJSON(w io.Writer, ws []TimedQuery) error {
+	entries := make([]jsonEntry, 0, len(ws))
+	for _, tq := range ws {
+		entries = append(entries, jsonEntry{
+			ID:       tq.Query.ID,
+			Query:    tq.Query.String(),
+			ArriveMS: int64(tq.Arrive / time.Millisecond),
+			DepartMS: int64(tq.Depart / time.Millisecond),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// LoadJSON reads a workload written by SaveJSON (or by hand) and validates
+// it.
+func LoadJSON(r io.Reader) ([]TimedQuery, error) {
+	var entries []jsonEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	ws := make([]TimedQuery, 0, len(entries))
+	for i, e := range entries {
+		q, err := query.Parse(e.Query)
+		if err != nil {
+			return nil, fmt.Errorf("workload: entry %d: %w", i, err)
+		}
+		q.ID = e.ID
+		if q.ID == 0 {
+			q.ID = query.ID(i + 1)
+		}
+		ws = append(ws, TimedQuery{
+			Query:  q,
+			Arrive: time.Duration(e.ArriveMS) * time.Millisecond,
+			Depart: time.Duration(e.DepartMS) * time.Millisecond,
+		})
+	}
+	if err := Validate(ws); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}

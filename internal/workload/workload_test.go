@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+func TestStaticWorkloadsValid(t *testing.T) {
+	for _, name := range []string{"A", "B", "C"} {
+		ws, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(ws); err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		if len(ws) < 4 {
+			t.Fatalf("workload %s too small: %d", name, len(ws))
+		}
+		for _, w := range ws {
+			if w.Arrive != 0 || w.Depart != 0 {
+				t.Fatalf("workload %s must be static", name)
+			}
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+// WORKLOAD_B's defining property: no pair is beneficially mergeable at the
+// base station — aggregations have pairwise different predicates.
+func TestWorkloadBUnmergeableAggs(t *testing.T) {
+	ws := B()
+	for i, a := range ws {
+		for j, b := range ws {
+			if i >= j {
+				continue
+			}
+			if a.Query.IsAggregation() && b.Query.IsAggregation() {
+				if query.Rewritable(a.Query, b.Query) {
+					t.Fatalf("agg queries %d and %d are rewritable; workload B must prevent tier-1 merging", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWorkloadShape(t *testing.T) {
+	ws := Random(RandomConfig{Seed: 1, NumQueries: 500, TargetConcurrency: 8})
+	if err := Validate(ws); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 500 {
+		t.Fatalf("generated %d queries", len(ws))
+	}
+	// Arrivals strictly ordered; epochs from the allowed set.
+	allowed := make(map[time.Duration]bool)
+	for _, e := range Epochs {
+		allowed[e] = true
+	}
+	var prev time.Duration
+	aggs := 0
+	for _, w := range ws {
+		if w.Arrive < prev {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		prev = w.Arrive
+		if !allowed[w.Query.Epoch] {
+			t.Fatalf("epoch %v not in §4.3 set", w.Query.Epoch)
+		}
+		if w.Query.IsAggregation() {
+			aggs++
+		}
+		if len(w.Query.Preds) != 1 {
+			t.Fatalf("query has %d predicates, want 1", len(w.Query.Preds))
+		}
+	}
+	// ~50% aggregation.
+	if aggs < 175 || aggs > 325 {
+		t.Fatalf("aggregation share = %d/500, want ≈ 250", aggs)
+	}
+	// Mean interarrival ≈ 40s (±30%).
+	mean := ws[len(ws)-1].Arrive / time.Duration(len(ws))
+	if mean < 28*time.Second || mean > 52*time.Second {
+		t.Fatalf("mean interarrival = %v, want ≈ 40s", mean)
+	}
+}
+
+func TestRandomWorkloadConcurrency(t *testing.T) {
+	for _, target := range []int{8, 48} {
+		ws := Random(RandomConfig{Seed: 2, NumQueries: 500, TargetConcurrency: target})
+		// Time-averaged concurrency over the workload span.
+		var span time.Duration
+		for _, w := range ws {
+			if w.Depart > span {
+				span = w.Depart
+			}
+		}
+		var busy time.Duration
+		for _, w := range ws {
+			busy += w.Depart - w.Arrive
+		}
+		avg := float64(busy) / float64(span)
+		if avg < 0.5*float64(target) || avg > 1.6*float64(target) {
+			t.Fatalf("target %d: measured avg concurrency %.1f", target, avg)
+		}
+	}
+}
+
+func TestRandomWorkloadDeterministic(t *testing.T) {
+	a := Random(RandomConfig{Seed: 7})
+	b := Random(RandomConfig{Seed: 7})
+	for i := range a {
+		if a[i].Arrive != b[i].Arrive || !a[i].Query.Equal(b[i].Query) {
+			t.Fatal("same seed must generate the same workload")
+		}
+	}
+}
+
+func TestSelectivityWorkload(t *testing.T) {
+	ws := Selectivity(SelectivityConfig{Seed: 3, AggFraction: 0.5, Selectivity: 0.6})
+	if err := Validate(ws); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 8 {
+		t.Fatalf("got %d queries", len(ws))
+	}
+	aggs := 0
+	for _, w := range ws {
+		if w.Query.IsAggregation() {
+			aggs++
+			if w.Query.Aggs[0].Op != query.Max {
+				t.Fatal("aggregation queries request MAX(light)")
+			}
+		} else if len(w.Query.Attrs) != 3 {
+			t.Fatal("acquisition queries retrieve all attributes")
+		}
+		if len(w.Query.Preds) != 1 {
+			t.Fatalf("want exactly one predicate, got %v", w.Query.Preds)
+		}
+	}
+	if aggs != 4 {
+		t.Fatalf("agg count = %d, want 4", aggs)
+	}
+}
+
+func TestSelectivityOneMeansNoPredicate(t *testing.T) {
+	ws := Selectivity(SelectivityConfig{Seed: 3, AggFraction: 1, Selectivity: 1})
+	for _, w := range ws {
+		if len(w.Query.Preds) != 0 {
+			t.Fatalf("selectivity 1 must yield no predicate: %v", w.Query)
+		}
+	}
+	// All-aggregation queries with equal (empty) predicates are mutually
+	// rewritable — the Figure 5 jump at selectivity 1.
+	for i := range ws {
+		for j := range ws {
+			if i != j && !query.Rewritable(ws[i].Query, ws[j].Query) {
+				t.Fatal("tautological predicates must be rewritable")
+			}
+		}
+	}
+}
+
+func TestSelectivitySameEpoch(t *testing.T) {
+	ws := Selectivity(SelectivityConfig{Seed: 4, Selectivity: 0.8, SameEpoch: true})
+	for _, w := range ws {
+		if w.Query.Epoch != Epochs[0] {
+			t.Fatalf("epoch = %v, want %v", w.Query.Epoch, Epochs[0])
+		}
+	}
+}
+
+func TestValidateRejectsBadWorkloads(t *testing.T) {
+	good := query.MustParse("SELECT light EPOCH DURATION 4096")
+	good.ID = 1
+	dup := good.Clone()
+	if err := Validate([]TimedQuery{{Query: good}, {Query: dup}}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+	bad := good.Clone()
+	bad.ID = 2
+	if err := Validate([]TimedQuery{{Query: bad, Arrive: 10 * time.Second, Depart: 5 * time.Second}}); err == nil {
+		t.Fatal("depart before arrive must be rejected")
+	}
+	invalid := query.Query{ID: 3}
+	if err := Validate([]TimedQuery{{Query: invalid}}); err == nil {
+		t.Fatal("invalid query must be rejected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Random(RandomConfig{Seed: 5, NumQueries: 40, TargetConcurrency: 6})
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("len %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if !orig[i].Query.Equal(back[i].Query) {
+			t.Fatalf("entry %d query changed:\n%s\n%s", i, orig[i].Query, back[i].Query)
+		}
+		// Timestamps are stored at millisecond granularity.
+		if orig[i].Query.ID != back[i].Query.ID ||
+			orig[i].Arrive.Truncate(time.Millisecond) != back[i].Arrive ||
+			orig[i].Depart.Truncate(time.Millisecond) != back[i].Depart {
+			t.Fatalf("entry %d metadata changed", i)
+		}
+	}
+}
+
+func TestLoadJSONHandEdited(t *testing.T) {
+	const doc = `[
+	  {"query": "SELECT light WHERE light > 100 EPOCH DURATION 4096"},
+	  {"id": 7, "query": "SELECT MAX(temp) GROUP BY nodeid BUCKET 4 EPOCH DURATION 8192",
+	   "arrive_ms": 5000, "depart_ms": 90000}
+	]`
+	ws, err := LoadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("len = %d", len(ws))
+	}
+	if ws[0].Query.ID != 1 {
+		t.Fatalf("missing ID must be assigned: %d", ws[0].Query.ID)
+	}
+	if ws[1].Query.ID != 7 || ws[1].Arrive != 5*time.Second || ws[1].Depart != 90*time.Second {
+		t.Fatalf("entry 1 = %+v", ws[1])
+	}
+	if ws[1].Query.GroupBy == nil {
+		t.Fatal("group spec lost")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := LoadJSON(strings.NewReader(`[{"query": "NOT A QUERY"}]`)); err == nil {
+		t.Fatal("bad query must error")
+	}
+	if _, err := LoadJSON(strings.NewReader(`[{"id":1,"query":"SELECT light"},{"id":1,"query":"SELECT temp"}]`)); err == nil {
+		t.Fatal("duplicate IDs must error")
+	}
+}
