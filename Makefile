@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-parallel clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The parallel-runner benchmarks: the figure sweep at 1 worker vs one per
+# CPU, and the field generator's hot path.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'Figure3Parallel|FieldReading' -benchmem .
+
+clean:
+	rm -f ttmqo-bench ttmqo-sim ttmqo-workload ttmqo-shell

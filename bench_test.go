@@ -2,6 +2,7 @@ package ttmqo_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -55,6 +56,24 @@ func BenchmarkFigure3(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFigure3Parallel regenerates the full Figure 3 sweep (24 cells)
+// at one worker and at one worker per CPU. The ratio of the two is the
+// parallel runner's end-to-end speedup on this machine; the rows are
+// identical either way.
+func BenchmarkFigure3Parallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ttmqo.RunFigure3(ttmqo.Fig3Config{
+					Seed: 1, Duration: 2 * time.Minute, Parallelism: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -250,7 +269,10 @@ func BenchmarkSimulationMinute(b *testing.B) {
 	}
 }
 
-// BenchmarkFieldReading measures the synthetic field generator.
+// BenchmarkFieldReading measures the synthetic field generator under the
+// simulator's access pattern: every node sampled at one shared epoch-aligned
+// instant before the clock advances. The per-instant oscillator terms are
+// memoized in a per-tick snapshot, so 62 of every 63 reads hit the cache.
 func BenchmarkFieldReading(b *testing.B) {
 	topo, err := ttmqo.PaperGrid(8)
 	if err != nil {
@@ -259,7 +281,39 @@ func BenchmarkFieldReading(b *testing.B) {
 	f := ttmqo.NewField(topo, ttmqo.FieldConfig{Seed: 1})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		t := time.Duration(i/63) * 2048 * time.Millisecond
+		_ = f.Reading(ttmqo.NodeID(1+i%63), ttmqo.AttrLight, t)
+	}
+}
+
+// BenchmarkFieldReadingColdTick forces a tick-cache miss on every read (a
+// fresh instant each call) — the memoization's worst case.
+func BenchmarkFieldReadingColdTick(b *testing.B) {
+	topo, err := ttmqo.PaperGrid(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := ttmqo.NewField(topo, ttmqo.FieldConfig{Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
 		_ = f.Reading(ttmqo.NodeID(1+i%63), ttmqo.AttrLight, time.Duration(i)*time.Second)
+	}
+}
+
+// BenchmarkFieldReadingCached measures the steady-state hit path: repeated
+// reads at one fixed instant.
+func BenchmarkFieldReadingCached(b *testing.B) {
+	topo, err := ttmqo.PaperGrid(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := ttmqo.NewField(topo, ttmqo.FieldConfig{Seed: 1})
+	const t = 4096 * time.Millisecond
+	f.Reading(1, ttmqo.AttrLight, t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Reading(ttmqo.NodeID(1+i%63), ttmqo.AttrLight, t)
 	}
 }
 

@@ -4,10 +4,12 @@
 // Usage:
 //
 //	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|lifetime|scaling|all]
-//	            [-seed N] [-minutes M] [-runs R] [-md report.md]
+//	            [-seed N] [-minutes M] [-runs R] [-parallel P] [-md report.md]
 //
 // The -minutes flag sets the simulated duration of packet-level runs;
-// -runs averages stochastic points over several workload seeds; -md runs
+// -runs averages stochastic points over several workload seeds; -parallel
+// caps the worker pool fanning independent simulation cells across CPUs
+// (0 = one worker per CPU; results are identical at any setting); -md runs
 // every study and writes a self-contained markdown report.
 package main
 
@@ -29,15 +31,17 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	minutes := flag.Int("minutes", 10, "simulated minutes per packet-level run")
 	runs := flag.Int("runs", 3, "workload seeds averaged per stochastic point")
+	parallel := flag.Int("parallel", 0, "worker pool size for sweeps (0 = one worker per CPU)")
 	mdOut := flag.String("md", "", "write a full markdown report to this file (runs everything)")
 	flag.Parse()
 
 	if *mdOut != "" {
 		start := time.Now()
 		report, err := ttmqo.RunAllExperiments(ttmqo.ReportConfig{
-			Seed:     *seed,
-			Duration: time.Duration(*minutes) * time.Minute,
-			Runs:     *runs,
+			Seed:        *seed,
+			Duration:    time.Duration(*minutes) * time.Minute,
+			Runs:        *runs,
+			Parallelism: *parallel,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
@@ -55,14 +59,21 @@ func run() int {
 	dur := time.Duration(*minutes) * time.Minute
 	all := *fig == "all"
 	ok := true
+	// Each study writes its sweep's wall-clock accounting here; dispatch
+	// prints it after the table.
+	var tm ttmqo.SweepTiming
 	dispatch := func(name string, f func() error) {
 		if !all && *fig != name {
 			return
 		}
 		fmt.Printf("=== Figure %s ===\n", name)
+		tm = ttmqo.SweepTiming{}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
 			ok = false
+		}
+		if len(tm.Cells) > 0 {
+			fmt.Printf("timing: %s\n", tm.String())
 		}
 		fmt.Println()
 	}
@@ -84,7 +95,7 @@ func run() int {
 	})
 
 	dispatch("3", func() error {
-		rows, err := ttmqo.RunFigure3(ttmqo.Fig3Config{Seed: *seed, Duration: dur})
+		rows, err := ttmqo.RunFigure3(ttmqo.Fig3Config{Seed: *seed, Duration: dur, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -93,7 +104,7 @@ func run() int {
 	})
 
 	dispatch("4a", func() error {
-		pts, err := ttmqo.RunFigure4A(ttmqo.Fig4Config{Seed: *seed, Runs: *runs})
+		pts, err := ttmqo.RunFigure4A(ttmqo.Fig4Config{Seed: *seed, Runs: *runs, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -102,7 +113,7 @@ func run() int {
 	})
 
 	dispatch("4b", func() error {
-		pts, err := ttmqo.RunFigure4B(ttmqo.Fig4Config{Seed: *seed, Runs: *runs, Side: 8})
+		pts, err := ttmqo.RunFigure4B(ttmqo.Fig4Config{Seed: *seed, Runs: *runs, Side: 8, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -111,7 +122,7 @@ func run() int {
 	})
 
 	dispatch("4c", func() error {
-		pts, err := ttmqo.RunFigure4C(ttmqo.Fig4Config{Seed: *seed, Runs: *runs})
+		pts, err := ttmqo.RunFigure4C(ttmqo.Fig4Config{Seed: *seed, Runs: *runs, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -120,7 +131,7 @@ func run() int {
 	})
 
 	dispatch("5", func() error {
-		rows, err := ttmqo.RunFigure5(ttmqo.Fig5Config{Seed: *seed, Duration: dur, Runs: *runs})
+		rows, err := ttmqo.RunFigure5(ttmqo.Fig5Config{Seed: *seed, Duration: dur, Runs: *runs, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -129,7 +140,7 @@ func run() int {
 	})
 
 	dispatch("reliability", func() error {
-		rows, err := ttmqo.RunReliability(ttmqo.ReliabilityConfig{Seed: *seed, Duration: dur})
+		rows, err := ttmqo.RunReliability(ttmqo.ReliabilityConfig{Seed: *seed, Duration: dur, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -146,7 +157,7 @@ func run() int {
 	})
 
 	dispatch("scaling", func() error {
-		rows, err := ttmqo.RunScaling(ttmqo.ScalingConfig{Seed: *seed, Duration: dur})
+		rows, err := ttmqo.RunScaling(ttmqo.ScalingConfig{Seed: *seed, Duration: dur, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -160,7 +171,7 @@ func run() int {
 	})
 
 	dispatch("lifetime", func() error {
-		rows, err := ttmqo.RunLifetime(ttmqo.LifetimeConfig{Seed: *seed, Duration: dur})
+		rows, err := ttmqo.RunLifetime(ttmqo.LifetimeConfig{Seed: *seed, Duration: dur, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}
@@ -173,7 +184,7 @@ func run() int {
 	})
 
 	dispatch("ablation", func() error {
-		rows, err := ttmqo.RunAblation(ttmqo.AblationConfig{Seed: *seed, Duration: dur})
+		rows, err := ttmqo.RunAblation(ttmqo.AblationConfig{Seed: *seed, Duration: dur, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
 			return err
 		}

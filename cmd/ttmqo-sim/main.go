@@ -5,11 +5,13 @@
 //
 //	ttmqo-sim [-side N] [-scheme baseline|base-station|in-network|ttmqo]
 //	          [-workload A|B|C|random] [-minutes M] [-seed S] [-alpha A]
-//	          [-concurrency C] [-queries Q] [-v]
+//	          [-concurrency C] [-queries Q] [-runs R] [-parallel P] [-v]
 //
 // With -workload random, the §4.3 adaptive workload is replayed (arrivals
 // and terminations); otherwise the named static workload runs for the whole
-// interval.
+// interval. With -runs R > 1 the scenario is replayed under seeds
+// S..S+R-1, fanned across -parallel workers (0 = one per CPU), and a
+// per-seed summary table is printed instead of the single-run detail.
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"time"
 
 	ttmqo "repro"
+	"repro/internal/runner"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -37,6 +41,8 @@ func run() error {
 	alpha := flag.Float64("alpha", ttmqo.DefaultAlpha, "termination parameter α")
 	concurrency := flag.Int("concurrency", 8, "average concurrent queries (random workload)")
 	queries := flag.Int("queries", 100, "total queries (random workload)")
+	runs := flag.Int("runs", 1, "replay the scenario under seeds S..S+R-1 (summary table when > 1)")
+	parallel := flag.Int("parallel", 0, "worker pool size for multi-run replays (0 = one worker per CPU)")
 	verbose := flag.Bool("v", false, "print per-query delivery counts")
 	traceOut := flag.String("trace", "", "write the run's event log as CSV to this file")
 	fieldCSV := flag.String("field", "", "replay sensor readings from this CSV trace instead of the synthetic field")
@@ -49,6 +55,14 @@ func run() error {
 	topo, err := ttmqo.PaperGrid(*side)
 	if err != nil {
 		return err
+	}
+	if *runs > 1 {
+		return runMany(multiConfig{
+			topo: topo, scheme: scheme, seed: *seed, runs: *runs,
+			parallel: *parallel, alpha: *alpha, workload: *workloadName,
+			concurrency: *concurrency, queries: *queries,
+			minutes: *minutes, fieldCSV: *fieldCSV,
+		})
 	}
 	var buf *ttmqo.Trace
 	if *traceOut != "" {
@@ -79,22 +93,9 @@ func run() error {
 		return err
 	}
 
-	var ws []ttmqo.TimedQuery
-	switch *workloadName {
-	case "A":
-		ws = ttmqo.WorkloadA()
-	case "B":
-		ws = ttmqo.WorkloadB()
-	case "C":
-		ws = ttmqo.WorkloadC()
-	case "random":
-		ws = ttmqo.RandomWorkload(ttmqo.RandomWorkloadConfig{
-			Seed:              *seed,
-			NumQueries:        *queries,
-			TargetConcurrency: *concurrency,
-		})
-	default:
-		return fmt.Errorf("unknown workload %q", *workloadName)
+	ws, err := buildWorkload(*workloadName, *seed, *queries, *concurrency)
+	if err != nil {
+		return err
 	}
 	for _, w := range ws {
 		sim.PostAt(w.Arrive, w.Query)
@@ -145,6 +146,111 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+func buildWorkload(name string, seed int64, queries, concurrency int) ([]ttmqo.TimedQuery, error) {
+	switch name {
+	case "A":
+		return ttmqo.WorkloadA(), nil
+	case "B":
+		return ttmqo.WorkloadB(), nil
+	case "C":
+		return ttmqo.WorkloadC(), nil
+	case "random":
+		return ttmqo.RandomWorkload(ttmqo.RandomWorkloadConfig{
+			Seed:              seed,
+			NumQueries:        queries,
+			TargetConcurrency: concurrency,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+type multiConfig struct {
+	topo        *ttmqo.Topology
+	scheme      ttmqo.Scheme
+	seed        int64
+	runs        int
+	parallel    int
+	alpha       float64
+	workload    string
+	concurrency int
+	queries     int
+	minutes     int
+	fieldCSV    string
+}
+
+// runMany replays the scenario under runs consecutive seeds, fanned across
+// the worker pool. Each replay is an independent simulation world (its own
+// source, loaded per cell when replaying a CSV trace), so the per-seed rows
+// are identical at any parallelism.
+func runMany(cfg multiConfig) error {
+	type outcome struct {
+		seed    int64
+		avgTx   float64
+		msgs    int
+		retrans int
+	}
+	dur := time.Duration(cfg.minutes) * time.Minute
+	var tm runner.Timing
+	rows, err := runner.MapTimed(cfg.parallel, cfg.runs, &tm, func(i int) (outcome, error) {
+		seed := cfg.seed + int64(i)
+		var source ttmqo.Source
+		if cfg.fieldCSV != "" {
+			f, err := os.Open(cfg.fieldCSV)
+			if err != nil {
+				return outcome{}, err
+			}
+			source, err = ttmqo.LoadTraceCSV(f)
+			f.Close()
+			if err != nil {
+				return outcome{}, err
+			}
+		}
+		sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
+			Topo:           cfg.topo,
+			Scheme:         cfg.scheme,
+			Seed:           seed,
+			Alpha:          cfg.alpha,
+			Source:         source,
+			DiscardResults: true,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		ws, err := buildWorkload(cfg.workload, seed, cfg.queries, cfg.concurrency)
+		if err != nil {
+			return outcome{}, err
+		}
+		for _, w := range ws {
+			sim.PostAt(w.Arrive, w.Query)
+			if w.Depart != 0 {
+				sim.CancelAt(w.Depart, w.Query.ID)
+			}
+		}
+		sim.Run(dur)
+		return outcome{
+			seed:    seed,
+			avgTx:   sim.AvgTransmissionTime() * 100,
+			msgs:    sim.Metrics().Messages(),
+			retrans: sim.Metrics().Retransmissions(),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme=%s nodes=%d workload=%s simulated=%v runs=%d\n",
+		cfg.scheme, cfg.topo.Size(), cfg.workload, dur, cfg.runs)
+	fmt.Printf("%6s %10s %9s %8s\n", "seed", "avgTx(%)", "messages", "retrans")
+	var tx stats.Series
+	for _, r := range rows {
+		tx.Add(r.avgTx)
+		fmt.Printf("%6d %10.4f %9d %8d\n", r.seed, r.avgTx, r.msgs, r.retrans)
+	}
+	fmt.Printf("avg transmission time: %s\n", tx.String())
+	fmt.Printf("timing: %s\n", tm.String())
 	return nil
 }
 

@@ -8,10 +8,11 @@
 //	               [-concurrency C] [-seed S]
 //	ttmqo-workload show w.json
 //	ttmqo-workload run w.json [-scheme ttmqo] [-side N] [-minutes M] [-seed S]
-//	               [-compare]
+//	               [-compare] [-parallel P]
 //
-// With -compare, run executes the workload under every scheme and prints a
-// comparison table.
+// With -compare, run executes the workload under every scheme — fanned
+// across -parallel workers (0 = one per CPU; the table is identical at any
+// setting) — and prints a comparison table.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	ttmqo "repro"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -137,6 +139,7 @@ func runCmd(args []string) error {
 	minutes := fs.Int("minutes", 0, "simulated minutes (0 = workload span + 1 min)")
 	seed := fs.Int64("seed", 1, "random seed")
 	compare := fs.Bool("compare", false, "run under every scheme and compare")
+	parallel := fs.Int("parallel", 0, "worker pool size for -compare (0 = one worker per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,17 +179,24 @@ func runCmd(args []string) error {
 		}
 	}
 
-	var baseline float64
-	fmt.Printf("%-13s %10s %9s %9s %8s\n", "scheme", "avgTx(%)", "save(%)", "messages", "retrans")
-	for _, sc := range schemes {
+	// Each scheme is an independent simulation world; fan them across the
+	// worker pool and print in input order (savings are computed after the
+	// fact, so the parallel table matches the serial one byte for byte).
+	type outcome struct {
+		tx      float64
+		msgs    int
+		retrans int
+	}
+	var tm runner.Timing
+	rows, err := runner.MapTimed(*parallel, len(schemes), &tm, func(i int) (outcome, error) {
 		sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
 			Topo:           topo,
-			Scheme:         sc,
+			Scheme:         schemes[i],
 			Seed:           *seed,
 			DiscardResults: true,
 		})
 		if err != nil {
-			return err
+			return outcome{}, err
 		}
 		for _, w := range ws {
 			sim.PostAt(w.Arrive, w.Query)
@@ -195,13 +205,27 @@ func runCmd(args []string) error {
 			}
 		}
 		sim.Run(dur)
-		tx := sim.AvgTransmissionTime() * 100
+		return outcome{
+			tx:      sim.AvgTransmissionTime() * 100,
+			msgs:    sim.Metrics().Messages(),
+			retrans: sim.Metrics().Retransmissions(),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	var baseline float64
+	fmt.Printf("%-13s %10s %9s %9s %8s\n", "scheme", "avgTx(%)", "save(%)", "messages", "retrans")
+	for i, sc := range schemes {
 		if sc == ttmqo.SchemeBaseline {
-			baseline = tx
+			baseline = rows[i].tx
 		}
 		fmt.Printf("%-13s %10.4f %9.1f %9d %8d\n",
-			sc, tx, metrics.Savings(baseline, tx)*100,
-			sim.Metrics().Messages(), sim.Metrics().Retransmissions())
+			sc, rows[i].tx, metrics.Savings(baseline, rows[i].tx)*100,
+			rows[i].msgs, rows[i].retrans)
+	}
+	if *compare {
+		fmt.Printf("timing: %s\n", tm.String())
 	}
 	return nil
 }

@@ -385,12 +385,26 @@ func (o *Optimizer) FromList(sid query.ID) []query.ID {
 	return ids
 }
 
+// sortedIDs returns a map's query IDs in ascending order. The cost totals
+// below sum in this fixed order: floating-point addition is not
+// associative, so summing in map iteration order would make the totals
+// differ in the last ulps from run to run and break the experiments'
+// reproducibility guarantee.
+func sortedIDs[V any](m map[query.ID]V) []query.ID {
+	ids := make([]query.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // TotalUserCost returns Σ cost(q) over live user queries — the denominator
 // of the Figure 4 benefit ratio.
 func (o *Optimizer) TotalUserCost() float64 {
 	var sum float64
-	for _, q := range o.users {
-		sum += o.model.Cost(q)
+	for _, id := range sortedIDs(o.users) {
+		sum += o.model.Cost(o.users[id])
 	}
 	return sum
 }
@@ -398,8 +412,8 @@ func (o *Optimizer) TotalUserCost() float64 {
 // TotalSyntheticCost returns Σ cost(s) over running synthetic queries.
 func (o *Optimizer) TotalSyntheticCost() float64 {
 	var sum float64
-	for _, s := range o.syn {
-		sum += o.model.Cost(s.q)
+	for _, id := range sortedIDs(o.syn) {
+		sum += o.model.Cost(o.syn[id].q)
 	}
 	return sum
 }
@@ -408,8 +422,8 @@ func (o *Optimizer) TotalSyntheticCost() float64 {
 // construction it equals TotalUserCost() − TotalSyntheticCost().
 func (o *Optimizer) TotalBenefit() float64 {
 	var sum float64
-	for _, s := range o.syn {
-		sum += s.benefit
+	for _, id := range sortedIDs(o.syn) {
+		sum += o.syn[id].benefit
 	}
 	return sum
 }

@@ -7,7 +7,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/node"
 	"repro/internal/radio"
-	"repro/internal/stats"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -25,6 +25,11 @@ type AblationConfig struct {
 	// mixed workload at selectivity 0.4, where only part of the network
 	// holds data and the routing/sleep mechanisms have room to act.
 	Workload string
+	// Parallelism caps the worker pool running independent variants (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *AblationConfig) setDefaults() {
@@ -98,7 +103,7 @@ func RunAblation(cfg AblationConfig) ([]AblationRow, error) {
 		}
 	}
 	variants := ablationVariants()
-	rows, err := stats.ParallelMap(len(variants), func(i int) (AblationRow, error) {
+	rows, err := runner.MapTimed(cfg.Parallelism, len(variants), cfg.Timing, func(i int) (AblationRow, error) {
 		policy := node.InNetwork()
 		variants[i].mutate(&policy)
 		s, err := network.New(network.Config{

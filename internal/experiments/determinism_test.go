@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The parallel runner must never change results: every figure run serially
+// (Parallelism 1) and fanned out (Parallelism 8) must produce identical
+// rows — same seeds, same bytes. Each study below runs a shortened sweep
+// twice and diffs the row slices.
+
+func assertIdentical[T any](t *testing.T, study string, run func(parallelism int) ([]T, error)) {
+	t.Helper()
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("%s serial: %v", study, err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("%s parallel: %v", study, err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: row counts differ: %d vs %d", study, len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s row %d differs:\n serial:   %+v\n parallel: %+v",
+				study, i, serial[i], parallel[i])
+		}
+	}
+	// Byte-level check on the rendered rows, the form reports publish.
+	if s, p := fmt.Sprintf("%+v", serial), fmt.Sprintf("%+v", parallel); s != p {
+		t.Errorf("%s: rendered rows differ", study)
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	assertIdentical(t, "figure 3", func(par int) ([]Fig3Row, error) {
+		return RunFigure3(Fig3Config{
+			Seed: 1, Duration: 2 * time.Minute, Sides: []int{4}, Parallelism: par,
+		})
+	})
+}
+
+func TestFigure4Deterministic(t *testing.T) {
+	assertIdentical(t, "figure 4a", func(par int) ([]Fig4Point, error) {
+		return RunFigure4A(Fig4Config{
+			Seed: 1, NumQueries: 60, Concurrencies: []int{8, 16}, Runs: 2, Parallelism: par,
+		})
+	})
+	assertIdentical(t, "figure 4b", func(par int) ([]Fig4Point, error) {
+		return RunFigure4B(Fig4Config{
+			Seed: 1, NumQueries: 60, Alphas: []float64{0.2, 0.8}, Runs: 2, Parallelism: par,
+		})
+	})
+}
+
+func TestFigure5Deterministic(t *testing.T) {
+	assertIdentical(t, "figure 5", func(par int) ([]Fig5Row, error) {
+		return RunFigure5(Fig5Config{
+			Seed: 1, Duration: 2 * time.Minute, Selectivities: []float64{0.4, 0.8},
+			AggFractions: []float64{0.5}, Runs: 2, Parallelism: par,
+		})
+	})
+}
+
+func TestAblationDeterministic(t *testing.T) {
+	assertIdentical(t, "ablation", func(par int) ([]AblationRow, error) {
+		return RunAblation(AblationConfig{
+			Seed: 1, Side: 4, Duration: 2 * time.Minute, Parallelism: par,
+		})
+	})
+}
+
+func TestReliabilityDeterministic(t *testing.T) {
+	assertIdentical(t, "reliability", func(par int) ([]ReliabilityRow, error) {
+		return RunReliability(ReliabilityConfig{
+			Seed: 1, Side: 4, Duration: 2 * time.Minute,
+			MTBFs: []time.Duration{0, 2 * time.Minute}, Parallelism: par,
+		})
+	})
+}
+
+func TestLifetimeDeterministic(t *testing.T) {
+	assertIdentical(t, "lifetime", func(par int) ([]LifetimeRow, error) {
+		return RunLifetime(LifetimeConfig{
+			Seed: 1, Side: 4, Duration: 2 * time.Minute, Parallelism: par,
+		})
+	})
+}
+
+func TestScalingDeterministic(t *testing.T) {
+	assertIdentical(t, "scaling", func(par int) ([]ScalingRow, error) {
+		return RunScaling(ScalingConfig{
+			Seed: 1, Sides: []int{4, 6}, Duration: 2 * time.Minute, Parallelism: par,
+		})
+	})
+}

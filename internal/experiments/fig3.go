@@ -7,7 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/radio"
-	"repro/internal/stats"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -23,6 +23,11 @@ type Fig3Config struct {
 	Sides []int
 	// Workloads lists the Figure 3 workload names (default A, B, C).
 	Workloads []string
+	// Parallelism caps the worker pool running independent cells (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *Fig3Config) setDefaults() {
@@ -80,8 +85,7 @@ func RunFigure3(cfg Fig3Config) ([]Fig3Row, error) {
 	}
 	// Every cell is an independent simulation; run the grid across CPUs and
 	// fill in savings against the baseline cell afterwards.
-	rows, err := stats.ParallelMap(len(cells), func(i int) (Fig3Row, error) {
-		c := cells[i]
+	rows, err := sweep(cfg.Parallelism, cfg.Timing, cells, func(c cell) (Fig3Row, error) {
 		ws, err := workload.ByName(c.wname)
 		if err != nil {
 			return Fig3Row{}, err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/query"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -30,6 +31,11 @@ type Fig4Config struct {
 	Alphas []float64
 	// Runs averages each point over this many workload seeds (default 3).
 	Runs int
+	// Parallelism caps the worker pool running independent replays (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *Fig4Config) setDefaults() {
@@ -165,37 +171,60 @@ func timeline(ws []workload.TimedQuery, side int, alpha float64) (Fig4Point, err
 	}, nil
 }
 
-// runPoint averages the timeline over several workload seeds, replayed in
-// parallel (each replay is an independent optimizer world).
-func runPoint(cfg Fig4Config, concurrency int, alpha float64) (Fig4Point, error) {
-	pts, err := stats.ParallelMap(cfg.Runs, func(r int) (Fig4Point, error) {
+// pointSpec is one (concurrency, α) point of a Figure 4 sweep.
+type pointSpec struct {
+	concurrency int
+	alpha       float64
+}
+
+// runPoints replays every (point, seed) cell across the worker pool —
+// each replay is an independent optimizer world — and folds the per-point
+// averages afterwards in fixed seed order, so the output is identical at
+// any parallelism.
+func runPoints(cfg Fig4Config, specs []pointSpec) ([]Fig4Point, error) {
+	type cell struct {
+		spec int
+		run  int
+	}
+	var cells []cell
+	for s := range specs {
+		for r := 0; r < cfg.Runs; r++ {
+			cells = append(cells, cell{s, r})
+		}
+	}
+	raw, err := sweep(cfg.Parallelism, cfg.Timing, cells, func(c cell) (Fig4Point, error) {
 		ws := workload.Random(workload.RandomConfig{
-			Seed:              cfg.Seed + int64(r)*7919,
+			Seed:              cfg.Seed + int64(c.run)*7919,
 			NumQueries:        cfg.NumQueries,
-			TargetConcurrency: concurrency,
+			TargetConcurrency: specs[c.spec].concurrency,
 		})
-		return timeline(ws, cfg.Side, alpha)
+		return timeline(ws, cfg.Side, specs[c.spec].alpha)
 	})
 	if err != nil {
-		return Fig4Point{}, err
+		return nil, err
 	}
-	var benefit, syn, conc stats.Series
-	reinj := 0
-	for _, p := range pts {
-		benefit.Add(p.BenefitRatio)
-		syn.Add(p.AvgSynthetic)
-		conc.Add(p.AvgConcurrent)
-		reinj += p.Reinjections
+	out := make([]Fig4Point, 0, len(specs))
+	for s, spec := range specs {
+		var benefit, syn, conc stats.Series
+		reinj := 0
+		for r := 0; r < cfg.Runs; r++ {
+			p := raw[s*cfg.Runs+r]
+			benefit.Add(p.BenefitRatio)
+			syn.Add(p.AvgSynthetic)
+			conc.Add(p.AvgConcurrent)
+			reinj += p.Reinjections
+		}
+		out = append(out, Fig4Point{
+			Concurrency:   spec.concurrency,
+			Alpha:         spec.alpha,
+			BenefitRatio:  benefit.Mean(),
+			BenefitStd:    benefit.Stddev(),
+			AvgSynthetic:  syn.Mean(),
+			AvgConcurrent: conc.Mean(),
+			Reinjections:  reinj / cfg.Runs,
+		})
 	}
-	return Fig4Point{
-		Concurrency:   concurrency,
-		Alpha:         alpha,
-		BenefitRatio:  benefit.Mean(),
-		BenefitStd:    benefit.Stddev(),
-		AvgSynthetic:  syn.Mean(),
-		AvgConcurrent: conc.Mean(),
-		Reinjections:  reinj / cfg.Runs,
-	}, nil
+	return out, nil
 }
 
 // RunFigure4A sweeps the number of concurrent queries at α = 0.6
@@ -203,15 +232,11 @@ func runPoint(cfg Fig4Config, concurrency int, alpha float64) (Fig4Point, error)
 // 48).
 func RunFigure4A(cfg Fig4Config) ([]Fig4Point, error) {
 	cfg.setDefaults()
-	out := make([]Fig4Point, 0, len(cfg.Concurrencies))
+	specs := make([]pointSpec, 0, len(cfg.Concurrencies))
 	for _, c := range cfg.Concurrencies {
-		p, err := runPoint(cfg, c, core.DefaultAlpha)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		specs = append(specs, pointSpec{c, core.DefaultAlpha})
 	}
-	return out, nil
+	return runPoints(cfg, specs)
 }
 
 // RunFigure4B sweeps α at 8 concurrent queries (Figure 4(b): an interior
@@ -219,15 +244,11 @@ func RunFigure4A(cfg Fig4Config) ([]Fig4Point, error) {
 // synthetic query's benefit, too large keeps fetching data nobody wants).
 func RunFigure4B(cfg Fig4Config) ([]Fig4Point, error) {
 	cfg.setDefaults()
-	out := make([]Fig4Point, 0, len(cfg.Alphas))
+	specs := make([]pointSpec, 0, len(cfg.Alphas))
 	for _, a := range cfg.Alphas {
-		p, err := runPoint(cfg, 8, a)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		specs = append(specs, pointSpec{8, a})
 	}
-	return out, nil
+	return runPoints(cfg, specs)
 }
 
 // RunFigure4C sweeps concurrency for α ∈ {0.2, 0.6, 1.0} and reports the
@@ -235,17 +256,13 @@ func RunFigure4B(cfg Fig4Config) ([]Fig4Point, error) {
 // concurrent queries, decreasing slightly as α grows).
 func RunFigure4C(cfg Fig4Config) ([]Fig4Point, error) {
 	cfg.setDefaults()
-	var out []Fig4Point
+	var specs []pointSpec
 	for _, a := range []float64{0.2, 0.6, 1.0} {
 		for _, c := range cfg.Concurrencies {
-			p, err := runPoint(cfg, c, a)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
+			specs = append(specs, pointSpec{c, a})
 		}
 	}
-	return out, nil
+	return runPoints(cfg, specs)
 }
 
 // Fig4String renders Figure 4 points as a text table.

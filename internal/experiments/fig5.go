@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/radio"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -29,6 +30,11 @@ type Fig5Config struct {
 	AggFractions []float64
 	// Runs averages each point over this many seeds (default 3).
 	Runs int
+	// Parallelism caps the worker pool running independent cells (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *Fig5Config) setDefaults() {
@@ -84,45 +90,67 @@ func RunFigure5(cfg Fig5Config) ([]Fig5Row, error) {
 			points = append(points, point{frac, sel})
 		}
 	}
-	// Each (mix, selectivity) cell is an independent pair of simulations;
-	// the grid runs across CPUs.
-	return stats.ParallelMap(len(points), func(i int) (Fig5Row, error) {
-		pt := points[i]
+	// Each (mix, selectivity, seed) cell is an independent pair of
+	// simulations; the flattened grid runs across CPUs and the per-point
+	// averages are folded afterwards in fixed seed order, so the rows are
+	// identical at any parallelism.
+	type cell struct {
+		pt  int
+		run int
+	}
+	var cells []cell
+	for p := range points {
+		for r := 0; r < cfg.Runs; r++ {
+			cells = append(cells, cell{p, r})
+		}
+	}
+	type pair struct{ b, o float64 }
+	pairs, err := sweep(cfg.Parallelism, cfg.Timing, cells, func(c cell) (pair, error) {
+		pt := points[c.pt]
+		seed := cfg.Seed + int64(c.run)*104729
+		ws := workload.Selectivity(workload.SelectivityConfig{
+			Seed:        seed,
+			AggFraction: pt.frac,
+			Selectivity: pt.sel,
+			Nodes:       topo.Size(),
+			// All series share one epoch duration: the paper's 7/8
+			// bound for the acquisition series presumes it, and the
+			// sharp aggregation jump at selectivity 1 requires the
+			// tier-1 merge not to oversample at a shorter GCD.
+			SameEpoch: true,
+		})
+		b, err := runFig5Once(topo, network.Baseline, seed, ws, cfg.Duration)
+		if err != nil {
+			return pair{}, err
+		}
+		o, err := runFig5Once(topo, network.TTMQO, seed, ws, cfg.Duration)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{b, o}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, 0, len(points))
+	for p, pt := range points {
 		var base, opt, save stats.Series
 		for r := 0; r < cfg.Runs; r++ {
-			seed := cfg.Seed + int64(r)*104729
-			ws := workload.Selectivity(workload.SelectivityConfig{
-				Seed:        seed,
-				AggFraction: pt.frac,
-				Selectivity: pt.sel,
-				Nodes:       topo.Size(),
-				// All series share one epoch duration: the paper's 7/8
-				// bound for the acquisition series presumes it, and the
-				// sharp aggregation jump at selectivity 1 requires the
-				// tier-1 merge not to oversample at a shorter GCD.
-				SameEpoch: true,
-			})
-			b, err := runFig5Once(topo, network.Baseline, seed, ws, cfg.Duration)
-			if err != nil {
-				return Fig5Row{}, err
-			}
-			o, err := runFig5Once(topo, network.TTMQO, seed, ws, cfg.Duration)
-			if err != nil {
-				return Fig5Row{}, err
-			}
-			base.Add(b)
-			opt.Add(o)
-			save.Add(metrics.Savings(b, o) * 100)
+			pr := pairs[p*cfg.Runs+r]
+			base.Add(pr.b)
+			opt.Add(pr.o)
+			save.Add(metrics.Savings(pr.b, pr.o) * 100)
 		}
-		return Fig5Row{
+		rows = append(rows, Fig5Row{
 			AggFraction:   pt.frac,
 			Selectivity:   pt.sel,
 			BaselineTxPct: base.Mean() * 100,
 			TTMQOTxPct:    opt.Mean() * 100,
 			SavingsPct:    save.Mean(),
 			SavingsStd:    save.Stddev(),
-		}, nil
-	})
+		})
+	}
+	return rows, nil
 }
 
 func runFig5Once(topo *topology.Topology, scheme network.Scheme, seed int64,

@@ -7,7 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/radio"
-	"repro/internal/stats"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -27,6 +27,11 @@ type LifetimeConfig struct {
 	Workload string
 	// Energy model; zero values take mica2-flavoured defaults.
 	Energy metrics.EnergyModel
+	// Parallelism caps the worker pool running independent schemes (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *LifetimeConfig) setDefaults() {
@@ -68,10 +73,10 @@ func RunLifetime(cfg LifetimeConfig) ([]LifetimeRow, error) {
 		return nil, err
 	}
 	schemes := network.AllSchemes()
-	rows, err := stats.ParallelMap(len(schemes), func(i int) (LifetimeRow, error) {
+	rows, err := sweep(cfg.Parallelism, cfg.Timing, schemes, func(scheme network.Scheme) (LifetimeRow, error) {
 		s, err := network.New(network.Config{
 			Topo:           topo,
-			Scheme:         schemes[i],
+			Scheme:         scheme,
 			Seed:           cfg.Seed,
 			Radio:          radio.Config{CollisionFactor: radio.DefaultCollisionFactor},
 			DiscardResults: true,
@@ -87,7 +92,7 @@ func RunLifetime(cfg LifetimeConfig) ([]LifetimeRow, error) {
 		}
 		s.Run(cfg.Duration)
 		return LifetimeRow{
-			Scheme:   schemes[i],
+			Scheme:   scheme,
 			TotalJ:   s.Metrics().TotalEnergy(cfg.Energy),
 			Lifetime: s.Metrics().NetworkLifetime(cfg.Duration, cfg.Energy),
 		}, nil

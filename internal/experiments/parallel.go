@@ -1,0 +1,13 @@
+package experiments
+
+import "repro/internal/runner"
+
+// sweep fans the cells of one study out across the runner's worker pool and
+// reassembles the rows in input order, so a parallel sweep is byte-identical
+// to a serial one. parallelism <= 0 uses one worker per CPU; tm, when
+// non-nil, receives the sweep's per-cell wall-clock timing.
+func sweep[C, R any](parallelism int, tm *runner.Timing, cells []C, fn func(C) (R, error)) ([]R, error) {
+	return runner.MapTimed(parallelism, len(cells), tm, func(i int) (R, error) {
+		return fn(cells[i])
+	})
+}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/query"
 	"repro/internal/radio"
-	"repro/internal/stats"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -30,6 +30,11 @@ type ReliabilityConfig struct {
 	MTBFs []time.Duration
 	// MTTR is the mean outage duration (default 30 s).
 	MTTR time.Duration
+	// Parallelism caps the worker pool running independent cells (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *ReliabilityConfig) setDefaults() {
@@ -91,8 +96,8 @@ func RunReliability(cfg ReliabilityConfig) ([]ReliabilityRow, error) {
 			cells = append(cells, cell{scheme, mtbf})
 		}
 	}
-	return stats.ParallelMap(len(cells), func(i int) (ReliabilityRow, error) {
-		scheme, mtbf := cells[i].scheme, cells[i].mtbf
+	return sweep(cfg.Parallelism, cfg.Timing, cells, func(c cell) (ReliabilityRow, error) {
+		scheme, mtbf := c.scheme, c.mtbf
 		src := field.New(topo, field.Config{Seed: cfg.Seed})
 		s, err := network.New(network.Config{
 			Topo:   topo,

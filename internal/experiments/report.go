@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/runner"
 )
 
 // ReportConfig parametrizes a full evaluation run (every figure and every
@@ -14,6 +16,9 @@ type ReportConfig struct {
 	Duration time.Duration
 	// Runs per stochastic point (default 3).
 	Runs int
+	// Parallelism caps each study's worker pool (<= 0: one worker per
+	// CPU). Result rows are identical at any setting.
+	Parallelism int
 }
 
 func (c *ReportConfig) setDefaults() {
@@ -23,6 +28,12 @@ func (c *ReportConfig) setDefaults() {
 	if c.Runs == 0 {
 		c.Runs = 3
 	}
+}
+
+// StudyTiming is one study's wall-clock accounting within a report.
+type StudyTiming struct {
+	Study  string
+	Timing runner.Timing
 }
 
 // Report bundles the results of one full evaluation run.
@@ -38,43 +49,61 @@ type Report struct {
 	Reliability []ReliabilityRow
 	Lifetime    []LifetimeRow
 	Scaling     []ScalingRow
-	Elapsed     time.Duration
+	// Timings records each study's cell count, wall clock and speedup.
+	Timings []StudyTiming
+	Elapsed time.Duration
 }
 
-// RunAll executes every study and returns the bundled report. Wall-clock
-// timing is measured by the caller and stored in Elapsed if desired.
+// RunAll executes every study and returns the bundled report, including
+// per-study wall-clock timing. The overall Elapsed is measured by the
+// caller and stored if desired.
 func RunAll(cfg ReportConfig) (*Report, error) {
 	cfg.setDefaults()
-	r := &Report{Config: cfg}
+	r := &Report{Config: cfg, Timings: make([]StudyTiming, 0, 9)}
+	// timed registers a study slot and returns its Timing destination; the
+	// slice is preallocated so the pointer stays valid across appends.
+	timed := func(study string) *runner.Timing {
+		r.Timings = append(r.Timings, StudyTiming{Study: study})
+		return &r.Timings[len(r.Timings)-1].Timing
+	}
 	var err error
 	if r.Fig2, err = RunFigure2Example(); err != nil {
 		return nil, fmt.Errorf("figure 2: %w", err)
 	}
-	if r.Fig3, err = RunFigure3(Fig3Config{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+	if r.Fig3, err = RunFigure3(Fig3Config{Seed: cfg.Seed, Duration: cfg.Duration,
+		Parallelism: cfg.Parallelism, Timing: timed("figure 3")}); err != nil {
 		return nil, fmt.Errorf("figure 3: %w", err)
 	}
-	if r.Fig4A, err = RunFigure4A(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs}); err != nil {
+	if r.Fig4A, err = RunFigure4A(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs,
+		Parallelism: cfg.Parallelism, Timing: timed("figure 4a")}); err != nil {
 		return nil, fmt.Errorf("figure 4a: %w", err)
 	}
-	if r.Fig4B, err = RunFigure4B(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs, Side: 8}); err != nil {
+	if r.Fig4B, err = RunFigure4B(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs, Side: 8,
+		Parallelism: cfg.Parallelism, Timing: timed("figure 4b")}); err != nil {
 		return nil, fmt.Errorf("figure 4b: %w", err)
 	}
-	if r.Fig4C, err = RunFigure4C(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs}); err != nil {
+	if r.Fig4C, err = RunFigure4C(Fig4Config{Seed: cfg.Seed, Runs: cfg.Runs,
+		Parallelism: cfg.Parallelism, Timing: timed("figure 4c")}); err != nil {
 		return nil, fmt.Errorf("figure 4c: %w", err)
 	}
-	if r.Fig5, err = RunFigure5(Fig5Config{Seed: cfg.Seed, Duration: cfg.Duration, Runs: cfg.Runs}); err != nil {
+	if r.Fig5, err = RunFigure5(Fig5Config{Seed: cfg.Seed, Duration: cfg.Duration, Runs: cfg.Runs,
+		Parallelism: cfg.Parallelism, Timing: timed("figure 5")}); err != nil {
 		return nil, fmt.Errorf("figure 5: %w", err)
 	}
-	if r.Ablation, err = RunAblation(AblationConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+	if r.Ablation, err = RunAblation(AblationConfig{Seed: cfg.Seed, Duration: cfg.Duration,
+		Parallelism: cfg.Parallelism, Timing: timed("ablation")}); err != nil {
 		return nil, fmt.Errorf("ablation: %w", err)
 	}
-	if r.Reliability, err = RunReliability(ReliabilityConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+	if r.Reliability, err = RunReliability(ReliabilityConfig{Seed: cfg.Seed, Duration: cfg.Duration,
+		Parallelism: cfg.Parallelism, Timing: timed("reliability")}); err != nil {
 		return nil, fmt.Errorf("reliability: %w", err)
 	}
-	if r.Lifetime, err = RunLifetime(LifetimeConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+	if r.Lifetime, err = RunLifetime(LifetimeConfig{Seed: cfg.Seed, Duration: cfg.Duration,
+		Parallelism: cfg.Parallelism, Timing: timed("lifetime")}); err != nil {
 		return nil, fmt.Errorf("lifetime: %w", err)
 	}
-	if r.Scaling, err = RunScaling(ScalingConfig{Seed: cfg.Seed, Duration: cfg.Duration}); err != nil {
+	if r.Scaling, err = RunScaling(ScalingConfig{Seed: cfg.Seed, Duration: cfg.Duration,
+		Parallelism: cfg.Parallelism, Timing: timed("scaling")}); err != nil {
 		return nil, fmt.Errorf("scaling: %w", err)
 	}
 	return r, nil
@@ -152,6 +181,19 @@ func (r *Report) Markdown() string {
 	for _, row := range r.Lifetime {
 		fmt.Fprintf(&b, "| %s | %.1f | %s | %+.1f%% |\n",
 			row.Scheme, row.TotalJ, row.Lifetime.Round(time.Hour), row.GainPct)
+	}
+
+	if len(r.Timings) > 0 {
+		b.WriteString("\n## Wall-clock timing (parallel runner)\n\n")
+		b.WriteString("Cells are independent simulation worlds fanned across the worker\npool; rows are reassembled in input order, so results are identical at\nany parallelism.\n\n")
+		b.WriteString("| study | cells | workers | wall | cpu | speedup | max cell |\n|---|---|---|---|---|---|---|\n")
+		for _, st := range r.Timings {
+			tm := st.Timing
+			fmt.Fprintf(&b, "| %s | %d | %d | %v | %v | %.1fx | %v |\n",
+				st.Study, len(tm.Cells), tm.Workers,
+				tm.Wall.Round(time.Millisecond), tm.Total().Round(time.Millisecond),
+				tm.Speedup(), tm.Max().Round(time.Millisecond))
+		}
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -7,7 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/radio"
-	"repro/internal/stats"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -23,6 +23,11 @@ type ScalingConfig struct {
 	Duration time.Duration
 	// Workload name (default A — the workload both tiers share).
 	Workload string
+	// Parallelism caps the worker pool running independent cells (<= 0:
+	// one worker per CPU). Results are identical at any setting.
+	Parallelism int
+	// Timing, when non-nil, receives the sweep's wall-clock accounting.
+	Timing *runner.Timing
 }
 
 func (c *ScalingConfig) setDefaults() {
@@ -71,7 +76,7 @@ func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
 			cells = append(cells, cell{side, scheme})
 		}
 	}
-	rows, err := statsParallel(cells, func(c cell) (ScalingRow, error) {
+	rows, err := sweep(cfg.Parallelism, cfg.Timing, cells, func(c cell) (ScalingRow, error) {
 		topo, err := topology.PaperGrid(c.side)
 		if err != nil {
 			return ScalingRow{}, err
@@ -125,9 +130,4 @@ func ScalingString(rows []ScalingRow) string {
 			r.Nodes, r.Scheme, r.AvgTxPct, r.SavingsPct, r.MeanLatencyMS, r.Messages)
 	}
 	return out
-}
-
-// statsParallel adapts stats.ParallelMap to a typed cell slice.
-func statsParallel[C any, R any](cells []C, fn func(C) (R, error)) ([]R, error) {
-	return stats.ParallelMap(len(cells), func(i int) (R, error) { return fn(cells[i]) })
 }

@@ -16,6 +16,7 @@ package field
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -103,6 +104,29 @@ type bump struct {
 	amp      float64
 	phase    float64 // temporal oscillation phase
 	periodHr float64
+
+	// Precomputed at construction for the Reading hot path.
+	omega  float64 // 2π/periodHr
+	inv2r2 float64 // 1/(2·radius²)
+}
+
+// maxBumps bounds the features per attribute; tick relies on it to stay
+// allocation-free per bump.
+const maxBumps = 4
+
+// tick caches the node-independent terms of an attribute at one virtual
+// instant: the network-wide drift, each bump's drifted center and its
+// oscillated amplitude. Simulations sample every node at shared, aligned
+// epoch instants (§3.2.1), so one tick serves a whole network sweep and the
+// per-reading work reduces to the spatial attenuation and noise hash. A
+// tick is immutable once published.
+type tick struct {
+	t      sim.Time
+	drift  float64
+	n      int
+	cx     [maxBumps]float64
+	cy     [maxBumps]float64
+	ampOsc [maxBumps]float64
 }
 
 // attrModel is the per-attribute generative model.
@@ -116,12 +140,43 @@ type attrModel struct {
 	periodHr float64
 	min, max float64
 	perNode  []float64 // fixed per-node calibration offset
+
+	// static is the time-invariant per-node term, precomputed at
+	// construction: base + gradient·position + calibration offset.
+	static []float64
+	omega  float64 // 2π/periodHr
+
+	// cache holds the most recent tick. Published atomically so the Field
+	// stays safe for concurrent reads.
+	cache atomic.Pointer[tick]
+}
+
+// tickAt returns the node-independent terms for time t, reusing the cached
+// tick when t matches (the hot case: every node reads at the same aligned
+// epoch instant).
+func (m *attrModel) tickAt(t sim.Time) *tick {
+	if tk := m.cache.Load(); tk != nil && tk.t == t {
+		return tk
+	}
+	hours := t.Hours()
+	tk := &tick{t: t, n: len(m.bumps)}
+	tk.drift = m.driftAmp * math.Sin(m.omega*hours)
+	for i := range m.bumps {
+		b := &m.bumps[i]
+		tk.cx[i] = b.cx + b.vx*hours
+		tk.cy[i] = b.cy + b.vy*hours
+		tk.ampOsc[i] = b.amp * (0.7 + 0.3*math.Sin(b.omega*hours+b.phase))
+	}
+	m.cache.Store(tk)
+	return tk
 }
 
 // Field produces deterministic readings for every (node, attribute, time)
-// triple. It is immutable after construction and safe for concurrent reads.
+// triple. It is immutable after construction apart from an internal
+// atomically-published cache, and safe for concurrent reads.
 type Field struct {
 	topo   *topology.Topology
+	px, py []float64 // node positions, flattened for the hot path
 	models [numAttrs + 1]*attrModel
 }
 
@@ -147,11 +202,16 @@ func New(topo *topology.Topology, cfg Config) *Field {
 		cfg.Correlation = 0.6
 	}
 	rng := sim.NewRand(cfg.Seed)
-	f := &Field{topo: topo}
+	f := &Field{
+		topo: topo,
+		px:   make([]float64, topo.Size()),
+		py:   make([]float64, topo.Size()),
+	}
 	// Extent of the deployment, used to scale features.
 	var maxX, maxY float64
 	for i := 0; i < topo.Size(); i++ {
 		p := topo.Position(topology.NodeID(i))
+		f.px[i], f.py[i] = p.X, p.Y
 		maxX = math.Max(maxX, p.X)
 		maxY = math.Max(maxY, p.Y)
 	}
@@ -173,7 +233,7 @@ func New(topo *topology.Topology, cfg Config) *Field {
 			min:      lo,
 			max:      hi,
 		}
-		nBumps := 2 + rng.Intn(3)
+		nBumps := 2 + rng.Intn(3) // stays within maxBumps
 		for b := 0; b < nBumps; b++ {
 			m.bumps = append(m.bumps, bump{
 				cx:       rng.Float64() * maxX,
@@ -190,9 +250,28 @@ func New(topo *topology.Topology, cfg Config) *Field {
 		for i := range m.perNode {
 			m.perNode[i] = span * 0.02 * rng.NormFloat64()
 		}
+		m.precompute(f)
 		f.models[a] = m
 	}
 	return f
+}
+
+// precompute derives the Reading hot-path terms that never change after
+// construction.
+func (m *attrModel) precompute(f *Field) {
+	if len(m.bumps) > maxBumps {
+		panic(fmt.Sprintf("field: %d bumps exceeds maxBumps %d", len(m.bumps), maxBumps))
+	}
+	m.omega = 2 * math.Pi / m.periodHr
+	for i := range m.bumps {
+		b := &m.bumps[i]
+		b.omega = 2 * math.Pi / b.periodHr
+		b.inv2r2 = 1 / (2 * b.radius * b.radius)
+	}
+	m.static = make([]float64, len(f.px))
+	for i := range m.static {
+		m.static[i] = m.base + m.gradX*f.px[i] + m.gradY*f.py[i] + m.perNode[i]
+	}
 }
 
 func signOf(v float64) float64 {
@@ -212,20 +291,15 @@ func (f *Field) Reading(id topology.NodeID, a Attr, t sim.Time) float64 {
 	if m == nil {
 		return 0
 	}
-	p := f.topo.Position(id)
-	hours := t.Hours()
+	tk := m.tickAt(t)
+	px, py := f.px[id], f.py[id]
 
-	v := m.base + m.gradX*p.X + m.gradY*p.Y
-	v += m.driftAmp * math.Sin(2*math.Pi*hours/m.periodHr)
-	for i := range m.bumps {
-		b := &m.bumps[i]
-		cx := b.cx + b.vx*hours
-		cy := b.cy + b.vy*hours
-		d2 := (p.X-cx)*(p.X-cx) + (p.Y-cy)*(p.Y-cy)
-		osc := math.Sin(2*math.Pi*hours/b.periodHr + b.phase)
-		v += b.amp * (0.7 + 0.3*osc) * math.Exp(-d2/(2*b.radius*b.radius))
+	v := m.static[id] + tk.drift
+	for i := 0; i < tk.n; i++ {
+		dx := px - tk.cx[i]
+		dy := py - tk.cy[i]
+		v += tk.ampOsc[i] * math.Exp(-(dx*dx+dy*dy)*m.bumps[i].inv2r2)
 	}
-	v += m.perNode[id]
 	v += m.noiseAmp * hashNoise(int64(id), int64(a), int64(t))
 
 	if v < m.min {

@@ -2,6 +2,7 @@ package field
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -198,5 +199,76 @@ func TestAttrRangeNodeID(t *testing.T) {
 	lo, hi := AttrNodeID.Range(64)
 	if lo != 0 || hi != 63 {
 		t.Fatalf("nodeid range = [%f,%f], want [0,63]", lo, hi)
+	}
+}
+
+// TestTickCacheConsistency asserts the per-tick memo never changes a
+// reading: interleaving times (forcing cache hits and misses in every
+// order) must produce exactly the values a fresh field produces.
+func TestTickCacheConsistency(t *testing.T) {
+	topo := grid(t, 4)
+	warm := New(topo, Config{Seed: 9})
+	times := []sim.Time{0, time.Second, 0, 3 * time.Second, time.Second, 0}
+	type key struct {
+		id topology.NodeID
+		a  Attr
+		t  sim.Time
+	}
+	got := make(map[key]float64)
+	for _, at := range times {
+		for i := 0; i < topo.Size(); i++ {
+			for _, a := range AllAttrs() {
+				k := key{topology.NodeID(i), a, at}
+				v := warm.Reading(k.id, k.a, k.t)
+				if prev, ok := got[k]; ok && prev != v {
+					t.Fatalf("%v: reading changed across cache states: %v vs %v", k, prev, v)
+				}
+				got[k] = v
+			}
+		}
+	}
+	// A cold field (fresh caches) agrees on every sampled triple.
+	cold := New(topo, Config{Seed: 9})
+	for k, v := range got {
+		if cv := cold.Reading(k.id, k.a, k.t); cv != v {
+			t.Fatalf("%v: warm %v != cold %v", k, v, cv)
+		}
+	}
+}
+
+// TestConcurrentReadings exercises the documented concurrent-read safety:
+// goroutines hammering different times and nodes must each see the same
+// values a serial reader sees (run under -race to check the tick cache).
+func TestConcurrentReadings(t *testing.T) {
+	topo := grid(t, 4)
+	f := New(topo, Config{Seed: 3})
+	ref := New(topo, Config{Seed: 3})
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := topology.NodeID((g*7 + i) % topo.Size())
+				at := time.Duration((g+i)%5) * time.Second
+				if v := f.Reading(id, AttrTemp, at); v < 0 || v > 100 {
+					errs <- "reading out of range"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Post-race spot check against an untouched field.
+	for i := 0; i < topo.Size(); i++ {
+		if f.Reading(topology.NodeID(i), AttrTemp, time.Second) !=
+			ref.Reading(topology.NodeID(i), AttrTemp, time.Second) {
+			t.Fatal("concurrent access corrupted the field")
+		}
 	}
 }

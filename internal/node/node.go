@@ -116,13 +116,20 @@ func New(cfg Config) *Node {
 	return n
 }
 
-// Queries returns the IDs of the queries currently installed (tests).
-func (n *Node) Queries() []query.ID {
+// installedIDs returns the installed query IDs in ascending order; loops
+// whose side effects reach the radio must use it instead of ranging over
+// the n.queries map directly.
+func (n *Node) installedIDs() []query.ID {
 	set := make(map[query.ID]bool, len(n.queries))
 	for id := range n.queries {
 		set[id] = true
 	}
 	return sortedIDs(set)
+}
+
+// Queries returns the IDs of the queries currently installed (tests).
+func (n *Node) Queries() []query.ID {
+	return n.installedIDs()
 }
 
 // Asleep reports whether the node is in sleep mode (tests).
@@ -209,7 +216,8 @@ func (n *Node) onBeacon(bm *BeaconMsg) {
 	// message (the receiver's dup/SRT logic applies as usual). Node-id
 	// based queries are skipped under SRT — the sender may have pruned
 	// them deliberately, which a digest cannot distinguish from loss.
-	for _, inst := range n.queries {
+	for _, qid := range n.installedIDs() {
+		inst := n.queries[qid]
 		if n.cfg.Policy.SRT {
 			if _, nodeIDBased := inst.q.PredFor(field.AttrNodeID); nodeIDBased {
 				continue
@@ -454,9 +462,12 @@ func (n *Node) onTick() {
 	if n.asleep || n.down {
 		return
 	}
+	// Iterate in sorted query order: without SharedMessages each firing
+	// query emits its own message, and emission order feeds the medium's
+	// contention model, so map order would leak into the results.
 	var firing []*installed
-	for _, inst := range n.queries {
-		if n.firesAt(inst, t) {
+	for _, qid := range n.installedIDs() {
+		if inst := n.queries[qid]; n.firesAt(inst, t) {
 			firing = append(firing, inst)
 		}
 	}
@@ -825,8 +836,15 @@ func (n *Node) route(msg *ResultMsg) {
 			return
 		}
 		// Without multicast: one unicast per parent, each with its subset.
-		for dest, qids := range assign {
-			sub := n.subsetMsg(msg, qids)
+		// Emission order affects the radio medium's contention, so iterate
+		// the parents in sorted order, never in map order.
+		dests := make([]topology.NodeID, 0, len(assign))
+		for dest := range assign {
+			dests = append(dests, dest)
+		}
+		sortNodeIDs(dests)
+		for _, dest := range dests {
+			sub := n.subsetMsg(msg, assign[dest])
 			n.transmit(sub, []topology.NodeID{dest})
 		}
 		return

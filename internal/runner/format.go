@@ -1,0 +1,17 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+)
+
+// formatTiming renders the human-readable sweep summary used by the CLIs
+// and the markdown report.
+func formatTiming(t *Timing) string {
+	if t == nil || len(t.Cells) == 0 {
+		return "no cells"
+	}
+	return fmt.Sprintf("%d cells in %v wall (cpu %v, %.1fx on %d workers, max cell %v)",
+		len(t.Cells), t.Wall.Round(time.Millisecond), t.Total().Round(time.Millisecond),
+		t.Speedup(), t.Workers, t.Max().Round(time.Millisecond))
+}

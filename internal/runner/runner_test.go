@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	out, err := Map(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var live, peak int64
+	_, err := Map(workers, 50, func(i int) (int, error) {
+		n := atomic.AddInt64(&live, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&live, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > workers {
+		t.Fatalf("observed %d concurrent cells, want <= %d", got, workers)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell 5 failed") {
+		t.Fatalf("err = %v, want cell 5 failure", err)
+	}
+	// Successful cells are still populated.
+	if out[3] != 3 {
+		t.Fatalf("out[3] = %d, want 3", out[3])
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got (%v, %v), want empty success", out, err)
+	}
+}
+
+func TestMapTimedRecordsCells(t *testing.T) {
+	var tm Timing
+	_, err := MapTimed(2, 6, &tm, func(i int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", tm.Workers)
+	}
+	if len(tm.Cells) != 6 {
+		t.Fatalf("len(Cells) = %d, want 6", len(tm.Cells))
+	}
+	for i, c := range tm.Cells {
+		if c <= 0 {
+			t.Fatalf("cell %d has no recorded duration", i)
+		}
+	}
+	if tm.Wall <= 0 || tm.Total() <= 0 || tm.Max() <= 0 || tm.Mean() <= 0 {
+		t.Fatalf("timing aggregates not populated: %+v", tm)
+	}
+	if tm.Speedup() <= 0 {
+		t.Fatalf("Speedup() = %f, want > 0", tm.Speedup())
+	}
+	if s := tm.String(); !strings.Contains(s, "6 cells") {
+		t.Fatalf("String() = %q, want cell count", s)
+	}
+}
+
+func TestMapSerialEqualsParallel(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("cell-%d", i*7), nil }
+	serial, err := Map(1, 40, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(8, 40, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d differs: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := DefaultWorkers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := DefaultWorkers(5); got != 5 {
+		t.Fatalf("DefaultWorkers(5) = %d, want 5", got)
+	}
+}
+
+func TestTimingZeroValues(t *testing.T) {
+	var tm Timing
+	if tm.Total() != 0 || tm.Max() != 0 || tm.Mean() != 0 {
+		t.Fatal("zero Timing should aggregate to zero")
+	}
+	if tm.Speedup() != 1 {
+		t.Fatalf("zero Timing Speedup() = %f, want 1", tm.Speedup())
+	}
+	if s := tm.String(); s != "no cells" {
+		t.Fatalf("zero Timing String() = %q", s)
+	}
+}

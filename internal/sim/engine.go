@@ -31,7 +31,10 @@ type event struct {
 }
 
 // Handle identifies a scheduled event so that it can be cancelled.
-type Handle struct{ ev *event }
+type Handle struct {
+	ev *event
+	e  *Engine
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
@@ -41,6 +44,7 @@ func (h Handle) Cancel() bool {
 		return false
 	}
 	h.ev.cancelled = true
+	h.e.pending--
 	return true
 }
 
@@ -53,11 +57,12 @@ func (h Handle) Pending() bool {
 // concurrent use; all interaction with a running simulation happens from
 // within event callbacks, which the engine serialises.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	fired  uint64
-	halted bool
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	pending int // non-cancelled events in the queue, kept in O(1)
+	halted  bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -68,16 +73,10 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending (non-cancelled) events.
-func (e *Engine) Len() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending (non-cancelled) events. The count is
+// maintained incrementally on Schedule/Cancel/Step, so Len is O(1) even
+// with a large queue.
+func (e *Engine) Len() int { return e.pending }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -94,8 +93,9 @@ func (e *Engine) Schedule(at Time, fn func()) Handle {
 	}
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
+	e.pending++
 	heap.Push(&e.queue, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, e: e}
 }
 
 // After enqueues fn to run d after the current virtual time.
@@ -114,6 +114,7 @@ func (e *Engine) Step() bool {
 		if ev.cancelled {
 			continue
 		}
+		e.pending--
 		e.now = ev.at
 		e.fired++
 		ev.fn()

@@ -321,3 +321,41 @@ func TestRandCoversDistributions(t *testing.T) {
 		t.Fatalf("Shuffle lost elements: %v", vals)
 	}
 }
+
+// TestEngineLenCounterInvariant cross-checks the O(1) pending counter
+// against a brute-force scan through a randomized schedule/cancel/fire mix.
+func TestEngineLenCounterInvariant(t *testing.T) {
+	e := NewEngine()
+	rng := NewRand(7)
+	scan := func() int {
+		n := 0
+		for _, ev := range e.queue {
+			if !ev.cancelled {
+				n++
+			}
+		}
+		return n
+	}
+	var handles []Handle
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			handles = append(handles, e.After(time.Duration(rng.Intn(1000))*time.Millisecond, func() {}))
+		case 2:
+			if len(handles) > 0 {
+				h := handles[rng.Intn(len(handles))]
+				h.Cancel()
+				h.Cancel() // double-cancel must not double-decrement
+			}
+		case 3:
+			e.Step()
+		}
+		if got, want := e.Len(), scan(); got != want {
+			t.Fatalf("step %d: Len() = %d, scan = %d", step, got, want)
+		}
+	}
+	e.RunAll()
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", e.Len())
+	}
+}

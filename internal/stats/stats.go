@@ -1,14 +1,12 @@
 // Package stats provides the small summary-statistics toolkit the
 // experiment harnesses use to report multi-seed results honestly: running
-// mean and standard deviation (Welford's algorithm), min/max, and a
-// parallel map utility for running independent simulations across CPUs.
+// mean and standard deviation (Welford's algorithm) and min/max. The
+// parallel sweep executor lives in package runner.
 package stats
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Series accumulates scalar observations with Welford's online algorithm —
@@ -65,50 +63,4 @@ func (s *Series) Max() float64 {
 // String renders "mean ± stddev (n=N)".
 func (s *Series) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.Stddev(), s.n)
-}
-
-// ParallelMap runs fn(i) for i in [0, n) across min(n, GOMAXPROCS) workers
-// and collects the results in order. The first error wins and is returned
-// after all workers drain; results computed before the error are still
-// populated. fn must be safe to call concurrently (our simulations are
-// independent value worlds, so they are).
-func ParallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	if n == 0 {
-		return out, nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				v, err := fn(i)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				out[i] = v
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out, firstErr
 }

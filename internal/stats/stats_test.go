@@ -1,10 +1,8 @@
 package stats
 
 import (
-	"errors"
 	"math"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -72,48 +70,5 @@ func TestSeriesMatchesNaive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestParallelMapOrderAndConcurrency(t *testing.T) {
-	var calls atomic.Int64
-	out, err := ParallelMap(100, func(i int) (int, error) {
-		calls.Add(1)
-		return i * i, nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if calls.Load() != 100 {
-		t.Fatalf("calls = %d", calls.Load())
-	}
-	for i, v := range out {
-		if v != i*i {
-			t.Fatalf("out[%d] = %d", i, v)
-		}
-	}
-}
-
-func TestParallelMapError(t *testing.T) {
-	boom := errors.New("boom")
-	out, err := ParallelMap(10, func(i int) (int, error) {
-		if i == 5 {
-			return 0, boom
-		}
-		return i, nil
-	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v", err)
-	}
-	// Other results still present.
-	if out[3] != 3 || out[9] != 9 {
-		t.Fatalf("out = %v", out)
-	}
-}
-
-func TestParallelMapEmpty(t *testing.T) {
-	out, err := ParallelMap(0, func(int) (int, error) { return 0, nil })
-	if err != nil || len(out) != 0 {
-		t.Fatalf("out=%v err=%v", out, err)
 	}
 }

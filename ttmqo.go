@@ -12,6 +12,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/node"
 	"repro/internal/query"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -247,6 +248,13 @@ type (
 	ScalingRow = experiments.ScalingRow
 	// EnergyModel converts radio and sensing activity into Joules.
 	EnergyModel = metrics.EnergyModel
+	// SweepTiming records a sweep's wall-clock accounting; point a config's
+	// Timing field at one to collect it. Every experiment config also has a
+	// Parallelism knob capping its worker pool (<= 0: one worker per CPU);
+	// result rows are identical at any setting.
+	SweepTiming = runner.Timing
+	// StudyTiming pairs a study name with its sweep timing in a Report.
+	StudyTiming = experiments.StudyTiming
 	// Trace is a structured event log of a simulation run; pass one in
 	// SimulationConfig.Trace.
 	Trace = trace.Buffer
@@ -309,6 +317,10 @@ type Report = experiments.Report
 // RunAllExperiments executes every figure and extension study and returns
 // the bundled report.
 func RunAllExperiments(cfg ReportConfig) (*Report, error) { return experiments.RunAll(cfg) }
+
+// DefaultWorkers resolves a Parallelism setting: n when positive, one
+// worker per CPU otherwise.
+func DefaultWorkers(n int) int { return runner.DefaultWorkers(n) }
 
 // Savings returns (baseline − value) / baseline, the figures' y axis.
 func Savings(baseline, value float64) float64 { return metrics.Savings(baseline, value) }
