@@ -5,18 +5,24 @@
 //
 //	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|lifetime|scaling|all]
 //	            [-seed N] [-minutes M] [-runs R] [-parallel P] [-md report.md]
+//	            [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The -minutes flag sets the simulated duration of packet-level runs;
 // -runs averages stochastic points over several workload seeds; -parallel
 // caps the worker pool fanning independent simulation cells across CPUs
 // (0 = one worker per CPU; results are identical at any setting); -md runs
-// every study and writes a self-contained markdown report.
+// every study and writes a self-contained markdown report. -json exports
+// the selected studies' rows plus a run manifest as machine-readable JSON
+// (byte-identical at any -parallel setting); -cpuprofile/-memprofile write
+// pprof profiles of the sweep for performance work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	ttmqo "repro"
@@ -33,7 +39,38 @@ func run() int {
 	runs := flag.Int("runs", 3, "workload seeds averaged per stochastic point")
 	parallel := flag.Int("parallel", 0, "worker pool size for sweeps (0 = one worker per CPU)")
 	mdOut := flag.String("md", "", "write a full markdown report to this file (runs everything)")
+	jsonOut := flag.String("json", "", "export the selected studies' rows + manifest as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *mdOut != "" {
 		start := time.Now()
@@ -52,6 +89,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "report:", err)
 			return 1
 		}
+		if *jsonOut != "" {
+			if err := writeJSONFile(*jsonOut, report.Export()); err != nil {
+				fmt.Fprintln(os.Stderr, "json:", err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 		fmt.Printf("wrote %s in %v\n", *mdOut, report.Elapsed.Round(time.Second))
 		return 0
 	}
@@ -60,8 +104,12 @@ func run() int {
 	all := *fig == "all"
 	ok := true
 	// Each study writes its sweep's wall-clock accounting here; dispatch
-	// prints it after the table.
+	// prints it after the table. Studies that ran collect their rows for the
+	// -json export (wall-clock timing stays out of it, so the bytes are
+	// identical at any -parallel setting).
 	var tm ttmqo.SweepTiming
+	var studies []ttmqo.SweepStudy
+	keep := func(name string, rows any) { studies = append(studies, ttmqo.SweepStudy{Name: name, Rows: rows}) }
 	dispatch := func(name string, f func() error) {
 		if !all && *fig != name {
 			return
@@ -83,6 +131,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("figure 2", rows)
 		fmt.Printf("%-7s %12s %12s %12s\n", "mode", "acqMsgs", "acqNodes", "aggMsgs")
 		for _, r := range rows {
 			fmt.Printf("%-7s %8d (%2d) %8d (%d) %8d (%2d)\n", r.Mode,
@@ -99,6 +148,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("figure 3", rows)
 		fmt.Print(fig3String(rows))
 		return nil
 	})
@@ -108,6 +158,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("figure 4a", pts)
 		fmt.Print(fig4String(pts))
 		return nil
 	})
@@ -117,6 +168,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("figure 4b", pts)
 		fmt.Print(fig4String(pts))
 		return nil
 	})
@@ -126,6 +178,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("figure 4c", pts)
 		fmt.Print(fig4String(pts))
 		return nil
 	})
@@ -135,6 +188,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("figure 5", rows)
 		fmt.Print(fig5String(rows))
 		return nil
 	})
@@ -144,6 +198,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("reliability", rows)
 		fmt.Printf("%-13s %8s %14s %9s %10s\n", "scheme", "mtbf", "completeness", "failures", "avgTx(%)")
 		for _, r := range rows {
 			mtbf := "none"
@@ -161,6 +216,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("scaling", rows)
 		fmt.Printf("%6s %-13s %10s %9s %12s %9s\n",
 			"nodes", "scheme", "avgTx(%)", "save(%)", "latency(ms)", "messages")
 		for _, r := range rows {
@@ -175,6 +231,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("lifetime", rows)
 		fmt.Printf("%-13s %10s %14s %9s\n", "scheme", "energy(J)", "lifetime", "gain")
 		for _, r := range rows {
 			fmt.Printf("%-13s %10.1f %14s %+8.1f%%\n",
@@ -188,6 +245,7 @@ func run() int {
 		if err != nil {
 			return err
 		}
+		keep("ablation", rows)
 		fmt.Printf("%-12s %10s %10s %9s\n", "variant", "avgTx(%)", "vs full", "messages")
 		for _, r := range rows {
 			fmt.Printf("%-12s %10.4f %+9.1f%% %9d\n", r.Variant, r.AvgTxPct, r.DeltaPct, r.Messages)
@@ -198,7 +256,41 @@ func run() int {
 	if !ok {
 		return 1
 	}
+	if *jsonOut != "" {
+		if len(studies) == 0 {
+			fmt.Fprintf(os.Stderr, "json: no studies ran for -fig %s\n", *fig)
+			return 1
+		}
+		m := ttmqo.SweepManifest(*fig, *seed, dur, *runs)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			return 1
+		}
+		if err := ttmqo.WriteSweepJSON(f, m, studies...); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "json:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 	return 0
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ttmqo.WriteJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fig3String(rows []ttmqo.Fig3Row) string {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ttmqo-shell [-side N] [-scheme ttmqo] [-seed S]
+//	ttmqo-shell [-side N] [-scheme ttmqo] [-seed S] [-series out.csv] [-sample 30s]
 //
 // Commands:
 //
@@ -17,11 +17,16 @@
 //	synthetic           list running synthetic queries (tier-1 schemes)
 //	explain <id>        how the base station serves query <id>
 //	stats               radio accounting
+//	manifest            print the run's identifying manifest as JSON
+//	export <file.json>  write the run's machine-readable export so far
 //	map                 ASCII map of node states and transmit load
 //	trace [n|summary]   tail the event log / summarize it
 //	fail <id>           fail a node; revive <id> brings it back
 //	help                this text
 //	quit
+//
+// With -series, the session's metrics are sampled every -sample of virtual
+// time and written as CSV on quit.
 package main
 
 import (
@@ -49,6 +54,8 @@ func run() error {
 	side := flag.Int("side", 4, "grid side length")
 	schemeName := flag.String("scheme", "ttmqo", "baseline, base-station, in-network or ttmqo")
 	seed := flag.Int64("seed", 1, "random seed")
+	seriesOut := flag.String("series", "", "write the session's sampled time series as CSV on quit")
+	sample := flag.Duration("sample", ttmqo.DefaultSampleInterval, "virtual-time sampling interval for -series")
 	flag.Parse()
 
 	var scheme ttmqo.Scheme
@@ -76,11 +83,35 @@ func run() error {
 	fmt.Printf("ttmqo-shell: %d-node grid, scheme %s. Type 'help'.\n", topo.Size(), scheme)
 
 	sh := &shell{sim: sim, trace: buf}
+	if *seriesOut != "" {
+		sh.series = sim.StartSeries(*sample)
+	}
+	flush := func() error {
+		if sh.series == nil {
+			return nil
+		}
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			return err
+		}
+		if err := sh.series.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("series: %s (%d samples)\n", *seriesOut, sh.series.Len())
+		return nil
+	}
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Printf("[t=%v] > ", time.Duration(sim.Engine().Now()).Round(time.Millisecond))
 		if !scanner.Scan() {
 			fmt.Println()
+			if err := flush(); err != nil {
+				return err
+			}
 			return scanner.Err()
 		}
 		line := strings.TrimSpace(scanner.Text())
@@ -88,22 +119,23 @@ func run() error {
 			continue
 		}
 		if line == "quit" || line == "exit" {
-			return nil
+			return flush()
 		}
 		sh.exec(line)
 	}
 }
 
 type shell struct {
-	sim   *ttmqo.Simulation
-	trace *ttmqo.Trace
+	sim    *ttmqo.Simulation
+	trace  *ttmqo.Trace
+	series *ttmqo.TimeSeries
 }
 
 func (s *shell) exec(line string) {
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch cmd {
 	case "help":
-		fmt.Println("post <query> | stop <id> | run <seconds> | results <id> [n] | queries | synthetic | explain <id> | stats | map | trace [n|summary] | fail <id> | revive <id> | quit")
+		fmt.Println("post <query> | stop <id> | run <seconds> | results <id> [n] | queries | synthetic | explain <id> | stats | manifest | export <file> | map | trace [n|summary] | fail <id> | revive <id> | quit")
 	case "load":
 		f, err := os.Open(strings.TrimSpace(rest))
 		if err != nil {
@@ -220,6 +252,23 @@ func (s *shell) exec(line string) {
 	case "stats":
 		fmt.Printf("  avg transmission time: %.4f%%\n", s.sim.AvgTransmissionTime()*100)
 		fmt.Printf("  %s\n", s.sim.Metrics())
+	case "manifest":
+		m := s.sim.Manifest()
+		m.Study = "shell"
+		if err := ttmqo.WriteJSON(os.Stdout, m.Hashed()); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "export":
+		path := strings.TrimSpace(rest)
+		if path == "" {
+			fmt.Println("error: export <file.json>")
+			return
+		}
+		if err := s.export(path); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("wrote %s\n", path)
 	case "map":
 		s.printMap()
 	case "trace":
@@ -251,6 +300,35 @@ func (s *shell) exec(line string) {
 	default:
 		fmt.Printf("unknown command %q (try help)\n", cmd)
 	}
+}
+
+// export writes the session's run export — manifest, radio metrics so far,
+// optimizer state and any sampled series — as JSON.
+func (s *shell) export(path string) error {
+	m := s.sim.Manifest()
+	m.Study = "shell"
+	m.DurationMS = time.Duration(s.sim.Engine().Now()).Milliseconds()
+	re := ttmqo.RunExport{
+		Manifest: m.Hashed(),
+		Metrics: ttmqo.CollectFinalMetrics(s.sim.Metrics(),
+			time.Duration(s.sim.Engine().Now()), ttmqo.DefaultEnergyModel()),
+		Series: s.series,
+	}
+	if opt := s.sim.Optimizer(); opt != nil {
+		re.Optimizer = &ttmqo.OptimizerState{
+			UserQueries:      opt.UserCount(),
+			SyntheticQueries: opt.SyntheticCount(),
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ttmqo.WriteJSON(f, re); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (s *shell) printResults(id ttmqo.QueryID, n int) {

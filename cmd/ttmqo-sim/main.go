@@ -6,18 +6,28 @@
 //	ttmqo-sim [-side N] [-scheme baseline|base-station|in-network|ttmqo]
 //	          [-workload A|B|C|random] [-minutes M] [-seed S] [-alpha A]
 //	          [-concurrency C] [-queries Q] [-runs R] [-parallel P] [-v]
+//	          [-json out.json] [-series out.csv] [-sample 30s]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -workload random, the §4.3 adaptive workload is replayed (arrivals
 // and terminations); otherwise the named static workload runs for the whole
 // interval. With -runs R > 1 the scenario is replayed under seeds
 // S..S+R-1, fanned across -parallel workers (0 = one per CPU), and a
 // per-seed summary table is printed instead of the single-run detail.
+//
+// -json writes a machine-readable export: for a single run, the manifest,
+// final radio metrics, optimizer state and (when sampled) the time series;
+// for -runs > 1, the per-seed summary rows under a sweep manifest. -series
+// writes the virtual-time metrics series as CSV, sampled every -sample of
+// simulated time. -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	ttmqo "repro"
@@ -46,7 +56,38 @@ func run() error {
 	verbose := flag.Bool("v", false, "print per-query delivery counts")
 	traceOut := flag.String("trace", "", "write the run's event log as CSV to this file")
 	fieldCSV := flag.String("field", "", "replay sensor readings from this CSV trace instead of the synthetic field")
+	jsonOut := flag.String("json", "", "write a machine-readable run export as JSON to this file")
+	seriesOut := flag.String("series", "", "write the sampled time series as CSV to this file")
+	sample := flag.Duration("sample", ttmqo.DefaultSampleInterval, "virtual-time sampling interval for -series/-json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	scheme, err := parseScheme(*schemeName)
 	if err != nil {
@@ -61,7 +102,7 @@ func run() error {
 			topo: topo, scheme: scheme, seed: *seed, runs: *runs,
 			parallel: *parallel, alpha: *alpha, workload: *workloadName,
 			concurrency: *concurrency, queries: *queries,
-			minutes: *minutes, fieldCSV: *fieldCSV,
+			minutes: *minutes, fieldCSV: *fieldCSV, jsonOut: *jsonOut,
 		})
 	}
 	var buf *ttmqo.Trace
@@ -105,6 +146,10 @@ func run() error {
 	}
 
 	dur := time.Duration(*minutes) * time.Minute
+	var series *ttmqo.TimeSeries
+	if *seriesOut != "" || *jsonOut != "" {
+		series = sim.StartSeries(*sample)
+	}
 	start := time.Now()
 	sim.Run(dur)
 	wall := time.Since(start)
@@ -146,6 +191,50 @@ func run() error {
 			}
 		}
 	}
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			return err
+		}
+		if err := series.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("series: %s (%d samples)\n", *seriesOut, series.Len())
+	}
+	if *jsonOut != "" {
+		m := sim.Manifest()
+		m.Study = "sim"
+		m.Workload = *workloadName
+		m.DurationMS = dur.Milliseconds()
+		m.Runs = 1
+		re := ttmqo.RunExport{
+			Manifest: m.Hashed(),
+			Metrics:  ttmqo.CollectFinalMetrics(sim.Metrics(), dur, ttmqo.DefaultEnergyModel()),
+			Series:   series,
+		}
+		if opt := sim.Optimizer(); opt != nil {
+			re.Optimizer = &ttmqo.OptimizerState{
+				UserQueries:      opt.UserCount(),
+				SyntheticQueries: opt.SyntheticCount(),
+			}
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := ttmqo.WriteJSON(f, re); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("json: %s\n", *jsonOut)
+	}
 	return nil
 }
 
@@ -180,6 +269,16 @@ type multiConfig struct {
 	queries     int
 	minutes     int
 	fieldCSV    string
+	jsonOut     string
+}
+
+// seedOutcome is one seed's summary row; exported fields so -json replays
+// round-trip through encoding/json.
+type seedOutcome struct {
+	Seed            int64   `json:"seed"`
+	AvgTxPct        float64 `json:"avg_tx_pct"`
+	Messages        int     `json:"messages"`
+	Retransmissions int     `json:"retransmissions"`
 }
 
 // runMany replays the scenario under runs consecutive seeds, fanned across
@@ -187,26 +286,20 @@ type multiConfig struct {
 // source, loaded per cell when replaying a CSV trace), so the per-seed rows
 // are identical at any parallelism.
 func runMany(cfg multiConfig) error {
-	type outcome struct {
-		seed    int64
-		avgTx   float64
-		msgs    int
-		retrans int
-	}
 	dur := time.Duration(cfg.minutes) * time.Minute
 	var tm runner.Timing
-	rows, err := runner.MapTimed(cfg.parallel, cfg.runs, &tm, func(i int) (outcome, error) {
+	rows, err := runner.MapTimed(cfg.parallel, cfg.runs, &tm, func(i int) (seedOutcome, error) {
 		seed := cfg.seed + int64(i)
 		var source ttmqo.Source
 		if cfg.fieldCSV != "" {
 			f, err := os.Open(cfg.fieldCSV)
 			if err != nil {
-				return outcome{}, err
+				return seedOutcome{}, err
 			}
 			source, err = ttmqo.LoadTraceCSV(f)
 			f.Close()
 			if err != nil {
-				return outcome{}, err
+				return seedOutcome{}, err
 			}
 		}
 		sim, err := ttmqo.NewSimulation(ttmqo.SimulationConfig{
@@ -218,11 +311,11 @@ func runMany(cfg multiConfig) error {
 			DiscardResults: true,
 		})
 		if err != nil {
-			return outcome{}, err
+			return seedOutcome{}, err
 		}
 		ws, err := buildWorkload(cfg.workload, seed, cfg.queries, cfg.concurrency)
 		if err != nil {
-			return outcome{}, err
+			return seedOutcome{}, err
 		}
 		for _, w := range ws {
 			sim.PostAt(w.Arrive, w.Query)
@@ -231,11 +324,11 @@ func runMany(cfg multiConfig) error {
 			}
 		}
 		sim.Run(dur)
-		return outcome{
-			seed:    seed,
-			avgTx:   sim.AvgTransmissionTime() * 100,
-			msgs:    sim.Metrics().Messages(),
-			retrans: sim.Metrics().Retransmissions(),
+		return seedOutcome{
+			Seed:            seed,
+			AvgTxPct:        sim.AvgTransmissionTime() * 100,
+			Messages:        sim.Metrics().Messages(),
+			Retransmissions: sim.Metrics().Retransmissions(),
 		}, nil
 	})
 	if err != nil {
@@ -246,11 +339,30 @@ func runMany(cfg multiConfig) error {
 	fmt.Printf("%6s %10s %9s %8s\n", "seed", "avgTx(%)", "messages", "retrans")
 	var tx stats.Series
 	for _, r := range rows {
-		tx.Add(r.avgTx)
-		fmt.Printf("%6d %10.4f %9d %8d\n", r.seed, r.avgTx, r.msgs, r.retrans)
+		tx.Add(r.AvgTxPct)
+		fmt.Printf("%6d %10.4f %9d %8d\n", r.Seed, r.AvgTxPct, r.Messages, r.Retransmissions)
 	}
 	fmt.Printf("avg transmission time: %s\n", tx.String())
 	fmt.Printf("timing: %s\n", tm.String())
+	if cfg.jsonOut != "" {
+		m := ttmqo.SweepManifest("sim", cfg.seed, dur, cfg.runs)
+		m.Scheme = cfg.scheme.String()
+		m.Nodes = cfg.topo.Size()
+		m.Workload = cfg.workload
+		m.Alpha = cfg.alpha
+		f, err := os.Create(cfg.jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := ttmqo.WriteSweepJSON(f, m.Hashed(), ttmqo.SweepStudy{Name: "seeds", Rows: rows}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("json: %s\n", cfg.jsonOut)
+	}
 	return nil
 }
 

@@ -8,11 +8,13 @@
 //	               [-concurrency C] [-seed S]
 //	ttmqo-workload show w.json
 //	ttmqo-workload run w.json [-scheme ttmqo] [-side N] [-minutes M] [-seed S]
-//	               [-compare] [-parallel P]
+//	               [-compare] [-parallel P] [-json out.json]
 //
 // With -compare, run executes the workload under every scheme — fanned
 // across -parallel workers (0 = one per CPU; the table is identical at any
-// setting) — and prints a comparison table.
+// setting) — and prints a comparison table. -json exports the per-scheme
+// rows plus a run manifest as machine-readable JSON; the bytes are
+// identical at any -parallel setting.
 package main
 
 import (
@@ -140,6 +142,7 @@ func runCmd(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	compare := fs.Bool("compare", false, "run under every scheme and compare")
 	parallel := fs.Int("parallel", 0, "worker pool size for -compare (0 = one worker per CPU)")
+	jsonOut := fs.String("json", "", "export the per-scheme rows + manifest as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,9 +186,11 @@ func runCmd(args []string) error {
 	// worker pool and print in input order (savings are computed after the
 	// fact, so the parallel table matches the serial one byte for byte).
 	type outcome struct {
-		tx      float64
-		msgs    int
-		retrans int
+		Scheme          string  `json:"scheme"`
+		AvgTxPct        float64 `json:"avg_tx_pct"`
+		SavingsPct      float64 `json:"savings_pct"`
+		Messages        int     `json:"messages"`
+		Retransmissions int     `json:"retransmissions"`
 	}
 	var tm runner.Timing
 	rows, err := runner.MapTimed(*parallel, len(schemes), &tm, func(i int) (outcome, error) {
@@ -206,9 +211,10 @@ func runCmd(args []string) error {
 		}
 		sim.Run(dur)
 		return outcome{
-			tx:      sim.AvgTransmissionTime() * 100,
-			msgs:    sim.Metrics().Messages(),
-			retrans: sim.Metrics().Retransmissions(),
+			Scheme:          schemes[i].String(),
+			AvgTxPct:        sim.AvgTransmissionTime() * 100,
+			Messages:        sim.Metrics().Messages(),
+			Retransmissions: sim.Metrics().Retransmissions(),
 		}, nil
 	})
 	if err != nil {
@@ -218,14 +224,35 @@ func runCmd(args []string) error {
 	fmt.Printf("%-13s %10s %9s %9s %8s\n", "scheme", "avgTx(%)", "save(%)", "messages", "retrans")
 	for i, sc := range schemes {
 		if sc == ttmqo.SchemeBaseline {
-			baseline = rows[i].tx
+			baseline = rows[i].AvgTxPct
 		}
+		rows[i].SavingsPct = metrics.Savings(baseline, rows[i].AvgTxPct) * 100
 		fmt.Printf("%-13s %10.4f %9.1f %9d %8d\n",
-			sc, rows[i].tx, metrics.Savings(baseline, rows[i].tx)*100,
-			rows[i].msgs, rows[i].retrans)
+			sc, rows[i].AvgTxPct, rows[i].SavingsPct,
+			rows[i].Messages, rows[i].Retransmissions)
 	}
 	if *compare {
 		fmt.Printf("timing: %s\n", tm.String())
+	}
+	if *jsonOut != "" {
+		m := ttmqo.SweepManifest("workload", *seed, dur, 1)
+		m.Nodes = topo.Size()
+		m.Workload = fs.Arg(0)
+		if len(schemes) == 1 {
+			m.Scheme = schemes[0].String()
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := ttmqo.WriteSweepJSON(f, m.Hashed(), ttmqo.SweepStudy{Name: "schemes", Rows: rows}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("json: %s\n", *jsonOut)
 	}
 	return nil
 }

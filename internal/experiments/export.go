@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SweepManifest builds the manifest attached to an exported sweep: study
+// name, base seed, per-run duration and runs-per-point, hashed. It carries
+// no wall-clock state, so exports are byte-identical across parallelism
+// settings and repeated runs.
+func SweepManifest(study string, seed int64, dur time.Duration, runs int) obs.Manifest {
+	m := obs.NewManifest(study)
+	m.Seed = seed
+	m.DurationMS = dur.Milliseconds()
+	m.Runs = runs
+	return m.Hashed()
+}
+
+// WriteSweepJSON exports one or more studies' result rows under a manifest.
+func WriteSweepJSON(w io.Writer, m obs.Manifest, studies ...obs.Study) error {
+	return obs.WriteJSON(w, obs.Export{Manifest: m, Studies: studies})
+}
+
+// Export bundles every study of the report into the JSON envelope. Timings
+// and Elapsed are deliberately excluded: they are wall-clock measurements,
+// and exported results must be identical at any parallelism setting.
+func (r *Report) Export() obs.Export {
+	m := SweepManifest("all", r.Config.Seed, r.Config.Duration, r.Config.Runs)
+	return obs.Export{Manifest: m, Studies: []obs.Study{
+		{Name: "figure 2", Rows: r.Fig2},
+		{Name: "figure 3", Rows: r.Fig3},
+		{Name: "figure 4a", Rows: r.Fig4A},
+		{Name: "figure 4b", Rows: r.Fig4B},
+		{Name: "figure 4c", Rows: r.Fig4C},
+		{Name: "figure 5", Rows: r.Fig5},
+		{Name: "ablation", Rows: r.Ablation},
+		{Name: "reliability", Rows: r.Reliability},
+		{Name: "lifetime", Rows: r.Lifetime},
+		{Name: "scaling", Rows: r.Scaling},
+	}}
+}
+
+// WriteJSON exports the report (manifest + all study rows) to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	return obs.WriteJSON(w, r.Export())
+}

@@ -26,6 +26,7 @@ type Collector struct {
 	messages int              // total messages put on the air (incl. retries)
 	retrans  int
 	dropped  int
+	clipped  int // metric updates addressed to out-of-range node IDs
 	payload  int64 // total bytes transmitted (incl. retries)
 	nodes    int
 	latency  stats.Series // epoch fire → base-station arrival, seconds
@@ -45,27 +46,36 @@ func NewCollector(n int) *Collector {
 
 // AddTxTime accrues radio-busy time for a node. Every transmission attempt
 // accrues, including ones that end in a collision — retransmission cost is
-// real cost (§4.1 counts retransmission messages).
+// real cost (§4.1 counts retransmission messages). Out-of-range node IDs
+// accrue nothing but are counted in Clipped so lost accounting is visible.
 func (c *Collector) AddTxTime(id topology.NodeID, d time.Duration) {
-	if int(id) < len(c.txTime) {
-		c.txTime[id] += d
+	if int(id) < 0 || int(id) >= len(c.txTime) {
+		c.clipped++
+		return
 	}
+	c.txTime[id] += d
 }
 
 // AddRxTime accrues receive airtime for a node — every in-range radio hears
 // every transmission, addressed or not, so overhearing costs energy too.
+// Out-of-range node IDs are counted in Clipped.
 func (c *Collector) AddRxTime(id topology.NodeID, d time.Duration) {
-	if int(id) < len(c.rxTime) {
-		c.rxTime[id] += d
+	if int(id) < 0 || int(id) >= len(c.rxTime) {
+		c.clipped++
+		return
 	}
+	c.rxTime[id] += d
 }
 
 // CountSamples records n attribute acquisitions at a node (one per sampled
-// attribute per shared acquisition).
+// attribute per shared acquisition). Out-of-range node IDs are counted in
+// Clipped.
 func (c *Collector) CountSamples(id topology.NodeID, n int) {
-	if int(id) < len(c.samples) {
-		c.samples[id] += n
+	if int(id) < 0 || int(id) >= len(c.samples) {
+		c.clipped++
+		return
 	}
+	c.samples[id] += n
 }
 
 // RxTime returns the accumulated receive airtime of one node.
@@ -183,6 +193,14 @@ func (c *Collector) Retransmissions() int { return c.retrans }
 // Dropped returns the number of messages abandoned after max retries.
 func (c *Collector) Dropped() int { return c.dropped }
 
+// Clipped returns how many metric updates (tx/rx accrual, sample counts)
+// addressed node IDs outside the deployment and were discarded. A non-zero
+// value means some radio accounting was silently lost.
+func (c *Collector) Clipped() int { return c.clipped }
+
+// Nodes returns the deployment size the collector was built for.
+func (c *Collector) Nodes() int { return c.nodes }
+
 // Bytes returns the total bytes transmitted.
 func (c *Collector) Bytes() int64 { return c.payload }
 
@@ -200,6 +218,9 @@ func (c *Collector) Kinds() []string {
 func (c *Collector) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "messages=%d retrans=%d dropped=%d bytes=%d", c.messages, c.retrans, c.dropped, c.payload)
+	if c.clipped > 0 {
+		fmt.Fprintf(&sb, " clipped=%d", c.clipped)
+	}
 	for _, k := range c.Kinds() {
 		fmt.Fprintf(&sb, " %s=%d", k, c.counts[k])
 	}

@@ -58,12 +58,45 @@ func TestCounts(t *testing.T) {
 
 func TestTxTimeOutOfRange(t *testing.T) {
 	c := NewCollector(2)
-	c.AddTxTime(99, time.Second) // ignored, no panic
+	c.AddTxTime(99, time.Second) // discarded, no panic
 	if c.TxTime(99) != 0 {
 		t.Fatal("out-of-range node should read 0")
 	}
 	if c.TotalTxTime() != 0 {
 		t.Fatal("nothing should have accrued")
+	}
+	if c.Clipped() != 1 {
+		t.Fatalf("clipped = %d, want 1", c.Clipped())
+	}
+}
+
+// Out-of-range metric updates must not vanish silently: every clipped
+// accrual counts, negative IDs don't panic, and the counter surfaces in
+// String().
+func TestClippedAccounting(t *testing.T) {
+	c := NewCollector(2)
+	if c.Nodes() != 2 {
+		t.Fatalf("Nodes() = %d", c.Nodes())
+	}
+	c.AddTxTime(5, time.Second)
+	c.AddRxTime(-1, time.Second)
+	c.CountSamples(2, 3)
+	if c.Clipped() != 3 {
+		t.Fatalf("clipped = %d, want 3", c.Clipped())
+	}
+	// In-range updates don't clip.
+	c.AddTxTime(1, time.Second)
+	c.AddRxTime(0, time.Second)
+	c.CountSamples(1, 1)
+	if c.Clipped() != 3 {
+		t.Fatalf("clipped moved to %d on in-range updates", c.Clipped())
+	}
+	if s := c.String(); !strings.Contains(s, "clipped=3") {
+		t.Fatalf("String() must surface clipping: %q", s)
+	}
+	// A clean collector's String stays clean.
+	if s := NewCollector(2).String(); strings.Contains(s, "clipped") {
+		t.Fatalf("clean collector shows clipped: %q", s)
 	}
 }
 

@@ -1,0 +1,95 @@
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// DefaultSampleInterval is the time-series sampling period when none is
+// given: one snapshot per maintenance beacon period.
+const DefaultSampleInterval = 30 * time.Second
+
+// Manifest returns the run's identifying metadata (scheme, seed, topology,
+// tool version) with its config hash filled in. Callers may set the
+// workload/duration fields and re-hash before exporting.
+func (s *Simulation) Manifest() obs.Manifest {
+	m := obs.NewManifest("")
+	m.Scheme = s.cfg.Scheme.String()
+	m.Seed = s.cfg.Seed
+	m.Nodes = s.topo.Size()
+	m.Topology = fmt.Sprintf("%d nodes, depth %d, range %.0fft",
+		s.topo.Size(), s.topo.MaxDepth(), s.topo.RadioRange())
+	m.Alpha = s.cfg.Alpha
+	if s.opt != nil && m.Alpha == 0 {
+		m.Alpha = core.DefaultAlpha
+	}
+	return m.Hashed()
+}
+
+// StartSeries attaches a time-series sampler to the simulation: the
+// discrete-event engine snapshots the run's radio, optimizer, engine and
+// delivery state every `every` of virtual time (DefaultSampleInterval when
+// zero or negative), starting with an initial sample at the current instant.
+// Call before Run; the returned series fills as virtual time advances.
+func (s *Simulation) StartSeries(every time.Duration) *obs.Series {
+	if every <= 0 {
+		every = DefaultSampleInterval
+	}
+	ser := obs.NewSeries(every)
+	ser.Append(s.sample())
+	var tick func()
+	tick = func() {
+		ser.Append(s.sample())
+		s.engine.After(every, tick)
+	}
+	s.engine.After(every, tick)
+	return ser
+}
+
+// sample snapshots the whole simulation at the current virtual instant.
+func (s *Simulation) sample() obs.Sample {
+	n := s.topo.Size()
+	smp := obs.Sample{
+		AtMS:             time.Duration(s.engine.Now()).Milliseconds(),
+		Messages:         s.coll.Messages(),
+		Retransmissions:  s.coll.Retransmissions(),
+		Dropped:          s.coll.Dropped(),
+		Bytes:            s.coll.Bytes(),
+		Clipped:          s.coll.Clipped(),
+		InstalledQueries: len(s.installed),
+		QueueDepth:       s.engine.Len(),
+		EventsFired:      s.engine.Fired(),
+	}
+	smp.NodeTxMS = make([]float64, n)
+	smp.NodeRxMS = make([]float64, n)
+	for id := 0; id < n; id++ {
+		tx := float64(s.coll.TxTime(topology.NodeID(id))) / float64(time.Millisecond)
+		rx := float64(s.coll.RxTime(topology.NodeID(id))) / float64(time.Millisecond)
+		smp.NodeTxMS[id] = tx
+		smp.NodeRxMS[id] = rx
+		smp.TxTotalMS += tx
+		smp.RxTotalMS += rx
+		if tx > smp.TxMaxMS {
+			smp.TxMaxMS = tx
+		}
+	}
+	if s.opt != nil {
+		smp.UserQueries = s.opt.UserCount()
+		smp.SyntheticQueries = s.opt.SyntheticCount()
+	} else {
+		smp.UserQueries = len(s.users)
+	}
+	rowEpochs, aggEpochs, rows := s.results.Totals()
+	smp.RowEpochs = rowEpochs
+	smp.AggEpochs = aggEpochs
+	smp.RowsDelivered = rows
+	smp.Completeness = 1
+	if sensors := n - 1; rowEpochs > 0 && sensors > 0 {
+		smp.Completeness = float64(rows) / float64(rowEpochs*sensors)
+	}
+	return smp
+}

@@ -13,6 +13,12 @@ type Results struct {
 	rows map[query.ID][]core.UserRows
 	aggs map[query.ID][]core.UserAgg
 
+	// Delivery totals, maintained even when retention is disabled — the
+	// time-series sampler reads them on long metric-only runs.
+	rowEpochs int
+	aggEpochs int
+	totalRows int
+
 	// OnRows and OnAggs, when set, observe every delivery.
 	OnRows func(core.UserRows)
 	OnAggs func(core.UserAgg)
@@ -27,6 +33,8 @@ func newResults(keep bool) *Results {
 }
 
 func (r *Results) addRows(ur core.UserRows) {
+	r.rowEpochs++
+	r.totalRows += len(ur.Rows)
 	if r.OnRows != nil {
 		r.OnRows(ur)
 	}
@@ -36,12 +44,20 @@ func (r *Results) addRows(ur core.UserRows) {
 }
 
 func (r *Results) addAgg(ua core.UserAgg) {
+	r.aggEpochs++
 	if r.OnAggs != nil {
 		r.OnAggs(ua)
 	}
 	if r.keep {
 		r.aggs[ua.QueryID] = append(r.aggs[ua.QueryID], ua)
 	}
+}
+
+// Totals returns the cumulative delivery counts — acquisition epochs,
+// aggregation epochs and individual acquisition rows — independent of
+// whether retention is enabled.
+func (r *Results) Totals() (rowEpochs, aggEpochs, rows int) {
+	return r.rowEpochs, r.aggEpochs, r.totalRows
 }
 
 // RowsFor returns the acquisition epochs delivered for one user query, in

@@ -241,6 +241,7 @@ func (s *Simulation) Post(q query.Query) (query.ID, error) {
 func (s *Simulation) PostBatch(qs []query.Query) ([]query.ID, error) {
 	prepared := make([]query.Query, 0, len(qs))
 	ids := make([]query.ID, 0, len(qs))
+	seen := make(map[query.ID]bool, len(qs))
 	for _, q := range qs {
 		q = q.Normalize()
 		if err := q.Validate(); err != nil {
@@ -251,15 +252,21 @@ func (s *Simulation) PostBatch(qs []query.Query) ([]query.ID, error) {
 		} else if q.ID >= s.nextID {
 			s.nextID = q.ID + 1
 		}
+		if seen[q.ID] {
+			return nil, fmt.Errorf("network: duplicate query ID %d in batch", q.ID)
+		}
+		seen[q.ID] = true
 		prepared = append(prepared, q)
 		ids = append(ids, q.ID)
 	}
 	if s.opt != nil {
+		// Check the error before flooding: a failed batch must not leave
+		// partial injections in the network.
 		ch, err := s.opt.InsertBatch(prepared)
-		s.apply(ch)
 		if err != nil {
 			return nil, err
 		}
+		s.apply(ch)
 	} else {
 		for _, q := range prepared {
 			if _, dup := s.users[q.ID]; dup {
@@ -289,15 +296,18 @@ func (s *Simulation) PostAt(t time.Duration, q query.Query) {
 	})
 }
 
-// Cancel terminates a user query at the current virtual time.
+// Cancel terminates a user query at the current virtual time. The trace
+// event is emitted only after successful termination, so cancelling an
+// unknown or already-expired ID (e.g. a manual cancel racing a LIFETIME
+// auto-cancel) does not pollute the log.
 func (s *Simulation) Cancel(qid query.ID) error {
-	s.cfg.Trace.Emitf(s.engine.Now(), trace.KindCancel, topology.BaseStation, "q%d", qid)
 	if s.opt != nil {
 		ch, err := s.opt.Terminate(qid)
 		if err != nil {
 			return err
 		}
 		s.apply(ch)
+		s.cfg.Trace.Emitf(s.engine.Now(), trace.KindCancel, topology.BaseStation, "q%d", qid)
 		return nil
 	}
 	if _, ok := s.users[qid]; !ok {
@@ -305,6 +315,7 @@ func (s *Simulation) Cancel(qid query.ID) error {
 	}
 	delete(s.users, qid)
 	s.apply(core.Change{Abort: []query.ID{qid}})
+	s.cfg.Trace.Emitf(s.engine.Now(), trace.KindCancel, topology.BaseStation, "q%d", qid)
 	return nil
 }
 

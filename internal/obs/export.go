@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Study is one named row set inside a sweep export — typically one figure or
+// extension study of the paper's evaluation.
+type Study struct {
+	Name string `json:"name"`
+	// Rows is the study's result slice ([]Fig3Row, []AblationRow, ...). It is
+	// typed any so one envelope serves every study; decoding uses the
+	// concrete row type of the named study.
+	Rows any `json:"rows"`
+}
+
+// Export is the JSON envelope for experiment sweeps: a manifest plus the
+// rows of every study that ran. It deliberately excludes wall-clock timing
+// so the bytes are identical at any parallelism setting.
+type Export struct {
+	Manifest Manifest `json:"manifest"`
+	Studies  []Study  `json:"studies"`
+}
+
+// NodeMetrics is one node's final accounting.
+type NodeMetrics struct {
+	ID      int     `json:"id"`
+	TxMS    float64 `json:"tx_ms"`
+	RxMS    float64 `json:"rx_ms"`
+	Samples int     `json:"samples"`
+	EnergyJ float64 `json:"energy_j"`
+}
+
+// FinalMetrics is the end-of-run accounting of one simulation, flattened
+// for export.
+type FinalMetrics struct {
+	SimulatedMS     int64          `json:"simulated_ms"`
+	AvgTxPct        float64        `json:"avg_tx_pct"`
+	Messages        int            `json:"messages"`
+	Retransmissions int            `json:"retransmissions"`
+	Dropped         int            `json:"dropped"`
+	Clipped         int            `json:"clipped"`
+	Bytes           int64          `json:"bytes"`
+	ByKind          map[string]int `json:"by_kind"`
+	LatencyMeanMS   float64        `json:"latency_mean_ms"`
+	LatencyMaxMS    float64        `json:"latency_max_ms"`
+	LatencyCount    int            `json:"latency_count"`
+	Nodes           []NodeMetrics  `json:"nodes"`
+}
+
+// OptimizerState is the tier-1 optimizer's exported state.
+type OptimizerState struct {
+	UserQueries      int `json:"user_queries"`
+	SyntheticQueries int `json:"synthetic_queries"`
+}
+
+// RunExport is the JSON envelope for a single simulation run: manifest,
+// final metrics, optional optimizer state and optional time series.
+type RunExport struct {
+	Manifest  Manifest        `json:"manifest"`
+	Metrics   FinalMetrics    `json:"metrics"`
+	Optimizer *OptimizerState `json:"optimizer,omitempty"`
+	Series    *Series         `json:"series,omitempty"`
+}
+
+// CollectFinal flattens a metrics collector into the export form. simTime is
+// the elapsed virtual time; the energy model prices each node's activity.
+func CollectFinal(c *metrics.Collector, simTime time.Duration, em metrics.EnergyModel) FinalMetrics {
+	fm := FinalMetrics{
+		SimulatedMS:     simTime.Milliseconds(),
+		AvgTxPct:        c.AvgTransmissionTime(simTime) * 100,
+		Messages:        c.Messages(),
+		Retransmissions: c.Retransmissions(),
+		Dropped:         c.Dropped(),
+		Clipped:         c.Clipped(),
+		Bytes:           c.Bytes(),
+		ByKind:          make(map[string]int),
+	}
+	for _, k := range c.Kinds() {
+		fm.ByKind[k] = c.MessagesOf(k)
+	}
+	if lat := c.Latency(); lat.N() > 0 {
+		fm.LatencyMeanMS = lat.Mean() * 1000
+		fm.LatencyMaxMS = lat.Max() * 1000
+		fm.LatencyCount = lat.N()
+	}
+	for id := 0; id < c.Nodes(); id++ {
+		nid := topology.NodeID(id)
+		fm.Nodes = append(fm.Nodes, NodeMetrics{
+			ID:      id,
+			TxMS:    float64(c.TxTime(nid)) / float64(time.Millisecond),
+			RxMS:    float64(c.RxTime(nid)) / float64(time.Millisecond),
+			Samples: c.Samples(nid),
+			EnergyJ: c.NodeEnergy(nid, em),
+		})
+	}
+	return fm
+}
+
+func marshalIndent(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,84 @@
+// Package obs is the observability layer of the repository: run manifests
+// identifying what exactly a simulation or experiment sweep executed, a
+// time-series of per-node radio/optimizer/engine state sampled at a fixed
+// virtual-time interval, and machine-readable (JSON, CSV) exporters for
+// manifests, time series, final metrics and experiment sweeps.
+//
+// Everything obs emits is a pure function of the run's inputs — no wall
+// clock, no map iteration order — so exported artifacts are byte-identical
+// across parallelism settings and across repeated runs with the same seed.
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Version identifies the tool revision stamped into every manifest. Bump it
+// when the simulator's observable behaviour changes, so archived exports
+// remain attributable.
+const Version = "0.2.0"
+
+// Manifest identifies one run or sweep: what was simulated, under which
+// scheme and seed, on which topology, by which tool version. It is attached
+// to every JSON export so results stay self-describing after they leave the
+// repository. Manifests carry no wall-clock timestamps: two runs of the
+// same configuration produce byte-identical manifests.
+type Manifest struct {
+	// Tool and Version identify the producing binary.
+	Tool    string `json:"tool"`
+	Version string `json:"version"`
+	// Study names the experiment sweep ("figure 3", "ablation", ...) or is
+	// empty for a single simulation run.
+	Study string `json:"study,omitempty"`
+	// Scheme is the optimization scheme name (empty for multi-scheme sweeps).
+	Scheme string `json:"scheme,omitempty"`
+	// Seed is the base random seed of the run or sweep.
+	Seed int64 `json:"seed"`
+	// Nodes is the deployment size including the base station (0 when the
+	// sweep spans several sizes).
+	Nodes int `json:"nodes,omitempty"`
+	// Topology summarizes the deployment shape, e.g. "grid side 4, 16 nodes,
+	// depth 3, range 50ft".
+	Topology string `json:"topology,omitempty"`
+	// Workload names the query workload ("A", "B", "C", "random", a file).
+	Workload string `json:"workload,omitempty"`
+	// Alpha is the tier-1 termination parameter, when fixed.
+	Alpha float64 `json:"alpha,omitempty"`
+	// DurationMS is the simulated virtual time per run, in milliseconds.
+	DurationMS int64 `json:"duration_ms,omitempty"`
+	// Runs is the number of seeds averaged per stochastic point.
+	Runs int `json:"runs,omitempty"`
+	// ConfigHash fingerprints every field above (FNV-1a 64); two manifests
+	// with equal hashes describe the same configuration.
+	ConfigHash string `json:"config_hash"`
+}
+
+// NewManifest returns a manifest with the tool identity filled in.
+func NewManifest(study string) Manifest {
+	return Manifest{Tool: "ttmqo", Version: Version, Study: study}
+}
+
+// Hashed returns a copy with ConfigHash computed over the canonical
+// rendering of every other field.
+func (m Manifest) Hashed() Manifest {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%s|%s|%g|%d|%d",
+		m.Tool, m.Version, m.Study, m.Scheme, m.Seed, m.Nodes,
+		m.Topology, m.Workload, m.Alpha, m.DurationMS, m.Runs)
+	m.ConfigHash = fmt.Sprintf("%016x", h.Sum64())
+	return m
+}
+
+// WriteJSON marshals v as indented JSON followed by a newline. The encoding
+// is deterministic: struct fields render in declaration order and map keys
+// are sorted, so identical values yield identical bytes.
+func WriteJSON(w io.Writer, v any) error {
+	data, err := marshalIndent(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

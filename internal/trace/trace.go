@@ -50,6 +50,9 @@ func (e Event) String() string {
 // Buffer is a bounded in-memory event log. A zero Max keeps everything.
 // Buffer is not safe for concurrent use; the simulation engine serializes
 // all writers.
+//
+// When Max is set, retention is a ring: once full, each Emit overwrites the
+// oldest event in O(1) instead of shifting the whole slice.
 type Buffer struct {
 	// Max bounds retained events; older events are dropped (0 = unbounded).
 	Max int
@@ -57,6 +60,7 @@ type Buffer struct {
 	Kinds []Kind
 
 	events  []Event
+	start   int // ring read position: index of the oldest retained event
 	dropped int
 }
 
@@ -77,12 +81,25 @@ func (b *Buffer) Emit(e Event) {
 			return
 		}
 	}
-	b.events = append(b.events, e)
 	if b.Max > 0 && len(b.events) > b.Max {
-		over := len(b.events) - b.Max
-		b.events = append(b.events[:0], b.events[over:]...)
+		// Max was lowered since the last Emit: linearize and trim to the
+		// newest Max events before resuming ring operation.
+		ev := b.Events()
+		over := len(ev) - b.Max
+		b.events = append([]Event(nil), ev[over:]...)
+		b.start = 0
 		b.dropped += over
 	}
+	if b.Max > 0 && len(b.events) == b.Max {
+		b.events[b.start] = e
+		b.start++
+		if b.start == len(b.events) {
+			b.start = 0
+		}
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
 }
 
 // Emitf records a formatted event.
@@ -93,12 +110,18 @@ func (b *Buffer) Emitf(at sim.Time, kind Kind, node topology.NodeID, format stri
 	b.Emit(Event{At: at, Kind: kind, Node: node, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Events returns the retained events in order.
+// Events returns the retained events in emission order. While the ring is
+// wrapped the result is a fresh slice; mutating it never affects the buffer.
 func (b *Buffer) Events() []Event {
 	if b == nil {
 		return nil
 	}
-	return b.events
+	if b.start == 0 {
+		return b.events
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.start:]...)
+	return append(out, b.events[:b.start]...)
 }
 
 // Dropped returns how many events the size bound discarded.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -44,6 +45,86 @@ func TestBufferBound(t *testing.T) {
 	}
 	if got := b.Tail(99); len(got) != 3 {
 		t.Fatalf("oversized tail = %d", len(got))
+	}
+}
+
+// The ring must preserve emission order through many wrap-arounds, at every
+// phase offset of the ring's read position.
+func TestBufferRingOrdering(t *testing.T) {
+	for _, total := range []int{3, 4, 5, 7, 12, 100, 101} {
+		b := Buffer{Max: 4}
+		for i := 0; i < total; i++ {
+			b.Emitf(sim.Time(i), KindTx, 1, "%d", i)
+		}
+		wantDropped, wantLen, first := total-4, 4, total-4
+		if total < 4 {
+			wantDropped, wantLen, first = 0, total, 0
+		}
+		if b.Dropped() != wantDropped {
+			t.Fatalf("total=%d: dropped=%d, want %d", total, b.Dropped(), wantDropped)
+		}
+		ev := b.Events()
+		if len(ev) != wantLen {
+			t.Fatalf("total=%d: len=%d", total, len(ev))
+		}
+		for j, e := range ev {
+			if e.Detail != fmt.Sprintf("%d", first+j) {
+				t.Fatalf("total=%d: events out of order: %v", total, ev)
+			}
+		}
+	}
+}
+
+func TestBufferRingMaxLowered(t *testing.T) {
+	b := Buffer{Max: 5}
+	for i := 0; i < 8; i++ {
+		b.Emitf(sim.Time(i), KindTx, 1, "%d", i)
+	}
+	b.Max = 2
+	b.Emitf(sim.Time(8), KindTx, 1, "8")
+	ev := b.Events()
+	if len(ev) != 2 || ev[0].Detail != "7" || ev[1].Detail != "8" {
+		t.Fatalf("after lowering Max: %v", ev)
+	}
+	// 3 dropped before the shrink, 3 at the shrink, 1 on the shrink's emit.
+	if b.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", b.Dropped())
+	}
+}
+
+// Events() on a wrapped ring returns a copy; mutating it must not corrupt
+// the buffer.
+func TestBufferEventsCopyWhenWrapped(t *testing.T) {
+	b := Buffer{Max: 3}
+	for i := 0; i < 5; i++ {
+		b.Emitf(sim.Time(i), KindTx, 1, "%d", i)
+	}
+	ev := b.Events()
+	ev[0].Detail = "clobbered"
+	if b.Events()[0].Detail != "2" {
+		t.Fatal("Events() exposed ring internals")
+	}
+}
+
+// The bounded emit path must be O(1): the old implementation shifted the
+// whole retained slice on every event past Max.
+func BenchmarkBufferEmitBounded(b *testing.B) {
+	buf := Buffer{Max: 4096}
+	e := Event{Kind: KindTx, Node: 1, Detail: "x"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At = sim.Time(i)
+		buf.Emit(e)
+	}
+}
+
+func BenchmarkBufferEmitUnbounded(b *testing.B) {
+	buf := Buffer{}
+	e := Event{Kind: KindTx, Node: 1, Detail: "x"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At = sim.Time(i)
+		buf.Emit(e)
 	}
 }
 

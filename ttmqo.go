@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/runner"
 	"repro/internal/topology"
@@ -263,6 +264,55 @@ type (
 	// TraceKind classifies trace events.
 	TraceKind = trace.Kind
 )
+
+// Observability layer (internal/obs): run manifests, virtual-time series
+// sampling, and machine-readable exports. A Simulation's Manifest method
+// returns its identifying metadata; StartSeries attaches a sampler driven
+// by the discrete-event engine.
+type (
+	// Manifest identifies one run or sweep (scheme, seed, topology, config
+	// hash, tool version); attached to every JSON export.
+	Manifest = obs.Manifest
+	// Sample is one virtual-time snapshot of a running simulation.
+	Sample = obs.Sample
+	// TimeSeries is the ordered sample log of one run (CSV/JSON exportable).
+	TimeSeries = obs.Series
+	// SweepExport is the JSON envelope for experiment sweeps: manifest +
+	// named study row sets.
+	SweepExport = obs.Export
+	// SweepStudy is one named row set inside a SweepExport.
+	SweepStudy = obs.Study
+	// RunExport is the JSON envelope for a single simulation run.
+	RunExport = obs.RunExport
+	// FinalMetrics is the flattened end-of-run accounting of a simulation.
+	FinalMetrics = obs.FinalMetrics
+	// NodeMetrics is one node's final radio/energy accounting.
+	NodeMetrics = obs.NodeMetrics
+	// OptimizerState is the exported tier-1 optimizer state.
+	OptimizerState = obs.OptimizerState
+)
+
+// DefaultSampleInterval is StartSeries's sampling period when none is given.
+const DefaultSampleInterval = network.DefaultSampleInterval
+
+// WriteJSON marshals any export envelope as deterministic indented JSON.
+func WriteJSON(w io.Writer, v any) error { return obs.WriteJSON(w, v) }
+
+// CollectFinalMetrics flattens a simulation's metrics collector for export.
+func CollectFinalMetrics(c *Metrics, simTime time.Duration, em EnergyModel) FinalMetrics {
+	return obs.CollectFinal(c, simTime, em)
+}
+
+// SweepManifest builds the manifest attached to an exported experiment
+// sweep (no wall-clock state — identical bytes at any parallelism).
+func SweepManifest(study string, seed int64, dur time.Duration, runs int) Manifest {
+	return experiments.SweepManifest(study, seed, dur, runs)
+}
+
+// WriteSweepJSON exports one or more studies' rows under a manifest.
+func WriteSweepJSON(w io.Writer, m Manifest, studies ...SweepStudy) error {
+	return experiments.WriteSweepJSON(w, m, studies...)
+}
 
 // RunFigure2Example reproduces the §3.2.2 worked example (message counts on
 // the Figure 2 topology).
