@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel clean
+.PHONY: build test race vet bench bench-parallel serve-soak clean
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,12 @@ bench:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'Figure3Parallel|FieldReading' -benchmem .
 
+# A short gateway soak under the race detector: 120 concurrent clients
+# churning subscriptions through the serving tier. Exits non-zero on any
+# data race; the printed report includes dedup ratio and latency
+# percentiles.
+serve-soak:
+	$(GO) run -race ./cmd/ttmqo-serve -loadgen -clients 120 -rounds 16 -pool 10 -seed 1
+
 clean:
-	rm -f ttmqo-bench ttmqo-sim ttmqo-workload ttmqo-shell
+	rm -f ttmqo-bench ttmqo-sim ttmqo-workload ttmqo-shell ttmqo-serve

@@ -1,0 +1,215 @@
+// Command ttmqo-serve runs the concurrent query-serving gateway in front
+// of a simulated sensor network, speaking newline-delimited JSON over TCP,
+// or drives it with the built-in load generator.
+//
+// Usage:
+//
+//	ttmqo-serve [-addr :7443] [-side N] [-scheme ttmqo] [-seed S] [-alpha A]
+//	            [-tick 250ms] [-quantum 2048ms] [-buffer B] [-quota Q]
+//	            [-rate R] [-burst K] [-mtbf D] [-mttr D]
+//	            [-json out.json] [-series out.csv] [-sample 30s]
+//	ttmqo-serve -loadgen [-clients 100] [-rounds 24] [-pool 12] [-churn 0.35]
+//	            [-maxsubs 2] [-seed S] [-side N] [-scheme ttmqo] [-buffer B]
+//	            [-json out.json]
+//
+// Serving mode: clients connect over TCP and send one JSON request per
+// line — {"op":"subscribe","query":"SELECT ..."}, {"op":"unsubscribe",
+// "sub":N}, {"op":"stats"}, optionally {"op":"hello","client":"name"}
+// first — and receive result epochs as they are produced. A wall-clock
+// pacer advances the simulation by -quantum of virtual time every -tick.
+// Semantically equal subscriptions (after normalization) share one
+// in-network query; a subscriber that stalls -buffer results behind is
+// evicted. SIGINT drains the gateway and, with -json, writes the obs run
+// export (including the gateway counters) before exiting.
+//
+// Load-generator mode (-loadgen): -clients concurrent goroutines churn
+// subscriptions drawn from a -pool of distinct queries for -rounds phased
+// ticks, then print admission/dedup counters, fan-out throughput and
+// client-observed latency percentiles. The run's obs export is
+// deterministic for a given seed regardless of goroutine scheduling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ttmqo "repro"
+	"repro/internal/gateway"
+	"repro/internal/network"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttmqo-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":7443", "TCP listen address")
+	side := flag.Int("side", 4, "grid side length (side² nodes)")
+	schemeName := flag.String("scheme", "ttmqo", "baseline, base-station, in-network or ttmqo")
+	seed := flag.Int64("seed", 1, "random seed")
+	alpha := flag.Float64("alpha", ttmqo.DefaultAlpha, "termination parameter α")
+	tick := flag.Duration("tick", 250*time.Millisecond, "wall-clock pacer period")
+	quantum := flag.Duration("quantum", 2048*time.Millisecond, "virtual time simulated per tick")
+	buffer := flag.Int("buffer", gateway.DefaultBuffer, "per-subscriber result buffer bound")
+	quota := flag.Int("quota", gateway.DefaultSessionQuota, "max live subscriptions per session")
+	rate := flag.Float64("rate", gateway.DefaultRate, "subscribe tokens per simulated second")
+	burst := flag.Float64("burst", gateway.DefaultBurst, "token bucket burst")
+	mtbf := flag.Duration("mtbf", 0, "mean time between node failures (0 disables)")
+	mttr := flag.Duration("mttr", 0, "mean node down-time per failure (default 30s when -mtbf is set)")
+	jsonOut := flag.String("json", "", "write the obs run export (with gateway counters) as JSON to this file on exit")
+	seriesOut := flag.String("series", "", "write the sampled time series as CSV to this file on exit")
+	sample := flag.Duration("sample", 0, "virtual-time sampling interval (default 30s when -series/-json is set)")
+	loadgen := flag.Bool("loadgen", false, "run the built-in load generator instead of serving TCP")
+	clients := flag.Int("clients", 100, "loadgen: concurrent clients")
+	rounds := flag.Int("rounds", 24, "loadgen: churn rounds (one quantum each)")
+	pool := flag.Int("pool", 12, "loadgen: distinct queries in the shared pool")
+	churn := flag.Float64("churn", 0.35, "loadgen: per-round per-client churn probability")
+	maxsubs := flag.Int("maxsubs", 2, "loadgen: max live subscriptions per client")
+	flag.Parse()
+
+	scheme, err := network.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+
+	if *loadgen {
+		return runLoadgen(gateway.LoadgenConfig{
+			Clients: *clients,
+			Rounds:  *rounds,
+			Quantum: *quantum * 4, // loadgen rounds default to coarser ticks
+			Pool:    *pool,
+			Churn:   *churn,
+			MaxSubs: *maxsubs,
+			Seed:    *seed,
+			Side:    *side,
+			Scheme:  scheme,
+			Buffer:  *buffer,
+		}, *jsonOut)
+	}
+
+	topo, err := ttmqo.PaperGrid(*side)
+	if err != nil {
+		return err
+	}
+	sm := *sample
+	if sm <= 0 && (*seriesOut != "" || *jsonOut != "") {
+		sm = ttmqo.DefaultSampleInterval
+	}
+	gw, err := gateway.New(gateway.Config{
+		Sim: network.Config{
+			Topo:     topo,
+			Scheme:   scheme,
+			Seed:     *seed,
+			Alpha:    *alpha,
+			Failures: network.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
+		},
+		Buffer:       *buffer,
+		SessionQuota: *quota,
+		Rate:         *rate,
+		Burst:        *burst,
+		Sample:       sm,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := gateway.NewServer(gw, gateway.ServerConfig{
+		Addr:      *addr,
+		TickEvery: *tick,
+		Quantum:   *quantum,
+	})
+	if err != nil {
+		gw.Close()
+		return err
+	}
+	fmt.Printf("ttmqo-serve: listening on %s (scheme=%s nodes=%d tick=%v quantum=%v)\n",
+		srv.Addr(), scheme, topo.Size(), *tick, *quantum)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ttmqo-serve: draining")
+
+	// Drain order matters: closing the gateway first fails pending
+	// commands so connection handlers unblock, then the server stops.
+	if err := gw.Close(); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st, _ := gw.Stats()
+	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d admitted=%d dedup_ratio=%.2f updates=%d evicted=%d\n",
+		st.Sessions, st.Subscribes, st.DedupHits, st.Admitted, st.DedupRatio(), st.Updates, st.Evicted)
+	return writeExports(gw, *jsonOut, *seriesOut)
+}
+
+func runLoadgen(cfg gateway.LoadgenConfig, jsonOut string) error {
+	rep, err := gateway.RunLoadgen(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if jsonOut == "" {
+		return nil
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	if err := ttmqo.WriteJSON(f, rep.Export); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("json: %s\n", jsonOut)
+	return nil
+}
+
+func writeExports(gw *gateway.Gateway, jsonOut, seriesOut string) error {
+	if jsonOut != "" {
+		exp, err := gw.Export()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := ttmqo.WriteJSON(f, exp); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("json: %s\n", jsonOut)
+	}
+	if seriesOut != "" {
+		ser := gw.Series()
+		if ser == nil {
+			return fmt.Errorf("no series sampled")
+		}
+		f, err := os.Create(seriesOut)
+		if err != nil {
+			return err
+		}
+		if err := ser.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("series: %s (%d samples)\n", seriesOut, ser.Len())
+	}
+	return nil
+}

@@ -6,8 +6,13 @@
 //	ttmqo-sim [-side N] [-scheme baseline|base-station|in-network|ttmqo]
 //	          [-workload A|B|C|random] [-minutes M] [-seed S] [-alpha A]
 //	          [-concurrency C] [-queries Q] [-runs R] [-parallel P] [-v]
+//	          [-mtbf D] [-mttr D] [-trace out.csv] [-field in.csv]
 //	          [-json out.json] [-series out.csv] [-sample 30s]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -mtbf enables random node outages (mean time between failures per node);
+// -mttr sets the mean repair time (30s when left zero). Failure injection
+// maps straight onto the library's FailureConfig.
 //
 // With -workload random, the §4.3 adaptive workload is replayed (arrivals
 // and terminations); otherwise the named static workload runs for the whole
@@ -53,6 +58,8 @@ func run() error {
 	queries := flag.Int("queries", 100, "total queries (random workload)")
 	runs := flag.Int("runs", 1, "replay the scenario under seeds S..S+R-1 (summary table when > 1)")
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-run replays (0 = one worker per CPU)")
+	mtbf := flag.Duration("mtbf", 0, "mean time between node failures (0 disables failure injection)")
+	mttr := flag.Duration("mttr", 0, "mean node down-time per failure (default 30s when -mtbf is set)")
 	verbose := flag.Bool("v", false, "print per-query delivery counts")
 	traceOut := flag.String("trace", "", "write the run's event log as CSV to this file")
 	fieldCSV := flag.String("field", "", "replay sensor readings from this CSV trace instead of the synthetic field")
@@ -103,6 +110,7 @@ func run() error {
 			parallel: *parallel, alpha: *alpha, workload: *workloadName,
 			concurrency: *concurrency, queries: *queries,
 			minutes: *minutes, fieldCSV: *fieldCSV, jsonOut: *jsonOut,
+			failures: ttmqo.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
 		})
 	}
 	var buf *ttmqo.Trace
@@ -129,6 +137,7 @@ func run() error {
 		Source:         source,
 		DiscardResults: !*verbose,
 		Trace:          buf,
+		Failures:       ttmqo.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
 	})
 	if err != nil {
 		return err
@@ -157,6 +166,9 @@ func run() error {
 	fmt.Printf("scheme=%s nodes=%d workload=%s simulated=%v wall=%v\n",
 		scheme, topo.Size(), *workloadName, dur, wall.Round(time.Millisecond))
 	fmt.Printf("avg transmission time: %.4f%%\n", sim.AvgTransmissionTime()*100)
+	if *mtbf > 0 {
+		fmt.Printf("failures: %d injected (mtbf=%v mttr=%v)\n", sim.Failures(), *mtbf, *mttr)
+	}
 	fmt.Printf("radio: %s\n", sim.Metrics())
 	if lat := sim.Metrics().Latency(); lat.N() > 0 {
 		fmt.Printf("result latency: mean %.0fms, max %.0fms over %d messages\n",
@@ -270,6 +282,7 @@ type multiConfig struct {
 	minutes     int
 	fieldCSV    string
 	jsonOut     string
+	failures    ttmqo.FailureConfig
 }
 
 // seedOutcome is one seed's summary row; exported fields so -json replays
@@ -309,6 +322,7 @@ func runMany(cfg multiConfig) error {
 			Alpha:          cfg.alpha,
 			Source:         source,
 			DiscardResults: true,
+			Failures:       cfg.failures,
 		})
 		if err != nil {
 			return seedOutcome{}, err

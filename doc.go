@@ -41,4 +41,31 @@
 // the experiment harnesses under RunFigure… regenerate every figure of the
 // paper's evaluation. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-versus-measured results.
+//
+// # Commands
+//
+// Five programs under cmd/ exercise the stack end to end:
+//
+//   - ttmqo-bench regenerates the paper's evaluation figures
+//     (-fig, -minutes, -runs, -parallel, -seed, -json, -md,
+//     -cpuprofile, -memprofile).
+//   - ttmqo-sim runs one scenario from flags (-side, -scheme, -workload,
+//     -minutes, -seed, -alpha, -concurrency, -queries, -runs, -parallel,
+//     -mtbf, -mttr, -v, -trace, -field, -json, -series, -sample,
+//     -cpuprofile, -memprofile).
+//   - ttmqo-workload generates, inspects and replays JSON workload files
+//     (gen/show/run subcommands; -kind, -out, -seed, -queries,
+//     -concurrency, -minutes, -side, -scheme, -compare, -parallel, -json).
+//   - ttmqo-shell is an interactive console over a live simulation.
+//   - ttmqo-serve is the multi-client serving gateway: TCP
+//     newline-delimited JSON with semantic dedup, rate limiting and
+//     bounded fan-out (-addr, -side, -scheme, -seed, -alpha, -tick,
+//     -quantum, -buffer, -quota, -rate, -burst, -mtbf, -mttr, -json,
+//     -series, -sample), plus a load-generator mode (-loadgen, -clients,
+//     -rounds, -pool, -churn, -maxsubs).
+//
+// The gateway is also a library: NewGateway wraps a Simulation in a
+// goroutine-safe session/subscription front end whose group-commit
+// mailbox keeps concurrent use deterministic, and RunLoadgen drives it
+// with synthetic clients.
 package ttmqo

@@ -1,0 +1,163 @@
+package ttmqo
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// These tests pin the docs to the code: every command must be documented,
+// every flag a doc line attributes to a command must exist in that
+// command's sources, and every flag a command declares must be documented
+// somewhere. They are the drift check for README.md and doc.go.
+
+// flagDeclRe matches a flag declaration, e.g. flag.String("json", …) or
+// fs.Bool("compare", …).
+var flagDeclRe = regexp.MustCompile(`\.(String|Int|Int64|Bool|Float64|Duration)\("([a-z][a-z0-9-]*)"`)
+
+// flagMentionRe matches a "-flag" token in prose or a shell example. The
+// leading boundary excludes hyphenated words ("in-network", "base-station");
+// a match must follow start-of-line, whitespace, a backtick, '(' or '['.
+var flagMentionRe = regexp.MustCompile("(?:^|[\\s`(\\[])-([a-z][a-z0-9-]*)")
+
+// commands returns the cmd/* program names.
+func commands(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no commands under cmd/")
+	}
+	return names
+}
+
+// declaredFlags returns the set of flag names a command's sources declare.
+func declaredFlags(t *testing.T, cmd string) map[string]bool {
+	t.Helper()
+	srcs, err := filepath.Glob(filepath.Join("cmd", cmd, "*.go"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no sources for %s: %v", cmd, err)
+	}
+	flags := map[string]bool{}
+	for _, src := range srcs {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range flagDeclRe.FindAllStringSubmatch(string(b), -1) {
+			flags[m[2]] = true
+		}
+	}
+	return flags
+}
+
+func readDoc(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDocsMentionEveryCommand: README.md and the package docs must list
+// every program under cmd/.
+func TestDocsMentionEveryCommand(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	pkgdoc := readDoc(t, "doc.go")
+	for _, cmd := range commands(t) {
+		if !strings.Contains(readme, cmd) {
+			t.Errorf("README.md does not mention %s", cmd)
+		}
+		if !strings.Contains(pkgdoc, cmd) {
+			t.Errorf("doc.go does not mention %s", cmd)
+		}
+	}
+}
+
+// TestDocsFlagsExist: any "-flag" on a doc line that names a command must
+// be declared by one of the commands named on that line; a "-flag" on a
+// line naming no command must at least be declared by some command.
+func TestDocsFlagsExist(t *testing.T) {
+	cmds := commands(t)
+	decls := map[string]map[string]bool{}
+	union := map[string]bool{}
+	for _, cmd := range cmds {
+		decls[cmd] = declaredFlags(t, cmd)
+		for f := range decls[cmd] {
+			union[f] = true
+		}
+	}
+	for _, path := range []string{"README.md", "doc.go"} {
+		for i, line := range strings.Split(readDoc(t, path), "\n") {
+			if strings.Contains(line, "go test") {
+				continue // go's own flags (-bench, -run, -race, …)
+			}
+			mentions := flagMentionRe.FindAllStringSubmatch(line, -1)
+			if len(mentions) == 0 {
+				continue
+			}
+			var onLine []string
+			for _, cmd := range cmds {
+				if strings.Contains(line, cmd) {
+					onLine = append(onLine, cmd)
+				}
+			}
+			for _, m := range mentions {
+				flag := m[1]
+				if len(onLine) == 0 {
+					if !union[flag] {
+						t.Errorf("%s:%d: -%s is not a flag of any command", path, i+1, flag)
+					}
+					continue
+				}
+				ok := false
+				for _, cmd := range onLine {
+					if decls[cmd][flag] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("%s:%d: -%s is not a flag of %s", path, i+1, flag, strings.Join(onLine, "/"))
+				}
+			}
+		}
+	}
+}
+
+// TestCommandFlagsDocumented: every flag a command declares must be
+// mentioned in README.md, doc.go, or the command's own doc comment — new
+// flags must not ship undocumented.
+func TestCommandFlagsDocumented(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	pkgdoc := readDoc(t, "doc.go")
+	for _, cmd := range commands(t) {
+		var comment strings.Builder
+		srcs, _ := filepath.Glob(filepath.Join("cmd", cmd, "*.go"))
+		for _, src := range srcs {
+			for _, line := range strings.Split(readDoc(t, src), "\n") {
+				if strings.HasPrefix(strings.TrimSpace(line), "//") {
+					comment.WriteString(line)
+					comment.WriteString("\n")
+				}
+			}
+		}
+		docs := readme + pkgdoc + comment.String()
+		for flag := range declaredFlags(t, cmd) {
+			if !strings.Contains(docs, "-"+flag) {
+				t.Errorf("%s: flag -%s is documented nowhere (README.md, doc.go, doc comment)", cmd, flag)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package gateway
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// CanonicalKey returns the semantic cache key of a client query: the
+// canonical rendering of its normalized form with the identity and
+// lifecycle metadata stripped. Two queries that request the same data —
+// regardless of attribute order, predicate commutation, duplicate list
+// entries or the units their epoch was spelled in — canonicalize to the
+// same key and therefore share one admitted in-network query; queries that
+// differ in any semantic dimension (bounds, epoch, operators, grouping) do
+// not.
+//
+// Normalization (query.Normalize) sorts and deduplicates the attribute,
+// aggregate and predicate lists and intersects same-attribute predicates;
+// the parser already resolves duration units to a time.Duration. The
+// canonical string renders every field in that sorted order with the epoch
+// in milliseconds, so it is injective over normalized queries.
+func CanonicalKey(q query.Query) string {
+	c := q.Normalize()
+	c.ID = 0
+	c.Lifetime = 0
+	return c.String()
+}
+
+// canonicalize validates a client query for serving and returns its
+// normalized form plus cache key. Subscriptions are continuous: a LIFETIME
+// clause is rejected because the gateway owns the query's lifecycle via
+// reference counting.
+func canonicalize(q query.Query) (query.Query, string, error) {
+	n := q.Normalize()
+	n.ID = 0
+	if n.Lifetime != 0 {
+		return query.Query{}, "", fmt.Errorf("gateway: LIFETIME is not supported for subscriptions (the gateway cancels a query when its last subscriber leaves)")
+	}
+	if err := n.Validate(); err != nil {
+		return query.Query{}, "", err
+	}
+	return n, n.String(), nil
+}

@@ -1,0 +1,946 @@
+// Package gateway is the concurrent multi-client query-serving tier in
+// front of the single-threaded sensor-network simulation: the base
+// station's front door. Many client goroutines (or TCP connections, see
+// Server) register sessions, subscribe to TinyDB-dialect queries and
+// stream per-epoch results back, while one actor goroutine owns the
+// network.Simulation and its discrete-event engine.
+//
+// The bridge between the two worlds is a group-commit mailbox: client
+// commands (subscribe, unsubscribe, session close) are staged as they
+// arrive and committed only at the next Advance call, sorted by (session
+// name, per-session sequence number). A client's own commands therefore
+// apply in its program order, concurrent clients apply in a fixed total
+// order regardless of goroutine scheduling, and the simulation — including
+// every exported metric — stays byte-for-byte deterministic under
+// arbitrary client concurrency, provided each Advance's command set is
+// submitted before the tick (which the phased load generator and the
+// regression tests guarantee, and which a wall-clock pacer approximates
+// per tick).
+//
+// On top of the bridge the gateway applies the paper's tier-1 sharing idea
+// once more, at the serving tier: a semantic dedup cache maps every
+// subscription whose query canonicalizes to the same normalized form (see
+// CanonicalKey) onto one admitted in-network query with reference
+// counting, so N subscribers cost the network one query; the tier-1
+// optimizer below then merges the distinct admitted queries further.
+// Results fan out to per-subscriber bounded buffers; a subscriber that
+// stalls past its buffer bound is evicted so one slow client can never
+// wedge the simulation or its fast peers. Closing the gateway drains every
+// session and cancels each admitted query as its reference count reaches
+// zero.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// defaultEnergy prices exported node activity; the serving tier has no
+// reason to deviate from the repository's mica2-flavoured defaults.
+var defaultEnergy = metrics.DefaultEnergyModel()
+
+// Defaults for the Config knobs.
+const (
+	DefaultBuffer       = 64
+	DefaultMaxSessions  = 4096
+	DefaultSessionQuota = 16
+	DefaultRate         = 4.0 // subscribe tokens per simulated second
+	DefaultBurst        = 32.0
+)
+
+// Config parametrizes a Gateway.
+type Config struct {
+	// Sim configures the simulation the gateway fronts; required fields as
+	// in network.New. DiscardResults is forced on (the gateway streams
+	// results to subscribers instead of retaining them).
+	Sim network.Config
+	// Buffer is the per-subscriber result buffer bound (DefaultBuffer if
+	// <= 0). A subscriber whose buffer is full when a result arrives is
+	// evicted.
+	Buffer int
+	// MaxSessions caps concurrently registered sessions
+	// (DefaultMaxSessions if <= 0).
+	MaxSessions int
+	// SessionQuota caps live subscriptions per session
+	// (DefaultSessionQuota if <= 0).
+	SessionQuota int
+	// Rate and Burst parametrize each session's token bucket: Rate
+	// subscribe tokens accrue per simulated second up to Burst. The bucket
+	// is driven by virtual time so admission control is deterministic.
+	// Defaults: DefaultRate, DefaultBurst.
+	Rate  float64
+	Burst float64
+	// Sample, when positive, attaches a virtual-time metrics series to the
+	// simulation (network.Simulation.StartSeries); retrieve it with Series.
+	Sample time.Duration
+}
+
+// SubID identifies one subscription within a gateway.
+type SubID int64
+
+// CloseReason says why a subscription's update channel was closed.
+type CloseReason uint8
+
+const (
+	// ReasonNone: the subscription is still live.
+	ReasonNone CloseReason = iota
+	// ReasonUnsubscribed: the client unsubscribed.
+	ReasonUnsubscribed
+	// ReasonEvicted: the subscriber stalled past its buffer bound.
+	ReasonEvicted
+	// ReasonShutdown: the gateway closed.
+	ReasonShutdown
+)
+
+func (r CloseReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "live"
+	case ReasonUnsubscribed:
+		return "unsubscribed"
+	case ReasonEvicted:
+		return "evicted"
+	case ReasonShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Update is one epoch of results delivered to one subscriber. Exactly one
+// of Rows and Aggs is non-nil, matching the query's kind.
+type Update struct {
+	Sub     SubID
+	QueryID query.ID
+	// At is the epoch's virtual timestamp.
+	At sim.Time
+	// Rows is one acquisition epoch (nil for aggregation queries).
+	Rows []query.Row
+	// Aggs is one aggregation epoch (nil for acquisition queries).
+	Aggs []query.AggResult
+	// Enqueued is the wall-clock instant the gateway fanned the update
+	// out, for client-observed latency measurement. It never feeds back
+	// into the simulation.
+	Enqueued time.Time
+}
+
+// Subscription is one client's handle on a (possibly shared) query stream.
+// Updates delivers epochs until the subscription ends; after the channel
+// closes, Reason reports why.
+type Subscription struct {
+	id     SubID
+	sess   *Session
+	key    string
+	qid    query.ID
+	shared bool
+	ch     chan Update
+
+	// reason is written by the gateway loop strictly before close(ch) and
+	// read by the client strictly after the channel closes, so the close
+	// itself is the synchronization edge.
+	reason CloseReason
+}
+
+// ID returns the subscription's gateway-wide identifier.
+func (s *Subscription) ID() SubID { return s.id }
+
+// QueryID returns the in-network user query the subscription reads from;
+// subscribers with semantically equal queries share one.
+func (s *Subscription) QueryID() query.ID { return s.qid }
+
+// Shared reports whether the subscription attached to an already-admitted
+// query (a dedup hit) rather than causing a new network admission.
+func (s *Subscription) Shared() bool { return s.shared }
+
+// Key returns the canonical cache key of the subscribed query.
+func (s *Subscription) Key() string { return s.key }
+
+// Updates is the subscriber's result stream.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Reason reports why the stream ended. Only valid after Updates is closed.
+func (s *Subscription) Reason() CloseReason { return s.reason }
+
+// Session is one registered client. Its methods may be called from any
+// goroutine; commands issued from a single goroutine apply in issue order.
+type Session struct {
+	g    *Gateway
+	name string
+
+	mu  sync.Mutex
+	seq uint64
+
+	// Loop-owned state; never touched by client goroutines.
+	live    map[SubID]*Subscription
+	tokens  float64
+	closed  bool
+	dropped int64 // updates dropped on this session's evictions
+}
+
+// Name returns the session's registered name.
+func (s *Session) Name() string { return s.name }
+
+func (s *Session) nextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// Stats is the gateway's counter snapshot. All counters except the
+// wall-clock-free gauges are cumulative since construction. Every field is
+// a pure function of the committed command sequence and the simulation
+// seed, so snapshots are deterministic under the group-commit ordering.
+type Stats struct {
+	// Sessions is the cumulative number of registered sessions;
+	// ActiveSessions the current gauge.
+	Sessions       int64 `json:"sessions"`
+	ActiveSessions int   `json:"active_sessions"`
+	// Subscribes counts accepted subscriptions; SubscribeErrors counts
+	// rejected ones (rate limit, quota, admission failure).
+	Subscribes    int64 `json:"subscribes"`
+	Unsubscribes  int64 `json:"unsubscribes"`
+	RateLimited   int64 `json:"rate_limited"`
+	QuotaRejected int64 `json:"quota_rejected"`
+	AdmitErrors   int64 `json:"admit_errors"`
+	// DedupHits counts subscriptions served by an already-admitted query;
+	// Admitted counts queries actually posted into the network; Cancelled
+	// counts refcount-zero cancellations.
+	DedupHits int64 `json:"dedup_hits"`
+	Admitted  int64 `json:"admitted"`
+	Cancelled int64 `json:"cancelled"`
+	// ActiveSubscriptions and SharedQueries are current gauges.
+	ActiveSubscriptions int `json:"active_subscriptions"`
+	SharedQueries       int `json:"shared_queries"`
+	// Updates counts fanned-out result deliveries; Epochs counts result
+	// epochs arriving from the simulation; Dropped counts deliveries lost
+	// to full buffers; Evicted counts slow subscribers removed for it.
+	Updates int64 `json:"updates"`
+	Epochs  int64 `json:"epochs"`
+	Dropped int64 `json:"dropped"`
+	Evicted int64 `json:"evicted"`
+}
+
+// DedupRatio is subscriptions served per network query admitted (> 1 means
+// the serving tier is sharing).
+func (st Stats) DedupRatio() float64 {
+	if st.Admitted == 0 {
+		return 0
+	}
+	return float64(st.Subscribes) / float64(st.Admitted)
+}
+
+// Metrics converts the snapshot into its obs export form.
+func (st Stats) Metrics() obs.GatewayMetrics {
+	return obs.GatewayMetrics{
+		Sessions:            st.Sessions,
+		ActiveSessions:      st.ActiveSessions,
+		Subscribes:          st.Subscribes,
+		Unsubscribes:        st.Unsubscribes,
+		RateLimited:         st.RateLimited,
+		QuotaRejected:       st.QuotaRejected,
+		AdmitErrors:         st.AdmitErrors,
+		DedupHits:           st.DedupHits,
+		Admitted:            st.Admitted,
+		Cancelled:           st.Cancelled,
+		ActiveSubscriptions: st.ActiveSubscriptions,
+		SharedQueries:       st.SharedQueries,
+		Updates:             st.Updates,
+		Epochs:              st.Epochs,
+		Dropped:             st.Dropped,
+		Evicted:             st.Evicted,
+		DedupRatio:          st.DedupRatio(),
+	}
+}
+
+// shared is one admitted in-network query and its subscriber set.
+type shared struct {
+	key  string
+	qid  query.ID
+	q    query.Query
+	subs []*Subscription // ordered by SubID (monotonic), so fan-out is deterministic
+}
+
+// cmdKind discriminates staged commands.
+type cmdKind uint8
+
+const (
+	cmdSubscribe cmdKind = iota + 1
+	cmdUnsubscribe
+	cmdCloseSession
+)
+
+// command is one staged client request, committed at the next Advance.
+type command struct {
+	kind cmdKind
+	sess *Session
+	seq  uint64
+	q    query.Query // subscribe
+	key  string      // subscribe
+	sub  SubID       // unsubscribe
+	done chan result
+}
+
+type result struct {
+	sub *Subscription
+	err error
+}
+
+// Ticket is the pending half of an asynchronous command; Wait blocks until
+// the command commits at an Advance (or the gateway closes).
+type Ticket struct {
+	g    *Gateway
+	done chan result
+}
+
+// Wait returns the committed command's outcome. For unsubscribe and
+// session-close tickets the Subscription is nil.
+func (t *Ticket) Wait() (*Subscription, error) {
+	select {
+	case r := <-t.done:
+		return r.sub, r.err
+	case <-t.g.done:
+		// The loop exited; shutdown fails every staged command, but prefer
+		// a result that raced in over the generic closed error.
+		select {
+		case r := <-t.done:
+			return r.sub, r.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// control messages handled immediately by the loop (not staged).
+type registerReq struct {
+	name  string
+	reply chan result2[*Session]
+}
+type statsReq struct{ reply chan statsNow }
+type exportReq struct{ reply chan obs.RunExport }
+type advanceReq struct {
+	d     time.Duration
+	reply chan advanceInfo
+}
+type advanceInfo struct {
+	applied int
+	now     sim.Time
+}
+
+type result2[T any] struct {
+	v   T
+	err error
+}
+
+// Gateway is the concurrent serving tier. Construct with New, drive
+// virtual time with Advance (or a Server's pacer), and shut down with
+// Close.
+type Gateway struct {
+	cfg    Config
+	sim    *network.Simulation
+	series *obs.Series
+
+	inbox chan any
+	done  chan struct{} // closed when the loop exits
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// finalMu guards the post-Close snapshot.
+	finalMu    sync.Mutex
+	finalStats Stats
+	finalExp   obs.RunExport
+
+	// Loop-owned state.
+	sessions map[string]*Session
+	byKey    map[string]*shared
+	byQID    map[query.ID]*shared
+	staged   []*command
+	nextSub  SubID
+	stats    Stats
+}
+
+// New builds the gateway and its simulation and starts the actor loop.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.SessionQuota <= 0 {
+		cfg.SessionQuota = DefaultSessionQuota
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = DefaultRate
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = DefaultBurst
+	}
+	simCfg := cfg.Sim
+	simCfg.DiscardResults = true
+	s, err := network.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		sim:      s,
+		inbox:    make(chan any, 256),
+		done:     make(chan struct{}),
+		sessions: make(map[string]*Session),
+		byKey:    make(map[string]*shared),
+		byQID:    make(map[query.ID]*shared),
+		nextSub:  1,
+	}
+	s.Results().OnRows = g.onRows
+	s.Results().OnAggs = g.onAggs
+	if cfg.Sample > 0 {
+		g.series = s.StartSeries(cfg.Sample)
+	}
+	go g.loop()
+	return g, nil
+}
+
+// Series returns the attached virtual-time metrics series (nil unless
+// Config.Sample was set). Read it only after Close.
+func (g *Gateway) Series() *obs.Series { return g.series }
+
+// send delivers a message to the loop, failing once the gateway is closed.
+func (g *Gateway) send(msg any) error {
+	select {
+	case <-g.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case g.inbox <- msg:
+		return nil
+	case <-g.done:
+		return ErrClosed
+	}
+}
+
+// ErrClosed is returned for any command issued after Close.
+var ErrClosed = fmt.Errorf("gateway: closed")
+
+// Register creates a session under a unique client-chosen name.
+func (g *Gateway) Register(name string) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("gateway: empty session name")
+	}
+	req := registerReq{name: name, reply: make(chan result2[*Session], 1)}
+	if err := g.send(req); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-req.reply:
+		return r.v, r.err
+	case <-g.done:
+		return nil, ErrClosed
+	}
+}
+
+// SubscribeAsync stages a subscription to q; it commits at the next
+// Advance. Errors detectable without the simulation (parse-level
+// validation, LIFETIME) fail immediately.
+func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
+	n, key, err := canonicalize(q)
+	if err != nil {
+		return nil, err
+	}
+	c := &command{
+		kind: cmdSubscribe,
+		sess: s,
+		seq:  s.nextSeq(),
+		q:    n,
+		key:  key,
+		done: make(chan result, 1),
+	}
+	if err := s.g.send(c); err != nil {
+		return nil, err
+	}
+	return &Ticket{g: s.g, done: c.done}, nil
+}
+
+// Subscribe is SubscribeAsync plus waiting for the commit. It blocks until
+// the next Advance tick.
+func (s *Session) Subscribe(q query.Query) (*Subscription, error) {
+	t, err := s.SubscribeAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait()
+}
+
+// SubscribeQuery parses and subscribes a TinyDB-dialect query string.
+func (s *Session) SubscribeQuery(text string) (*Subscription, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.Subscribe(q)
+}
+
+// UnsubscribeAsync stages the removal of one subscription.
+func (s *Session) UnsubscribeAsync(id SubID) (*Ticket, error) {
+	c := &command{
+		kind: cmdUnsubscribe,
+		sess: s,
+		seq:  s.nextSeq(),
+		sub:  id,
+		done: make(chan result, 1),
+	}
+	if err := s.g.send(c); err != nil {
+		return nil, err
+	}
+	return &Ticket{g: s.g, done: c.done}, nil
+}
+
+// Unsubscribe removes one subscription, blocking until the next Advance.
+func (s *Session) Unsubscribe(id SubID) error {
+	t, err := s.UnsubscribeAsync(id)
+	if err != nil {
+		return err
+	}
+	_, err = t.Wait()
+	return err
+}
+
+// CloseAsync stages the teardown of the whole session: every live
+// subscription is unsubscribed and the name is released.
+func (s *Session) CloseAsync() (*Ticket, error) {
+	c := &command{
+		kind: cmdCloseSession,
+		sess: s,
+		seq:  s.nextSeq(),
+		done: make(chan result, 1),
+	}
+	if err := s.g.send(c); err != nil {
+		return nil, err
+	}
+	return &Ticket{g: s.g, done: c.done}, nil
+}
+
+// Close tears the session down, blocking until the next Advance.
+func (s *Session) Close() error {
+	t, err := s.CloseAsync()
+	if err != nil {
+		return err
+	}
+	_, err = t.Wait()
+	return err
+}
+
+// Advance commits every staged command in deterministic order, runs the
+// simulation d of virtual time (fanning results out to subscribers), then
+// refills the sessions' token buckets. It returns the number of commands
+// committed. Only one driver should call Advance (a Server's pacer, the
+// load generator, or a test); concurrent calls serialize.
+func (g *Gateway) Advance(d time.Duration) (int, error) {
+	req := advanceReq{d: d, reply: make(chan advanceInfo, 1)}
+	if err := g.send(req); err != nil {
+		return 0, err
+	}
+	select {
+	case info := <-req.reply:
+		return info.applied, nil
+	case <-g.done:
+		return 0, ErrClosed
+	}
+}
+
+// Now returns the simulation's current virtual time.
+func (g *Gateway) Now() (sim.Time, error) {
+	st, err := g.statsAndNow()
+	return st.now, err
+}
+
+// Stats returns a counter snapshot. After Close it returns the final
+// snapshot.
+func (g *Gateway) Stats() (Stats, error) {
+	st, err := g.statsAndNow()
+	return st.stats, err
+}
+
+type statsNow struct {
+	stats Stats
+	now   sim.Time
+}
+
+func (g *Gateway) statsAndNow() (statsNow, error) {
+	req := statsReq{reply: make(chan statsNow, 1)}
+	if err := g.send(req); err != nil {
+		if err == ErrClosed {
+			return g.finalStatsNow(), nil
+		}
+		return statsNow{}, err
+	}
+	select {
+	case st := <-req.reply:
+		return st, nil
+	case <-g.done:
+		return g.finalStatsNow(), nil
+	}
+}
+
+func (g *Gateway) finalStatsNow() statsNow {
+	g.finalMu.Lock()
+	defer g.finalMu.Unlock()
+	return statsNow{
+		stats: g.finalStats,
+		now:   sim.Time(g.finalExp.Metrics.SimulatedMS) * sim.Time(time.Millisecond),
+	}
+}
+
+// Export builds the run's obs JSON envelope: manifest, final simulation
+// metrics, optimizer state and the gateway counters. Everything in it is a
+// pure function of the committed command sequence and the seed — no wall
+// clock — so exports are byte-identical across client schedulings. After
+// Close it returns the final export.
+func (g *Gateway) Export() (obs.RunExport, error) {
+	req := exportReq{reply: make(chan obs.RunExport, 1)}
+	if err := g.send(req); err != nil {
+		if err == ErrClosed {
+			g.finalMu.Lock()
+			defer g.finalMu.Unlock()
+			return g.finalExp, nil
+		}
+		return obs.RunExport{}, err
+	}
+	select {
+	case exp := <-req.reply:
+		return exp, nil
+	case <-g.done:
+		g.finalMu.Lock()
+		defer g.finalMu.Unlock()
+		return g.finalExp, nil
+	}
+}
+
+// Close drains the gateway: staged commands are rejected, every
+// subscription ends with ReasonShutdown, every admitted query's reference
+// count drops to zero and is cancelled, and the loop exits. Close is
+// idempotent; the final Stats and Export remain readable.
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		reply := make(chan error, 1)
+		select {
+		case g.inbox <- closeReq{reply: reply}:
+			g.closeErr = <-reply
+		case <-g.done:
+		}
+	})
+	return g.closeErr
+}
+
+type closeReq struct{ reply chan error }
+
+// loop is the actor: the only goroutine that touches the simulation and
+// the loop-owned session/cache state.
+func (g *Gateway) loop() {
+	for msg := range g.inbox {
+		switch m := msg.(type) {
+		case *command:
+			g.staged = append(g.staged, m)
+		case registerReq:
+			m.reply <- g.register(m.name)
+		case statsReq:
+			m.reply <- statsNow{stats: g.stats, now: g.sim.Engine().Now()}
+		case exportReq:
+			m.reply <- g.export()
+		case advanceReq:
+			applied := g.commit()
+			g.sim.Run(m.d)
+			g.refill(m.d)
+			m.reply <- advanceInfo{applied: applied, now: g.sim.Engine().Now()}
+		case closeReq:
+			g.shutdown()
+			m.reply <- nil
+			return
+		}
+	}
+}
+
+func (g *Gateway) register(name string) result2[*Session] {
+	if _, dup := g.sessions[name]; dup {
+		return result2[*Session]{err: fmt.Errorf("gateway: session %q already registered", name)}
+	}
+	if len(g.sessions) >= g.cfg.MaxSessions {
+		return result2[*Session]{err: fmt.Errorf("gateway: session limit %d reached", g.cfg.MaxSessions)}
+	}
+	s := &Session{
+		g:      g,
+		name:   name,
+		live:   make(map[SubID]*Subscription),
+		tokens: g.cfg.Burst,
+	}
+	g.sessions[name] = s
+	g.stats.Sessions++
+	g.stats.ActiveSessions = len(g.sessions)
+	return result2[*Session]{v: s}
+}
+
+// commit applies every staged command in (session name, sequence) order —
+// the group-commit step that makes concurrent clients deterministic.
+func (g *Gateway) commit() int {
+	if len(g.staged) == 0 {
+		return 0
+	}
+	batch := g.staged
+	g.staged = nil
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].sess.name != batch[j].sess.name {
+			return batch[i].sess.name < batch[j].sess.name
+		}
+		return batch[i].seq < batch[j].seq
+	})
+	for _, c := range batch {
+		switch c.kind {
+		case cmdSubscribe:
+			sub, err := g.applySubscribe(c)
+			c.done <- result{sub: sub, err: err}
+		case cmdUnsubscribe:
+			c.done <- result{err: g.applyUnsubscribe(c.sess, c.sub, ReasonUnsubscribed)}
+		case cmdCloseSession:
+			c.done <- result{err: g.applyCloseSession(c.sess)}
+		}
+	}
+	return len(batch)
+}
+
+func (g *Gateway) applySubscribe(c *command) (*Subscription, error) {
+	s := c.sess
+	if s.closed {
+		return nil, fmt.Errorf("gateway: session %q is closed", s.name)
+	}
+	if len(s.live) >= g.cfg.SessionQuota {
+		g.stats.QuotaRejected++
+		return nil, fmt.Errorf("gateway: session %q at its quota of %d subscriptions", s.name, g.cfg.SessionQuota)
+	}
+	if s.tokens < 1 {
+		g.stats.RateLimited++
+		return nil, fmt.Errorf("gateway: session %q rate-limited (%.2g tokens; %g/simulated-second, burst %g)",
+			s.name, s.tokens, g.cfg.Rate, g.cfg.Burst)
+	}
+	sh, hit := g.byKey[c.key]
+	if !hit {
+		qid, err := g.sim.Post(c.q)
+		if err != nil {
+			g.stats.AdmitErrors++
+			return nil, fmt.Errorf("gateway: admit %q: %w", c.key, err)
+		}
+		sh = &shared{key: c.key, qid: qid, q: c.q}
+		g.byKey[c.key] = sh
+		g.byQID[qid] = sh
+		g.stats.Admitted++
+	} else {
+		g.stats.DedupHits++
+	}
+	s.tokens--
+	sub := &Subscription{
+		id:     g.nextSub,
+		sess:   s,
+		key:    c.key,
+		qid:    sh.qid,
+		shared: hit,
+		ch:     make(chan Update, g.cfg.Buffer),
+	}
+	g.nextSub++
+	sh.subs = append(sh.subs, sub) // SubIDs are monotonic: stays ordered
+	s.live[sub.id] = sub
+	g.stats.Subscribes++
+	g.stats.ActiveSubscriptions++
+	g.stats.SharedQueries = len(g.byKey)
+	return sub, nil
+}
+
+func (g *Gateway) applyUnsubscribe(s *Session, id SubID, reason CloseReason) error {
+	sub, ok := s.live[id]
+	if !ok {
+		return fmt.Errorf("gateway: session %q has no subscription %d", s.name, id)
+	}
+	g.removeSub(sub, reason)
+	if reason == ReasonUnsubscribed {
+		g.stats.Unsubscribes++
+	}
+	return nil
+}
+
+// removeSub detaches a subscription from its session and shared query,
+// closes its stream, and cancels the query when the last reference drops.
+func (g *Gateway) removeSub(sub *Subscription, reason CloseReason) {
+	s := sub.sess
+	delete(s.live, sub.id)
+	sub.reason = reason
+	close(sub.ch)
+	g.stats.ActiveSubscriptions--
+
+	sh := g.byQID[sub.qid]
+	if sh == nil {
+		return
+	}
+	for i, x := range sh.subs {
+		if x == sub {
+			sh.subs = append(sh.subs[:i], sh.subs[i+1:]...)
+			break
+		}
+	}
+	if len(sh.subs) == 0 {
+		delete(g.byKey, sh.key)
+		delete(g.byQID, sh.qid)
+		if err := g.sim.Cancel(sh.qid); err == nil {
+			g.stats.Cancelled++
+		}
+	}
+	g.stats.SharedQueries = len(g.byKey)
+}
+
+func (g *Gateway) applyCloseSession(s *Session) error {
+	if s.closed {
+		return fmt.Errorf("gateway: session %q already closed", s.name)
+	}
+	ids := make([]SubID, 0, len(s.live))
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		g.removeSub(s.live[id], ReasonUnsubscribed)
+		g.stats.Unsubscribes++
+	}
+	s.closed = true
+	delete(g.sessions, s.name)
+	g.stats.ActiveSessions = len(g.sessions)
+	return nil
+}
+
+// refill tops up every session's token bucket for d of elapsed virtual
+// time.
+func (g *Gateway) refill(d time.Duration) {
+	add := g.cfg.Rate * d.Seconds()
+	for _, s := range g.sessions {
+		s.tokens += add
+		if s.tokens > g.cfg.Burst {
+			s.tokens = g.cfg.Burst
+		}
+	}
+}
+
+// onRows and onAggs run on the loop goroutine, inside sim.Run, as the
+// simulation delivers user result epochs.
+func (g *Gateway) onRows(ur core.UserRows) {
+	sh := g.byQID[ur.QueryID]
+	if sh == nil {
+		return
+	}
+	g.stats.Epochs++
+	now := time.Now()
+	for _, sub := range append([]*Subscription(nil), sh.subs...) {
+		g.push(sub, Update{
+			Sub:      sub.id,
+			QueryID:  ur.QueryID,
+			At:       ur.Time,
+			Rows:     ur.Rows,
+			Enqueued: now,
+		})
+	}
+}
+
+func (g *Gateway) onAggs(ua core.UserAgg) {
+	sh := g.byQID[ua.QueryID]
+	if sh == nil {
+		return
+	}
+	g.stats.Epochs++
+	now := time.Now()
+	for _, sub := range append([]*Subscription(nil), sh.subs...) {
+		g.push(sub, Update{
+			Sub:      sub.id,
+			QueryID:  ua.QueryID,
+			At:       ua.Time,
+			Aggs:     ua.Results,
+			Enqueued: now,
+		})
+	}
+}
+
+// push delivers one update without ever blocking the simulation: a full
+// buffer means the subscriber has stalled past its bound, and it is
+// evicted so its fast peers (and the engine) keep pace.
+func (g *Gateway) push(sub *Subscription, u Update) {
+	select {
+	case sub.ch <- u:
+		g.stats.Updates++
+	default:
+		g.stats.Dropped++
+		sub.sess.dropped++
+		g.stats.Evicted++
+		g.removeSub(sub, ReasonEvicted)
+	}
+}
+
+func (g *Gateway) export() obs.RunExport {
+	m := g.sim.Manifest()
+	m.Study = "gateway"
+	m.DurationMS = time.Duration(g.sim.Engine().Now()).Milliseconds()
+	m.Runs = 1
+	gm := g.stats.Metrics()
+	exp := obs.RunExport{
+		Manifest: m.Hashed(),
+		Metrics:  obs.CollectFinal(g.sim.Metrics(), time.Duration(g.sim.Engine().Now()), defaultEnergy),
+		Gateway:  &gm,
+		Series:   g.series,
+	}
+	if opt := g.sim.Optimizer(); opt != nil {
+		exp.Optimizer = &obs.OptimizerState{
+			UserQueries:      opt.UserCount(),
+			SyntheticQueries: opt.SyntheticCount(),
+		}
+	}
+	return exp
+}
+
+// shutdown ends every session, fails the staged commands and snapshots the
+// final state for post-Close reads.
+func (g *Gateway) shutdown() {
+	for _, c := range g.staged {
+		c.done <- result{err: ErrClosed}
+	}
+	g.staged = nil
+
+	names := make([]string, 0, len(g.sessions))
+	for name := range g.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := g.sessions[name]
+		ids := make([]SubID, 0, len(s.live))
+		for id := range s.live {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			g.removeSub(s.live[id], ReasonShutdown)
+		}
+		s.closed = true
+		delete(g.sessions, name)
+	}
+	g.stats.ActiveSessions = 0
+
+	g.finalMu.Lock()
+	g.finalStats = g.stats
+	g.finalExp = g.export()
+	g.finalMu.Unlock()
+	close(g.done)
+}

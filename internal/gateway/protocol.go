@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/topology"
+)
+
+// Wire protocol of the serving tier (ttmqo-serve): newline-delimited JSON
+// over TCP, one Request per line from the client, one Response per line
+// from the server. Subscribing starts an asynchronous stream of "rows"/
+// "agg" responses tagged with the subscription id; the stream ends with a
+// single "closed" response carrying the reason.
+
+// Request operations.
+const (
+	OpHello       = "hello"
+	OpSubscribe   = "subscribe"
+	OpUnsubscribe = "unsubscribe"
+	OpStats       = "stats"
+)
+
+// Request is one client line.
+type Request struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Client optionally names the session (OpHello); the server derives a
+	// unique name from the connection otherwise.
+	Client string `json:"client,omitempty"`
+	// Query is the TinyDB-dialect query text (OpSubscribe).
+	Query string `json:"query,omitempty"`
+	// Sub identifies the subscription to drop (OpUnsubscribe).
+	Sub SubID `json:"sub,omitempty"`
+	// Tag is echoed on the direct response so clients can correlate
+	// pipelined requests.
+	Tag string `json:"tag,omitempty"`
+}
+
+// Response types.
+const (
+	TypeHello      = "hello"
+	TypeSubscribed = "subscribed"
+	TypeRows       = "rows"
+	TypeAgg        = "agg"
+	TypeClosed     = "closed"
+	TypeStats      = "stats"
+	TypeError      = "error"
+)
+
+// WireRow is one delivered acquisition row.
+type WireRow struct {
+	Node   topology.NodeID    `json:"node"`
+	Values map[string]float64 `json:"values"`
+}
+
+// WireAgg is one delivered aggregate value.
+type WireAgg struct {
+	Agg   string  `json:"agg"`
+	Group int64   `json:"group,omitempty"`
+	Value float64 `json:"value"`
+	Empty bool    `json:"empty,omitempty"`
+}
+
+// Response is one server line.
+type Response struct {
+	Type string `json:"type"`
+	Tag  string `json:"tag,omitempty"`
+	// Session is the registered session name (TypeHello).
+	Session string `json:"session,omitempty"`
+	// Sub identifies the subscription the line belongs to.
+	Sub SubID `json:"sub,omitempty"`
+	// QueryID is the shared in-network query (TypeSubscribed).
+	QueryID query.ID `json:"query_id,omitempty"`
+	// Shared reports a dedup hit (TypeSubscribed).
+	Shared bool `json:"shared,omitempty"`
+	// Canonical is the canonical form the query was cached under
+	// (TypeSubscribed).
+	Canonical string `json:"canonical,omitempty"`
+	// AtMS is the epoch's virtual timestamp in milliseconds (TypeRows,
+	// TypeAgg) or the current virtual time (TypeStats).
+	AtMS int64 `json:"at_ms,omitempty"`
+	// Rows carries one acquisition epoch (TypeRows).
+	Rows []WireRow `json:"rows,omitempty"`
+	// Aggs carries one aggregation epoch (TypeAgg).
+	Aggs []WireAgg `json:"aggs,omitempty"`
+	// Reason says why the subscription ended (TypeClosed).
+	Reason string `json:"reason,omitempty"`
+	// Stats is the gateway counter snapshot (TypeStats).
+	Stats *obs.GatewayMetrics `json:"stats,omitempty"`
+	// Error is the failure message (TypeError).
+	Error string `json:"error,omitempty"`
+}
+
+// wireUpdate converts a delivered update to its wire form.
+func wireUpdate(u Update) Response {
+	r := Response{Sub: u.Sub, AtMS: int64(u.At.Milliseconds())}
+	if u.Rows != nil || u.Aggs == nil {
+		r.Type = TypeRows
+		r.Rows = make([]WireRow, 0, len(u.Rows))
+		for _, row := range u.Rows {
+			vals := make(map[string]float64, len(row.Values))
+			for a, v := range row.Values {
+				vals[a.String()] = v
+			}
+			r.Rows = append(r.Rows, WireRow{Node: row.Node, Values: vals})
+		}
+		return r
+	}
+	r.Type = TypeAgg
+	r.Aggs = make([]WireAgg, 0, len(u.Aggs))
+	for _, a := range u.Aggs {
+		r.Aggs = append(r.Aggs, WireAgg{
+			Agg:   a.Agg.String(),
+			Group: a.Group,
+			Value: a.Value,
+			Empty: a.Empty,
+		})
+	}
+	return r
+}

@@ -1,0 +1,246 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServerConfig parametrizes Serve.
+type ServerConfig struct {
+	// Addr is the TCP listen address, e.g. ":7443" or "127.0.0.1:0".
+	Addr string
+	// TickEvery is the wall-clock pacer period: every tick the server
+	// commits staged client commands and advances the simulation by
+	// Quantum of virtual time. Default 250ms.
+	TickEvery time.Duration
+	// Quantum is the virtual time simulated per tick. Default 2048ms (one
+	// minimum epoch), i.e. the simulation runs ~8x faster than real time
+	// at the defaults.
+	Quantum time.Duration
+}
+
+// Server serves the gateway's newline-delimited JSON protocol over TCP and
+// drives the simulation with a wall-clock pacer.
+type Server struct {
+	gw  *Gateway
+	ln  net.Listener
+	cfg ServerConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	nextConn int64
+	conns    map[net.Conn]struct{}
+}
+
+// NewServer starts listening and pacing. The caller owns the Gateway and
+// should Close it after Server.Close.
+func NewServer(gw *Gateway, cfg ServerConfig) (*Server, error) {
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 250 * time.Millisecond
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 2048 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{gw: gw, ln: ln, cfg: cfg, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(2)
+	go s.pace()
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the pacer and listener, severs live connections, and waits
+// for the handlers to finish. It does not close the Gateway.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// pace drives virtual time: one Advance per wall tick. Client commands
+// that arrived since the previous tick commit at the next one, so a
+// subscribe observed over TCP is live within TickEvery.
+func (s *Server) pace() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if _, err := s.gw.Advance(s.cfg.Quantum); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// connWriter serializes response lines from the request handler and the
+// per-subscription forwarders onto one connection.
+type connWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (w *connWriter) write(r Response) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(r)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	s.mu.Lock()
+	s.nextConn++
+	id := s.nextConn
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	w := &connWriter{enc: json.NewEncoder(conn)}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var sess *Session
+	// ensure registers lazily so a HELLO can pick the session name first.
+	ensure := func(name string) error {
+		if sess != nil {
+			return nil
+		}
+		if name == "" {
+			name = fmt.Sprintf("conn-%d", id)
+		}
+		var err error
+		sess, err = s.gw.Register(name)
+		return err
+	}
+	defer func() {
+		if sess != nil {
+			// Tear the session down at the next tick; the forwarders end
+			// when their subscriptions close.
+			if t, err := sess.CloseAsync(); err == nil {
+				go func() { _, _ = t.Wait() }()
+			}
+		}
+	}()
+
+	// forward pumps one subscription's updates to the connection until it
+	// closes, then reports the reason.
+	forward := func(sub *Subscription) {
+		defer s.wg.Done()
+		for u := range sub.Updates() {
+			if w.write(wireUpdate(u)) != nil {
+				conn.Close()
+				return
+			}
+		}
+		_ = w.write(Response{Type: TypeClosed, Sub: sub.ID(), Reason: sub.Reason().String()})
+	}
+
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = w.write(Response{Type: TypeError, Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		fail := func(err error) {
+			_ = w.write(Response{Type: TypeError, Tag: req.Tag, Error: err.Error()})
+		}
+		switch req.Op {
+		case OpHello:
+			if err := ensure(req.Client); err != nil {
+				fail(err)
+				continue
+			}
+			_ = w.write(Response{Type: TypeHello, Tag: req.Tag, Session: sess.Name()})
+		case OpSubscribe:
+			if err := ensure(""); err != nil {
+				fail(err)
+				continue
+			}
+			sub, err := sess.SubscribeQuery(req.Query)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			s.wg.Add(1)
+			go forward(sub)
+			_ = w.write(Response{
+				Type:      TypeSubscribed,
+				Tag:       req.Tag,
+				Sub:       sub.ID(),
+				QueryID:   sub.QueryID(),
+				Shared:    sub.Shared(),
+				Canonical: sub.Key(),
+			})
+		case OpUnsubscribe:
+			if sess == nil {
+				fail(fmt.Errorf("no session"))
+				continue
+			}
+			if err := sess.Unsubscribe(req.Sub); err != nil {
+				fail(err)
+				continue
+			}
+			// The forwarder emits the TypeClosed line when the channel
+			// drains; nothing more to say here.
+		case OpStats:
+			sn, err := s.gw.statsAndNow()
+			if err != nil {
+				fail(err)
+				continue
+			}
+			gm := sn.stats.Metrics()
+			_ = w.write(Response{
+				Type:  TypeStats,
+				Tag:   req.Tag,
+				AtMS:  time.Duration(sn.now).Milliseconds(),
+				Stats: &gm,
+			})
+		default:
+			fail(fmt.Errorf("unknown op %q", req.Op))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// wireClient is a minimal test client for the NDJSON protocol.
+type wireClient struct {
+	t    *testing.T
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+func dialWire(t *testing.T, addr string) *wireClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &wireClient{t: t, conn: conn, sc: sc, enc: json.NewEncoder(conn)}
+}
+
+func (c *wireClient) send(req Request) {
+	c.t.Helper()
+	if err := c.enc.Encode(req); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// recv reads lines until one of the wanted type arrives, failing on errors
+// and a dead connection. Result-stream lines ("rows"/"agg") interleave with
+// direct responses, so callers skip what they are not waiting for.
+func (c *wireClient) recv(want string) Response {
+	c.t.Helper()
+	for c.sc.Scan() {
+		var r Response
+		if err := json.Unmarshal(c.sc.Bytes(), &r); err != nil {
+			c.t.Fatalf("bad response line %q: %v", c.sc.Text(), err)
+		}
+		if r.Type == want {
+			return r
+		}
+		if r.Type == TypeError {
+			c.t.Fatalf("server error while waiting for %q: %s", want, r.Error)
+		}
+	}
+	c.t.Fatalf("connection closed while waiting for %q: %v", want, c.sc.Err())
+	return Response{}
+}
+
+// TestServerRoundTrip drives the full TCP path: hello, subscribe, result
+// delivery, stats, unsubscribe and the closing handshake.
+func TestServerRoundTrip(t *testing.T) {
+	gw := newTestGateway(t, Config{})
+	srv, err := NewServer(gw, ServerConfig{
+		Addr:      "127.0.0.1:0",
+		TickEvery: 5 * time.Millisecond,
+		Quantum:   2048 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Drain order: gateway first so pending commands fail fast, then
+		// the listener (mirrors cmd/ttmqo-serve).
+		_ = gw.Close()
+		_ = srv.Close()
+	}()
+
+	c := dialWire(t, srv.Addr().String())
+	c.send(Request{Op: OpHello, Client: "alice", Tag: "h"})
+	hello := c.recv(TypeHello)
+	if hello.Session != "alice" || hello.Tag != "h" {
+		t.Fatalf("hello response %+v", hello)
+	}
+
+	c.send(Request{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms", Tag: "s1"})
+	subbed := c.recv(TypeSubscribed)
+	if subbed.Sub == 0 || subbed.QueryID == 0 || subbed.Canonical == "" {
+		t.Fatalf("subscribed response %+v", subbed)
+	}
+
+	rows := c.recv(TypeRows)
+	if rows.Sub != subbed.Sub || len(rows.Rows) == 0 {
+		t.Fatalf("rows response %+v", rows)
+	}
+
+	c.send(Request{Op: OpStats, Tag: "st"})
+	st := c.recv(TypeStats)
+	if st.Stats == nil || st.Stats.Admitted != 1 || st.Stats.ActiveSessions != 1 {
+		t.Fatalf("stats response %+v", st.Stats)
+	}
+
+	c.send(Request{Op: OpUnsubscribe, Sub: subbed.Sub})
+	closed := c.recv(TypeClosed)
+	if closed.Sub != subbed.Sub || closed.Reason != ReasonUnsubscribed.String() {
+		t.Fatalf("closed response %+v", closed)
+	}
+}
+
+// TestServerSharedAcrossConnections: two TCP clients issuing equivalent
+// query text land on one shared in-network query.
+func TestServerSharedAcrossConnections(t *testing.T) {
+	gw := newTestGateway(t, Config{})
+	srv, err := NewServer(gw, ServerConfig{
+		Addr:      "127.0.0.1:0",
+		TickEvery: 5 * time.Millisecond,
+		Quantum:   2048 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = gw.Close()
+		_ = srv.Close()
+	}()
+
+	a := dialWire(t, srv.Addr().String())
+	a.send(Request{Op: OpSubscribe, Query: "SELECT light, temp EPOCH DURATION 8192ms"})
+	sa := a.recv(TypeSubscribed)
+
+	b := dialWire(t, srv.Addr().String())
+	b.send(Request{Op: OpSubscribe, Query: "SELECT temp, light EPOCH DURATION 8192ms"})
+	sb := b.recv(TypeSubscribed)
+
+	if sa.QueryID != sb.QueryID {
+		t.Errorf("query IDs differ: %d vs %d", sa.QueryID, sb.QueryID)
+	}
+	if !sb.Shared {
+		t.Errorf("second connection's subscription not marked shared")
+	}
+	if sa.Canonical != sb.Canonical {
+		t.Errorf("canonical forms differ: %q vs %q", sa.Canonical, sb.Canonical)
+	}
+}

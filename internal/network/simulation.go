@@ -430,7 +430,12 @@ func (s *Simulation) flushDelay() sim.Time {
 func (s *Simulation) scheduleFlush(inst *installedQuery, epochT sim.Time) {
 	inst.flush = s.engine.Schedule(epochT+s.flushDelay(), func() {
 		s.flush(inst, epochT)
-		s.scheduleFlush(inst, epochT+sim.Time(inst.q.ReportEvery()))
+		// Delivering results can terminate the query from inside the flush
+		// (a result hook cancelling the last subscriber's query); only a
+		// still-installed query gets its next collection window.
+		if s.installed[inst.q.ID] == inst {
+			s.scheduleFlush(inst, epochT+sim.Time(inst.q.ReportEvery()))
+		}
 	})
 }
 

@@ -58,12 +58,40 @@ type OptimizerState struct {
 	SyntheticQueries int `json:"synthetic_queries"`
 }
 
+// GatewayMetrics is the serving tier's exported counter set (see
+// internal/gateway): session registrations, admission-control rejections,
+// the semantic-dedup outcome and the fan-out/backpressure accounting.
+// Every field is deterministic under the gateway's group-commit ordering.
+type GatewayMetrics struct {
+	Sessions            int64 `json:"sessions"`
+	ActiveSessions      int   `json:"active_sessions"`
+	Subscribes          int64 `json:"subscribes"`
+	Unsubscribes        int64 `json:"unsubscribes"`
+	RateLimited         int64 `json:"rate_limited"`
+	QuotaRejected       int64 `json:"quota_rejected"`
+	AdmitErrors         int64 `json:"admit_errors"`
+	DedupHits           int64 `json:"dedup_hits"`
+	Admitted            int64 `json:"admitted"`
+	Cancelled           int64 `json:"cancelled"`
+	ActiveSubscriptions int   `json:"active_subscriptions"`
+	SharedQueries       int   `json:"shared_queries"`
+	Updates             int64 `json:"updates"`
+	Epochs              int64 `json:"epochs"`
+	Dropped             int64 `json:"dropped"`
+	Evicted             int64 `json:"evicted"`
+	// DedupRatio is subscriptions per admitted network query (> 1 means
+	// the serving tier shared work).
+	DedupRatio float64 `json:"dedup_ratio"`
+}
+
 // RunExport is the JSON envelope for a single simulation run: manifest,
-// final metrics, optional optimizer state and optional time series.
+// final metrics, optional optimizer state, optional gateway counters and
+// optional time series.
 type RunExport struct {
 	Manifest  Manifest        `json:"manifest"`
 	Metrics   FinalMetrics    `json:"metrics"`
 	Optimizer *OptimizerState `json:"optimizer,omitempty"`
+	Gateway   *GatewayMetrics `json:"gateway,omitempty"`
 	Series    *Series         `json:"series,omitempty"`
 }
 

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Series accumulates scalar observations with Welford's online algorithm —
@@ -64,3 +65,62 @@ func (s *Series) Max() float64 {
 func (s *Series) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.Stddev(), s.n)
 }
+
+// Quantiles accumulates observations for exact quantile queries — the
+// latency-percentile companion to Series. It retains every observation
+// (O(n) memory), which suits the load generator's bounded sample sizes;
+// switch to a sketch if a use case ever outgrows it.
+type Quantiles struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add folds one observation in.
+func (q *Quantiles) Add(v float64) {
+	q.xs = append(q.xs, v)
+	q.sorted = false
+}
+
+// Merge folds another collection's observations in.
+func (q *Quantiles) Merge(o *Quantiles) {
+	q.xs = append(q.xs, o.xs...)
+	q.sorted = false
+}
+
+// N returns the observation count.
+func (q *Quantiles) N() int { return len(q.xs) }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by linear interpolation
+// between closest ranks; 0 for an empty collection.
+func (q *Quantiles) Quantile(p float64) float64 {
+	if len(q.xs) == 0 {
+		return 0
+	}
+	if !q.sorted {
+		sort.Float64s(q.xs)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.xs[0]
+	}
+	if p >= 1 {
+		return q.xs[len(q.xs)-1]
+	}
+	rank := p * float64(len(q.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return q.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return q.xs[lo]*(1-frac) + q.xs[hi]*frac
+}
+
+// P50, P95 and P99 are the conventional latency percentiles.
+func (q *Quantiles) P50() float64 { return q.Quantile(0.50) }
+
+// P95 returns the 95th percentile.
+func (q *Quantiles) P95() float64 { return q.Quantile(0.95) }
+
+// P99 returns the 99th percentile.
+func (q *Quantiles) P99() float64 { return q.Quantile(0.99) }

@@ -72,3 +72,61 @@ func TestSeriesMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantilesEmpty(t *testing.T) {
+	var q Quantiles
+	if q.N() != 0 || q.P50() != 0 || q.Quantile(0.99) != 0 {
+		t.Fatalf("empty collection not zero-valued")
+	}
+}
+
+func TestQuantilesSingle(t *testing.T) {
+	var q Quantiles
+	q.Add(7)
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := q.Quantile(p); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestQuantilesInterpolation(t *testing.T) {
+	var q Quantiles
+	// Insert 1..100 out of order; quantiles must sort internally.
+	for i := 100; i >= 1; i-- {
+		q.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1},
+		{0.5, 50.5},
+		{0.95, 95.05},
+		{0.99, 99.01},
+		{1, 100},
+	}
+	for _, tc := range cases {
+		if got := q.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantilesMerge(t *testing.T) {
+	var a, b, all Quantiles
+	for i := 1; i <= 50; i++ {
+		a.Add(float64(i))
+		all.Add(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(float64(i))
+		all.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Errorf("merged Quantile(%v) = %v, want %v", p, a.Quantile(p), all.Quantile(p))
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/field"
+	"repro/internal/gateway"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
@@ -291,6 +292,58 @@ type (
 	// OptimizerState is the exported tier-1 optimizer state.
 	OptimizerState = obs.OptimizerState
 )
+
+// Serving tier (internal/gateway): a goroutine-safe multi-client gateway in
+// front of a Simulation. Concurrent sessions subscribe with query text;
+// semantically equal queries (same canonical form after normalization) share
+// one in-network query, results fan out over bounded per-subscriber buffers,
+// and a group-commit mailbox keeps runs deterministic under any goroutine
+// schedule. ttmqo-serve exposes it over TCP.
+type (
+	// Gateway is the concurrent query-serving front end.
+	Gateway = gateway.Gateway
+	// GatewayConfig parametrizes NewGateway.
+	GatewayConfig = gateway.Config
+	// GatewaySession is one registered client's handle.
+	GatewaySession = gateway.Session
+	// GatewayStats is the gateway's counter snapshot.
+	GatewayStats = gateway.Stats
+	// Subscription is one client's live attachment to a shared query.
+	Subscription = gateway.Subscription
+	// SubscriptionID identifies a subscription within its gateway.
+	SubscriptionID = gateway.SubID
+	// Update is one result epoch delivered to one subscriber.
+	Update = gateway.Update
+	// CloseReason says why a subscription's update stream ended.
+	CloseReason = gateway.CloseReason
+	// GatewayServer serves the newline-delimited JSON protocol over TCP.
+	GatewayServer = gateway.Server
+	// GatewayServerConfig parametrizes NewGatewayServer.
+	GatewayServerConfig = gateway.ServerConfig
+	// LoadgenConfig parametrizes RunLoadgen.
+	LoadgenConfig = gateway.LoadgenConfig
+	// LoadReport is a load-generator run's outcome.
+	LoadReport = gateway.LoadReport
+	// GatewayMetrics is the gateway counter block of a RunExport.
+	GatewayMetrics = obs.GatewayMetrics
+)
+
+// NewGateway builds a serving gateway around a fresh Simulation.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// NewGatewayServer starts serving a gateway over TCP with a wall-clock
+// pacer; Close the server before the gateway.
+func NewGatewayServer(gw *Gateway, cfg GatewayServerConfig) (*GatewayServer, error) {
+	return gateway.NewServer(gw, cfg)
+}
+
+// CanonicalQueryKey returns the semantic dedup key of a query: its canonical
+// textual form after normalization, ignoring identity and lifetime.
+func CanonicalQueryKey(q Query) string { return gateway.CanonicalKey(q) }
+
+// RunLoadgen drives a fresh gateway with concurrent synthetic clients and
+// reports admission/dedup counters, throughput and latency percentiles.
+func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) { return gateway.RunLoadgen(cfg) }
 
 // DefaultSampleInterval is StartSeries's sampling period when none is given.
 const DefaultSampleInterval = network.DefaultSampleInterval
