@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel serve-soak clean
+.PHONY: build test race vet bench bench-parallel serve-soak chaos-soak clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ bench-parallel:
 # percentiles.
 serve-soak:
 	$(GO) run -race ./cmd/ttmqo-serve -loadgen -clients 120 -rounds 16 -pool 10 -seed 1
+
+# The chaos soak under the race detector: scripted fault scenarios — node
+# churn, loss bursts, partitions, and gateway crash/recover cycles mid-run —
+# with the delivery invariants (no duplicates, no sequence gaps, bounded
+# completeness loss, no goroutine leaks) asserted after the drain.
+chaos-soak:
+	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants' ./internal/chaos
 
 clean:
 	rm -f ttmqo-bench ttmqo-sim ttmqo-workload ttmqo-shell ttmqo-serve

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|lifetime|scaling|all]
+//	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|chaos|lifetime|scaling|all]
 //	            [-seed N] [-minutes M] [-runs R] [-parallel P] [-md report.md]
 //	            [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -33,7 +33,7 @@ func main() {
 }
 
 func run() int {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, 4c, 5, ablation, reliability, lifetime, scaling or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, 4c, 5, ablation, reliability, chaos, lifetime, scaling or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	minutes := flag.Int("minutes", 10, "simulated minutes per packet-level run")
 	runs := flag.Int("runs", 3, "workload seeds averaged per stochastic point")
@@ -208,6 +208,16 @@ func run() int {
 			fmt.Printf("%-13s %8s %13.1f%% %9d %10.4f\n",
 				r.Scheme, mtbf, r.Completeness*100, r.Failures, r.AvgTxPct)
 		}
+		return nil
+	})
+
+	dispatch("chaos", func() error {
+		rows, err := ttmqo.RunChaos(ttmqo.ChaosConfig{Seed: *seed, Parallelism: *parallel, Timing: &tm})
+		if err != nil {
+			return err
+		}
+		keep("chaos", rows)
+		fmt.Print(ttmqo.ChaosString(rows))
 		return nil
 	})
 

@@ -6,26 +6,39 @@
 //
 //	ttmqo-serve [-addr :7443] [-side N] [-scheme ttmqo] [-seed S] [-alpha A]
 //	            [-tick 250ms] [-quantum 2048ms] [-buffer B] [-quota Q]
-//	            [-rate R] [-burst K] [-mtbf D] [-mttr D]
+//	            [-rate R] [-burst K] [-mtbf D] [-mttr D] [-wal gw.wal]
+//	            [-readtimeout 75s] [-crash-after D]
 //	            [-json out.json] [-series out.csv] [-sample 30s]
 //	ttmqo-serve -loadgen [-clients 100] [-rounds 24] [-pool 12] [-churn 0.35]
-//	            [-maxsubs 2] [-seed S] [-side N] [-scheme ttmqo] [-buffer B]
-//	            [-json out.json]
+//	            [-maxsubs 2] [-crashround R] [-wal gw.wal] [-seed S]
+//	            [-side N] [-scheme ttmqo] [-buffer B] [-json out.json]
 //
 // Serving mode: clients connect over TCP and send one JSON request per
 // line — {"op":"subscribe","query":"SELECT ..."}, {"op":"unsubscribe",
-// "sub":N}, {"op":"stats"}, optionally {"op":"hello","client":"name"}
-// first — and receive result epochs as they are produced. A wall-clock
-// pacer advances the simulation by -quantum of virtual time every -tick.
-// Semantically equal subscriptions (after normalization) share one
-// in-network query; a subscriber that stalls -buffer results behind is
-// evicted. SIGINT drains the gateway and, with -json, writes the obs run
-// export (including the gateway counters) before exiting.
+// "sub":N}, {"op":"stats"}, {"op":"ping"} heartbeats, optionally
+// {"op":"hello","client":"name"} first — and receive result epochs as they
+// are produced. A wall-clock pacer advances the simulation by -quantum of
+// virtual time every -tick. Semantically equal subscriptions (after
+// normalization) share one in-network query; a subscriber that stalls
+// -buffer results behind is evicted; a connection silent past -readtimeout
+// is dropped (0 keeps the 75s default; negative disables). SIGINT drains
+// the gateway and, with -json, writes the obs run export (including the
+// gateway counters) before exiting.
+//
+// Crash recovery: with -wal, committed session/subscription lifecycle is
+// write-ahead logged there, and a restart over a non-empty log recovers the
+// previous run by deterministic replay — clients re-attach with their hello
+// token and resume streams from their last-seen sequence number. -crash-after
+// (requires -wal) kills the gateway abruptly after that wall-clock delay,
+// then recovers it and re-serves on the same address: a built-in
+// crash/recovery drill.
 //
 // Load-generator mode (-loadgen): -clients concurrent goroutines churn
 // subscriptions drawn from a -pool of distinct queries for -rounds phased
 // ticks, then print admission/dedup counters, fan-out throughput and
-// client-observed latency percentiles. The run's obs export is
+// client-observed latency percentiles. With -crashround R (requires -wal)
+// the gateway is crashed and recovered at the start of round R and every
+// client reconnects and resumes mid-run. The run's obs export is
 // deterministic for a given seed regardless of goroutine scheduling.
 package main
 
@@ -34,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -63,6 +77,9 @@ func run() error {
 	burst := flag.Float64("burst", gateway.DefaultBurst, "token bucket burst")
 	mtbf := flag.Duration("mtbf", 0, "mean time between node failures (0 disables)")
 	mttr := flag.Duration("mttr", 0, "mean node down-time per failure (default 30s when -mtbf is set)")
+	wal := flag.String("wal", "", "write-ahead log path; a restart over a non-empty log recovers the previous run")
+	readTimeout := flag.Duration("readtimeout", 0, "per-connection read deadline (0 = 75s default, negative disables)")
+	crashAfter := flag.Duration("crash-after", 0, "crash the gateway after this wall-clock delay, then recover it (requires -wal)")
 	jsonOut := flag.String("json", "", "write the obs run export (with gateway counters) as JSON to this file on exit")
 	seriesOut := flag.String("series", "", "write the sampled time series as CSV to this file on exit")
 	sample := flag.Duration("sample", 0, "virtual-time sampling interval (default 30s when -series/-json is set)")
@@ -72,6 +89,7 @@ func run() error {
 	pool := flag.Int("pool", 12, "loadgen: distinct queries in the shared pool")
 	churn := flag.Float64("churn", 0.35, "loadgen: per-round per-client churn probability")
 	maxsubs := flag.Int("maxsubs", 2, "loadgen: max live subscriptions per client")
+	crashround := flag.Int("crashround", 0, "loadgen: crash and recover the gateway at the start of this round (requires -wal)")
 	flag.Parse()
 
 	scheme, err := network.ParseScheme(*schemeName)
@@ -81,17 +99,22 @@ func run() error {
 
 	if *loadgen {
 		return runLoadgen(gateway.LoadgenConfig{
-			Clients: *clients,
-			Rounds:  *rounds,
-			Quantum: *quantum * 4, // loadgen rounds default to coarser ticks
-			Pool:    *pool,
-			Churn:   *churn,
-			MaxSubs: *maxsubs,
-			Seed:    *seed,
-			Side:    *side,
-			Scheme:  scheme,
-			Buffer:  *buffer,
+			Clients:    *clients,
+			Rounds:     *rounds,
+			Quantum:    *quantum * 4, // loadgen rounds default to coarser ticks
+			Pool:       *pool,
+			Churn:      *churn,
+			MaxSubs:    *maxsubs,
+			Seed:       *seed,
+			Side:       *side,
+			Scheme:     scheme,
+			Buffer:     *buffer,
+			CrashRound: *crashround,
+			WALPath:    *wal,
 		}, *jsonOut)
+	}
+	if *crashAfter > 0 && *wal == "" {
+		return fmt.Errorf("-crash-after requires -wal")
 	}
 
 	topo, err := ttmqo.PaperGrid(*side)
@@ -102,7 +125,7 @@ func run() error {
 	if sm <= 0 && (*seriesOut != "" || *jsonOut != "") {
 		sm = ttmqo.DefaultSampleInterval
 	}
-	gw, err := gateway.New(gateway.Config{
+	gwCfg := gateway.Config{
 		Sim: network.Config{
 			Topo:     topo,
 			Scheme:   scheme,
@@ -115,21 +138,74 @@ func run() error {
 		Rate:         *rate,
 		Burst:        *burst,
 		Sample:       sm,
-	})
-	if err != nil {
-		return err
+		WALPath:      *wal,
 	}
-	srv, err := gateway.NewServer(gw, gateway.ServerConfig{
-		Addr:      *addr,
-		TickEvery: *tick,
-		Quantum:   *quantum,
-	})
+	srvCfg := gateway.ServerConfig{
+		Addr:        *addr,
+		TickEvery:   *tick,
+		Quantum:     *quantum,
+		ReadTimeout: *readTimeout,
+	}
+
+	// A non-empty log from a previous run means a crashed (or killed)
+	// server: recover it by replay instead of starting fresh.
+	var gw *gateway.Gateway
+	if *wal != "" {
+		if st, err := os.Stat(*wal); err == nil && st.Size() > 0 {
+			gw, err = gateway.Recover(gwCfg)
+			if err != nil {
+				return fmt.Errorf("recover %s: %w", *wal, err)
+			}
+			gst, _ := gw.Stats()
+			fmt.Printf("ttmqo-serve: recovered %d session(s), %d subscription(s) from %s\n",
+				gst.ActiveSessions, gst.ActiveSubscriptions, *wal)
+		}
+	}
+	if gw == nil {
+		gw, err = gateway.New(gwCfg)
+		if err != nil {
+			return err
+		}
+	}
+	srv, err := gateway.NewServer(gw, srvCfg)
 	if err != nil {
 		gw.Close()
 		return err
 	}
 	fmt.Printf("ttmqo-serve: listening on %s (scheme=%s nodes=%d tick=%v quantum=%v)\n",
 		srv.Addr(), scheme, topo.Size(), *tick, *quantum)
+
+	// live guards the current gateway/server pair: the crash drill swaps
+	// both under the mutex while the signal handler waits to drain them.
+	var mu sync.Mutex
+	if *crashAfter > 0 {
+		// Pin the recovered server to the originally bound address (":0"
+		// resolves once, clients reconnect to the same port).
+		srvCfg.Addr = srv.Addr().String()
+		go func() {
+			time.Sleep(*crashAfter)
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Println("ttmqo-serve: injecting crash")
+			srv.Close()
+			gw.Crash()
+			g2, err := gateway.Recover(gwCfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttmqo-serve: recover:", err)
+				os.Exit(1)
+			}
+			s2, err := gateway.NewServer(g2, srvCfg)
+			if err != nil {
+				g2.Close()
+				fmt.Fprintln(os.Stderr, "ttmqo-serve: re-serve:", err)
+				os.Exit(1)
+			}
+			gw, srv = g2, s2
+			gst, _ := gw.Stats()
+			fmt.Printf("ttmqo-serve: recovered %d session(s) on %s; clients may re-attach\n",
+				gst.ActiveSessions, srv.Addr())
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -138,6 +214,8 @@ func run() error {
 
 	// Drain order matters: closing the gateway first fails pending
 	// commands so connection handlers unblock, then the server stops.
+	mu.Lock()
+	defer mu.Unlock()
 	if err := gw.Close(); err != nil {
 		return err
 	}
@@ -145,8 +223,8 @@ func run() error {
 		return err
 	}
 	st, _ := gw.Stats()
-	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d admitted=%d dedup_ratio=%.2f updates=%d evicted=%d\n",
-		st.Sessions, st.Subscribes, st.DedupHits, st.Admitted, st.DedupRatio(), st.Updates, st.Evicted)
+	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d admitted=%d dedup_ratio=%.2f updates=%d evicted=%d recoveries=%d\n",
+		st.Sessions, st.Subscribes, st.DedupHits, st.Admitted, st.DedupRatio(), st.Updates, st.Evicted, st.Recoveries)
 	return writeExports(gw, *jsonOut, *seriesOut)
 }
 

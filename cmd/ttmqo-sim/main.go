@@ -6,13 +6,20 @@
 //	ttmqo-sim [-side N] [-scheme baseline|base-station|in-network|ttmqo]
 //	          [-workload A|B|C|random] [-minutes M] [-seed S] [-alpha A]
 //	          [-concurrency C] [-queries Q] [-runs R] [-parallel P] [-v]
-//	          [-mtbf D] [-mttr D] [-trace out.csv] [-field in.csv]
-//	          [-json out.json] [-series out.csv] [-sample 30s]
-//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	          [-mtbf D] [-mttr D] [-chaos scenario] [-trace out.csv]
+//	          [-field in.csv] [-json out.json] [-series out.csv]
+//	          [-sample 30s] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -mtbf enables random node outages (mean time between failures per node);
 // -mttr sets the mean repair time (30s when left zero). Failure injection
 // maps straight onto the library's FailureConfig.
+//
+// -chaos injects a scripted fault schedule instead of (or on top of) random
+// outages: the argument is a builtin scenario name (none, churn, burst,
+// partition, crash, mixed) or a scenario file in the chaos text format (see
+// EXPERIMENTS.md). Scenarios with gateway crash steps are rejected here —
+// there is no gateway to crash; use ttmqo-serve or the chaos study for
+// those. A scenario's "seed" directive overrides -seed.
 //
 // With -workload random, the §4.3 adaptive workload is replayed (arrivals
 // and terminations); otherwise the named static workload runs for the whole
@@ -36,9 +43,19 @@ import (
 	"time"
 
 	ttmqo "repro"
+	"repro/internal/chaos"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
+
+// loadScenario resolves -chaos: a readable file is parsed as scenario text,
+// anything else is looked up as a builtin name.
+func loadScenario(ref string) (*chaos.Scenario, error) {
+	if b, err := os.ReadFile(ref); err == nil {
+		return chaos.ParseScenario(string(b))
+	}
+	return chaos.Builtin(ref)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -60,6 +77,7 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-run replays (0 = one worker per CPU)")
 	mtbf := flag.Duration("mtbf", 0, "mean time between node failures (0 disables failure injection)")
 	mttr := flag.Duration("mttr", 0, "mean node down-time per failure (default 30s when -mtbf is set)")
+	chaosRef := flag.String("chaos", "", "scripted fault scenario: builtin name or scenario file (crash steps rejected)")
 	verbose := flag.Bool("v", false, "print per-query delivery counts")
 	traceOut := flag.String("trace", "", "write the run's event log as CSV to this file")
 	fieldCSV := flag.String("field", "", "replay sensor readings from this CSV trace instead of the synthetic field")
@@ -104,6 +122,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var scenario *chaos.Scenario
+	if *chaosRef != "" {
+		scenario, err = loadScenario(*chaosRef)
+		if err != nil {
+			return err
+		}
+		if len(scenario.Crashes()) > 0 {
+			return fmt.Errorf("scenario %q has gateway crash steps and ttmqo-sim has no gateway; use ttmqo-serve (-wal, -crash-after) or ttmqo-bench -fig chaos", scenario.Name)
+		}
+		if scenario.Seed != 0 {
+			*seed = scenario.Seed
+		}
+	}
 	if *runs > 1 {
 		return runMany(multiConfig{
 			topo: topo, scheme: scheme, seed: *seed, runs: *runs,
@@ -111,6 +142,7 @@ func run() error {
 			concurrency: *concurrency, queries: *queries,
 			minutes: *minutes, fieldCSV: *fieldCSV, jsonOut: *jsonOut,
 			failures: ttmqo.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
+			scenario: scenario,
 		})
 	}
 	var buf *ttmqo.Trace
@@ -143,6 +175,10 @@ func run() error {
 		return err
 	}
 
+	if scenario != nil {
+		chaos.Inject(sim, scenario.EngineSteps())
+	}
+
 	ws, err := buildWorkload(*workloadName, *seed, *queries, *concurrency)
 	if err != nil {
 		return err
@@ -168,6 +204,10 @@ func run() error {
 	fmt.Printf("avg transmission time: %.4f%%\n", sim.AvgTransmissionTime()*100)
 	if *mtbf > 0 {
 		fmt.Printf("failures: %d injected (mtbf=%v mttr=%v)\n", sim.Failures(), *mtbf, *mttr)
+	}
+	if scenario != nil {
+		fmt.Printf("chaos: scenario=%s steps=%d horizon=%v\n",
+			scenario.Name, len(scenario.Steps), scenario.Horizon())
 	}
 	fmt.Printf("radio: %s\n", sim.Metrics())
 	if lat := sim.Metrics().Latency(); lat.N() > 0 {
@@ -221,6 +261,9 @@ func run() error {
 		m := sim.Manifest()
 		m.Study = "sim"
 		m.Workload = *workloadName
+		if scenario != nil {
+			m.Chaos = scenario.Name
+		}
 		m.DurationMS = dur.Milliseconds()
 		m.Runs = 1
 		re := ttmqo.RunExport{
@@ -283,6 +326,7 @@ type multiConfig struct {
 	fieldCSV    string
 	jsonOut     string
 	failures    ttmqo.FailureConfig
+	scenario    *chaos.Scenario
 }
 
 // seedOutcome is one seed's summary row; exported fields so -json replays
@@ -327,6 +371,9 @@ func runMany(cfg multiConfig) error {
 		if err != nil {
 			return seedOutcome{}, err
 		}
+		if cfg.scenario != nil {
+			chaos.Inject(sim, cfg.scenario.EngineSteps())
+		}
 		ws, err := buildWorkload(cfg.workload, seed, cfg.queries, cfg.concurrency)
 		if err != nil {
 			return seedOutcome{}, err
@@ -363,6 +410,9 @@ func runMany(cfg multiConfig) error {
 		m.Scheme = cfg.scheme.String()
 		m.Nodes = cfg.topo.Size()
 		m.Workload = cfg.workload
+		if cfg.scenario != nil {
+			m.Chaos = cfg.scenario.Name
+		}
 		m.Alpha = cfg.alpha
 		f, err := os.Create(cfg.jsonOut)
 		if err != nil {

@@ -6,6 +6,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/chaos"
 )
 
 // These tests pin the docs to the code: every command must be documented,
@@ -159,5 +161,35 @@ func TestCommandFlagsDocumented(t *testing.T) {
 				t.Errorf("%s: flag -%s is documented nowhere (README.md, doc.go, doc comment)", cmd, flag)
 			}
 		}
+	}
+}
+
+// TestDocsCoverChaosScenarios: the EXPERIMENTS.md scenario walkthrough
+// must cover every parser directive and every builtin scenario, and the
+// README's chaos section must name the entry-point flags — the drift
+// check for the fault-injection surface.
+func TestDocsCoverChaosScenarios(t *testing.T) {
+	doc := readDoc(t, "EXPERIMENTS.md")
+	for _, d := range chaos.Directives() {
+		if !strings.Contains(doc, d) {
+			t.Errorf("EXPERIMENTS.md does not document scenario directive %q", d)
+		}
+	}
+	readme := readDoc(t, "README.md")
+	for _, n := range chaos.BuiltinNames() {
+		if !strings.Contains(doc, n) {
+			t.Errorf("EXPERIMENTS.md does not mention builtin scenario %q", n)
+		}
+		if !strings.Contains(readme, n) {
+			t.Errorf("README.md does not mention builtin scenario %q", n)
+		}
+	}
+	for _, f := range []string{"-chaos", "-wal", "-crash-after", "-readtimeout", "-crashround"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README.md does not mention chaos/recovery flag %s", f)
+		}
+	}
+	if !strings.Contains(readme, "chaos-soak") {
+		t.Error("README.md does not mention the chaos-soak make target")
 	}
 }

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/sim"
+)
+
+// StreamChecker asserts the delivery invariants of one client's update
+// streams across disconnects, crashes and resumes:
+//
+//   - no duplicate delivery: a sequence number at or below the last one the
+//     client processed is counted in Duplicates;
+//   - bounded loss: skipped sequence numbers (a resume ring that overflowed
+//     while the client was away) are counted in Gaps, never silently lost;
+//   - ordering: epoch timestamps within a stream must never regress.
+//
+// It is not safe for concurrent use; give each client goroutine its own
+// checker and Merge them for the report.
+type StreamChecker struct {
+	// Updates counts fresh (non-duplicate) deliveries; Rows the acquisition
+	// rows they carried.
+	Updates int64
+	Rows    int64
+	// Duplicates counts redelivered updates (Seq <= last seen) — the
+	// exactly-once violation; the checker drops them like a deduping client.
+	Duplicates int64
+	// Gaps counts skipped sequence numbers — updates shed by a bounded
+	// resume ring while the client was detached.
+	Gaps int64
+	// OrderViolations counts epoch-timestamp regressions within a stream.
+	OrderViolations int64
+
+	last   map[gateway.SubID]uint64
+	lastAt map[gateway.SubID]sim.Time
+}
+
+// NewStreamChecker returns an empty checker.
+func NewStreamChecker() *StreamChecker {
+	return &StreamChecker{
+		last:   make(map[gateway.SubID]uint64),
+		lastAt: make(map[gateway.SubID]sim.Time),
+	}
+}
+
+// Last returns the stream's last processed sequence number — the cursor to
+// pass to Session.Resume after a reconnect.
+func (c *StreamChecker) Last(id gateway.SubID) uint64 { return c.last[id] }
+
+// Observe checks one delivered update against the stream's history and
+// reports whether it is fresh (not a duplicate). Only fresh updates advance
+// the cursor and the counters, mirroring a client that dedups on Seq.
+func (c *StreamChecker) Observe(u gateway.Update) bool {
+	last := c.last[u.Sub]
+	if u.Seq <= last {
+		c.Duplicates++
+		return false
+	}
+	if u.Seq > last+1 {
+		c.Gaps += int64(u.Seq - last - 1)
+	}
+	c.last[u.Sub] = u.Seq
+	if at, ok := c.lastAt[u.Sub]; ok && u.At < at {
+		c.OrderViolations++
+	}
+	c.lastAt[u.Sub] = u.At
+	c.Updates++
+	c.Rows += int64(len(u.Rows))
+	return true
+}
+
+// Merge folds another checker's counters into this one (the per-stream
+// cursors stay with their owner).
+func (c *StreamChecker) Merge(o *StreamChecker) {
+	c.Updates += o.Updates
+	c.Rows += o.Rows
+	c.Duplicates += o.Duplicates
+	c.Gaps += o.Gaps
+	c.OrderViolations += o.OrderViolations
+}
+
+// CheckGoroutines waits up to wait for the live goroutine count to fall
+// back to the pre-run baseline and returns an error if it never does — the
+// no-leak-after-drain invariant. A small fixed slack absorbs runtime
+// helpers (finalizer and timer goroutines) that come and go on their own.
+func CheckGoroutines(baseline int, wait time.Duration) error {
+	const slack = 3
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d live, baseline %d (+%d slack)", n, baseline, slack)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,432 @@
+// Package chaos is the fault-injection harness of the serving stack: it
+// drives the simulation + gateway tiers through scripted failure schedules
+// — node churn, bursty link loss, topology partitions, gateway crashes with
+// recovery — while invariant checkers assert that the system degrades the
+// way it promises to: no duplicate result delivery, monotonic per-stream
+// sequence numbers, bounded completeness loss, and no goroutine leaks after
+// drain.
+//
+// A Scenario is a seeded, composable schedule of Steps in a small text
+// format (see ParseScenario); Builtin provides canned scenarios for the
+// chaos study and the soak target. Engine-level steps (everything except
+// gateway crashes) inject through gateway.Config.OnSim, which re-applies
+// them during crash-recovery replay — the recovered world relives the same
+// faults, which is what makes recovery deterministic under chaos.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// StepKind discriminates fault-injection steps.
+type StepKind uint8
+
+// Step kinds.
+const (
+	// StepFail takes one node down (idempotently).
+	StepFail StepKind = iota + 1
+	// StepRevive brings one node back up.
+	StepRevive
+	// StepPartition cuts the whole routing subtree under a node off the
+	// network — a region partition.
+	StepPartition
+	// StepHeal reverses a partition.
+	StepHeal
+	// StepLoss raises the radio medium's loss rate to Rate for For, then
+	// restores the configured base rate — an interference burst.
+	StepLoss
+	// StepCrash kills the gateway process; the harness recovers it from its
+	// WAL and the clients reconnect and resume. Not injectable into a bare
+	// simulation (ttmqo-sim rejects it).
+	StepCrash
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepFail:
+		return "fail"
+	case StepRevive:
+		return "revive"
+	case StepPartition:
+		return "partition"
+	case StepHeal:
+		return "heal"
+	case StepLoss:
+		return "loss"
+	case StepCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("step(%d)", uint8(k))
+	}
+}
+
+// Step is one scheduled fault event.
+type Step struct {
+	// At is the virtual time the step fires.
+	At   time.Duration
+	Kind StepKind
+	// Node is the target (StepFail, StepRevive, StepPartition, StepHeal).
+	Node topology.NodeID
+	// Rate is the burst loss probability (StepLoss).
+	Rate float64
+	// For is the burst duration (StepLoss).
+	For time.Duration
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepLoss:
+		return fmt.Sprintf("at %v loss %g for %v", s.At, s.Rate, s.For)
+	case StepCrash:
+		return fmt.Sprintf("at %v crash", s.At)
+	default:
+		return fmt.Sprintf("at %v %s %d", s.At, s.Kind, s.Node)
+	}
+}
+
+// Scenario is a named, seeded fault schedule plus the bounds the run is
+// expected to stay within.
+type Scenario struct {
+	Name string
+	// Seed overrides the harness seed when non-zero, so a scenario file
+	// pins its whole world.
+	Seed int64
+	// Steps is the schedule, ordered by At.
+	Steps []Step
+	// MinCompleteness is the lowest acceptable delivered/expected row ratio
+	// (harness default when 0) — the "bounded completeness loss" invariant.
+	MinCompleteness float64
+	// MaxGaps bounds the permitted resume-gap updates (0 = none): sequence
+	// numbers skipped because a bounded resume ring overflowed while a
+	// client was away.
+	MaxGaps int64
+}
+
+// Crashes returns the virtual times of the scenario's gateway crashes.
+func (sc *Scenario) Crashes() []time.Duration {
+	var out []time.Duration
+	for _, s := range sc.Steps {
+		if s.Kind == StepCrash {
+			out = append(out, s.At)
+		}
+	}
+	return out
+}
+
+// EngineSteps returns the steps injected directly into the simulation
+// engine — everything except gateway crashes.
+func (sc *Scenario) EngineSteps() []Step {
+	var out []Step
+	for _, s := range sc.Steps {
+		if s.Kind != StepCrash {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Horizon returns the virtual time of the last scheduled effect (including
+// the end of loss bursts).
+func (sc *Scenario) Horizon() time.Duration {
+	var h time.Duration
+	for _, s := range sc.Steps {
+		end := s.At
+		if s.Kind == StepLoss {
+			end += s.For
+		}
+		if end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// String renders the scenario in the text format ParseScenario reads; the
+// two round-trip.
+func (sc *Scenario) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %s\n", sc.Name)
+	if sc.Seed != 0 {
+		fmt.Fprintf(&sb, "seed %d\n", sc.Seed)
+	}
+	for _, s := range sc.Steps {
+		fmt.Fprintln(&sb, s)
+	}
+	if sc.MinCompleteness > 0 {
+		fmt.Fprintf(&sb, "expect completeness >= %g\n", sc.MinCompleteness)
+	}
+	if sc.MaxGaps > 0 {
+		fmt.Fprintf(&sb, "expect gaps <= %d\n", sc.MaxGaps)
+	}
+	return sb.String()
+}
+
+// Directives lists every keyword of the scenario text format, pinned by the
+// documentation tests so the EXPERIMENTS walkthrough cannot drift.
+func Directives() []string {
+	return []string{
+		"scenario", "seed", "at", "expect",
+		"fail", "revive", "partition", "heal", "loss", "crash",
+		"for", "completeness", "gaps",
+	}
+}
+
+// ParseScenario reads the scenario text format: one directive per line,
+// '#' comments. Directives:
+//
+//	scenario <name>
+//	seed <n>
+//	at <dur> fail <node>
+//	at <dur> revive <node>
+//	at <dur> partition <node>
+//	at <dur> heal <node>
+//	at <dur> loss <rate> for <dur>
+//	at <dur> crash
+//	expect completeness >= <ratio>
+//	expect gaps <= <n>
+//
+// Durations use Go syntax ("32s", "2m"). Steps are sorted by time; equal
+// times keep file order.
+func ParseScenario(text string) (*Scenario, error) {
+	sc := &Scenario{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("chaos: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "scenario":
+			if len(f) != 2 {
+				return nil, fail("want: scenario <name>")
+			}
+			sc.Name = f[1]
+		case "seed":
+			if len(f) != 2 {
+				return nil, fail("want: seed <n>")
+			}
+			n, err := strconv.ParseInt(f[1], 10, 64)
+			if err != nil {
+				return nil, fail("bad seed %q: %v", f[1], err)
+			}
+			sc.Seed = n
+		case "at":
+			step, err := parseStep(f)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			sc.Steps = append(sc.Steps, step)
+		case "expect":
+			if err := parseExpect(sc, f); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if sc.Name == "" {
+		return nil, fmt.Errorf("chaos: scenario has no name (missing 'scenario <name>' line)")
+	}
+	sort.SliceStable(sc.Steps, func(i, j int) bool { return sc.Steps[i].At < sc.Steps[j].At })
+	return sc, nil
+}
+
+func parseStep(f []string) (Step, error) {
+	if len(f) < 3 {
+		return Step{}, fmt.Errorf("want: at <dur> <step> ...")
+	}
+	at, err := time.ParseDuration(f[1])
+	if err != nil {
+		return Step{}, fmt.Errorf("bad time %q: %v", f[1], err)
+	}
+	step := Step{At: at}
+	node := func() (topology.NodeID, error) {
+		if len(f) != 4 {
+			return 0, fmt.Errorf("want: at <dur> %s <node>", f[2])
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("bad node %q", f[3])
+		}
+		return topology.NodeID(n), nil
+	}
+	switch f[2] {
+	case "fail":
+		step.Kind = StepFail
+		step.Node, err = node()
+	case "revive":
+		step.Kind = StepRevive
+		step.Node, err = node()
+	case "partition":
+		step.Kind = StepPartition
+		step.Node, err = node()
+	case "heal":
+		step.Kind = StepHeal
+		step.Node, err = node()
+	case "loss":
+		step.Kind = StepLoss
+		if len(f) != 6 || f[4] != "for" {
+			return Step{}, fmt.Errorf("want: at <dur> loss <rate> for <dur>")
+		}
+		step.Rate, err = strconv.ParseFloat(f[3], 64)
+		if err != nil || step.Rate < 0 || step.Rate >= 1 {
+			return Step{}, fmt.Errorf("bad loss rate %q (want [0,1))", f[3])
+		}
+		step.For, err = time.ParseDuration(f[5])
+		if err != nil || step.For <= 0 {
+			return Step{}, fmt.Errorf("bad burst duration %q", f[5])
+		}
+	case "crash":
+		step.Kind = StepCrash
+		if len(f) != 3 {
+			return Step{}, fmt.Errorf("want: at <dur> crash")
+		}
+	default:
+		return Step{}, fmt.Errorf("unknown step %q", f[2])
+	}
+	if err != nil {
+		return Step{}, err
+	}
+	return step, nil
+}
+
+func parseExpect(sc *Scenario, f []string) error {
+	if len(f) != 4 {
+		return fmt.Errorf("want: expect <metric> <op> <value>")
+	}
+	switch f[1] {
+	case "completeness":
+		if f[2] != ">=" {
+			return fmt.Errorf("completeness takes >=")
+		}
+		v, err := strconv.ParseFloat(f[3], 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("bad completeness bound %q (want (0,1])", f[3])
+		}
+		sc.MinCompleteness = v
+	case "gaps":
+		if f[2] != "<=" {
+			return fmt.Errorf("gaps takes <=")
+		}
+		n, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad gaps bound %q", f[3])
+		}
+		sc.MaxGaps = n
+	default:
+		return fmt.Errorf("unknown expect metric %q", f[1])
+	}
+	return nil
+}
+
+// BuiltinNames lists the canned scenarios in study order.
+func BuiltinNames() []string {
+	return []string{"none", "churn", "burst", "partition", "crash", "mixed"}
+}
+
+// Builtin returns a canned scenario by name (see BuiltinNames). The
+// schedules assume the harness default 4x4 grid and ~3 minutes of virtual
+// time; their seeds are zero so the harness seed applies.
+func Builtin(name string) (*Scenario, error) {
+	switch name {
+	case "none":
+		return &Scenario{Name: "none"}, nil
+	case "churn":
+		// Staggered single-node outages with overlapping lifetimes.
+		return &Scenario{Name: "churn", Steps: []Step{
+			{At: 16 * time.Second, Kind: StepFail, Node: 5},
+			{At: 24 * time.Second, Kind: StepFail, Node: 9},
+			{At: 48 * time.Second, Kind: StepRevive, Node: 5},
+			{At: 56 * time.Second, Kind: StepFail, Node: 12},
+			{At: 64 * time.Second, Kind: StepRevive, Node: 9},
+			{At: 96 * time.Second, Kind: StepRevive, Node: 12},
+		}}, nil
+	case "burst":
+		// Two interference bursts of time-varying link loss.
+		return &Scenario{Name: "burst", Steps: []Step{
+			{At: 32 * time.Second, Kind: StepLoss, Rate: 0.5, For: 32 * time.Second},
+			{At: 96 * time.Second, Kind: StepLoss, Rate: 0.7, For: 16 * time.Second},
+		}}, nil
+	case "partition":
+		// A region cut: the subtree under node 2 leaves and rejoins.
+		return &Scenario{Name: "partition", Steps: []Step{
+			{At: 32 * time.Second, Kind: StepPartition, Node: 2},
+			{At: 80 * time.Second, Kind: StepHeal, Node: 2},
+		}}, nil
+	case "crash":
+		// Two gateway crash/recover cycles mid-stream.
+		return &Scenario{Name: "crash", Steps: []Step{
+			{At: 48 * time.Second, Kind: StepCrash},
+			{At: 112 * time.Second, Kind: StepCrash},
+		}}, nil
+	case "mixed":
+		// Everything at once: churn + a burst + a partition around a crash.
+		return &Scenario{Name: "mixed", Steps: []Step{
+			{At: 16 * time.Second, Kind: StepFail, Node: 9},
+			{At: 32 * time.Second, Kind: StepLoss, Rate: 0.4, For: 32 * time.Second},
+			{At: 40 * time.Second, Kind: StepPartition, Node: 2},
+			{At: 56 * time.Second, Kind: StepCrash},
+			{At: 72 * time.Second, Kind: StepRevive, Node: 9},
+			{At: 96 * time.Second, Kind: StepHeal, Node: 2},
+			{At: 128 * time.Second, Kind: StepCrash},
+		}, MinCompleteness: 0.1}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown builtin scenario %q (have %s)",
+			name, strings.Join(BuiltinNames(), ", "))
+	}
+}
+
+// Load resolves a scenario reference: a builtin name, or the contents of a
+// scenario file already read into text form.
+func Load(nameOrText string) (*Scenario, error) {
+	if !strings.Contains(nameOrText, "\n") && !strings.Contains(nameOrText, " ") {
+		return Builtin(nameOrText)
+	}
+	return ParseScenario(nameOrText)
+}
+
+// Inject schedules every engine-level step on a simulation. It must run
+// before the simulation starts (gateway.Config.OnSim does this at build
+// time, including during crash-recovery replay — the recovered world
+// relives the same faults). Loss bursts restore the rate the medium had at
+// injection time. Crash steps are not engine-level; callers that cannot
+// honour them (ttmqo-sim) should reject scenarios where Crashes() is
+// non-empty.
+func Inject(s *network.Simulation, steps []Step) int {
+	base := s.LossRate()
+	eng := s.Engine()
+	n := 0
+	for _, st := range steps {
+		st := st
+		switch st.Kind {
+		case StepFail:
+			eng.Schedule(st.At, func() { s.FailNode(st.Node) })
+		case StepRevive:
+			eng.Schedule(st.At, func() { s.ReviveNode(st.Node) })
+		case StepPartition:
+			eng.Schedule(st.At, func() { s.FailRegion(st.Node) })
+		case StepHeal:
+			eng.Schedule(st.At, func() { s.HealRegion(st.Node) })
+		case StepLoss:
+			eng.Schedule(st.At, func() { s.SetLossRate(st.Rate) })
+			eng.Schedule(st.At+st.For, func() { s.SetLossRate(base) })
+		default:
+			continue
+		}
+		n++
+	}
+	return n
+}

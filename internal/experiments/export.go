@@ -38,6 +38,7 @@ func (r *Report) Export() obs.Export {
 		{Name: "figure 5", Rows: r.Fig5},
 		{Name: "ablation", Rows: r.Ablation},
 		{Name: "reliability", Rows: r.Reliability},
+		{Name: "chaos", Rows: r.Chaos},
 		{Name: "lifetime", Rows: r.Lifetime},
 		{Name: "scaling", Rows: r.Scaling},
 	}}

@@ -77,8 +77,8 @@ func TestReportExportShape(t *testing.T) {
 		Fig3:   []Fig3Row{{Workload: "A", Nodes: 16, Scheme: 1, AvgTxPct: 0.4}},
 	}
 	ex := r.Export()
-	if len(ex.Studies) != 10 {
-		t.Fatalf("studies = %d, want 10", len(ex.Studies))
+	if len(ex.Studies) != 11 {
+		t.Fatalf("studies = %d, want 11", len(ex.Studies))
 	}
 	if ex.Manifest.Study != "all" || ex.Manifest.Seed != 1 || ex.Manifest.Runs != 2 {
 		t.Fatalf("manifest = %+v", ex.Manifest)
@@ -89,7 +89,7 @@ func TestReportExportShape(t *testing.T) {
 	}
 	out := buf.String()
 	for _, name := range []string{"figure 2", "figure 3", "figure 4a", "figure 4b",
-		"figure 4c", "figure 5", "ablation", "reliability", "lifetime", "scaling"} {
+		"figure 4c", "figure 5", "ablation", "reliability", "chaos", "lifetime", "scaling"} {
 		if !bytes.Contains(buf.Bytes(), []byte(`"name": "`+name+`"`)) {
 			t.Fatalf("study %q missing from export:\n%s", name, out)
 		}

@@ -47,6 +47,7 @@ type Report struct {
 	Fig5        []Fig5Row
 	Ablation    []AblationRow
 	Reliability []ReliabilityRow
+	Chaos       []ChaosRow
 	Lifetime    []LifetimeRow
 	Scaling     []ScalingRow
 	// Timings records each study's cell count, wall clock and speedup.
@@ -59,7 +60,7 @@ type Report struct {
 // caller and stored if desired.
 func RunAll(cfg ReportConfig) (*Report, error) {
 	cfg.setDefaults()
-	r := &Report{Config: cfg, Timings: make([]StudyTiming, 0, 9)}
+	r := &Report{Config: cfg, Timings: make([]StudyTiming, 0, 10)}
 	// timed registers a study slot and returns its Timing destination; the
 	// slice is preallocated so the pointer stays valid across appends.
 	timed := func(study string) *runner.Timing {
@@ -97,6 +98,10 @@ func RunAll(cfg ReportConfig) (*Report, error) {
 	if r.Reliability, err = RunReliability(ReliabilityConfig{Seed: cfg.Seed, Duration: cfg.Duration,
 		Parallelism: cfg.Parallelism, Timing: timed("reliability")}); err != nil {
 		return nil, fmt.Errorf("reliability: %w", err)
+	}
+	if r.Chaos, err = RunChaos(ChaosConfig{Seed: cfg.Seed,
+		Parallelism: cfg.Parallelism, Timing: timed("chaos")}); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
 	}
 	if r.Lifetime, err = RunLifetime(LifetimeConfig{Seed: cfg.Seed, Duration: cfg.Duration,
 		Parallelism: cfg.Parallelism, Timing: timed("lifetime")}); err != nil {
@@ -167,6 +172,18 @@ func (r *Report) Markdown() string {
 		}
 		fmt.Fprintf(&b, "| %s | %s | %.1f%% | %d | %.4f |\n",
 			row.Scheme, mtbf, row.Completeness*100, row.Failures, row.AvgTxPct)
+	}
+
+	b.WriteString("\n## Chaos & crash recovery (extension)\n\n")
+	b.WriteString("| scenario | faults | crashes | reconnects | completeness | dup | gaps | violations |\n|---|---|---|---|---|---|---|---|\n")
+	for _, row := range r.Chaos {
+		v := "none"
+		if len(row.Violations) > 0 {
+			v = strings.Join(row.Violations, "; ")
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %.1f%% | %d | %d | %s |\n",
+			row.Scenario, row.FaultEvents, row.Crashes, row.Reconnects,
+			row.Completeness*100, row.Duplicates, row.Gaps, v)
 	}
 
 	b.WriteString("\n## Scaling with network size (extension)\n\n")

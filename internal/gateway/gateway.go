@@ -28,10 +28,21 @@
 // wedge the simulation or its fast peers. Closing the gateway drains every
 // session and cancels each admitted query as its reference count reaches
 // zero.
+//
+// The serving tier also survives its own death. With Config.WALPath set,
+// every committed lifecycle change is written to a write-ahead log and
+// Recover rebuilds a crashed gateway by deterministic replay (see wal.go).
+// Sessions carry resume tokens, every update carries a per-subscription
+// sequence number, and a disconnected or crashed-out client re-attaches
+// with Gateway.Attach and Session.Resume to pick its streams back up from
+// the exact next sequence number — duplicates are impossible to emit twice
+// with the same Seq, so client-side dedup on Seq yields exactly-once
+// consumption over an at-least-once transport.
 package gateway
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -55,6 +66,12 @@ const (
 	DefaultSessionQuota = 16
 	DefaultRate         = 4.0 // subscribe tokens per simulated second
 	DefaultBurst        = 32.0
+	// DefaultIdleTimeout is how long (virtual time) a detached session may
+	// sit idle before an Advance reaps it.
+	DefaultIdleTimeout = 5 * time.Minute
+	// DefaultSnapshotEvery is how many Advances pass between WAL
+	// compactions.
+	DefaultSnapshotEvery = 256
 )
 
 // Config parametrizes a Gateway.
@@ -82,6 +99,27 @@ type Config struct {
 	// Sample, when positive, attaches a virtual-time metrics series to the
 	// simulation (network.Simulation.StartSeries); retrieve it with Series.
 	Sample time.Duration
+	// WALPath, when set, enables crash recovery: committed lifecycle
+	// changes are logged there and Recover rebuilds the gateway from the
+	// file by deterministic replay. New truncates an existing file (fresh
+	// run); use Recover to resume one.
+	WALPath string
+	// IdleTimeout bounds how long a detached session lingers before an
+	// Advance reaps it, in virtual time (DefaultIdleTimeout if zero;
+	// negative disables reaping). Attached sessions are never reaped.
+	IdleTimeout time.Duration
+	// SnapshotEvery compacts the WAL every that many Advances
+	// (DefaultSnapshotEvery if zero; negative disables periodic
+	// compaction).
+	SnapshotEvery int
+	// OnSim, when set, runs against the freshly built simulation before the
+	// actor loop starts — in New and again inside Recover, so
+	// engine-scheduled fault injection (chaos scenarios) is re-applied
+	// identically to the replayed world.
+	OnSim func(*network.Simulation)
+	// ChaosLabel, when set, annotates the export manifest's Chaos field
+	// with the fault scenario the run was driven under.
+	ChaosLabel string
 }
 
 // SubID identifies one subscription within a gateway.
@@ -99,6 +137,12 @@ const (
 	ReasonEvicted
 	// ReasonShutdown: the gateway closed.
 	ReasonShutdown
+	// ReasonDetached: the session detached (client disconnected); the
+	// subscription is resumable with Session.Resume.
+	ReasonDetached
+	// ReasonCrashed: the gateway crashed; the session is resumable on the
+	// recovered gateway via Gateway.Attach + Session.Resume.
+	ReasonCrashed
 )
 
 func (r CloseReason) String() string {
@@ -111,6 +155,10 @@ func (r CloseReason) String() string {
 		return "evicted"
 	case ReasonShutdown:
 		return "shutdown"
+	case ReasonDetached:
+		return "detached"
+	case ReasonCrashed:
+		return "crashed"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
@@ -121,6 +169,13 @@ func (r CloseReason) String() string {
 type Update struct {
 	Sub     SubID
 	QueryID query.ID
+	// Seq is the per-subscription delivery sequence number, starting at 1
+	// and incrementing by one per delivered epoch. It is assigned once,
+	// survives gateway crashes (deterministic replay regenerates the same
+	// numbering), and is the client's resume cursor: after a disconnect or
+	// crash, Resume(id, lastSeenSeq) continues the stream from exactly the
+	// next sequence number.
+	Seq uint64
 	// At is the epoch's virtual timestamp.
 	At sim.Time
 	// Rows is one acquisition epoch (nil for aggregation queries).
@@ -148,6 +203,12 @@ type Subscription struct {
 	// read by the client strictly after the channel closes, so the close
 	// itself is the synchronization edge.
 	reason CloseReason
+
+	// Loop-owned stream state.
+	seq      uint64   // last delivered sequence number
+	detached bool     // session detached: deliveries go to the resume ring
+	evict    bool     // stalled past the buffer bound; removed at next Advance
+	ring     []Update // bounded resume buffer while detached (cap = Config.Buffer)
 }
 
 // ID returns the subscription's gateway-wide identifier.
@@ -175,19 +236,31 @@ func (s *Subscription) Reason() CloseReason { return s.reason }
 type Session struct {
 	g    *Gateway
 	name string
+	// token authenticates re-attachment after a disconnect or gateway
+	// crash. Immutable after registration; derived deterministically from
+	// the seed, the name and the registration ordinal (it guards against
+	// accidental session takeover in the simulation harness, not against an
+	// adversary).
+	token string
 
 	mu  sync.Mutex
 	seq uint64
 
 	// Loop-owned state; never touched by client goroutines.
-	live    map[SubID]*Subscription
-	tokens  float64
-	closed  bool
-	dropped int64 // updates dropped on this session's evictions
+	live      map[SubID]*Subscription
+	tokens    float64
+	closed    bool
+	attached  bool     // a client currently holds the session
+	idleSince sim.Time // when the session detached (reap clock)
+	dropped   int64    // updates dropped on this session's evictions
 }
 
 // Name returns the session's registered name.
 func (s *Session) Name() string { return s.name }
+
+// Token returns the session's resume token, quoted back in Gateway.Attach
+// to re-claim the session after a disconnect or gateway crash.
+func (s *Session) Token() string { return s.token }
 
 func (s *Session) nextSeq() uint64 {
 	s.mu.Lock()
@@ -228,6 +301,23 @@ type Stats struct {
 	Epochs  int64 `json:"epochs"`
 	Dropped int64 `json:"dropped"`
 	Evicted int64 `json:"evicted"`
+	// Crash-recovery and reconnection counters. Detaches/Attaches count
+	// session disconnect/re-claim pairs; Resumes counts resumed
+	// subscription streams and ResumeGaps the resumes that could not
+	// splice seamlessly because the bounded resume ring had already
+	// dropped wanted updates (RingDropped counts those drops). IdleReaped
+	// counts detached sessions closed by the idle timeout; Recoveries is 1
+	// on a gateway rebuilt by Recover. After a recovery the counters are
+	// the deterministic replay's view of history: evictions replay as
+	// unsubscriptions, and drops on long-gone live channels are not
+	// re-counted.
+	Detaches    int64 `json:"detaches"`
+	Attaches    int64 `json:"attaches"`
+	Resumes     int64 `json:"resumes"`
+	ResumeGaps  int64 `json:"resume_gaps"`
+	RingDropped int64 `json:"ring_dropped"`
+	IdleReaped  int64 `json:"idle_reaped"`
+	Recoveries  int64 `json:"recoveries"`
 }
 
 // DedupRatio is subscriptions served per network query admitted (> 1 means
@@ -258,6 +348,13 @@ func (st Stats) Metrics() obs.GatewayMetrics {
 		Epochs:              st.Epochs,
 		Dropped:             st.Dropped,
 		Evicted:             st.Evicted,
+		Detaches:            st.Detaches,
+		Attaches:            st.Attaches,
+		Resumes:             st.Resumes,
+		ResumeGaps:          st.ResumeGaps,
+		RingDropped:         st.RingDropped,
+		IdleReaped:          st.IdleReaped,
+		Recoveries:          st.Recoveries,
 		DedupRatio:          st.DedupRatio(),
 	}
 }
@@ -320,7 +417,11 @@ func (t *Ticket) Wait() (*Subscription, error) {
 	}
 }
 
-// control messages handled immediately by the loop (not staged).
+// control messages handled immediately by the loop (not staged). The
+// connection-state messages (register, detach, attach, resume) bypass the
+// group-commit mailbox because they never touch the simulation — they only
+// move session/channel plumbing — so handling them promptly keeps TCP
+// reconnects snappy without costing determinism.
 type registerReq struct {
 	name  string
 	reply chan result2[*Session]
@@ -334,6 +435,38 @@ type advanceReq struct {
 type advanceInfo struct {
 	applied int
 	now     sim.Time
+	err     error
+}
+type detachReq struct {
+	sess  *Session
+	reply chan error
+}
+type attachReq struct {
+	name  string
+	token string
+	reply chan result2[attachResult]
+}
+type attachResult struct {
+	sess *Session
+	subs []ResumeInfo
+}
+type resumeReq struct {
+	sess  *Session
+	id    SubID
+	after uint64
+	reply chan result2[*Subscription]
+}
+type crashReq struct{ reply chan struct{} }
+
+// ResumeInfo describes one resumable subscription of a re-attached
+// session, as returned by Gateway.Attach.
+type ResumeInfo struct {
+	ID      SubID
+	Key     string
+	QueryID query.ID
+	// LastSeq is the stream's last delivered sequence number; a client that
+	// has processed everything resumes with after=LastSeq.
+	LastSeq uint64
 }
 
 type result2[T any] struct {
@@ -361,16 +494,25 @@ type Gateway struct {
 	finalExp   obs.RunExport
 
 	// Loop-owned state.
-	sessions map[string]*Session
-	byKey    map[string]*shared
-	byQID    map[query.ID]*shared
-	staged   []*command
-	nextSub  SubID
-	stats    Stats
+	sessions   map[string]*Session
+	byKey      map[string]*shared
+	byQID      map[query.ID]*shared
+	staged     []*command
+	evictQueue []*Subscription // stalled subscribers awaiting removal at the next Advance
+	nextSub    SubID
+	stats      Stats
+
+	// WAL state (loop-owned; see wal.go).
+	wal       *wal
+	walLog    []walRecord // in-memory lifecycle records, for compaction
+	walErr    error
+	replaying bool
+	advances  int64
 }
 
-// New builds the gateway and its simulation and starts the actor loop.
-func New(cfg Config) (*Gateway, error) {
+// build constructs the gateway and its simulation without starting the
+// actor loop — shared by New (fresh run) and Recover (replay first).
+func build(cfg Config) (*Gateway, error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = DefaultBuffer
 	}
@@ -385,6 +527,12 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.Burst <= 0 {
 		cfg.Burst = DefaultBurst
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
 	simCfg := cfg.Sim
 	simCfg.DiscardResults = true
@@ -406,6 +554,27 @@ func New(cfg Config) (*Gateway, error) {
 	s.Results().OnAggs = g.onAggs
 	if cfg.Sample > 0 {
 		g.series = s.StartSeries(cfg.Sample)
+	}
+	if cfg.OnSim != nil {
+		cfg.OnSim(s)
+	}
+	return g, nil
+}
+
+// New builds the gateway and its simulation and starts the actor loop.
+// With Config.WALPath set it starts a fresh write-ahead log (truncating
+// any existing file); use Recover to resume from one instead.
+func New(cfg Config) (*Gateway, error) {
+	g, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if g.cfg.WALPath != "" {
+		w, err := createWAL(g.cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		g.wal = w
 	}
 	go g.loop()
 	return g, nil
@@ -545,7 +714,9 @@ func (s *Session) Close() error {
 // simulation d of virtual time (fanning results out to subscribers), then
 // refills the sessions' token buckets. It returns the number of commands
 // committed. Only one driver should call Advance (a Server's pacer, the
-// load generator, or a test); concurrent calls serialize.
+// load generator, or a test); concurrent calls serialize. With a WAL
+// enabled, a write or compaction failure is reported here — the log is the
+// durability story, so it fails loudly rather than silently degrading.
 func (g *Gateway) Advance(d time.Duration) (int, error) {
 	req := advanceReq{d: d, reply: make(chan advanceInfo, 1)}
 	if err := g.send(req); err != nil {
@@ -553,10 +724,83 @@ func (g *Gateway) Advance(d time.Duration) (int, error) {
 	}
 	select {
 	case info := <-req.reply:
-		return info.applied, nil
+		return info.applied, info.err
 	case <-g.done:
 		return 0, ErrClosed
 	}
+}
+
+// Detach releases the session's client without closing the session: every
+// live subscription's channel closes with ReasonDetached and subsequent
+// updates accumulate in bounded per-subscription resume rings. Any updates
+// still buffered undelivered in a channel are moved into its ring, so a
+// resuming client loses nothing that fits the bound. The Server calls this
+// when a named client disconnects; Gateway.Attach re-claims the session.
+func (s *Session) Detach() error {
+	req := detachReq{sess: s, reply: make(chan error, 1)}
+	if err := s.g.send(req); err != nil {
+		return err
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-s.g.done:
+		return ErrClosed
+	}
+}
+
+// Attach re-claims a detached session by name and resume token — after a
+// client disconnect, or on a recovered gateway after a crash. It returns
+// the session and, for each live subscription, the resume cursor a client
+// needs to continue the stream with Session.Resume.
+func (g *Gateway) Attach(name, token string) (*Session, []ResumeInfo, error) {
+	req := attachReq{name: name, token: token, reply: make(chan result2[attachResult], 1)}
+	if err := g.send(req); err != nil {
+		return nil, nil, err
+	}
+	select {
+	case r := <-req.reply:
+		return r.v.sess, r.v.subs, r.err
+	case <-g.done:
+		return nil, nil, ErrClosed
+	}
+}
+
+// Resume continues a detached subscription's stream: it returns a fresh
+// Subscription handle (same SubID, new channel) whose channel starts with
+// every retained update with Seq > after, then the live stream. If the
+// bounded resume ring has already dropped updates the client needs, the
+// stream restarts at the oldest retained one and the gap is counted in
+// Stats.ResumeGaps — loss is bounded and visible, never silent.
+func (s *Session) Resume(id SubID, after uint64) (*Subscription, error) {
+	req := resumeReq{sess: s, id: id, after: after, reply: make(chan result2[*Subscription], 1)}
+	if err := s.g.send(req); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-req.reply:
+		return r.v, r.err
+	case <-s.g.done:
+		return nil, ErrClosed
+	}
+}
+
+// Crash kills the gateway abruptly, simulating a process crash for tests
+// and chaos scenarios: staged commands fail, attached subscribers' channels
+// close with ReasonCrashed, and the WAL is abandoned mid-stream without a
+// clean flush — whatever the file holds is what Recover gets, exactly as if
+// the process had died. No queries are cancelled and no sessions drain;
+// the in-memory state simply ceases to exist.
+func (g *Gateway) Crash() error {
+	req := crashReq{reply: make(chan struct{}, 1)}
+	if err := g.send(req); err != nil {
+		return err
+	}
+	select {
+	case <-req.reply:
+	case <-g.done:
+	}
+	return nil
 }
 
 // Now returns the simulation's current virtual time.
@@ -659,10 +903,23 @@ func (g *Gateway) loop() {
 		case exportReq:
 			m.reply <- g.export()
 		case advanceReq:
+			g.sweepEvicted()
 			applied := g.commit()
+			g.reap()
 			g.sim.Run(m.d)
 			g.refill(m.d)
-			m.reply <- advanceInfo{applied: applied, now: g.sim.Engine().Now()}
+			g.walAdvance()
+			m.reply <- advanceInfo{applied: applied, now: g.sim.Engine().Now(), err: g.walErr}
+		case detachReq:
+			m.reply <- g.applyDetach(m.sess)
+		case attachReq:
+			m.reply <- g.applyAttach(m.name, m.token)
+		case resumeReq:
+			m.reply <- g.applyResume(m.sess, m.id, m.after)
+		case crashReq:
+			g.crash()
+			m.reply <- struct{}{}
+			return
 		case closeReq:
 			g.shutdown()
 			m.reply <- nil
@@ -678,16 +935,149 @@ func (g *Gateway) register(name string) result2[*Session] {
 	if len(g.sessions) >= g.cfg.MaxSessions {
 		return result2[*Session]{err: fmt.Errorf("gateway: session limit %d reached", g.cfg.MaxSessions)}
 	}
+	now := g.sim.Engine().Now()
 	s := &Session{
-		g:      g,
-		name:   name,
-		live:   make(map[SubID]*Subscription),
-		tokens: g.cfg.Burst,
+		g:         g,
+		name:      name,
+		token:     g.newToken(name),
+		live:      make(map[SubID]*Subscription),
+		tokens:    g.cfg.Burst,
+		attached:  true,
+		idleSince: now,
 	}
 	g.sessions[name] = s
 	g.stats.Sessions++
 	g.stats.ActiveSessions = len(g.sessions)
+	// Flush immediately: the client is about to hold this token, so it must
+	// survive a crash that hits before the next Advance.
+	g.walAppend(walRecord{Op: walOpRegister, At: int64(now), Sess: name, Token: s.token})
+	g.walFlush()
 	return result2[*Session]{v: s}
+}
+
+// newToken derives a session's resume token from the seed, the name and the
+// registration ordinal via FNV-1a — deterministic, so recovery determinism
+// tests can reproduce it, and unique per registration.
+func (g *Gateway) newToken(name string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", g.cfg.Sim.Seed, name, g.stats.Sessions)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// applyDetach releases the session's client. Idempotent: detaching a
+// detached session is a no-op.
+func (g *Gateway) applyDetach(s *Session) error {
+	if s.closed {
+		return fmt.Errorf("gateway: session %q is closed", s.name)
+	}
+	if !s.attached {
+		return nil
+	}
+	s.attached = false
+	s.idleSince = g.sim.Engine().Now()
+	g.stats.Detaches++
+	ids := make([]SubID, 0, len(s.live))
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sub := s.live[id]
+		if sub.detached {
+			continue
+		}
+		sub.reason = ReasonDetached
+		// Move updates the client never read out of the channel into the
+		// resume ring, then close; a prompt resume replays them losslessly.
+	drain:
+		for {
+			select {
+			case u := <-sub.ch:
+				g.ringPush(sub, u)
+			default:
+				break drain
+			}
+		}
+		close(sub.ch)
+		sub.detached = true
+	}
+	return nil
+}
+
+func (g *Gateway) applyAttach(name, token string) result2[attachResult] {
+	s := g.sessions[name]
+	if s == nil {
+		return result2[attachResult]{err: fmt.Errorf("gateway: no session %q", name)}
+	}
+	if s.token != token {
+		return result2[attachResult]{err: fmt.Errorf("gateway: bad resume token for session %q", name)}
+	}
+	if s.attached {
+		return result2[attachResult]{err: fmt.Errorf("gateway: session %q is already attached", name)}
+	}
+	s.attached = true
+	g.stats.Attaches++
+	ids := make([]SubID, 0, len(s.live))
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	subs := make([]ResumeInfo, 0, len(ids))
+	for _, id := range ids {
+		sub := s.live[id]
+		subs = append(subs, ResumeInfo{ID: id, Key: sub.key, QueryID: sub.qid, LastSeq: sub.seq})
+	}
+	return result2[attachResult]{v: attachResult{sess: s, subs: subs}}
+}
+
+func (g *Gateway) applyResume(s *Session, id SubID, after uint64) result2[*Subscription] {
+	if s.closed {
+		return result2[*Subscription]{err: fmt.Errorf("gateway: session %q is closed", s.name)}
+	}
+	old, ok := s.live[id]
+	if !ok {
+		return result2[*Subscription]{err: fmt.Errorf("gateway: session %q has no subscription %d", s.name, id)}
+	}
+	if !old.detached {
+		return result2[*Subscription]{err: fmt.Errorf("gateway: subscription %d is still attached", id)}
+	}
+	if after > old.seq {
+		return result2[*Subscription]{err: fmt.Errorf("gateway: resume after seq %d but only %d delivered", after, old.seq)}
+	}
+	fresh := &Subscription{
+		id:     old.id,
+		sess:   s,
+		key:    old.key,
+		qid:    old.qid,
+		shared: old.shared,
+		seq:    old.seq,
+		ch:     make(chan Update, g.cfg.Buffer),
+	}
+	// A gap means the bounded ring already shed updates the client still
+	// needs; the stream restarts at the oldest retained one.
+	if len(old.ring) > 0 {
+		if old.ring[0].Seq > after+1 {
+			g.stats.ResumeGaps++
+		}
+	} else if old.seq > after {
+		g.stats.ResumeGaps++
+	}
+	for _, u := range old.ring {
+		if u.Seq > after {
+			fresh.ch <- u // ring is bounded by the channel's capacity
+		}
+	}
+	s.live[id] = fresh
+	if sh := g.byQID[old.qid]; sh != nil {
+		for i, x := range sh.subs {
+			if x == old {
+				sh.subs[i] = fresh
+				break
+			}
+		}
+	}
+	g.stats.Resumes++
+	return result2[*Subscription]{v: fresh}
 }
 
 // commit applies every staged command in (session name, sequence) order —
@@ -704,15 +1094,27 @@ func (g *Gateway) commit() int {
 		}
 		return batch[i].seq < batch[j].seq
 	})
+	now := int64(g.sim.Engine().Now())
 	for _, c := range batch {
 		switch c.kind {
 		case cmdSubscribe:
 			sub, err := g.applySubscribe(c)
+			if err == nil {
+				g.walAppend(walRecord{Op: walOpSubscribe, At: now, Sess: c.sess.name, Sub: sub.id, Query: c.key})
+			}
 			c.done <- result{sub: sub, err: err}
 		case cmdUnsubscribe:
-			c.done <- result{err: g.applyUnsubscribe(c.sess, c.sub, ReasonUnsubscribed)}
+			err := g.applyUnsubscribe(c.sess, c.sub, ReasonUnsubscribed)
+			if err == nil {
+				g.walAppend(walRecord{Op: walOpUnsubscribe, At: now, Sess: c.sess.name, Sub: c.sub})
+			}
+			c.done <- result{err: err}
 		case cmdCloseSession:
-			c.done <- result{err: g.applyCloseSession(c.sess)}
+			err := g.applyCloseSession(c.sess)
+			if err == nil {
+				g.walAppend(walRecord{Op: walOpClose, At: now, Sess: c.sess.name})
+			}
+			c.done <- result{err: err}
 		}
 	}
 	return len(batch)
@@ -732,30 +1134,44 @@ func (g *Gateway) applySubscribe(c *command) (*Subscription, error) {
 		return nil, fmt.Errorf("gateway: session %q rate-limited (%.2g tokens; %g/simulated-second, burst %g)",
 			s.name, s.tokens, g.cfg.Rate, g.cfg.Burst)
 	}
-	sh, hit := g.byKey[c.key]
+	sub, err := g.admitSub(s, g.nextSub, c.q, c.key, make(chan Update, g.cfg.Buffer))
+	if err != nil {
+		return nil, err
+	}
+	g.nextSub++
+	s.tokens--
+	return sub, nil
+}
+
+// admitSub runs the dedup-or-admit path and inserts the subscription. It is
+// the part of applySubscribe below admission control, shared with WAL
+// replay (which bypasses quota, rate limit and ID allocation — the original
+// run already passed them). A nil ch makes the subscription detached from
+// birth, delivering into its resume ring.
+func (g *Gateway) admitSub(s *Session, id SubID, q query.Query, key string, ch chan Update) (*Subscription, error) {
+	sh, hit := g.byKey[key]
 	if !hit {
-		qid, err := g.sim.Post(c.q)
+		qid, err := g.sim.Post(q)
 		if err != nil {
 			g.stats.AdmitErrors++
-			return nil, fmt.Errorf("gateway: admit %q: %w", c.key, err)
+			return nil, fmt.Errorf("gateway: admit %q: %w", key, err)
 		}
-		sh = &shared{key: c.key, qid: qid, q: c.q}
-		g.byKey[c.key] = sh
+		sh = &shared{key: key, qid: qid, q: q}
+		g.byKey[key] = sh
 		g.byQID[qid] = sh
 		g.stats.Admitted++
 	} else {
 		g.stats.DedupHits++
 	}
-	s.tokens--
 	sub := &Subscription{
-		id:     g.nextSub,
-		sess:   s,
-		key:    c.key,
-		qid:    sh.qid,
-		shared: hit,
-		ch:     make(chan Update, g.cfg.Buffer),
+		id:       id,
+		sess:     s,
+		key:      key,
+		qid:      sh.qid,
+		shared:   hit,
+		ch:       ch,
+		detached: ch == nil,
 	}
-	g.nextSub++
 	sh.subs = append(sh.subs, sub) // SubIDs are monotonic: stays ordered
 	s.live[sub.id] = sub
 	g.stats.Subscribes++
@@ -782,7 +1198,10 @@ func (g *Gateway) removeSub(sub *Subscription, reason CloseReason) {
 	s := sub.sess
 	delete(s.live, sub.id)
 	sub.reason = reason
-	close(sub.ch)
+	if !sub.detached {
+		close(sub.ch)
+	}
+	sub.ring = nil
 	g.stats.ActiveSubscriptions--
 
 	sh := g.byQID[sub.qid]
@@ -874,24 +1293,94 @@ func (g *Gateway) onAggs(ua core.UserAgg) {
 	}
 }
 
-// push delivers one update without ever blocking the simulation: a full
-// buffer means the subscriber has stalled past its bound, and it is
-// evicted so its fast peers (and the engine) keep pace.
+// push delivers one update without ever blocking the simulation. Every
+// delivery attempt stamps the next sequence number. A detached subscriber
+// accumulates into its bounded resume ring (oldest shed first). An attached
+// subscriber whose buffer is full has stalled past its bound: the update is
+// dropped and the subscriber is marked for eviction — the removal itself
+// (and its query cancellation) waits for the next Advance boundary, so
+// every state change the WAL must record happens at a commit point and
+// crash-recovery replay stays exact.
 func (g *Gateway) push(sub *Subscription, u Update) {
+	sub.seq++
+	u.Seq = sub.seq
+	if sub.detached {
+		g.ringPush(sub, u)
+		g.stats.Updates++
+		return
+	}
 	select {
 	case sub.ch <- u:
 		g.stats.Updates++
 	default:
 		g.stats.Dropped++
 		sub.sess.dropped++
-		g.stats.Evicted++
+		if !sub.evict {
+			sub.evict = true
+			g.stats.Evicted++
+			g.evictQueue = append(g.evictQueue, sub)
+		}
+	}
+}
+
+// ringPush appends to a detached subscription's resume ring, shedding the
+// oldest update once the bound is hit. Drops during recovery replay are not
+// counted — those updates were delivered live before the crash.
+func (g *Gateway) ringPush(sub *Subscription, u Update) {
+	if len(sub.ring) >= g.cfg.Buffer {
+		sub.ring = sub.ring[1:]
+		if !g.replaying {
+			g.stats.RingDropped++
+		}
+	}
+	sub.ring = append(sub.ring, u)
+}
+
+// sweepEvicted removes the subscribers push marked as stalled. Runs first
+// in every Advance, before the staged commands commit.
+func (g *Gateway) sweepEvicted() {
+	if len(g.evictQueue) == 0 {
+		return
+	}
+	queue := g.evictQueue
+	g.evictQueue = nil
+	now := int64(g.sim.Engine().Now())
+	for _, sub := range queue {
+		if cur, ok := sub.sess.live[sub.id]; !ok || cur != sub {
+			continue // already removed (or resumed afresh) in the meantime
+		}
 		g.removeSub(sub, ReasonEvicted)
+		g.walAppend(walRecord{Op: walOpUnsubscribe, At: now, Sess: sub.sess.name, Sub: sub.id})
+	}
+}
+
+// reap closes detached sessions that have sat idle past the timeout; their
+// queries cancel once unreferenced. Runs at every Advance, after the
+// staged commands commit.
+func (g *Gateway) reap() {
+	if g.cfg.IdleTimeout <= 0 {
+		return
+	}
+	now := g.sim.Engine().Now()
+	var names []string
+	for name, s := range g.sessions {
+		if !s.attached && now-s.idleSince >= g.cfg.IdleTimeout {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if g.applyCloseSession(g.sessions[name]) == nil {
+			g.stats.IdleReaped++
+			g.walAppend(walRecord{Op: walOpClose, At: int64(now), Sess: name})
+		}
 	}
 }
 
 func (g *Gateway) export() obs.RunExport {
 	m := g.sim.Manifest()
 	m.Study = "gateway"
+	m.Chaos = g.cfg.ChaosLabel
 	m.DurationMS = time.Duration(g.sim.Engine().Now()).Milliseconds()
 	m.Runs = 1
 	gm := g.stats.Metrics()
@@ -911,7 +1400,9 @@ func (g *Gateway) export() obs.RunExport {
 }
 
 // shutdown ends every session, fails the staged commands and snapshots the
-// final state for post-Close reads.
+// final state for post-Close reads. The WAL is flushed and closed cleanly;
+// a clean shutdown is not a crash, but the log is left valid so a later
+// Recover still works.
 func (g *Gateway) shutdown() {
 	for _, c := range g.staged {
 		c.done <- result{err: ErrClosed}
@@ -937,6 +1428,56 @@ func (g *Gateway) shutdown() {
 		delete(g.sessions, name)
 	}
 	g.stats.ActiveSessions = 0
+
+	if g.wal != nil {
+		g.wal.close()
+		g.wal = nil
+	}
+
+	g.finalMu.Lock()
+	g.finalStats = g.stats
+	g.finalExp = g.export()
+	g.finalMu.Unlock()
+	close(g.done)
+}
+
+// crash is shutdown's violent sibling: nothing drains, nothing cancels,
+// nothing flushes. Attached subscribers see ReasonCrashed; the WAL file is
+// abandoned exactly as the last flush left it (buffered bytes are lost,
+// like a real process death); the final stats and export stay readable for
+// post-mortem assertions.
+func (g *Gateway) crash() {
+	for _, c := range g.staged {
+		c.done <- result{err: ErrClosed}
+	}
+	g.staged = nil
+
+	if g.wal != nil {
+		g.wal.f.Close() // no flush: simulate losing the process mid-stream
+		g.wal = nil
+	}
+
+	names := make([]string, 0, len(g.sessions))
+	for name := range g.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := g.sessions[name]
+		ids := make([]SubID, 0, len(s.live))
+		for id := range s.live {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			sub := s.live[id]
+			if !sub.detached {
+				sub.reason = ReasonCrashed
+				close(sub.ch)
+				sub.detached = true
+			}
+		}
+	}
 
 	g.finalMu.Lock()
 	g.finalStats = g.stats

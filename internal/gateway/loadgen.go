@@ -46,6 +46,14 @@ type LoadgenConfig struct {
 	Buffer int
 	// Sample attaches a virtual-time metrics series when positive.
 	Sample time.Duration
+	// CrashRound, when in [1, Rounds), crashes the gateway at the start of
+	// that round and recovers it from WALPath; every client then reconnects
+	// (capped exponential backoff with jitter) and resumes its streams from
+	// its last-seen sequence numbers. Zero disables the crash.
+	CrashRound int
+	// WALPath is the write-ahead log used when CrashRound is set (and
+	// enables recovery logging even without a crash).
+	WALPath string
 }
 
 func (cfg *LoadgenConfig) defaults() {
@@ -88,6 +96,9 @@ type LoadReport struct {
 	// SubscribeErrs counts client subscribe attempts rejected by admission
 	// control (rate limit or quota) during the run.
 	SubscribeErrs int64
+	// Reconnects counts successful client re-attachments after the
+	// CrashRound crash (0 when no crash was configured).
+	Reconnects int64
 }
 
 // Throughput returns fanned-out updates per wall-clock second.
@@ -110,6 +121,10 @@ func (r *LoadReport) String() string {
 		st.Subscribes, st.Unsubscribes, r.SubscribeErrs, st.DedupHits, st.Admitted, st.DedupRatio())
 	fmt.Fprintf(&sb, "epochs=%d updates=%d dropped=%d evicted=%d throughput=%.0f updates/s\n",
 		st.Epochs, st.Updates, st.Dropped, st.Evicted, r.Throughput())
+	if r.Config.CrashRound > 0 {
+		fmt.Fprintf(&sb, "crash: round=%d recoveries=%d reconnects=%d resumes=%d resume_gaps=%d\n",
+			r.Config.CrashRound, st.Recoveries, r.Reconnects, st.Resumes, st.ResumeGaps)
+	}
 	fmt.Fprintf(&sb, "client latency: p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n",
 		r.Latency.P50(), r.Latency.P95(), r.Latency.P99(), r.Latency.N())
 	return sb.String()
@@ -120,10 +135,15 @@ func (r *LoadReport) String() string {
 type lgClient struct {
 	sess    *Session
 	rng     *sim.Rand
+	jitter  *sim.Rand // backoff jitter; separate so retries never skew churn decisions
 	subs    []*Subscription
 	pending []lgPending
-	lat     stats.Quantiles
-	errs    int64
+	// lastSeen is the per-subscription resume cursor: the highest sequence
+	// number this client has processed on each stream.
+	lastSeen   map[SubID]uint64
+	lat        stats.Quantiles
+	errs       int64
+	reconnects int64
 }
 
 type lgPending struct {
@@ -142,11 +162,14 @@ type lgPending struct {
 // parallel-sweep determinism.
 func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 	cfg.defaults()
+	if cfg.CrashRound > 0 && cfg.WALPath == "" {
+		return nil, fmt.Errorf("loadgen: CrashRound requires WALPath")
+	}
 	topo, err := topology.PaperGrid(cfg.Side)
 	if err != nil {
 		return nil, err
 	}
-	gw, err := New(Config{
+	gwCfg := Config{
 		Sim: network.Config{
 			Topo:   topo,
 			Scheme: cfg.Scheme,
@@ -155,11 +178,13 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 		Buffer:       cfg.Buffer,
 		SessionQuota: cfg.MaxSubs + 2,
 		Sample:       cfg.Sample,
-	})
+		WALPath:      cfg.WALPath,
+	}
+	gw, err := New(gwCfg)
 	if err != nil {
 		return nil, err
 	}
-	defer gw.Close()
+	defer func() { gw.Close() }()
 
 	// The shared pool of distinct query shapes; ID 0 so the simulation
 	// assigns network identities on admission.
@@ -189,8 +214,10 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 				return
 			}
 			clients[i] = &lgClient{
-				sess: sess,
-				rng:  sim.NewRand(cfg.Seed + 1000).Fork(int64(i)),
+				sess:     sess,
+				rng:      sim.NewRand(cfg.Seed + 1000).Fork(int64(i)),
+				jitter:   sim.NewRand(cfg.Seed + 2000).Fork(int64(i)),
+				lastSeen: make(map[SubID]uint64),
 			}
 		}(i)
 	}
@@ -201,6 +228,36 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 
 	start := time.Now()
 	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.CrashRound > 0 && round == cfg.CrashRound {
+			// Kill the gateway mid-run and bring it back from the WAL; the
+			// clients reconnect with their session tokens and resume every
+			// stream from its last-seen sequence number.
+			if err := gw.Crash(); err != nil {
+				return nil, err
+			}
+			gw, err = Recover(gwCfg)
+			if err != nil {
+				return nil, err
+			}
+			var recErr error
+			var recMu sync.Mutex
+			for _, c := range clients {
+				wg.Add(1)
+				go func(c *lgClient) {
+					defer wg.Done()
+					if err := c.reconnect(gw); err != nil {
+						recMu.Lock()
+						recErr = err
+						recMu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			if recErr != nil {
+				return nil, recErr
+			}
+		}
+
 		// Phase A: every client stages this round's commands concurrently.
 		for _, c := range clients {
 			wg.Add(1)
@@ -246,8 +303,56 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 	for _, c := range clients {
 		rep.Latency.Merge(&c.lat)
 		rep.SubscribeErrs += c.errs
+		rep.Reconnects += c.reconnects
 	}
 	return rep, nil
+}
+
+// reconnectBackoff is the delay before reconnect attempt n (0-based):
+// exponential from 5ms, capped at 500ms, plus up to 50% uniform jitter so
+// a herd of reconnecting clients spreads out.
+func reconnectBackoff(n int, rng *sim.Rand) time.Duration {
+	d := 5 * time.Millisecond
+	for i := 0; i < n && d < 500*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d + time.Duration(rng.Float64()*float64(d)/2)
+}
+
+// reconnect re-attaches one client to a recovered gateway and resumes every
+// stream exactly after the last sequence number the client processed.
+// Attach failures retry with capped exponential backoff and jitter instead
+// of aborting the client.
+func (c *lgClient) reconnect(gw *Gateway) error {
+	const maxAttempts = 8
+	var sess *Session
+	var infos []ResumeInfo
+	for attempt := 0; ; attempt++ {
+		var err error
+		sess, infos, err = gw.Attach(c.sess.Name(), c.sess.Token())
+		if err == nil {
+			break
+		}
+		if attempt+1 >= maxAttempts {
+			return fmt.Errorf("loadgen: reconnect %s: %w", c.sess.Name(), err)
+		}
+		time.Sleep(reconnectBackoff(attempt, c.jitter))
+	}
+	c.sess = sess
+	c.reconnects++
+	subs := make([]*Subscription, 0, len(infos))
+	for _, in := range infos {
+		sub, err := sess.Resume(in.ID, c.lastSeen[in.ID])
+		if err != nil {
+			return fmt.Errorf("loadgen: resume %s/%d: %w", c.sess.Name(), in.ID, err)
+		}
+		subs = append(subs, sub)
+	}
+	c.subs = subs
+	return nil
 }
 
 // stage issues this round's commands for one client: round 0 always
@@ -332,6 +437,7 @@ func (c *lgClient) resolveAndDrain() {
 					open = false
 					break drain
 				}
+				c.lastSeen[u.Sub] = u.Seq
 				c.lat.Add(float64(now.Sub(u.Enqueued)) / float64(time.Millisecond))
 			default:
 				break drain
@@ -348,6 +454,7 @@ func (c *lgClient) dropSub(sub *Subscription) {
 	// Drain whatever was buffered before the unsubscribe committed; the
 	// channel is already closed, so this terminates.
 	for u := range sub.Updates() {
+		c.lastSeen[u.Sub] = u.Seq
 		c.lat.Add(float64(time.Since(u.Enqueued)) / float64(time.Millisecond))
 	}
 	for i, x := range c.subs {

@@ -18,6 +18,13 @@ const (
 	OpSubscribe   = "subscribe"
 	OpUnsubscribe = "unsubscribe"
 	OpStats       = "stats"
+	// OpPing is the client heartbeat: it refreshes the server's read
+	// deadline and is answered with a TypePong line. Clients that expect to
+	// idle longer than the server's ReadTimeout must ping.
+	OpPing = "ping"
+	// OpResume continues a detached subscription after a reconnect,
+	// replaying every retained update with sequence number > After.
+	OpResume = "resume"
 )
 
 // Request is one client line.
@@ -27,10 +34,15 @@ type Request struct {
 	// Client optionally names the session (OpHello); the server derives a
 	// unique name from the connection otherwise.
 	Client string `json:"client,omitempty"`
+	// Token re-attaches an existing session (OpHello after a disconnect or
+	// gateway crash): quote the token from the first hello's response.
+	Token string `json:"token,omitempty"`
 	// Query is the TinyDB-dialect query text (OpSubscribe).
 	Query string `json:"query,omitempty"`
-	// Sub identifies the subscription to drop (OpUnsubscribe).
+	// Sub identifies the subscription (OpUnsubscribe, OpResume).
 	Sub SubID `json:"sub,omitempty"`
+	// After is the last sequence number the client processed (OpResume).
+	After uint64 `json:"after,omitempty"`
 	// Tag is echoed on the direct response so clients can correlate
 	// pipelined requests.
 	Tag string `json:"tag,omitempty"`
@@ -44,8 +56,19 @@ const (
 	TypeAgg        = "agg"
 	TypeClosed     = "closed"
 	TypeStats      = "stats"
+	TypePong       = "pong"
 	TypeError      = "error"
 )
+
+// WireResumeInfo lists one resumable subscription in a re-attach hello
+// response: issue an OpResume with Sub and the last sequence number the
+// client saw (at most LastSeq) to continue the stream.
+type WireResumeInfo struct {
+	Sub       SubID    `json:"sub"`
+	QueryID   query.ID `json:"query_id"`
+	Canonical string   `json:"canonical"`
+	LastSeq   uint64   `json:"last_seq"`
+}
 
 // WireRow is one delivered acquisition row.
 type WireRow struct {
@@ -67,8 +90,19 @@ type Response struct {
 	Tag  string `json:"tag,omitempty"`
 	// Session is the registered session name (TypeHello).
 	Session string `json:"session,omitempty"`
+	// Token is the session's resume token (TypeHello); quote it in a later
+	// hello to re-attach after a disconnect or server crash.
+	Token string `json:"token,omitempty"`
+	// Subs lists the resumable subscriptions on a re-attach (TypeHello with
+	// a token).
+	Subs []WireResumeInfo `json:"subs,omitempty"`
 	// Sub identifies the subscription the line belongs to.
 	Sub SubID `json:"sub,omitempty"`
+	// Seq is the per-subscription delivery sequence number (TypeRows,
+	// TypeAgg) — the client's resume cursor and dedup key.
+	Seq uint64 `json:"seq,omitempty"`
+	// Resumed marks a TypeSubscribed response produced by OpResume.
+	Resumed bool `json:"resumed,omitempty"`
 	// QueryID is the shared in-network query (TypeSubscribed).
 	QueryID query.ID `json:"query_id,omitempty"`
 	// Shared reports a dedup hit (TypeSubscribed).
@@ -93,7 +127,7 @@ type Response struct {
 
 // wireUpdate converts a delivered update to its wire form.
 func wireUpdate(u Update) Response {
-	r := Response{Sub: u.Sub, AtMS: int64(u.At.Milliseconds())}
+	r := Response{Sub: u.Sub, Seq: u.Seq, AtMS: int64(u.At.Milliseconds())}
 	if u.Rows != nil || u.Aggs == nil {
 		r.Type = TypeRows
 		r.Rows = make([]WireRow, 0, len(u.Rows))

@@ -9,6 +9,10 @@ import (
 	"time"
 )
 
+// DefaultReadTimeout is the default per-read deadline on client
+// connections. It is deliberately several heartbeat intervals long.
+const DefaultReadTimeout = 75 * time.Second
+
 // ServerConfig parametrizes Serve.
 type ServerConfig struct {
 	// Addr is the TCP listen address, e.g. ":7443" or "127.0.0.1:0".
@@ -21,6 +25,12 @@ type ServerConfig struct {
 	// minimum epoch), i.e. the simulation runs ~8x faster than real time
 	// at the defaults.
 	Quantum time.Duration
+	// ReadTimeout is the server-side read deadline, refreshed before every
+	// request line: a connection that stays silent longer is dropped (its
+	// named session detaches and stays resumable until the idle reaper
+	// runs). Clients keep quiet periods alive with OpPing heartbeats.
+	// DefaultReadTimeout if zero; negative disables the deadline.
+	ReadTimeout time.Duration
 }
 
 // Server serves the gateway's newline-delimited JSON protocol over TCP and
@@ -47,6 +57,9 @@ func NewServer(gw *Gateway, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 2048 * time.Millisecond
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -140,6 +153,10 @@ func (s *Server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 
 	var sess *Session
+	// named tracks whether the client claimed the session with an explicit
+	// hello: named sessions detach (stay resumable) on disconnect, while
+	// anonymous auto-registered ones are torn down.
+	var named bool
 	// ensure registers lazily so a HELLO can pick the session name first.
 	ensure := func(name string) error {
 		if sess != nil {
@@ -153,12 +170,19 @@ func (s *Server) handle(conn net.Conn) {
 		return err
 	}
 	defer func() {
-		if sess != nil {
-			// Tear the session down at the next tick; the forwarders end
-			// when their subscriptions close.
-			if t, err := sess.CloseAsync(); err == nil {
-				go func() { _, _ = t.Wait() }()
-			}
+		if sess == nil {
+			return
+		}
+		if named {
+			// Keep the session resumable: updates park in the resume rings
+			// until the client re-attaches or the idle reaper collects it.
+			_ = sess.Detach()
+			return
+		}
+		// Tear the session down at the next tick; the forwarders end
+		// when their subscriptions close.
+		if t, err := sess.CloseAsync(); err == nil {
+			go func() { _, _ = t.Wait() }()
 		}
 	}()
 
@@ -175,7 +199,16 @@ func (s *Server) handle(conn net.Conn) {
 		_ = w.write(Response{Type: TypeClosed, Sub: sub.ID(), Reason: sub.Reason().String()})
 	}
 
-	for sc.Scan() {
+	for {
+		// Refresh the read deadline per request line; a silent client is
+		// cut loose (and, if named, left resumable) instead of pinning a
+		// handler goroutine forever.
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if !sc.Scan() {
+			return
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
@@ -190,11 +223,60 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch req.Op {
 		case OpHello:
+			if req.Token != "" {
+				// Re-attach: claim a detached session by name + token and
+				// report the resumable streams with their cursors.
+				if sess != nil {
+					fail(fmt.Errorf("connection already has session %q", sess.Name()))
+					continue
+				}
+				se, infos, err := s.gw.Attach(req.Client, req.Token)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				sess, named = se, true
+				subs := make([]WireResumeInfo, 0, len(infos))
+				for _, in := range infos {
+					subs = append(subs, WireResumeInfo{
+						Sub:       in.ID,
+						QueryID:   in.QueryID,
+						Canonical: in.Key,
+						LastSeq:   in.LastSeq,
+					})
+				}
+				_ = w.write(Response{Type: TypeHello, Tag: req.Tag, Session: sess.Name(), Token: sess.Token(), Subs: subs})
+				continue
+			}
 			if err := ensure(req.Client); err != nil {
 				fail(err)
 				continue
 			}
-			_ = w.write(Response{Type: TypeHello, Tag: req.Tag, Session: sess.Name()})
+			named = true
+			_ = w.write(Response{Type: TypeHello, Tag: req.Tag, Session: sess.Name(), Token: sess.Token()})
+		case OpResume:
+			if sess == nil {
+				fail(fmt.Errorf("no session"))
+				continue
+			}
+			sub, err := sess.Resume(req.Sub, req.After)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			s.wg.Add(1)
+			go forward(sub)
+			_ = w.write(Response{
+				Type:      TypeSubscribed,
+				Tag:       req.Tag,
+				Sub:       sub.ID(),
+				QueryID:   sub.QueryID(),
+				Shared:    sub.Shared(),
+				Canonical: sub.Key(),
+				Resumed:   true,
+			})
+		case OpPing:
+			_ = w.write(Response{Type: TypePong, Tag: req.Tag})
 		case OpSubscribe:
 			if err := ensure(""); err != nil {
 				fail(err)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"net"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -140,5 +141,141 @@ func TestServerSharedAcrossConnections(t *testing.T) {
 	}
 	if sa.Canonical != sb.Canonical {
 		t.Errorf("canonical forms differ: %q vs %q", sa.Canonical, sb.Canonical)
+	}
+}
+
+// TestServerPingRefreshesReadDeadline: heartbeats keep an otherwise idle
+// connection alive past several read timeouts, and going silent gets the
+// connection reaped.
+func TestServerPingRefreshesReadDeadline(t *testing.T) {
+	gw := newTestGateway(t, Config{})
+	srv, err := NewServer(gw, ServerConfig{
+		Addr:        "127.0.0.1:0",
+		TickEvery:   5 * time.Millisecond,
+		Quantum:     2048 * time.Millisecond,
+		ReadTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = gw.Close()
+		_ = srv.Close()
+	}()
+
+	c := dialWire(t, srv.Addr().String())
+	c.send(Request{Op: OpHello, Client: "beeper"})
+	c.recv(TypeHello)
+	// Idle for 3× the timeout in total, pinging well inside each window.
+	for i := 0; i < 6; i++ {
+		time.Sleep(150 * time.Millisecond)
+		c.send(Request{Op: OpPing, Tag: "hb"})
+		if pong := c.recv(TypePong); pong.Tag != "hb" {
+			t.Fatalf("pong response %+v", pong)
+		}
+	}
+	// Now go silent: the server must reap the connection, which surfaces
+	// here as EOF (scanner stops with no error).
+	_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for c.sc.Scan() {
+	}
+	if err := c.sc.Err(); err != nil {
+		t.Fatalf("expected server-side close (EOF), got %v", err)
+	}
+}
+
+// TestServerCrashReattachResumeOverTCP drives the crash-recovery handshake
+// end to end over the wire: subscribe, note the last seen sequence number,
+// crash the gateway, recover it behind a fresh listener, re-attach with
+// the hello token and resume — the stream continues at exactly the next
+// sequence number.
+func TestServerCrashReattachResumeOverTCP(t *testing.T) {
+	cfg := walConfig(t, filepath.Join(t.TempDir(), "gw.wal"))
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := ServerConfig{
+		Addr:      "127.0.0.1:0",
+		TickEvery: 5 * time.Millisecond,
+		Quantum:   2048 * time.Millisecond,
+	}
+	srv, err := NewServer(gw, srvCfg)
+	if err != nil {
+		_ = gw.Close()
+		t.Fatal(err)
+	}
+
+	c := dialWire(t, srv.Addr().String())
+	c.send(Request{Op: OpHello, Client: "phoenix"})
+	hello := c.recv(TypeHello)
+	if hello.Token == "" {
+		t.Fatal("hello carried no resume token")
+	}
+	c.send(Request{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms"})
+	subbed := c.recv(TypeSubscribed)
+	var lastSeen uint64
+	for i := 0; i < 2; i++ {
+		r := c.recv(TypeRows)
+		if r.Seq != lastSeen+1 {
+			t.Fatalf("pre-crash seq = %d, want %d", r.Seq, lastSeen+1)
+		}
+		lastSeen = r.Seq
+	}
+
+	_ = srv.Close()
+	if err := gw.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(g2, srvCfg)
+	if err != nil {
+		_ = g2.Close()
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = g2.Close()
+		_ = s2.Close()
+	}()
+
+	c2 := dialWire(t, s2.Addr().String())
+	c2.send(Request{Op: OpHello, Client: "phoenix", Token: hello.Token})
+	h2 := c2.recv(TypeHello)
+	if len(h2.Subs) != 1 || h2.Subs[0].Sub != subbed.Sub {
+		t.Fatalf("re-attach listed %+v, want subscription %d", h2.Subs, subbed.Sub)
+	}
+	if h2.Subs[0].LastSeq < lastSeen {
+		t.Fatalf("replayed LastSeq = %d below client cursor %d", h2.Subs[0].LastSeq, lastSeen)
+	}
+	c2.send(Request{Op: OpResume, Sub: subbed.Sub, After: lastSeen})
+	rs := c2.recv(TypeSubscribed)
+	if !rs.Resumed || rs.Sub != subbed.Sub {
+		t.Fatalf("resume response %+v", rs)
+	}
+	// Exactly-once across the crash: the stream picks up at the next
+	// sequence number with no duplicate and no gap.
+	for i := 0; i < 2; i++ {
+		r := c2.recv(TypeRows)
+		if r.Seq != lastSeen+1 {
+			t.Fatalf("post-resume seq = %d, want %d", r.Seq, lastSeen+1)
+		}
+		lastSeen = r.Seq
+	}
+
+	// A stale token is still refused over the wire.
+	c3 := dialWire(t, s2.Addr().String())
+	c3.send(Request{Op: OpHello, Client: "phoenix", Token: "bogus"})
+	var got Response
+	for c3.sc.Scan() {
+		if err := json.Unmarshal(c3.sc.Bytes(), &got); err != nil {
+			t.Fatalf("bad response line %q: %v", c3.sc.Text(), err)
+		}
+		break
+	}
+	if got.Type != TypeError {
+		t.Fatalf("bad-token hello answered with %+v, want error", got)
 	}
 }

@@ -1,0 +1,355 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// Crash recovery for the serving tier.
+//
+// The gateway's durable state is a write-ahead log of session and
+// subscription lifecycle: registrations (with their resume tokens),
+// subscription commits keyed by the canonical query text, unsubscriptions
+// (explicit or by eviction), session closes, and per-Advance virtual-time
+// progress marks. Every record carries the virtual instant of the state
+// change, and every state change the log records happens at an Advance
+// commit boundary — never in the middle of a simulated quantum — so the log
+// is a total order of the serving tier's external inputs.
+//
+// Because the simulation itself is fully deterministic (seeded randomness,
+// FIFO event ordering), that log IS the snapshot: Recover rebuilds a
+// crashed gateway by replaying the logged lifecycle against a fresh
+// simulation of the same configuration and running it to the last progress
+// mark. The replayed world re-derives everything the crash destroyed —
+// installed query set, optimizer state, radio accounting, per-subscription
+// sequence numbers — bit-for-bit. Replayed result epochs land in each
+// subscription's bounded resume ring instead of a client channel; a client
+// that reconnects with its session token and last-seen sequence number gets
+// the ring's tail replayed from exactly the next sequence, then the live
+// stream — exactly-once resumption, with ring overflow surfacing as a
+// counted, bounded gap rather than a silent loss.
+//
+// Compaction ("snapshot") drops the interior progress marks, which dominate
+// the log's volume on long runs; the lifecycle records are kept verbatim
+// since deterministic replay needs the full admission schedule. It runs
+// every Config.SnapshotEvery advances and once after every recovery,
+// rewriting the file atomically (temp file + rename).
+
+// WAL record operations.
+const (
+	walOpRegister    = "reg"
+	walOpSubscribe   = "sub"
+	walOpUnsubscribe = "unsub"
+	walOpClose       = "close"
+	walOpAdvance     = "adv"
+)
+
+// walRecord is one line of the log. At is the virtual time of the state
+// change in nanoseconds — full engine precision, so replay schedules each
+// record at the exact instant it originally applied.
+type walRecord struct {
+	Op    string `json:"op"`
+	At    int64  `json:"at"`
+	Sess  string `json:"sess,omitempty"`
+	Token string `json:"token,omitempty"`
+	Sub   SubID  `json:"sub,omitempty"`
+	// Query is the canonical query text (walOpSubscribe) — the same string
+	// CanonicalKey produces, so the dedup cache rebuilds identically.
+	Query string `json:"query,omitempty"`
+}
+
+// wal is the append handle. All methods run on the gateway loop goroutine.
+type wal struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+func createWAL(path string) (*wal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: create wal: %w", err)
+	}
+	return &wal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (w *wal) append(r walRecord) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.w.Write(b)
+	return err
+}
+
+func (w *wal) flush() error { return w.w.Flush() }
+
+func (w *wal) close() error {
+	if w == nil {
+		return nil
+	}
+	ferr := w.w.Flush()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// readWAL parses a log file. A truncated final line (torn write at crash)
+// is tolerated and dropped; any earlier malformed line is an error.
+func readWAL(path string) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []walRecord
+	var torn bool
+	for sc.Scan() {
+		if torn {
+			return nil, fmt.Errorf("gateway: wal %s: malformed record before end of log", path)
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r walRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			torn = true // legal only as the final (torn) line
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// rewriteWAL atomically replaces the log with recs and returns a fresh
+// append handle positioned after them.
+func rewriteWAL(path string, recs []walRecord) (*wal, error) {
+	tmp := path + ".tmp"
+	w, err := createWAL(tmp)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := w.append(r); err != nil {
+			w.close()
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := w.close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// compactLog returns the lifecycle records plus a single trailing progress
+// mark at now — the "snapshot" form of the log.
+func compactLog(lifecycle []walRecord, now sim.Time) []walRecord {
+	out := make([]walRecord, 0, len(lifecycle)+1)
+	out = append(out, lifecycle...)
+	out = append(out, walRecord{Op: walOpAdvance, At: int64(now)})
+	return out
+}
+
+// Recover rebuilds a crashed gateway from cfg.WALPath by deterministic
+// replay: the same simulation configuration is constructed from scratch,
+// every logged lifecycle record is re-applied at its original virtual
+// instant (admission control bypassed — it already passed once), and the
+// engine is run to the last logged progress mark. Sessions come back
+// detached with their original tokens and their subscriptions' sequence
+// numbers exactly where the crash left them; the most recent Buffer updates
+// of each stream sit in its resume ring. Clients re-attach with
+// Gateway.Attach (session token) and Session.Resume (last-seen sequence).
+//
+// Token buckets restart full and the idle-reap clock restarts at recovery,
+// which only ever errs in the client's favour.
+func Recover(cfg Config) (*Gateway, error) {
+	if cfg.WALPath == "" {
+		return nil, fmt.Errorf("gateway: Recover requires Config.WALPath")
+	}
+	recs, err := readWAL(cfg.WALPath)
+	if err != nil {
+		return nil, err
+	}
+	g, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.replaying = true
+	var lastNow int64
+	for _, r := range recs {
+		if r.At > lastNow {
+			lastNow = r.At
+		}
+		if r.Op == walOpAdvance {
+			continue
+		}
+		r := r
+		g.sim.Engine().Schedule(sim.Time(r.At), func() {
+			if err := g.replay(r); err != nil && g.walErr == nil {
+				g.walErr = fmt.Errorf("gateway: replay %s at %v: %w", r.Op, time.Duration(r.At), err)
+			}
+		})
+	}
+	g.sim.Run(time.Duration(lastNow))
+	g.replaying = false
+	if g.walErr != nil {
+		return nil, g.walErr
+	}
+	// Everyone starts detached with a fresh idle clock and a full bucket.
+	now := g.sim.Engine().Now()
+	for _, s := range g.sessions {
+		s.attached = false
+		s.idleSince = now
+		s.tokens = g.cfg.Burst
+	}
+	g.stats.Recoveries++
+	g.walLog = lifecycleRecords(recs)
+	w, err := rewriteWAL(cfg.WALPath, compactLog(g.walLog, now))
+	if err != nil {
+		return nil, err
+	}
+	g.wal = w
+	go g.loop()
+	return g, nil
+}
+
+func lifecycleRecords(recs []walRecord) []walRecord {
+	out := make([]walRecord, 0, len(recs))
+	for _, r := range recs {
+		if r.Op != walOpAdvance {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// replay applies one lifecycle record on the loop-owned state. It runs
+// inside an engine callback during Recover, before the loop starts.
+func (g *Gateway) replay(r walRecord) error {
+	switch r.Op {
+	case walOpRegister:
+		if _, dup := g.sessions[r.Sess]; dup {
+			return fmt.Errorf("duplicate session %q", r.Sess)
+		}
+		s := &Session{
+			g:      g,
+			name:   r.Sess,
+			token:  r.Token,
+			live:   make(map[SubID]*Subscription),
+			tokens: g.cfg.Burst,
+		}
+		g.sessions[r.Sess] = s
+		g.stats.Sessions++
+		g.stats.ActiveSessions = len(g.sessions)
+		return nil
+	case walOpSubscribe:
+		s := g.sessions[r.Sess]
+		if s == nil {
+			return fmt.Errorf("unknown session %q", r.Sess)
+		}
+		q, err := query.Parse(r.Query)
+		if err != nil {
+			return fmt.Errorf("canonical query %q: %w", r.Query, err)
+		}
+		n, key, err := canonicalize(q)
+		if err != nil {
+			return err
+		}
+		if r.Sub >= g.nextSub {
+			g.nextSub = r.Sub + 1
+		}
+		_, err = g.admitSub(s, r.Sub, n, key, nil)
+		return err
+	case walOpUnsubscribe:
+		s := g.sessions[r.Sess]
+		if s == nil {
+			return fmt.Errorf("unknown session %q", r.Sess)
+		}
+		return g.applyUnsubscribe(s, r.Sub, ReasonUnsubscribed)
+	case walOpClose:
+		s := g.sessions[r.Sess]
+		if s == nil {
+			return fmt.Errorf("unknown session %q", r.Sess)
+		}
+		return g.applyCloseSession(s)
+	default:
+		return fmt.Errorf("unknown wal op %q", r.Op)
+	}
+}
+
+// walAppend writes one lifecycle record; replay mode and disabled logs are
+// no-ops. Write failures poison the gateway (surfaced by the next Advance)
+// rather than silently dropping durability.
+func (g *Gateway) walAppend(r walRecord) {
+	if g.wal == nil || g.replaying {
+		return
+	}
+	g.walLog = append(g.walLog, r)
+	if err := g.wal.append(r); err != nil && g.walErr == nil {
+		g.walErr = err
+	}
+}
+
+func (g *Gateway) walFlush() {
+	if g.wal == nil {
+		return
+	}
+	if err := g.wal.flush(); err != nil && g.walErr == nil {
+		g.walErr = err
+	}
+}
+
+// walAdvance writes the per-Advance progress mark and, every SnapshotEvery
+// advances, compacts the log.
+func (g *Gateway) walAdvance() {
+	if g.wal == nil {
+		return
+	}
+	now := g.sim.Engine().Now()
+	rec := walRecord{Op: walOpAdvance, At: int64(now)}
+	if err := g.wal.append(rec); err != nil && g.walErr == nil {
+		g.walErr = err
+	}
+	g.advances++
+	if g.cfg.SnapshotEvery > 0 && g.advances%int64(g.cfg.SnapshotEvery) == 0 {
+		if err := g.wal.close(); err != nil && g.walErr == nil {
+			g.walErr = err
+		}
+		w, err := rewriteWAL(g.wal.path, compactLog(g.walLog, now))
+		if err != nil {
+			if g.walErr == nil {
+				g.walErr = err
+			}
+			g.wal = nil
+			return
+		}
+		g.wal = w
+		return
+	}
+	g.walFlush()
+}

@@ -52,17 +52,54 @@ func (s *Simulation) scheduleFailure(id topology.NodeID, cfg FailureConfig, rng 
 // Failures returns how many node failures have occurred so far.
 func (s *Simulation) Failures() int { return s.failures }
 
-// FailNode manually fails a node (tests); ReviveNode brings it back.
+// FailNode manually fails a node (tests and chaos scenarios); ReviveNode
+// brings it back. Both are idempotent: failing an already-down node neither
+// re-fails it nor inflates the failure counter, and reviving an up node is
+// a no-op, so composed fault schedules (e.g. a region cut overlapping MTBF
+// churn) count each outage once.
 func (s *Simulation) FailNode(id topology.NodeID) {
-	if n := s.Node(id); n != nil {
+	if n := s.Node(id); n != nil && !n.Down() {
 		n.SetDown(true)
 		s.failures++
 	}
 }
 
-// ReviveNode revives a manually failed node.
+// ReviveNode revives a manually failed node. Reviving an up node is a no-op.
 func (s *Simulation) ReviveNode(id topology.NodeID) {
-	if n := s.Node(id); n != nil {
+	if n := s.Node(id); n != nil && n.Down() {
 		n.SetDown(false)
 	}
 }
+
+// FailRegion cuts the whole routing subtree rooted at id off the network —
+// a topology partition: every sensor in root's subtree interval goes down
+// at once. It returns the affected node IDs. HealRegion reverses the cut.
+func (s *Simulation) FailRegion(root topology.NodeID) []topology.NodeID {
+	return s.eachInRegion(root, s.FailNode)
+}
+
+// HealRegion revives every node in the subtree rooted at root.
+func (s *Simulation) HealRegion(root topology.NodeID) []topology.NodeID {
+	return s.eachInRegion(root, s.ReviveNode)
+}
+
+func (s *Simulation) eachInRegion(root topology.NodeID, f func(topology.NodeID)) []topology.NodeID {
+	if s.Node(root) == nil {
+		return nil
+	}
+	lo, hi := s.topo.SubtreeInterval(root)
+	ids := make([]topology.NodeID, 0, hi-lo+1)
+	for id := lo; id <= hi; id++ {
+		f(id)
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SetLossRate overrides the radio medium's per-transmission loss
+// probability at runtime — the burst-loss hook chaos scenarios use to model
+// interference bursts. Call only from an engine callback or before Run.
+func (s *Simulation) SetLossRate(r float64) { s.medium.SetLossRate(r) }
+
+// LossRate returns the radio medium's current loss probability.
+func (s *Simulation) LossRate() float64 { return s.medium.LossRate() }

@@ -206,3 +206,59 @@ func TestRandomFailuresKeepRunning(t *testing.T) {
 		t.Fatalf("average rows per epoch = %.1f of %d", avg, topo.Size()-1)
 	}
 }
+
+func TestManualFaultInjectionIsIdempotent(t *testing.T) {
+	// Chaos schedules compose (a region cut can overlap node churn), so
+	// double-failing must count one outage and double-reviving must be a
+	// no-op — otherwise overlapping scenarios inflate the failure counter
+	// or resurrect nodes that a second schedule still holds down.
+	s := newSim(t, chainTopo(t), Baseline, 1)
+	s.FailNode(2)
+	s.FailNode(2)
+	if s.Failures() != 1 {
+		t.Fatalf("double FailNode counted %d failures, want 1", s.Failures())
+	}
+	if !s.Node(2).Down() {
+		t.Fatal("node 2 should be down")
+	}
+	s.ReviveNode(2)
+	s.ReviveNode(2)
+	if s.Node(2).Down() {
+		t.Fatal("node 2 should be up after revive")
+	}
+	if s.Failures() != 1 {
+		t.Fatalf("revive disturbed the failure counter: %d", s.Failures())
+	}
+	// Reviving a node that never failed is a no-op too.
+	s.ReviveNode(3)
+	if s.Node(3).Down() || s.Failures() != 1 {
+		t.Fatalf("spurious revive changed state: down=%v failures=%d",
+			s.Node(3).Down(), s.Failures())
+	}
+
+	// Region cut overlapping an existing single-node outage: the shared
+	// node is not double-counted, and healing restores every member once.
+	s.FailNode(3)
+	if s.Failures() != 2 {
+		t.Fatalf("failures = %d, want 2", s.Failures())
+	}
+	ids := s.FailRegion(2) // subtree 2..3 includes the already-down 3
+	if len(ids) != 2 {
+		t.Fatalf("FailRegion(2) affected %v, want nodes 2..3", ids)
+	}
+	if s.Failures() != 3 {
+		t.Fatalf("overlapping region cut counted %d failures, want 3", s.Failures())
+	}
+	healed := s.HealRegion(2)
+	if len(healed) != 2 {
+		t.Fatalf("HealRegion(2) affected %v", healed)
+	}
+	for _, id := range healed {
+		if s.Node(id).Down() {
+			t.Fatalf("node %d still down after heal", id)
+		}
+	}
+	if s.HealRegion(2); s.Failures() != 3 {
+		t.Fatalf("double heal disturbed the failure counter: %d", s.Failures())
+	}
+}

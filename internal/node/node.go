@@ -949,6 +949,11 @@ func (n *Node) onUndeliverable(msg *ResultMsg, dest topology.NodeID) {
 	}
 	n.suspectDead[dest] = n.cfg.Engine.Now()
 	if msg.Reroutes >= MaxReroutes {
+		// Reroute budget exhausted: every upper path tried and failed (a
+		// permanently dead parent region). The result is abandoned — traced
+		// so completeness loss is attributable — rather than looping.
+		n.cfg.Trace.Emitf(n.cfg.Engine.Now(), trace.KindDrop, n.id,
+			"q%v epoch=%v reroutes=%d dest=%d", msg.QIDs, time.Duration(msg.EpochT), msg.Reroutes, dest)
 		return
 	}
 	sub := n.subsetMsg(msg, msg.QueriesFor(dest))

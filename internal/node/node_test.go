@@ -10,6 +10,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // rig is a minimal harness driving Nodes directly (without the network
@@ -19,6 +20,7 @@ type rig struct {
 	topo   *topology.Topology
 	medium *radio.Medium
 	coll   *metrics.Collector
+	trace  *trace.Buffer
 	nodes  map[topology.NodeID]*Node
 	atBS   []*ResultMsg
 }
@@ -30,12 +32,12 @@ func newRig(t *testing.T, topo *topology.Topology, p Policy, src field.Source) *
 	rng := sim.NewRand(3)
 	medium := radio.New(engine, topo, coll, rng.Fork(0), radio.Config{})
 	r := &rig{engine: engine, topo: topo, medium: medium, coll: coll,
-		nodes: make(map[topology.NodeID]*Node)}
+		trace: &trace.Buffer{}, nodes: make(map[topology.NodeID]*Node)}
 	for i := 1; i < topo.Size(); i++ {
 		id := topology.NodeID(i)
 		r.nodes[id] = New(Config{
 			ID: id, Topo: topo, Engine: engine, Medium: medium,
-			Source: src, Policy: p, Rand: rng.Fork(int64(i)),
+			Source: src, Policy: p, Rand: rng.Fork(int64(i)), Trace: r.trace,
 		})
 	}
 	medium.SetHandler(topology.BaseStation, func(d radio.Delivery) {

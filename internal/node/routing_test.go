@@ -1,6 +1,8 @@
 package node
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // forkTopo: BS at origin with two level-1 parents P1 (node 1) and P2
@@ -163,6 +166,49 @@ func TestRerouteCapStopsLoops(t *testing.T) {
 	// times; ~15 epochs × (1 + MaxReroutes) is the ceiling.
 	if got := r.coll.MessagesFrom("result", 3); got > 16*(1+MaxReroutes) {
 		t.Fatalf("reroute loop: S sent %d result messages", got)
+	}
+}
+
+func TestRerouteExhaustionTracesDrops(t *testing.T) {
+	// A permanently dead parent region: every abandoned result must be
+	// attributable in the trace as a drop event naming the exhausted budget,
+	// and only the stranded source may emit them.
+	topo := forkTopo(t)
+	r := newRig(t, topo, InNetwork(), splitSource{})
+	postSplitQueries(r)
+	r.engine.Run(2 * time.Second)
+	r.nodes[1].SetDown(true)
+	r.nodes[2].SetDown(true)
+	r.engine.Run(60 * time.Second)
+
+	var drops []trace.Event
+	for _, e := range r.trace.Events() {
+		if e.Kind == trace.KindDrop {
+			drops = append(drops, e)
+		}
+	}
+	if len(drops) == 0 {
+		t.Fatal("no drop events traced for a dead parent region")
+	}
+	want := fmt.Sprintf("reroutes=%d", MaxReroutes)
+	for _, e := range drops {
+		if e.Node != 3 {
+			t.Fatalf("drop traced at node %d, want only the source (3): %v", e.Node, e)
+		}
+		if !strings.Contains(e.Detail, want) {
+			t.Fatalf("drop event %v does not name the exhausted budget %q", e, want)
+		}
+	}
+	// Bounded abandonment: at most one drop per multicast leg (S splits
+	// each epoch across its two parents) — no amplification loop.
+	fires := 0
+	for _, e := range r.trace.Events() {
+		if e.Kind == trace.KindFire && e.Node == 3 {
+			fires++
+		}
+	}
+	if fires == 0 || len(drops) > 2*fires {
+		t.Fatalf("drops=%d fires=%d: more abandonments than multicast legs", len(drops), fires)
 	}
 }
 

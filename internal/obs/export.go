@@ -79,6 +79,14 @@ type GatewayMetrics struct {
 	Epochs              int64 `json:"epochs"`
 	Dropped             int64 `json:"dropped"`
 	Evicted             int64 `json:"evicted"`
+	// Crash-recovery and reconnection counters (see gateway.Stats).
+	Detaches    int64 `json:"detaches"`
+	Attaches    int64 `json:"attaches"`
+	Resumes     int64 `json:"resumes"`
+	ResumeGaps  int64 `json:"resume_gaps"`
+	RingDropped int64 `json:"ring_dropped"`
+	IdleReaped  int64 `json:"idle_reaped"`
+	Recoveries  int64 `json:"recoveries"`
 	// DedupRatio is subscriptions per admitted network query (> 1 means
 	// the serving tier shared work).
 	DedupRatio float64 `json:"dedup_ratio"`

@@ -44,6 +44,9 @@ type Manifest struct {
 	Topology string `json:"topology,omitempty"`
 	// Workload names the query workload ("A", "B", "C", "random", a file).
 	Workload string `json:"workload,omitempty"`
+	// Chaos names the fault-injection scenario the run was driven under
+	// (empty for fault-free runs).
+	Chaos string `json:"chaos,omitempty"`
 	// Alpha is the tier-1 termination parameter, when fixed.
 	Alpha float64 `json:"alpha,omitempty"`
 	// DurationMS is the simulated virtual time per run, in milliseconds.
@@ -64,9 +67,9 @@ func NewManifest(study string) Manifest {
 // rendering of every other field.
 func (m Manifest) Hashed() Manifest {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%s|%s|%g|%d|%d",
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%s|%s|%s|%g|%d|%d",
 		m.Tool, m.Version, m.Study, m.Scheme, m.Seed, m.Nodes,
-		m.Topology, m.Workload, m.Alpha, m.DurationMS, m.Runs)
+		m.Topology, m.Workload, m.Chaos, m.Alpha, m.DurationMS, m.Runs)
 	m.ConfigHash = fmt.Sprintf("%016x", h.Sum64())
 	return m
 }

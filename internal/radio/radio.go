@@ -181,6 +181,24 @@ func New(engine *sim.Engine, topo *topology.Topology, coll *metrics.Collector, r
 // SetTracer attaches a structured event log; nil detaches it.
 func (m *Medium) SetTracer(t *trace.Buffer) { m.tracer = t }
 
+// SetLossRate overrides the per-transmission loss probability at runtime —
+// the burst-loss hook used by chaos scenarios to model time-varying link
+// quality (interference bursts, weather fades). Call it only from within an
+// engine callback, like every other mutation of a running simulation. The
+// rate is clamped to [0, 1).
+func (m *Medium) SetLossRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r >= 1 {
+		r = 0.999
+	}
+	m.cfg.LossRate = r
+}
+
+// LossRate returns the current per-transmission loss probability.
+func (m *Medium) LossRate() float64 { return m.cfg.LossRate }
+
 // SetHandler registers the receive callback for a node. Passing nil detaches
 // the node (it stops hearing traffic — used for sleep mode).
 func (m *Medium) SetHandler(id topology.NodeID, h Handler) {

@@ -31,6 +31,7 @@ const (
 	KindFlush   Kind = "flush"   // base station closed an epoch window
 	KindAdmit   Kind = "admit"   // user query admitted at the base station
 	KindCancel  Kind = "cancel"  // user query terminated at the base station
+	KindDrop    Kind = "drop"    // result abandoned after reroute exhaustion
 )
 
 // Event is one log entry.

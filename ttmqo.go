@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
@@ -238,6 +239,14 @@ type (
 	ReliabilityConfig = experiments.ReliabilityConfig
 	// ReliabilityRow is one cell of the failure study.
 	ReliabilityRow = experiments.ReliabilityRow
+	// ChaosConfig parametrizes RunChaos.
+	ChaosConfig = experiments.ChaosConfig
+	// ChaosRow is one scenario's outcome in the chaos study.
+	ChaosRow = experiments.ChaosRow
+	// ChaosScenario is a scripted fault schedule for the chaos harness
+	// (see chaos.ParseScenario for the text format and chaos.Builtin for
+	// the canned schedules).
+	ChaosScenario = chaos.Scenario
 	// FailureConfig injects node outages into a simulation.
 	FailureConfig = network.FailureConfig
 	// LifetimeConfig parametrizes RunLifetime.
@@ -397,6 +406,23 @@ func RunAblation(cfg AblationConfig) ([]AblationRow, error) { return experiments
 func RunReliability(cfg ReliabilityConfig) ([]ReliabilityRow, error) {
 	return experiments.RunReliability(cfg)
 }
+
+// RunChaos drives the full serving stack (simulation, gateway with WAL
+// crash recovery, reconnecting clients) through scripted fault scenarios —
+// node churn, loss bursts, partitions, gateway crashes — and reports the
+// user-visible damage plus any delivery-invariant violations.
+func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) { return experiments.RunChaos(cfg) }
+
+// ChaosString renders the chaos study as a text table.
+func ChaosString(rows []ChaosRow) string { return experiments.ChaosString(rows) }
+
+// ParseChaosScenario reads a fault scenario in the chaos text format;
+// BuiltinChaosScenario returns a canned one by name (none, churn, burst,
+// partition, crash, mixed).
+func ParseChaosScenario(text string) (*ChaosScenario, error) { return chaos.ParseScenario(text) }
+
+// BuiltinChaosScenario returns a canned scenario by name.
+func BuiltinChaosScenario(name string) (*ChaosScenario, error) { return chaos.Builtin(name) }
 
 // RunLifetime measures per-scheme energy consumption and extrapolated
 // network lifetime (time until the busiest node's battery dies).
