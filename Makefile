@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel serve-soak chaos-soak clean
+.PHONY: build test race vet bench bench-parallel serve-soak chaos-soak admin-smoke clean
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,21 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'Figure3Parallel|FieldReading' -benchmem .
 
 # A short gateway soak under the race detector: 120 concurrent clients
-# churning subscriptions through the serving tier. Exits non-zero on any
-# data race; the printed report includes dedup ratio and latency
-# percentiles.
+# churning subscriptions through the serving tier, with the admin plane
+# mounted. At the end of the soak the load generator scrapes its own
+# /metrics endpoint and validates the Prometheus exposition with the
+# decoder-side parser — a malformed exposition (or any data race) exits
+# non-zero. The printed report includes dedup ratio, latency percentiles
+# and the one-line metrics summary.
 serve-soak:
-	$(GO) run -race ./cmd/ttmqo-serve -loadgen -clients 120 -rounds 16 -pool 10 -seed 1
+	$(GO) run -race ./cmd/ttmqo-serve -loadgen -clients 120 -rounds 16 -pool 10 -seed 1 -admin 127.0.0.1:0
+
+# The admin-plane smoke drill: build the real ttmqo-serve binary, boot it
+# with -admin and the built-in crash drill, curl every endpoint, and assert
+# the readiness transition (200 -> 503 during the outage -> 200 after WAL
+# replay) over the process boundary.
+admin-smoke:
+	$(GO) test -race -count=1 -v -run TestAdminSmoke ./cmd/ttmqo-serve
 
 # The chaos soak under the race detector: scripted fault scenarios — node
 # churn, loss bursts, partitions, and gateway crash/recover cycles mid-run —

@@ -227,12 +227,7 @@ func run() int {
 			return err
 		}
 		keep("scaling", rows)
-		fmt.Printf("%6s %-13s %10s %9s %12s %9s\n",
-			"nodes", "scheme", "avgTx(%)", "save(%)", "latency(ms)", "messages")
-		for _, r := range rows {
-			fmt.Printf("%6d %-13s %10.4f %9.1f %12.0f %9d\n",
-				r.Nodes, r.Scheme, r.AvgTxPct, r.SavingsPct, r.MeanLatencyMS, r.Messages)
-		}
+		fmt.Print(ttmqo.ScalingString(rows))
 		return nil
 	})
 

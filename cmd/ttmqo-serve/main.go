@@ -7,11 +7,13 @@
 //	ttmqo-serve [-addr :7443] [-side N] [-scheme ttmqo] [-seed S] [-alpha A]
 //	            [-tick 250ms] [-quantum 2048ms] [-buffer B] [-quota Q]
 //	            [-rate R] [-burst K] [-mtbf D] [-mttr D] [-wal gw.wal]
-//	            [-readtimeout 75s] [-crash-after D]
+//	            [-readtimeout 75s] [-crash-after D] [-crash-outage D]
+//	            [-admin 127.0.0.1:9090]
 //	            [-json out.json] [-series out.csv] [-sample 30s]
 //	ttmqo-serve -loadgen [-clients 100] [-rounds 24] [-pool 12] [-churn 0.35]
 //	            [-maxsubs 2] [-crashround R] [-wal gw.wal] [-seed S]
-//	            [-side N] [-scheme ttmqo] [-buffer B] [-json out.json]
+//	            [-side N] [-scheme ttmqo] [-buffer B] [-admin 127.0.0.1:0]
+//	            [-json out.json]
 //
 // Serving mode: clients connect over TCP and send one JSON request per
 // line — {"op":"subscribe","query":"SELECT ..."}, {"op":"unsubscribe",
@@ -31,7 +33,18 @@
 // token and resume streams from their last-seen sequence number. -crash-after
 // (requires -wal) kills the gateway abruptly after that wall-clock delay,
 // then recovers it and re-serves on the same address: a built-in
-// crash/recovery drill.
+// crash/recovery drill. -crash-outage holds the gateway down for that long
+// before recovery starts, so readiness probes can observe the outage.
+//
+// Admin plane: -admin mounts an HTTP server (use 127.0.0.1:0 for an
+// ephemeral port; the bound address is printed) exposing /metrics
+// (Prometheus text format), /healthz (process liveness, always 200),
+// /readyz (200 while the gateway actor loop is up, 503 during a crash
+// outage), /statusz (JSON gateway snapshot), /tracez (recent simulation
+// trace events) and /debug/pprof. Metrics cover gateway admission and
+// fan-out counters, WAL appends/compactions/size, radio traffic and
+// per-node energy, and a time-to-first-result histogram fed by per-query
+// lifecycle spans. The admin plane works in both serving and loadgen mode.
 //
 // Load-generator mode (-loadgen): -clients concurrent goroutines churn
 // subscriptions drawn from a -pool of distinct queries for -rounds phased
@@ -39,21 +52,29 @@
 // client-observed latency percentiles. With -crashround R (requires -wal)
 // the gateway is crashed and recovered at the start of round R and every
 // client reconnects and resumes mid-run. The run's obs export is
-// deterministic for a given seed regardless of goroutine scheduling.
+// deterministic for a given seed regardless of goroutine scheduling. With
+// -admin, the load generator scrapes its own /metrics endpoint at the end
+// of the soak, validates the exposition with the decoder-side parser, and
+// prints a one-line summary — a malformed exposition fails the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	ttmqo "repro"
 	"repro/internal/gateway"
 	"repro/internal/network"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -80,6 +101,8 @@ func run() error {
 	wal := flag.String("wal", "", "write-ahead log path; a restart over a non-empty log recovers the previous run")
 	readTimeout := flag.Duration("readtimeout", 0, "per-connection read deadline (0 = 75s default, negative disables)")
 	crashAfter := flag.Duration("crash-after", 0, "crash the gateway after this wall-clock delay, then recover it (requires -wal)")
+	crashOutage := flag.Duration("crash-outage", 0, "hold the crashed gateway down this long before recovery so /readyz probes observe the outage")
+	admin := flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /readyz, /statusz, /tracez and /debug/pprof (empty disables; 127.0.0.1:0 picks a port)")
 	jsonOut := flag.String("json", "", "write the obs run export (with gateway counters) as JSON to this file on exit")
 	seriesOut := flag.String("series", "", "write the sampled time series as CSV to this file on exit")
 	sample := flag.Duration("sample", 0, "virtual-time sampling interval (default 30s when -series/-json is set)")
@@ -111,7 +134,7 @@ func run() error {
 			Buffer:     *buffer,
 			CrashRound: *crashround,
 			WALPath:    *wal,
-		}, *jsonOut)
+		}, *admin, *jsonOut)
 	}
 	if *crashAfter > 0 && *wal == "" {
 		return fmt.Errorf("-crash-after requires -wal")
@@ -125,6 +148,12 @@ func run() error {
 	if sm <= 0 && (*seriesOut != "" || *jsonOut != "") {
 		sm = ttmqo.DefaultSampleInterval
 	}
+	// The trace ring feeds the admin /tracez endpoint; its Snapshot
+	// accessor is safe against the engine goroutine's concurrent Emits.
+	var traceBuf *trace.Buffer
+	if *admin != "" {
+		traceBuf = &trace.Buffer{Max: 2048}
+	}
 	gwCfg := gateway.Config{
 		Sim: network.Config{
 			Topo:     topo,
@@ -132,6 +161,7 @@ func run() error {
 			Seed:     *seed,
 			Alpha:    *alpha,
 			Failures: network.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
+			Trace:    traceBuf,
 		},
 		Buffer:       *buffer,
 		SessionQuota: *quota,
@@ -175,6 +205,20 @@ func run() error {
 	fmt.Printf("ttmqo-serve: listening on %s (scheme=%s nodes=%d tick=%v quantum=%v)\n",
 		srv.Addr(), scheme, topo.Size(), *tick, *quantum)
 
+	// cur tracks the live gateway across crash/recovery swaps; the admin
+	// plane's readiness probe and metric gather hooks read through it.
+	var cur atomic.Pointer[gateway.Gateway]
+	cur.Store(gw)
+	if *admin != "" {
+		adm, err := startAdmin(*admin, &cur, traceBuf)
+		if err != nil {
+			gw.Close()
+			srv.Close()
+			return err
+		}
+		defer adm.Close()
+	}
+
 	// live guards the current gateway/server pair: the crash drill swaps
 	// both under the mutex while the signal handler waits to drain them.
 	var mu sync.Mutex
@@ -189,6 +233,11 @@ func run() error {
 			fmt.Println("ttmqo-serve: injecting crash")
 			srv.Close()
 			gw.Crash()
+			if *crashOutage > 0 {
+				// Hold the outage so /readyz probes can observe the 503
+				// window before recovery flips it back.
+				time.Sleep(*crashOutage)
+			}
 			g2, err := gateway.Recover(gwCfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ttmqo-serve: recover:", err)
@@ -201,6 +250,7 @@ func run() error {
 				os.Exit(1)
 			}
 			gw, srv = g2, s2
+			cur.Store(g2)
 			gst, _ := gw.Stats()
 			fmt.Printf("ttmqo-serve: recovered %d session(s) on %s; clients may re-attach\n",
 				gst.ActiveSessions, srv.Addr())
@@ -228,12 +278,109 @@ func run() error {
 	return writeExports(gw, *jsonOut, *seriesOut)
 }
 
-func runLoadgen(cfg gateway.LoadgenConfig, jsonOut string) error {
+// startAdmin mounts the telemetry admin plane: a registry wired to the
+// gateway behind cur (surviving crash/recovery swaps), readiness bound to
+// the current gateway's actor loop, /statusz to its live snapshot and
+// /tracez to the simulation trace ring.
+func startAdmin(addr string, cur *atomic.Pointer[gateway.Gateway], traceBuf *trace.Buffer) (*telemetry.Admin, error) {
+	reg := telemetry.NewRegistry()
+	gateway.RegisterMetrics(reg, cur.Load)
+	adm := telemetry.NewAdmin(telemetry.AdminConfig{
+		Registry: reg,
+		Ready: func() bool {
+			g := cur.Load()
+			return g != nil && g.Alive()
+		},
+		Status: func() any {
+			g := cur.Load()
+			if g == nil {
+				return gateway.Status{}
+			}
+			st, err := g.Status()
+			if err != nil {
+				return gateway.Status{}
+			}
+			return st
+		},
+		Trace: func(w io.Writer) {
+			for _, e := range traceBuf.Snapshot() {
+				fmt.Fprintln(w, e)
+			}
+		},
+	})
+	bound, err := adm.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("ttmqo-serve: admin on http://%s\n", bound)
+	return adm, nil
+}
+
+// scrapeMetrics fetches url, validates the body with the decoder-side
+// exposition parser, and prints a one-line summary. Any malformation is an
+// error: the scrape is the load generator's end-of-soak self-check.
+func scrapeMetrics(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	samples, err := telemetry.ParseExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("scrape %s: malformed exposition: %w", url, err)
+	}
+	for _, name := range []string{
+		"ttmqo_gateway_admitted_total",
+		"ttmqo_wal_appends_total",
+		"ttmqo_radio_messages_total",
+		"ttmqo_node_energy_joules",
+		"ttmqo_query_time_to_first_result_seconds_count",
+	} {
+		if _, ok := telemetry.FindSample(samples, name); !ok {
+			return fmt.Errorf("scrape %s: exposition lacks %s", url, name)
+		}
+	}
+	names := map[string]bool{}
+	for _, s := range samples {
+		names[s.Name] = true
+	}
+	admitted, _ := telemetry.FindSample(samples, "ttmqo_gateway_admitted_total")
+	ttfr, _ := telemetry.FindSample(samples, "ttmqo_query_time_to_first_result_seconds_count")
+	up, _ := telemetry.FindSample(samples, "ttmqo_gateway_up")
+	fmt.Printf("metrics: %d samples across %d series, up=%g admitted=%g ttfr_count=%g (exposition valid)\n",
+		len(samples), len(names), up.Value, admitted.Value, ttfr.Value)
+	return nil
+}
+
+func runLoadgen(cfg gateway.LoadgenConfig, adminAddr, jsonOut string) error {
+	var adm *telemetry.Admin
+	if adminAddr != "" {
+		var cur atomic.Pointer[gateway.Gateway]
+		cfg.OnGateway = func(g *gateway.Gateway) { cur.Store(g) }
+		var err error
+		adm, err = startAdmin(adminAddr, &cur, nil)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+	}
 	rep, err := gateway.RunLoadgen(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.String())
+	if adm != nil {
+		if err := scrapeMetrics("http://" + adm.Addr() + "/metrics"); err != nil {
+			return err
+		}
+	}
 	if jsonOut == "" {
 		return nil
 	}

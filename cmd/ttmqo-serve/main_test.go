@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// procOutput accumulates the child process's output across goroutines.
+type procOutput struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (p *procOutput) add(line string) {
+	p.mu.Lock()
+	p.sb.WriteString(line + "\n")
+	p.mu.Unlock()
+}
+
+func (p *procOutput) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sb.String()
+}
+
+// TestAdminSmoke is the end-to-end drill behind `make admin-smoke`: it
+// builds the real binary, boots it with -admin and the built-in
+// crash/recovery drill, and asserts the admin plane's contract over the
+// process boundary — every endpoint answers, /metrics parses under the
+// decoder-side validator, and /readyz reads 200 before the crash, 503
+// during the held outage, and 200 again once WAL replay recovers the
+// gateway, while /healthz stays 200 throughout.
+func TestAdminSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the serve binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ttmqo-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0",
+		"-wal", filepath.Join(dir, "gw.wal"),
+		"-crash-after", "1s",
+		"-crash-outage", "1500ms",
+		"-tick", "50ms",
+		"-quantum", "512ms",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Collect output and surface the admin address when it is printed.
+	adminCh := make(chan string, 1)
+	out := &procOutput{}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			l := sc.Text()
+			out.add(l)
+			if rest, ok := strings.CutPrefix(l, "ttmqo-serve: admin on http://"); ok {
+				select {
+				case adminCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+
+	var admin string
+	select {
+	case admin = <-adminCh:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("admin address never printed; output so far:\n%s", out.String())
+	}
+	base := "http://" + admin
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Phase 1: all endpoints answer while the gateway is up.
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before crash = %d (%s), want 200", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	samples, err := telemetry.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("/metrics malformed: %v\n%s", err, body)
+	}
+	for _, name := range []string{
+		"ttmqo_gateway_up",
+		"ttmqo_gateway_admitted_total",
+		"ttmqo_wal_appends_total",
+		"ttmqo_radio_messages_total",
+		"ttmqo_node_energy_joules",
+		"ttmqo_query_time_to_first_result_seconds_count",
+	} {
+		if _, ok := telemetry.FindSample(samples, name); !ok {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+	code, body = get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d, want 200", code)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	if alive, ok := status["alive"].(bool); !ok || !alive {
+		t.Fatalf("/statusz alive = %v, want true: %s", status["alive"], body)
+	}
+	if code, _ := get("/tracez"); code != http.StatusOK {
+		t.Fatalf("/tracez = %d, want 200", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d, want 200", code)
+	}
+
+	// Phase 2: the -crash-after drill fires at 1s and holds the gateway
+	// down for 1.5s; poll until /readyz reports the outage.
+	sawOutage := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, _ := get("/readyz")
+		if code == http.StatusServiceUnavailable {
+			sawOutage = true
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !sawOutage {
+		t.Fatalf("/readyz never went 503 during the crash drill; output:\n%s", out.String())
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during outage = %d, want 200 (process liveness)", code)
+	}
+
+	// Phase 3: recovery flips readiness back.
+	recovered := false
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, _ := get("/readyz")
+		if code == http.StatusOK {
+			recovered = true
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("/readyz never recovered to 200 after WAL replay; output:\n%s", out.String())
+	}
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics after recovery = %d, want 200", code)
+	}
+	samples, err = telemetry.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("/metrics malformed after recovery: %v", err)
+	}
+	if s, ok := telemetry.FindSample(samples, "ttmqo_gateway_recoveries_total"); !ok || s.Value < 1 {
+		t.Fatalf("recoveries_total after drill = %+v, want >= 1", s)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not exit after SIGTERM; output:\n%s", out.String())
+	}
+}

@@ -214,6 +214,10 @@ func run() error {
 		fmt.Printf("result latency: mean %.0fms, max %.0fms over %d messages\n",
 			lat.Mean()*1000, lat.Max()*1000, lat.N())
 	}
+	if sm := ttmqo.SummarizeSpans(sim.Spans().Snapshot()); sm != nil {
+		fmt.Printf("query spans: %d admitted, %d flooded, %d first results, ttfr p50 %.0fms p95 %.0fms\n",
+			sm.Queries, sm.Flooded, sm.FirstResults, sm.TTFRP50MS, sm.TTFRP95MS)
+	}
 	if opt := sim.Optimizer(); opt != nil {
 		fmt.Printf("optimizer: %d live user queries in %d synthetic queries\n",
 			opt.UserCount(), opt.SyntheticCount())
@@ -270,6 +274,7 @@ func run() error {
 			Manifest: m.Hashed(),
 			Metrics:  ttmqo.CollectFinalMetrics(sim.Metrics(), dur, ttmqo.DefaultEnergyModel()),
 			Series:   series,
+			Spans:    ttmqo.SummarizeSpans(sim.Spans().Snapshot()),
 		}
 		if opt := sim.Optimizer(); opt != nil {
 			re.Optimizer = &ttmqo.OptimizerState{

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/chaos"
+	"repro/internal/telemetry"
 )
 
 // These tests pin the docs to the code: every command must be documented,
@@ -191,5 +192,48 @@ func TestDocsCoverChaosScenarios(t *testing.T) {
 	}
 	if !strings.Contains(readme, "chaos-soak") {
 		t.Error("README.md does not mention the chaos-soak make target")
+	}
+}
+
+// TestDocsCoverAdminPlane: README.md must document every admin HTTP
+// endpoint the server actually serves, the flags that mount it, and the
+// smoke-drill make target; EXPERIMENTS.md must show the readiness drill.
+// This is the drift check for the telemetry surface.
+func TestDocsCoverAdminPlane(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	for _, ep := range telemetry.Endpoints() {
+		if !strings.Contains(readme, ep) {
+			t.Errorf("README.md does not document admin endpoint %s", ep)
+		}
+		if !strings.Contains(experiments, ep) {
+			t.Errorf("EXPERIMENTS.md does not mention admin endpoint %s", ep)
+		}
+	}
+	for _, f := range []string{"-admin", "-crash-outage"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README.md does not mention admin-plane flag %s", f)
+		}
+	}
+	for _, target := range []string{"admin-smoke", "serve-soak"} {
+		if !strings.Contains(readme, target) {
+			t.Errorf("README.md does not mention the %s make target", target)
+		}
+	}
+	// The metric families the docs walk through must be real registered
+	// names — a rename in telemetry.go must show up here.
+	for _, fam := range []string{
+		"ttmqo_gateway_up",
+		"ttmqo_gateway_admitted_total",
+		"ttmqo_wal_appends_total",
+		"ttmqo_node_energy_joules",
+		"ttmqo_energy_total_joules",
+		"ttmqo_sim_virtual_time_seconds",
+		"ttmqo_query_time_to_first_result_seconds",
+		"ttmqo_gateway_recoveries_total",
+	} {
+		if !strings.Contains(readme+experiments, fam) {
+			t.Errorf("docs do not mention metric family %s", fam)
+		}
 	}
 }

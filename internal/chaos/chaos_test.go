@@ -157,6 +157,13 @@ func TestCrashRecoveryInvariants(t *testing.T) {
 	if rep.Updates == 0 {
 		t.Fatalf("no deliveries survived the crashes")
 	}
+	// The readiness invariant: one probe before the first round plus a
+	// 503-during-outage and 200-after-replay pair per crash, all of which
+	// must have seen the expected status (a mismatch is a violation, and
+	// Violations was asserted empty above).
+	if want := 1 + 2*rep.Crashes; rep.ReadyProbes != want {
+		t.Fatalf("readiness probes: want %d, got %d", want, rep.ReadyProbes)
+	}
 }
 
 func TestScenarioRunsAreDeterministic(t *testing.T) {
@@ -181,5 +188,8 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if rep.FaultEvents != 7 {
 		t.Fatalf("want 7 fault events, got %d", rep.FaultEvents)
+	}
+	if want := 1 + 2*rep.Crashes; rep.ReadyProbes != want {
+		t.Fatalf("readiness probes: want %d, got %d", want, rep.ReadyProbes)
 	}
 }

@@ -2,9 +2,12 @@ package chaos
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/field"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -79,6 +83,12 @@ type Report struct {
 	OrderViolations int64 `json:"order_violations"`
 	// Stats is the final gateway counter snapshot.
 	Stats gateway.Stats `json:"stats"`
+	// ReadyProbes counts the admin /readyz checks performed (crash
+	// scenarios only): one before the first round, then one during and one
+	// after every crash/recovery cycle. A probe that sees the wrong status
+	// — anything but 503 during the outage, anything but 200 once WAL
+	// replay finished — is a violation.
+	ReadyProbes int `json:"ready_probes"`
 	// Violations lists every invariant breach, sorted; empty means the run
 	// degraded exactly as promised.
 	Violations []string `json:"violations,omitempty"`
@@ -187,11 +197,44 @@ func RunScenario(cfg RunConfig) (*Report, error) {
 		OnSim:      func(s *network.Simulation) { Inject(s, sc.EngineSteps()) },
 	}
 
+	// Crash scenarios get a live admin plane so the readiness transition —
+	// 200 before the crash, 503 while the gateway is down, 200 after WAL
+	// replay — is asserted as a harness invariant, with the metrics
+	// exposition validated at the end of the run. Started before the
+	// goroutine baseline so the admin server's accept loop is not counted
+	// as a leak; the probe client disables keep-alives for the same reason.
+	var cur atomic.Pointer[gateway.Gateway]
+	var adm *telemetry.Admin
+	var adminURL string
+	var probeViolations []string
+	probeClient := &http.Client{
+		Timeout:   5 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	if len(crashes) > 0 {
+		reg := telemetry.NewRegistry()
+		gateway.RegisterMetrics(reg, cur.Load)
+		adm = telemetry.NewAdmin(telemetry.AdminConfig{
+			Registry: reg,
+			Ready: func() bool {
+				g := cur.Load()
+				return g != nil && g.Alive()
+			},
+		})
+		addr, err := adm.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: admin: %w", err)
+		}
+		defer adm.Close()
+		adminURL = "http://" + addr
+	}
+
 	baseline := runtime.NumGoroutine()
 	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		return nil, err
 	}
+	cur.Store(gw)
 	closed := false
 	defer func() {
 		if !closed {
@@ -251,6 +294,23 @@ func RunScenario(cfg RunConfig) (*Report, error) {
 		Rounds:      cfg.Rounds,
 		FaultEvents: len(sc.Steps),
 	}
+	probe := func(phase string, want int) {
+		if adm == nil {
+			return
+		}
+		rep.ReadyProbes++
+		resp, err := probeClient.Get(adminURL + "/readyz")
+		if err != nil {
+			probeViolations = append(probeViolations, fmt.Sprintf("readiness: %s probe failed: %v", phase, err))
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			probeViolations = append(probeViolations, fmt.Sprintf("readiness: /readyz %s = %d, want %d", phase, resp.StatusCode, want))
+		}
+	}
+	probe("before first round", http.StatusOK)
 	drain := func(c *hclient) {
 		for id, sub := range c.subs {
 			for {
@@ -300,10 +360,13 @@ func RunScenario(cfg RunConfig) (*Report, error) {
 				return nil, fmt.Errorf("chaos: crash round %d: %w", round, err)
 			}
 			rep.Crashes++
+			probe(fmt.Sprintf("during crash %d outage", rep.Crashes), http.StatusServiceUnavailable)
 			gw, err = gateway.Recover(gwCfg)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: recover round %d: %w", round, err)
 			}
+			cur.Store(gw)
+			probe(fmt.Sprintf("after recovery %d", rep.Crashes), http.StatusOK)
 			errs := make([]error, len(clients))
 			var wg sync.WaitGroup
 			for ci := range clients {
@@ -385,6 +448,23 @@ func RunScenario(cfg RunConfig) (*Report, error) {
 	}
 	if closures > 0 {
 		v = append(v, fmt.Sprintf("closures: %d stream(s) ended mid-run without a crash", closures))
+	}
+	v = append(v, probeViolations...)
+	if adm != nil {
+		// One final scrape through the decoder-side validator: a crashed-
+		// and-recovered gateway must still serve a well-formed exposition.
+		resp, err := probeClient.Get(adminURL + "/metrics")
+		if err != nil {
+			v = append(v, fmt.Sprintf("metrics: scrape failed: %v", err))
+		} else {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				v = append(v, fmt.Sprintf("metrics: scrape read failed: %v", rerr))
+			} else if _, perr := telemetry.ParseExposition(string(body)); perr != nil {
+				v = append(v, fmt.Sprintf("metrics: malformed exposition: %v", perr))
+			}
+		}
 	}
 	if err := CheckGoroutines(baseline, 2*time.Second); err != nil {
 		v = append(v, err.Error())

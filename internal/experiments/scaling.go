@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/runner"
 	"repro/internal/topology"
@@ -53,6 +54,11 @@ type ScalingRow struct {
 	// MeanLatencyMS is the mean result-delivery latency.
 	MeanLatencyMS float64
 	Messages      int
+	// TTFRP50MS / TTFRP95MS summarize the per-query lifecycle spans: the
+	// virtual time from admission to first delivered result (median and
+	// 95th percentile, milliseconds). Zero when no query produced results.
+	TTFRP50MS float64
+	TTFRP95MS float64
 }
 
 // RunScaling measures how the baseline's and TTMQO's transmission time and
@@ -98,13 +104,18 @@ func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
 			}
 		}
 		s.Run(cfg.Duration)
-		return ScalingRow{
+		row := ScalingRow{
 			Nodes:         topo.Size(),
 			Scheme:        c.scheme,
 			AvgTxPct:      s.AvgTransmissionTime() * 100,
 			MeanLatencyMS: s.Metrics().Latency().Mean() * 1000,
 			Messages:      s.Metrics().Messages(),
-		}, nil
+		}
+		if sm := obs.SummarizeSpans(s.Spans().Snapshot()); sm != nil {
+			row.TTFRP50MS = sm.TTFRP50MS
+			row.TTFRP95MS = sm.TTFRP95MS
+		}
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
@@ -123,11 +134,11 @@ func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
 
 // ScalingString renders the study as a text table.
 func ScalingString(rows []ScalingRow) string {
-	out := fmt.Sprintf("%6s %-13s %10s %9s %12s %9s\n",
-		"nodes", "scheme", "avgTx(%)", "save(%)", "latency(ms)", "messages")
+	out := fmt.Sprintf("%6s %-13s %10s %9s %12s %9s %10s %10s\n",
+		"nodes", "scheme", "avgTx(%)", "save(%)", "latency(ms)", "messages", "ttfr50(ms)", "ttfr95(ms)")
 	for _, r := range rows {
-		out += fmt.Sprintf("%6d %-13s %10.4f %9.1f %12.0f %9d\n",
-			r.Nodes, r.Scheme, r.AvgTxPct, r.SavingsPct, r.MeanLatencyMS, r.Messages)
+		out += fmt.Sprintf("%6d %-13s %10.4f %9.1f %12.0f %9d %10.0f %10.0f\n",
+			r.Nodes, r.Scheme, r.AvgTxPct, r.SavingsPct, r.MeanLatencyMS, r.Messages, r.TTFRP50MS, r.TTFRP95MS)
 	}
 	return out
 }

@@ -53,6 +53,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // defaultEnergy prices exported node activity; the serving tier has no
@@ -318,6 +319,15 @@ type Stats struct {
 	RingDropped int64 `json:"ring_dropped"`
 	IdleReaped  int64 `json:"idle_reaped"`
 	Recoveries  int64 `json:"recoveries"`
+	// Write-ahead-log accounting. WALAppends counts records written
+	// (lifecycle records and per-Advance progress marks), WALCompactions
+	// counts log rewrites (periodic snapshots and the one after every
+	// recovery), and WALSizeBytes is the log's current size. All zero when
+	// the WAL is disabled. Replayed records are not re-counted, so the
+	// counters are deterministic across recoveries like everything else.
+	WALAppends     int64 `json:"wal_appends"`
+	WALCompactions int64 `json:"wal_compactions"`
+	WALSizeBytes   int64 `json:"wal_size_bytes"`
 }
 
 // DedupRatio is subscriptions served per network query admitted (> 1 means
@@ -355,6 +365,9 @@ func (st Stats) Metrics() obs.GatewayMetrics {
 		RingDropped:         st.RingDropped,
 		IdleReaped:          st.IdleReaped,
 		Recoveries:          st.Recoveries,
+		WALAppends:          st.WALAppends,
+		WALCompactions:      st.WALCompactions,
+		WALSizeBytes:        st.WALSizeBytes,
 		DedupRatio:          st.DedupRatio(),
 	}
 }
@@ -427,6 +440,7 @@ type registerReq struct {
 	reply chan result2[*Session]
 }
 type statsReq struct{ reply chan statsNow }
+type statusReq struct{ reply chan Status }
 type exportReq struct{ reply chan obs.RunExport }
 type advanceReq struct {
 	d     time.Duration
@@ -489,9 +503,10 @@ type Gateway struct {
 	closeErr  error
 
 	// finalMu guards the post-Close snapshot.
-	finalMu    sync.Mutex
-	finalStats Stats
-	finalExp   obs.RunExport
+	finalMu     sync.Mutex
+	finalStats  Stats
+	finalExp    obs.RunExport
+	finalStatus Status
 
 	// Loop-owned state.
 	sessions   map[string]*Session
@@ -846,6 +861,105 @@ func (g *Gateway) finalStatsNow() statsNow {
 	}
 }
 
+// Alive reports whether the gateway's actor loop is still running: false
+// after Close or Crash, true again only on a gateway rebuilt by Recover.
+// It is the readiness signal behind the admin plane's /readyz.
+func (g *Gateway) Alive() bool {
+	select {
+	case <-g.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Spans returns the simulation's per-query lifecycle span log. The log is
+// internally locked, so it may be snapshotted from any goroutine — and it
+// remains readable after Close or Crash for post-mortem TTFR accounting.
+func (g *Gateway) Spans() *telemetry.SpanLog { return g.sim.Spans() }
+
+// Status is the operator-facing /statusz snapshot: the serving tier's
+// current shape rather than its full counter history. Everything in it is
+// deterministic under the group-commit ordering.
+type Status struct {
+	// Alive is false on the snapshot taken at Close or Crash.
+	Alive bool `json:"alive"`
+	// NowMS is the current virtual time, in milliseconds.
+	NowMS int64 `json:"now_ms"`
+	// Sessions counts registered sessions; Attached the subset currently
+	// held by a client.
+	Sessions int `json:"sessions"`
+	Attached int `json:"attached"`
+	// ActiveSubscriptions and SharedQueries mirror the Stats gauges;
+	// DedupRatio is subscriptions per admitted network query.
+	ActiveSubscriptions int     `json:"active_subscriptions"`
+	SharedQueries       int     `json:"shared_queries"`
+	DedupRatio          float64 `json:"dedup_ratio"`
+	// WAL accounting (zero when the WAL is disabled).
+	WALSizeBytes   int64 `json:"wal_size_bytes"`
+	WALAppends     int64 `json:"wal_appends"`
+	WALCompactions int64 `json:"wal_compactions"`
+	// ResumeRings counts detached subscriptions buffering for a resume;
+	// ResumeRingUpdates is the total updates parked across those rings
+	// (the resume-ring occupancy).
+	ResumeRings       int `json:"resume_rings"`
+	ResumeRingUpdates int `json:"resume_ring_updates"`
+	// Queries counts lifecycle spans recorded since the run began.
+	Queries int `json:"queries"`
+}
+
+// Status returns the /statusz snapshot. After Close or Crash it returns
+// the final snapshot with Alive false.
+func (g *Gateway) Status() (Status, error) {
+	req := statusReq{reply: make(chan Status, 1)}
+	if err := g.send(req); err != nil {
+		if err == ErrClosed {
+			return g.finalStatusSnap(), nil
+		}
+		return Status{}, err
+	}
+	select {
+	case st := <-req.reply:
+		return st, nil
+	case <-g.done:
+		return g.finalStatusSnap(), nil
+	}
+}
+
+func (g *Gateway) finalStatusSnap() Status {
+	g.finalMu.Lock()
+	defer g.finalMu.Unlock()
+	return g.finalStatus
+}
+
+// status builds the snapshot on the loop goroutine.
+func (g *Gateway) status() Status {
+	st := Status{
+		Alive:               true,
+		NowMS:               time.Duration(g.sim.Engine().Now()).Milliseconds(),
+		Sessions:            len(g.sessions),
+		ActiveSubscriptions: g.stats.ActiveSubscriptions,
+		SharedQueries:       g.stats.SharedQueries,
+		DedupRatio:          g.stats.DedupRatio(),
+		WALSizeBytes:        g.stats.WALSizeBytes,
+		WALAppends:          g.stats.WALAppends,
+		WALCompactions:      g.stats.WALCompactions,
+		Queries:             g.sim.Spans().Len(),
+	}
+	for _, s := range g.sessions {
+		if s.attached {
+			st.Attached++
+		}
+		for _, sub := range s.live {
+			if sub.detached {
+				st.ResumeRings++
+				st.ResumeRingUpdates += len(sub.ring)
+			}
+		}
+	}
+	return st
+}
+
 // Export builds the run's obs JSON envelope: manifest, final simulation
 // metrics, optimizer state and the gateway counters. Everything in it is a
 // pure function of the committed command sequence and the seed — no wall
@@ -900,6 +1014,8 @@ func (g *Gateway) loop() {
 			m.reply <- g.register(m.name)
 		case statsReq:
 			m.reply <- statsNow{stats: g.stats, now: g.sim.Engine().Now()}
+		case statusReq:
+			m.reply <- g.status()
 		case exportReq:
 			m.reply <- g.export()
 		case advanceReq:
@@ -1388,6 +1504,7 @@ func (g *Gateway) export() obs.RunExport {
 		Manifest: m.Hashed(),
 		Metrics:  obs.CollectFinal(g.sim.Metrics(), time.Duration(g.sim.Engine().Now()), defaultEnergy),
 		Gateway:  &gm,
+		Spans:    obs.SummarizeSpans(g.sim.Spans().Snapshot()),
 		Series:   g.series,
 	}
 	if opt := g.sim.Optimizer(); opt != nil {
@@ -1437,6 +1554,8 @@ func (g *Gateway) shutdown() {
 	g.finalMu.Lock()
 	g.finalStats = g.stats
 	g.finalExp = g.export()
+	g.finalStatus = g.status()
+	g.finalStatus.Alive = false
 	g.finalMu.Unlock()
 	close(g.done)
 }
@@ -1482,6 +1601,8 @@ func (g *Gateway) crash() {
 	g.finalMu.Lock()
 	g.finalStats = g.stats
 	g.finalExp = g.export()
+	g.finalStatus = g.status()
+	g.finalStatus.Alive = false
 	g.finalMu.Unlock()
 	close(g.done)
 }

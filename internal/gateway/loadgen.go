@@ -54,6 +54,11 @@ type LoadgenConfig struct {
 	// WALPath is the write-ahead log used when CrashRound is set (and
 	// enables recovery logging even without a crash).
 	WALPath string
+	// OnGateway, when non-nil, is invoked with each gateway the run drives:
+	// the initial one before round 0, and the recovered one right after a
+	// CrashRound replay. Callers use it to point a live telemetry admin
+	// plane (readiness probes, metric gather hooks) at the current gateway.
+	OnGateway func(*Gateway)
 }
 
 func (cfg *LoadgenConfig) defaults() {
@@ -185,6 +190,9 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 		return nil, err
 	}
 	defer func() { gw.Close() }()
+	if cfg.OnGateway != nil {
+		cfg.OnGateway(gw)
+	}
 
 	// The shared pool of distinct query shapes; ID 0 so the simulation
 	// assigns network identities on admission.
@@ -238,6 +246,9 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadReport, error) {
 			gw, err = Recover(gwCfg)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.OnGateway != nil {
+				cfg.OnGateway(gw)
 			}
 			var recErr error
 			var recMu sync.Mutex

@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// lgMetricsRun drives one load-generator soak with a registry attached and
+// returns the end-of-run exposition text.
+func lgMetricsRun(t *testing.T, cfg LoadgenConfig) string {
+	t.Helper()
+	var cur atomic.Pointer[Gateway]
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg, cur.Load)
+	cfg.OnGateway = func(g *Gateway) { cur.Store(g) }
+	if _, err := RunLoadgen(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return reg.Exposition()
+}
+
+// TestRegisterMetricsDeterministic: the full Prometheus exposition of a
+// seeded load-generator run is byte-identical across runs — the registry
+// carries no wall-clock state, so the serving tier's metrics inherit the
+// repository's determinism guarantee.
+func TestRegisterMetricsDeterministic(t *testing.T) {
+	cfg := LoadgenConfig{Clients: 24, Rounds: 8, Pool: 8, Seed: 42}
+	a := lgMetricsRun(t, cfg)
+	b := lgMetricsRun(t, cfg)
+	if a != b {
+		t.Fatalf("same seed, different expositions:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	samples, err := telemetry.ParseExposition(a)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"ttmqo_gateway_admitted_total",
+		"ttmqo_gateway_dedup_hits_total",
+		"ttmqo_wal_appends_total",
+		"ttmqo_wal_size_bytes",
+		"ttmqo_radio_messages_total",
+		"ttmqo_radio_bytes_total",
+		"ttmqo_energy_total_joules",
+		"ttmqo_sim_virtual_time_seconds",
+		"ttmqo_query_time_to_first_result_seconds_count",
+		"ttmqo_query_spans",
+	} {
+		if _, ok := telemetry.FindSample(samples, name); !ok {
+			t.Errorf("exposition lacks %s", name)
+		}
+	}
+	// Per-node energy must be labeled and non-trivial: the 4x4 grid has 16
+	// nodes and the relaying ones spent energy.
+	var nodes int
+	for _, s := range samples {
+		if s.Name == "ttmqo_node_energy_joules" {
+			nodes++
+		}
+	}
+	if nodes != 16 {
+		t.Errorf("ttmqo_node_energy_joules has %d children, want 16", nodes)
+	}
+	if s, ok := telemetry.FindSample(samples, "ttmqo_gateway_admitted_total"); !ok || s.Value <= 0 {
+		t.Errorf("admitted_total = %+v, want > 0", s)
+	}
+	if s, ok := telemetry.FindSample(samples, "ttmqo_query_time_to_first_result_seconds_count"); !ok || s.Value <= 0 {
+		t.Errorf("ttfr count = %+v, want > 0", s)
+	}
+}
+
+// TestRegisterMetricsSurvivesCrashRecovery: with a mid-run crash the gather
+// hook follows the swapped gateway, and the mirrored counters never run
+// backwards even though the recovered gateway re-derives its history.
+func TestRegisterMetricsSurvivesCrashRecovery(t *testing.T) {
+	var cur atomic.Pointer[Gateway]
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg, cur.Load)
+
+	var midAdmitted float64
+	swaps := 0
+	cfg := LoadgenConfig{
+		Clients: 16, Rounds: 8, Pool: 6, Seed: 7,
+		CrashRound: 4,
+		WALPath:    filepath.Join(t.TempDir(), "gw.wal"),
+		OnGateway: func(g *Gateway) {
+			cur.Store(g)
+			if swaps == 1 {
+				// Recovery swap: gather once against the pre-crash gateway's
+				// final snapshot before the new one takes over.
+				exp := reg.Exposition()
+				s, ok := telemetry.FindSample(mustParse(t, exp), "ttmqo_gateway_admitted_total")
+				if !ok {
+					t.Error("mid-run exposition lacks admitted_total")
+				}
+				midAdmitted = s.Value
+			}
+			swaps++
+		},
+	}
+	if _, err := RunLoadgen(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 2 {
+		t.Fatalf("OnGateway called %d times, want 2 (initial + recovered)", swaps)
+	}
+	final := mustParse(t, reg.Exposition())
+	if s, ok := telemetry.FindSample(final, "ttmqo_gateway_recoveries_total"); !ok || s.Value != 1 {
+		t.Fatalf("recoveries_total = %+v, want 1", s)
+	}
+	if s, ok := telemetry.FindSample(final, "ttmqo_gateway_admitted_total"); !ok || s.Value < midAdmitted {
+		t.Fatalf("admitted_total regressed across recovery: final %+v < mid %v", s, midAdmitted)
+	}
+}
+
+func mustParse(t *testing.T, text string) []telemetry.ParsedSample {
+	t.Helper()
+	samples, err := telemetry.ParseExposition(text)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	return samples
+}
+
+// TestTTFRBoundsAscending pins the histogram's bucket ladder shape.
+func TestTTFRBoundsAscending(t *testing.T) {
+	for i := 1; i < len(TTFRBounds); i++ {
+		if TTFRBounds[i] <= TTFRBounds[i-1] {
+			t.Fatalf("TTFRBounds not ascending at %d: %v", i, TTFRBounds)
+		}
+	}
+	// The ladder must be wide enough for epoch-scale first results.
+	if TTFRBounds[len(TTFRBounds)-1] < 60 {
+		t.Fatalf("TTFRBounds top %v too low for epoch-period TTFRs", TTFRBounds[len(TTFRBounds)-1])
+	}
+	var sb strings.Builder
+	r := telemetry.NewRegistry()
+	r.NewHistogram("ttmqo_query_time_to_first_result_seconds", "t", TTFRBounds).Histogram().Observe(3)
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ParseExposition(sb.String()); err != nil {
+		t.Fatalf("TTFR histogram exposition invalid: %v", err)
+	}
+}

@@ -69,6 +69,7 @@ type wal struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	size int64 // bytes appended (including buffered, not-yet-flushed ones)
 }
 
 func createWAL(path string) (*wal, error) {
@@ -85,8 +86,11 @@ func (w *wal) append(r walRecord) error {
 		return err
 	}
 	b = append(b, '\n')
-	_, err = w.w.Write(b)
-	return err
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.size += int64(len(b))
+	return nil
 }
 
 func (w *wal) flush() error { return w.w.Flush() }
@@ -163,7 +167,7 @@ func rewriteWAL(path string, recs []walRecord) (*wal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &wal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	return &wal{path: path, f: f, w: bufio.NewWriter(f), size: w.size}, nil
 }
 
 // compactLog returns the lifecycle records plus a single trailing progress
@@ -234,6 +238,8 @@ func Recover(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	g.wal = w
+	g.stats.WALCompactions++
+	g.stats.WALSizeBytes = w.size
 	go g.loop()
 	return g, nil
 }
@@ -313,6 +319,8 @@ func (g *Gateway) walAppend(r walRecord) {
 	if err := g.wal.append(r); err != nil && g.walErr == nil {
 		g.walErr = err
 	}
+	g.stats.WALAppends++
+	g.stats.WALSizeBytes = g.wal.size
 }
 
 func (g *Gateway) walFlush() {
@@ -335,6 +343,8 @@ func (g *Gateway) walAdvance() {
 	if err := g.wal.append(rec); err != nil && g.walErr == nil {
 		g.walErr = err
 	}
+	g.stats.WALAppends++
+	g.stats.WALSizeBytes = g.wal.size
 	g.advances++
 	if g.cfg.SnapshotEvery > 0 && g.advances%int64(g.cfg.SnapshotEvery) == 0 {
 		if err := g.wal.close(); err != nil && g.walErr == nil {
@@ -349,6 +359,8 @@ func (g *Gateway) walAdvance() {
 			return
 		}
 		g.wal = w
+		g.stats.WALCompactions++
+		g.stats.WALSizeBytes = w.size
 		return
 	}
 	g.walFlush()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -87,6 +88,7 @@ type Simulation struct {
 	users map[query.ID]query.Query
 
 	results  *Results
+	spans    *telemetry.SpanLog
 	nextID   query.ID
 	failures int
 }
@@ -135,6 +137,7 @@ func New(cfg Config) (*Simulation, error) {
 		buffers:   make(map[bufKey]*epochBuffer),
 		users:     make(map[query.ID]query.Query),
 		results:   newResults(!cfg.DiscardResults),
+		spans:     telemetry.NewSpanLog(),
 		nextID:    1,
 	}
 	if cfg.Scheme.UsesBaseStationOpt() {
@@ -179,6 +182,11 @@ func (s *Simulation) Results() *Results { return s.results }
 
 // Optimizer returns the tier-1 optimizer, or nil for schemes without it.
 func (s *Simulation) Optimizer() *core.Optimizer { return s.opt }
+
+// Spans returns the per-query lifecycle span log (admit → rewrite →
+// install flood → first result). The log is internally locked, so it may
+// be snapshotted from any goroutine while the simulation runs.
+func (s *Simulation) Spans() *telemetry.SpanLog { return s.spans }
 
 // Node returns the runtime of sensor node id (tests).
 func (s *Simulation) Node(id topology.NodeID) *node.Node {
@@ -266,6 +274,7 @@ func (s *Simulation) PostBatch(qs []query.Query) ([]query.ID, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.markAdmitted(ch, ids...)
 		s.apply(ch)
 	} else {
 		for _, q := range prepared {
@@ -273,7 +282,9 @@ func (s *Simulation) PostBatch(qs []query.Query) ([]query.ID, error) {
 				return nil, fmt.Errorf("network: duplicate query ID %d", q.ID)
 			}
 			s.users[q.ID] = q
-			s.apply(core.Change{Inject: []query.Query{q}})
+			ch := core.Change{Inject: []query.Query{q}}
+			s.markAdmitted(ch, q.ID)
+			s.apply(ch)
 		}
 	}
 	for _, q := range prepared {
@@ -307,6 +318,7 @@ func (s *Simulation) Cancel(qid query.ID) error {
 			return err
 		}
 		s.apply(ch)
+		s.spans.Cancel(int(qid))
 		s.cfg.Trace.Emitf(s.engine.Now(), trace.KindCancel, topology.BaseStation, "q%d", qid)
 		return nil
 	}
@@ -315,6 +327,7 @@ func (s *Simulation) Cancel(qid query.ID) error {
 	}
 	delete(s.users, qid)
 	s.apply(core.Change{Abort: []query.ID{qid}})
+	s.spans.Cancel(int(qid))
 	s.cfg.Trace.Emitf(s.engine.Now(), trace.KindCancel, topology.BaseStation, "q%d", qid)
 	return nil
 }
@@ -329,13 +342,16 @@ func (s *Simulation) CancelAt(t time.Duration, qid query.ID) {
 }
 
 // admit routes a validated user query through tier 1 (when enabled) and
-// floods the resulting network changes.
+// floods the resulting network changes. The query's lifecycle span opens
+// here: admission time, rewrite injection count, and — when the change
+// set floods anything — the install flood mark.
 func (s *Simulation) admit(q query.Query) error {
 	if s.opt != nil {
 		ch, err := s.opt.Insert(q)
 		if err != nil {
 			return err
 		}
+		s.markAdmitted(ch, q.ID)
 		s.apply(ch)
 		return nil
 	}
@@ -343,8 +359,24 @@ func (s *Simulation) admit(q query.Query) error {
 		return fmt.Errorf("network: duplicate query ID %d", q.ID)
 	}
 	s.users[q.ID] = q
-	s.apply(core.Change{Inject: []query.Query{q}})
+	ch := core.Change{Inject: []query.Query{q}}
+	s.markAdmitted(ch, q.ID)
+	s.apply(ch)
 	return nil
+}
+
+// markAdmitted opens lifecycle spans for the given user queries: the
+// tier-1 rewrite produced ch, injecting len(ch.Inject) synthetic queries.
+// An admission with zero injections was fully covered by already-running
+// shared queries and needs no install flood.
+func (s *Simulation) markAdmitted(ch core.Change, ids ...query.ID) {
+	now := time.Duration(s.engine.Now())
+	for _, id := range ids {
+		s.spans.Admit(int(id), now, len(ch.Inject))
+		if len(ch.Inject) > 0 {
+			s.spans.Flood(int(id), now)
+		}
+	}
 }
 
 // apply floods the aborts and injections of a tier-1 change set.
@@ -504,15 +536,24 @@ func (s *Simulation) flush(inst *installedQuery, epochT sim.Time) {
 		if inst.q.IsAggregation() {
 			for _, ua := range s.opt.MapAggregation(inst.q.ID, epochT, states) {
 				s.results.addAgg(ua)
+				if len(ua.Results) > 0 {
+					s.spans.FirstResult(int(ua.QueryID), time.Duration(s.engine.Now()))
+				}
 			}
 			return
 		}
 		acq, agg := s.opt.MapAcquisition(inst.q.ID, epochT, rows)
 		for _, ur := range acq {
 			s.results.addRows(ur)
+			if len(ur.Rows) > 0 {
+				s.spans.FirstResult(int(ur.QueryID), time.Duration(s.engine.Now()))
+			}
 		}
 		for _, ua := range agg {
 			s.results.addAgg(ua)
+			if len(ua.Results) > 0 {
+				s.spans.FirstResult(int(ua.QueryID), time.Duration(s.engine.Now()))
+			}
 		}
 		return
 	}
@@ -523,14 +564,17 @@ func (s *Simulation) flush(inst *installedQuery, epochT sim.Time) {
 		return
 	}
 	if uq.IsAggregation() {
-		s.results.addAgg(core.UserAgg{
-			QueryID: uq.ID,
-			Time:    epochT,
-			Results: core.AggregateStates(uq, epochT, states),
-		})
+		res := core.AggregateStates(uq, epochT, states)
+		s.results.addAgg(core.UserAgg{QueryID: uq.ID, Time: epochT, Results: res})
+		if len(res) > 0 {
+			s.spans.FirstResult(int(uq.ID), time.Duration(s.engine.Now()))
+		}
 		return
 	}
 	s.results.addRows(core.UserRows{QueryID: uq.ID, Time: epochT, Rows: rows})
+	if len(rows) > 0 {
+		s.spans.FirstResult(int(uq.ID), time.Duration(s.engine.Now()))
+	}
 }
 
 func mergeStates(states []query.AggState, st query.AggState) []query.AggState {

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -87,9 +89,67 @@ type GatewayMetrics struct {
 	RingDropped int64 `json:"ring_dropped"`
 	IdleReaped  int64 `json:"idle_reaped"`
 	Recoveries  int64 `json:"recoveries"`
+	// Write-ahead-log accounting (see gateway.Stats).
+	WALAppends     int64 `json:"wal_appends"`
+	WALCompactions int64 `json:"wal_compactions"`
+	WALSizeBytes   int64 `json:"wal_size_bytes"`
 	// DedupRatio is subscriptions per admitted network query (> 1 means
 	// the serving tier shared work).
 	DedupRatio float64 `json:"dedup_ratio"`
+}
+
+// SpanSummary aggregates the per-query lifecycle spans of one run: how
+// many queries were admitted, how many needed an install flood (vs. being
+// covered by already-shared queries), and the time-to-first-result
+// distribution in virtual milliseconds. All values are deterministic.
+type SpanSummary struct {
+	Queries      int `json:"queries"`
+	Flooded      int `json:"flooded"`
+	FirstResults int `json:"first_results"`
+	Cancelled    int `json:"cancelled"`
+	// Injected is the total synthetic-query injections across all
+	// admissions (the tier-1 rewrite fan-out).
+	Injected   int     `json:"injected"`
+	TTFRMeanMS float64 `json:"ttfr_mean_ms"`
+	TTFRP50MS  float64 `json:"ttfr_p50_ms"`
+	TTFRP95MS  float64 `json:"ttfr_p95_ms"`
+	TTFRMaxMS  float64 `json:"ttfr_max_ms"`
+}
+
+// SummarizeSpans reduces a span snapshot to its export summary; nil when
+// no queries were recorded (so the JSON field is omitted).
+func SummarizeSpans(spans []telemetry.QuerySpan) *SpanSummary {
+	if len(spans) == 0 {
+		return nil
+	}
+	sm := &SpanSummary{Queries: len(spans)}
+	var q stats.Quantiles
+	var sum, max float64
+	for _, s := range spans {
+		if s.Flooded {
+			sm.Flooded++
+		}
+		if s.Cancelled {
+			sm.Cancelled++
+		}
+		sm.Injected += s.Injected
+		if ttfr, ok := s.TTFR(); ok {
+			sm.FirstResults++
+			ms := float64(ttfr) / float64(time.Millisecond)
+			q.Add(ms)
+			sum += ms
+			if ms > max {
+				max = ms
+			}
+		}
+	}
+	if sm.FirstResults > 0 {
+		sm.TTFRMeanMS = sum / float64(sm.FirstResults)
+		sm.TTFRP50MS = q.P50()
+		sm.TTFRP95MS = q.P95()
+		sm.TTFRMaxMS = max
+	}
+	return sm
 }
 
 // RunExport is the JSON envelope for a single simulation run: manifest,
@@ -100,6 +160,7 @@ type RunExport struct {
 	Metrics   FinalMetrics    `json:"metrics"`
 	Optimizer *OptimizerState `json:"optimizer,omitempty"`
 	Gateway   *GatewayMetrics `json:"gateway,omitempty"`
+	Spans     *SpanSummary    `json:"spans,omitempty"`
 	Series    *Series         `json:"series,omitempty"`
 }
 

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fullFinalMetrics fills every field with a distinct non-zero value so a
+// round trip that silently drops a field cannot pass.
+func fullFinalMetrics() FinalMetrics {
+	return FinalMetrics{
+		SimulatedMS:     60000,
+		AvgTxPct:        1.25,
+		Messages:        100,
+		Retransmissions: 7,
+		Dropped:         3,
+		Clipped:         2,
+		Bytes:           4096,
+		ByKind:          map[string]int{"query": 10, "result": 90},
+		LatencyMeanMS:   120.5,
+		LatencyMaxMS:    900.25,
+		LatencyCount:    42,
+		Nodes: []NodeMetrics{
+			{ID: 1, TxMS: 10.5, RxMS: 20.25, Samples: 60, EnergyJ: 1.5},
+		},
+	}
+}
+
+// TestFinalMetricsRoundTrip pins the JSON export: every field survives a
+// marshal/unmarshal cycle byte-exactly.
+func TestFinalMetricsRoundTrip(t *testing.T) {
+	want := fullFinalMetrics()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var got FinalMetrics
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip lost data:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFinalMetricsFieldSet pins the exported key set. A renamed or
+// dropped JSON tag (especially the loss-accounting trio retransmissions /
+// dropped / clipped) fails here rather than silently changing the export
+// schema downstream consumers parse.
+func TestFinalMetricsFieldSet(t *testing.T) {
+	data, err := json.Marshal(fullFinalMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"simulated_ms", "avg_tx_pct", "messages", "retransmissions",
+		"dropped", "clipped", "bytes", "by_kind",
+		"latency_mean_ms", "latency_max_ms", "latency_count", "nodes",
+	}
+	for _, k := range want {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("FinalMetrics JSON is missing field %q", k)
+		}
+	}
+	if len(doc) != len(want) {
+		t.Errorf("FinalMetrics JSON has %d fields, want %d — update the pinned set: %v", len(doc), len(want), doc)
+	}
+}
+
+// TestSampleCSVMatchesJSON: every scalar column in the series CSV header
+// must be a JSON field of Sample (same name), so the two export formats
+// cannot drift apart. Retransmissions, dropped and clipped must appear in
+// both.
+func TestSampleCSVMatchesJSON(t *testing.T) {
+	s := &Series{IntervalMS: 1000, Samples: []Sample{{AtMS: 1000, Retransmissions: 1, Dropped: 2, Clipped: 3}}}
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.TrimSpace(strings.SplitN(csv.String(), "\n", 2)[0])
+	cols := strings.Split(header, ",")
+
+	data, err := json.Marshal(Sample{NodeTxMS: []float64{1}, NodeRxMS: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cols {
+		if _, ok := doc[c]; !ok {
+			t.Errorf("CSV column %q is not a JSON field of Sample", c)
+		}
+	}
+	for _, c := range []string{"retransmissions", "dropped", "clipped"} {
+		found := false
+		for _, col := range cols {
+			if col == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("series CSV header lacks loss column %q", c)
+		}
+	}
+}
+
+func TestSummarizeSpans(t *testing.T) {
+	if got := SummarizeSpans(nil); got != nil {
+		t.Fatalf("SummarizeSpans(nil) = %+v, want nil", got)
+	}
+	spans := []telemetry.QuerySpan{
+		{QueryID: 1, AdmitAt: 0, FloodAt: 0, Flooded: true, Injected: 2,
+			FirstAt: 30 * time.Second, HasResult: true},
+		{QueryID: 2, AdmitAt: 10 * time.Second, Injected: 0,
+			FirstAt: 20 * time.Second, HasResult: true},
+		{QueryID: 3, AdmitAt: 15 * time.Second, Cancelled: true},
+	}
+	sm := SummarizeSpans(spans)
+	if sm.Queries != 3 || sm.Flooded != 1 || sm.FirstResults != 2 || sm.Cancelled != 1 || sm.Injected != 2 {
+		t.Fatalf("summary counts = %+v", sm)
+	}
+	// TTFRs are 30s and 10s → mean 20s, max 30s.
+	if sm.TTFRMeanMS != 20000 || sm.TTFRMaxMS != 30000 {
+		t.Fatalf("TTFR mean/max = %v/%v, want 20000/30000", sm.TTFRMeanMS, sm.TTFRMaxMS)
+	}
+	if sm.TTFRP50MS <= 0 || sm.TTFRP95MS < sm.TTFRP50MS {
+		t.Fatalf("TTFR quantiles = p50 %v p95 %v", sm.TTFRP50MS, sm.TTFRP95MS)
+	}
+}
+
+// TestRunExportSpansRoundTrip: the spans block survives the envelope.
+func TestRunExportSpansRoundTrip(t *testing.T) {
+	exp := RunExport{
+		Manifest: NewManifest("unit").Hashed(),
+		Metrics:  fullFinalMetrics(),
+		Spans: &SpanSummary{Queries: 4, Flooded: 3, FirstResults: 4,
+			Injected: 5, TTFRMeanMS: 1500, TTFRP50MS: 1400, TTFRP95MS: 2000, TTFRMaxMS: 2100},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, exp); err != nil {
+		t.Fatal(err)
+	}
+	var got RunExport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Spans, exp.Spans) {
+		t.Fatalf("spans round trip:\n got %+v\nwant %+v", got.Spans, exp.Spans)
+	}
+	if !strings.Contains(buf.String(), `"ttfr_mean_ms"`) {
+		t.Fatal("export JSON lacks ttfr_mean_ms")
+	}
+}

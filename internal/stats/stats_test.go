@@ -110,6 +110,79 @@ func TestQuantilesInterpolation(t *testing.T) {
 	}
 }
 
+// TestQuantilesDuplicates: ties must not confuse rank interpolation — every
+// quantile of a constant collection is that constant, and a bimodal tie
+// interpolates between the two values only in the crossover band.
+func TestQuantilesDuplicates(t *testing.T) {
+	var q Quantiles
+	for i := 0; i < 10; i++ {
+		q.Add(5)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := q.Quantile(p); got != 5 {
+			t.Errorf("constant collection: Quantile(%v) = %v, want 5", p, got)
+		}
+	}
+	var b Quantiles
+	for i := 0; i < 5; i++ {
+		b.Add(1)
+		b.Add(2)
+	}
+	if got := b.Quantile(0); got != 1 {
+		t.Errorf("bimodal min = %v, want 1", got)
+	}
+	if got := b.Quantile(1); got != 2 {
+		t.Errorf("bimodal max = %v, want 2", got)
+	}
+	if got := b.P50(); got < 1 || got > 2 {
+		t.Errorf("bimodal p50 = %v, want within [1, 2]", got)
+	}
+}
+
+// TestQuantilesMergeEmpty: merging an empty collection is a no-op in either
+// direction, and the merged-into empty collection adopts the donor's data.
+func TestQuantilesMergeEmpty(t *testing.T) {
+	var full, empty Quantiles
+	for i := 1; i <= 4; i++ {
+		full.Add(float64(i))
+	}
+	p50 := full.P50()
+	full.Merge(&empty)
+	if full.N() != 4 || full.P50() != p50 {
+		t.Fatalf("merge of empty changed the collection: n=%d p50=%v", full.N(), full.P50())
+	}
+	empty.Merge(&full)
+	if empty.N() != 4 || empty.P50() != p50 {
+		t.Fatalf("empty.Merge(full): n=%d p50=%v, want 4/%v", empty.N(), empty.P50(), p50)
+	}
+	var a, b Quantiles
+	a.Merge(&b)
+	if a.N() != 0 || a.P50() != 0 {
+		t.Fatalf("empty.Merge(empty) not zero-valued: n=%d", a.N())
+	}
+}
+
+// TestQuantilesAddAfterQuery: Add and Merge must invalidate the sorted
+// order established by a previous quantile query.
+func TestQuantilesAddAfterQuery(t *testing.T) {
+	var q Quantiles
+	q.Add(10)
+	q.Add(20)
+	if got := q.Quantile(1); got != 20 {
+		t.Fatalf("max = %v, want 20", got)
+	}
+	q.Add(5) // smaller than everything seen; must re-sort on next query
+	if got := q.Quantile(0); got != 5 {
+		t.Fatalf("min after late Add = %v, want 5", got)
+	}
+	var donor Quantiles
+	donor.Add(1)
+	q.Merge(&donor)
+	if got := q.Quantile(0); got != 1 {
+		t.Fatalf("min after Merge = %v, want 1", got)
+	}
+}
+
 func TestQuantilesMerge(t *testing.T) {
 	var a, b, all Quantiles
 	for i := 1; i <= 50; i++ {

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminConfig wires an Admin server to its data sources. Every field but
+// Registry is optional.
+type AdminConfig struct {
+	// Registry backs /metrics; required.
+	Registry *Registry
+	// Ready backs /readyz: nil means always ready, false serves 503.
+	// Implementations must be safe to call from the HTTP goroutine.
+	Ready func() bool
+	// Status produces the /statusz JSON document.
+	Status func() any
+	// Trace writes recent trace events as text to /tracez.
+	Trace func(io.Writer)
+}
+
+// Admin is the operator-facing HTTP plane: Prometheus metrics, health and
+// readiness probes, a JSON status snapshot, recent trace events, and the
+// standard pprof handlers. It runs beside the gateway and deliberately
+// survives gateway crash/recovery cycles, so /readyz can report them.
+type Admin struct {
+	cfg AdminConfig
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Endpoints lists every path the admin server mounts; the docs-drift
+// tests pin README/EXPERIMENTS coverage to this list.
+func Endpoints() []string {
+	return []string{
+		"/metrics",
+		"/healthz",
+		"/readyz",
+		"/statusz",
+		"/tracez",
+		"/debug/pprof/",
+	}
+}
+
+// NewAdmin builds the admin server (not yet listening).
+func NewAdmin(cfg AdminConfig) *Admin {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	a := &Admin{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/statusz", a.handleStatusz)
+	mux.HandleFunc("/tracez", a.handleTracez)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return a
+}
+
+// Start listens on addr (use host:0 for an ephemeral port) and serves in
+// a background goroutine. The bound address is returned.
+func (a *Admin) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: admin listen: %w", err)
+	}
+	a.ln = ln
+	go a.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (a *Admin) Addr() string {
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+func (a *Admin) Close() error {
+	if a.ln == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}
+
+// Handler exposes the admin mux (tests).
+func (a *Admin) Handler() http.Handler { return a.srv.Handler }
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.cfg.Registry.WriteExposition(w)
+}
+
+// handleHealthz is process liveness: if the admin plane can answer at
+// all, the process is alive.
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is serving readiness: 503 while the gateway is crashed or
+// draining, 200 once WAL replay has brought a gateway back.
+func (a *Admin) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if a.cfg.Ready != nil && !a.cfg.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "not ready\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var doc any
+	if a.cfg.Status != nil {
+		doc = a.cfg.Status()
+	} else {
+		doc = map[string]any{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (a *Admin) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.cfg.Trace == nil {
+		io.WriteString(w, "trace disabled\n")
+		return
+	}
+	a.cfg.Trace(w)
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func adminGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("ttmqo_test_total", "test").Counter().Add(7)
+	var ready atomic.Bool
+	ready.Store(true)
+	a := NewAdmin(AdminConfig{
+		Registry: reg,
+		Ready:    ready.Load,
+		Status:   func() any { return map[string]int{"sessions": 3} },
+		Trace:    func(w io.Writer) { io.WriteString(w, "t=0 admit q1\n") },
+	})
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	if code, body := adminGet(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := adminGet(t, srv, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	ready.Store(false)
+	if code, _ := adminGet(t, srv, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while not ready = %d, want 503", code)
+	}
+	ready.Store(true)
+	if code, _ := adminGet(t, srv, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after recovery = %d, want 200", code)
+	}
+
+	code, body := adminGet(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	samples, err := ParseExposition(body)
+	if err != nil {
+		t.Fatalf("/metrics body fails validator: %v\n%s", err, body)
+	}
+	if s, ok := FindSample(samples, "ttmqo_test_total"); !ok || s.Value != 7 {
+		t.Fatalf("test_total = %+v ok=%v", s, ok)
+	}
+
+	if code, body := adminGet(t, srv, "/statusz"); code != http.StatusOK || !strings.Contains(body, `"sessions": 3`) {
+		t.Fatalf("/statusz = %d %q", code, body)
+	}
+	if code, body := adminGet(t, srv, "/tracez"); code != http.StatusOK || !strings.Contains(body, "admit q1") {
+		t.Fatalf("/tracez = %d %q", code, body)
+	}
+	if code, body := adminGet(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestAdminStartClose(t *testing.T) {
+	a := NewAdmin(AdminConfig{})
+	addr, err := a.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", a.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointsListed(t *testing.T) {
+	eps := Endpoints()
+	want := []string{"/metrics", "/healthz", "/readyz", "/statusz", "/tracez", "/debug/pprof/"}
+	if len(eps) != len(want) {
+		t.Fatalf("Endpoints() = %v", eps)
+	}
+	for i, w := range want {
+		if eps[i] != w {
+			t.Fatalf("Endpoints()[%d] = %q, want %q", i, eps[i], w)
+		}
+	}
+}

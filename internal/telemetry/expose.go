@@ -1,0 +1,366 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteExposition encodes the registry in the Prometheus text exposition
+// format (version 0.0.4). Output ordering is deterministic: families by
+// name, children by label values.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.Name, labelString(f.Labels, s.Labels, "", ""), formatValue(s.Value))
+			case KindHistogram:
+				for i, bound := range f.Bounds {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name, labelString(f.Labels, s.Labels, "le", formatValue(bound)), s.BucketCounts[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name, labelString(f.Labels, s.Labels, "le", "+Inf"), s.BucketCounts[len(f.Bounds)])
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name, labelString(f.Labels, s.Labels, "", ""), formatValue(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.Name, labelString(f.Labels, s.Labels, "", ""), s.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Exposition renders the registry to a string; it is the scrape body the
+// admin /metrics endpoint serves.
+func (r *Registry) Exposition() string {
+	var sb strings.Builder
+	r.WriteExposition(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(extraValue)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ParsedSample is one decoded exposition line: metric name (with any
+// _bucket/_sum/_count suffix intact), sorted flat label pairs, and value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition is the decoder-side validator for the text format the
+// encoder above emits. It checks structure strictly — TYPE lines precede
+// samples, metric and label names are legal, label syntax is balanced,
+// values parse, histogram buckets are cumulative and le="+Inf" agrees
+// with _count — and returns every sample. A scrape that fails to parse
+// is a bug in the exposition path, not in the scraper.
+func ParseExposition(text string) ([]ParsedSample, error) {
+	var samples []ParsedSample
+	types := map[string]string{}
+	// histogram accounting: family -> label-signature -> buckets
+	type histState struct {
+		lastLE     float64
+		lastCount  uint64
+		haveBucket bool
+		infCount   uint64
+		hasInf     bool
+		count      uint64
+		hasCount   bool
+	}
+	hists := map[string]*histState{}
+
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validMetricName(fields[2]) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suf)
+			if base != s.Name && types[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s precedes its TYPE line", lineNo, s.Name)
+		}
+		if types[fam] == "histogram" {
+			key := fam + histKey(s.Labels)
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				le, ok := s.Labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				c := uint64(s.Value)
+				if le == "+Inf" {
+					st.infCount, st.hasInf = c, true
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: bad le %q", lineNo, le)
+					}
+					if st.haveBucket && b <= st.lastLE {
+						return nil, fmt.Errorf("line %d: histogram %s bounds not ascending", lineNo, fam)
+					}
+					if st.haveBucket && c < st.lastCount {
+						return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, fam)
+					}
+					st.lastLE, st.lastCount, st.haveBucket = b, c, true
+				}
+				if st.hasInf && st.infCount < st.lastCount {
+					return nil, fmt.Errorf("line %d: histogram %s +Inf bucket below inner bucket", lineNo, fam)
+				}
+			case strings.HasSuffix(s.Name, "_count"):
+				st.count, st.hasCount = uint64(s.Value), true
+			}
+			if st.hasInf && st.hasCount && st.infCount != st.count {
+				return nil, fmt.Errorf("line %d: histogram %s le=\"+Inf\" (%d) disagrees with _count (%d)", lineNo, fam, st.infCount, st.count)
+			}
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("exposition contains no samples")
+	}
+	return samples, nil
+}
+
+func histKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	// insertion sort; label sets are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteByte('|')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+	}
+	return sb.String()
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// value, optionally followed by a timestamp (we never emit one)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes a {name="value",...} block starting at text[0]=='{',
+// returning the index just past the closing '}'.
+func parseLabels(text string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if text[i] == '}' {
+			return i + 1, nil
+		}
+		j := strings.Index(text[i:], "=\"")
+		if j < 0 {
+			return 0, fmt.Errorf("malformed label block %q", text)
+		}
+		name := text[i : i+j]
+		if !validLabelName(name) && name != "le" {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i += j + 2
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			c := text[i]
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, fmt.Errorf("dangling escape in label value")
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c", text[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// FindSample returns the first parsed sample matching name and the given
+// label pairs (k1, v1, k2, v2, …); ok reports whether one was found.
+func FindSample(samples []ParsedSample, name string, kv ...string) (ParsedSample, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s, true
+		}
+	}
+	return ParsedSample{}, false
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.NewCounter("ttmqo_messages_total", "radio messages").Counter().Add(42)
+	g := r.NewGauge("ttmqo_node_energy_joules", "per-node energy", "node")
+	g.Gauge("1").Set(19999.5)
+	g.Gauge("2").Set(20000)
+	h := r.NewHistogram("ttmqo_ttfr_seconds", "time to first result", []float64{1, 2, 4, 8})
+	h.Histogram().Observe(1.5)
+	h.Histogram().Observe(3)
+	h.Histogram().Observe(30)
+	return r
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	text := buildSample().Exposition()
+	samples, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("our own exposition fails our validator: %v\n%s", err, text)
+	}
+	if s, ok := FindSample(samples, "ttmqo_messages_total"); !ok || s.Value != 42 {
+		t.Fatalf("messages_total = %+v ok=%v", s, ok)
+	}
+	if s, ok := FindSample(samples, "ttmqo_node_energy_joules", "node", "2"); !ok || s.Value != 20000 {
+		t.Fatalf("energy{node=2} = %+v ok=%v", s, ok)
+	}
+	if s, ok := FindSample(samples, "ttmqo_ttfr_seconds_count"); !ok || s.Value != 3 {
+		t.Fatalf("ttfr count = %+v ok=%v", s, ok)
+	}
+	if s, ok := FindSample(samples, "ttmqo_ttfr_seconds_bucket", "le", "+Inf"); !ok || s.Value != 3 {
+		t.Fatalf("ttfr +Inf bucket = %+v ok=%v", s, ok)
+	}
+	if s, ok := FindSample(samples, "ttmqo_ttfr_seconds_bucket", "le", "2"); !ok || s.Value != 1 {
+		t.Fatalf("ttfr le=2 bucket = %+v ok=%v", s, ok)
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("g", "weird", "name").Gauge(`a"b\c` + "\n").Set(1)
+	text := r.Exposition()
+	samples, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%q", err, text)
+	}
+	if got := samples[0].Labels["name"]; got != "a\"b\\c\n" {
+		t.Fatalf("label round-trip = %q", got)
+	}
+}
+
+func TestValidatorRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no samples":          "# TYPE x counter\n",
+		"sample before TYPE":  "x 1\n# TYPE x counter\n",
+		"bad value":           "# TYPE x counter\nx notanumber\n",
+		"bad metric name":     "# TYPE 9x counter\n9x 1\n",
+		"unterminated labels": "# TYPE x counter\nx{a=\"b 1\n",
+		"duplicate TYPE":      "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"unknown type":        "# TYPE x sometype\nx 1\n",
+		"non-cumulative hist": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf-count mismatch":  "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"descending bounds":   "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket 1\nh_count 1\n",
+		"malformed comment":   "# NOPE x\nx 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(text); err == nil {
+			t.Errorf("%s: validator accepted malformed exposition:\n%s", name, text)
+		}
+	}
+}
+
+func TestValidatorAcceptsValid(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP up liveness",
+		"# TYPE up gauge",
+		"up 1",
+		"# TYPE h histogram",
+		`h_bucket{le="0.5"} 0`,
+		`h_bucket{le="+Inf"} 2`,
+		"h_sum 3.5",
+		"h_count 2",
+		"",
+	}, "\n")
+	samples, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Add(2)
+	c.Inc()
+	c.Add(-5) // ignored
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	c.Set(10)
+	c.Set(4) // regression ignored
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter after Set = %v, want 10", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	f := r.NewHistogram("h_seconds", "help", []float64{1, 2, 4})
+	h := f.Histogram()
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, sum, n := h.snapshot()
+	// buckets: le=1 → {0.5, 1}, le=2 → +1.5, le=4 → +3, +Inf → +100
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if n != 5 || sum != 106 {
+		t.Fatalf("n=%d sum=%v, want 5, 106", n, sum)
+	}
+	h.Reset()
+	if _, _, n := h.snapshot(); n != 0 {
+		t.Fatalf("after Reset n=%d", n)
+	}
+}
+
+func TestGatherDeterministicOrder(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		g := r.NewGauge("zz_last", "z")
+		g.Gauge().Set(1)
+		c := r.NewCounter("aa_first_total", "a", "node")
+		c.Counter("9").Inc()
+		c.Counter("10").Add(2)
+		c.Counter("2").Add(3)
+		return r
+	}
+	a, b := build().Exposition(), build().Exposition()
+	if a != b {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "# TYPE aa_first_total counter") {
+		t.Fatalf("missing TYPE line:\n%s", a)
+	}
+	if strings.Index(a, "aa_first_total") > strings.Index(a, "zz_last") {
+		t.Fatalf("families not sorted by name:\n%s", a)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ops_total", "ops", "worker")
+	h := r.NewHistogram("lat_seconds", "lat", []float64{0.1, 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Counter("w").Inc()
+				h.Histogram().Observe(float64(i%3) / 2)
+				if i%100 == 0 {
+					r.Gather()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Counter("w").Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	_, _, n := h.Histogram().snapshot()
+	if n != 8000 {
+		t.Fatalf("histogram n = %d, want 8000", n)
+	}
+}
+
+func TestOnGatherHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("synced", "s")
+	calls := 0
+	r.OnGather(func() {
+		calls++
+		g.Gauge().Set(float64(calls))
+	})
+	r.Gather()
+	r.Gather()
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+	if got := g.Gauge().Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different kind did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "x")
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// QuerySpan is the lifecycle of one admitted query in virtual time:
+// admission, tier-1 rewrite (how many synthetic queries the optimizer
+// injected), install flood, and the first result delivered to the user.
+// All timestamps are virtual-time offsets from the start of the run, so
+// spans are pure functions of the seed and command sequence.
+type QuerySpan struct {
+	QueryID   int           `json:"query_id"`
+	AdmitAt   time.Duration `json:"admit_at"`
+	FloodAt   time.Duration `json:"flood_at"`
+	FirstAt   time.Duration `json:"first_result_at"`
+	Injected  int           `json:"injected"` // synthetic queries from the rewrite
+	Flooded   bool          `json:"flooded"`
+	HasResult bool          `json:"has_result"`
+	Cancelled bool          `json:"cancelled"`
+}
+
+// TTFR is the time-to-first-result, or (0, false) if no result arrived.
+func (s QuerySpan) TTFR() (time.Duration, bool) {
+	if !s.HasResult {
+		return 0, false
+	}
+	return s.FirstAt - s.AdmitAt, true
+}
+
+// SpanLog records per-query lifecycle spans. It is internally locked:
+// the simulation loop writes while HTTP handlers snapshot.
+type SpanLog struct {
+	mu    sync.Mutex
+	spans map[int]*QuerySpan
+	order []int
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog {
+	return &SpanLog{spans: map[int]*QuerySpan{}}
+}
+
+func (l *SpanLog) get(id int, at time.Duration) *QuerySpan {
+	s, ok := l.spans[id]
+	if !ok {
+		s = &QuerySpan{QueryID: id, AdmitAt: at}
+		l.spans[id] = s
+		l.order = append(l.order, id)
+	}
+	return s
+}
+
+// Admit marks a query admitted at the given virtual time, recording how
+// many synthetic queries the tier-1 rewrite injected alongside it.
+func (l *SpanLog) Admit(id int, at time.Duration, injected int) {
+	l.mu.Lock()
+	s := l.get(id, at)
+	s.AdmitAt = at
+	s.Injected = injected
+	l.mu.Unlock()
+}
+
+// Flood marks the install flood for a query.
+func (l *SpanLog) Flood(id int, at time.Duration) {
+	l.mu.Lock()
+	s := l.get(id, at)
+	if !s.Flooded {
+		s.FloodAt = at
+		s.Flooded = true
+	}
+	l.mu.Unlock()
+}
+
+// FirstResult marks the first user-visible result for a query; later
+// calls for the same query are no-ops.
+func (l *SpanLog) FirstResult(id int, at time.Duration) {
+	l.mu.Lock()
+	s := l.get(id, at)
+	if !s.HasResult {
+		s.FirstAt = at
+		s.HasResult = true
+	}
+	l.mu.Unlock()
+}
+
+// Cancel marks a query cancelled.
+func (l *SpanLog) Cancel(id int) {
+	l.mu.Lock()
+	if s, ok := l.spans[id]; ok {
+		s.Cancelled = true
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.spans)
+}
+
+// Snapshot returns a copy of every span in admission order; safe to call
+// from any goroutine.
+func (l *SpanLog) Snapshot() []QuerySpan {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QuerySpan, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, *l.spans[id])
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	l := NewSpanLog()
+	l.Admit(1, 10*time.Second, 2)
+	l.Flood(1, 10*time.Second)
+	l.FirstResult(1, 40*time.Second)
+	l.FirstResult(1, 70*time.Second) // later results must not move the mark
+	l.Admit(2, 15*time.Second, 0)    // covered by shared queries, no flood
+	l.Cancel(2)
+
+	spans := l.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	s := spans[0]
+	if s.QueryID != 1 || !s.Flooded || !s.HasResult || s.Injected != 2 {
+		t.Fatalf("span 1 = %+v", s)
+	}
+	if ttfr, ok := s.TTFR(); !ok || ttfr != 30*time.Second {
+		t.Fatalf("TTFR = %v ok=%v, want 30s", ttfr, ok)
+	}
+	s2 := spans[1]
+	if s2.Flooded || s2.HasResult || !s2.Cancelled {
+		t.Fatalf("span 2 = %+v", s2)
+	}
+	if _, ok := s2.TTFR(); ok {
+		t.Fatal("span 2 has no result but TTFR ok")
+	}
+}
+
+func TestSpanSnapshotIsCopy(t *testing.T) {
+	l := NewSpanLog()
+	l.Admit(7, time.Second, 1)
+	snap := l.Snapshot()
+	snap[0].Injected = 99
+	if got := l.Snapshot()[0].Injected; got != 1 {
+		t.Fatalf("snapshot aliases internal state: %d", got)
+	}
+}
+
+// TestSpanLogConcurrent exercises writer/reader races under -race.
+func TestSpanLogConcurrent(t *testing.T) {
+	l := NewSpanLog()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			l.Admit(i, time.Duration(i), 1)
+			l.Flood(i, time.Duration(i))
+			l.FirstResult(i, time.Duration(i+1))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			l.Snapshot()
+			l.Len()
+		}
+	}()
+	wg.Wait()
+	if l.Len() != 500 {
+		t.Fatalf("len = %d, want 500", l.Len())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/sim"
@@ -49,8 +50,9 @@ func (e Event) String() string {
 }
 
 // Buffer is a bounded in-memory event log. A zero Max keeps everything.
-// Buffer is not safe for concurrent use; the simulation engine serializes
-// all writers.
+// The simulation engine serializes all writers; the internal mutex exists
+// for readers that cross goroutines (the admin /tracez handler), which
+// must use Snapshot rather than Events.
 //
 // When Max is set, retention is a ring: once full, each Emit overwrites the
 // oldest event in O(1) instead of shifting the whole slice.
@@ -60,6 +62,7 @@ type Buffer struct {
 	// Kinds filters recording to the listed kinds (nil = all).
 	Kinds []Kind
 
+	mu      sync.Mutex
 	events  []Event
 	start   int // ring read position: index of the oldest retained event
 	dropped int
@@ -82,10 +85,12 @@ func (b *Buffer) Emit(e Event) {
 			return
 		}
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.Max > 0 && len(b.events) > b.Max {
 		// Max was lowered since the last Emit: linearize and trim to the
 		// newest Max events before resuming ring operation.
-		ev := b.Events()
+		ev := b.eventsLocked()
 		over := len(ev) - b.Max
 		b.events = append([]Event(nil), ev[over:]...)
 		b.start = 0
@@ -113,13 +118,37 @@ func (b *Buffer) Emitf(at sim.Time, kind Kind, node topology.NodeID, format stri
 
 // Events returns the retained events in emission order. While the ring is
 // wrapped the result is a fresh slice; mutating it never affects the buffer.
+// The result may alias the buffer's storage, so Events is only for readers
+// on the engine goroutine — cross-goroutine readers use Snapshot.
 func (b *Buffer) Events() []Event {
 	if b == nil {
 		return nil
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.eventsLocked()
+}
+
+// eventsLocked is Events without locking; callers hold b.mu.
+func (b *Buffer) eventsLocked() []Event {
 	if b.start == 0 {
 		return b.events
 	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.start:]...)
+	return append(out, b.events[:b.start]...)
+}
+
+// Snapshot returns a fresh copy of the retained events in emission order.
+// Unlike Events, the result never aliases internal storage, so it is safe
+// to hold across concurrent Emits — the accessor for readers on other
+// goroutines (the admin /tracez handler).
+func (b *Buffer) Snapshot() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]Event, 0, len(b.events))
 	out = append(out, b.events[b.start:]...)
 	return append(out, b.events[:b.start]...)
@@ -130,6 +159,8 @@ func (b *Buffer) Dropped() int {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.dropped
 }
 
@@ -138,6 +169,8 @@ func (b *Buffer) Len() int {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return len(b.events)
 }
 

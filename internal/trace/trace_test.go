@@ -167,3 +167,36 @@ func TestWriteTextAndCSV(t *testing.T) {
 		t.Fatalf("csv = %q", got)
 	}
 }
+
+// TestSnapshotConcurrent pins the cross-goroutine contract: Snapshot (the
+// /tracez read path) may run while the engine goroutine emits. Run under
+// -race this fails if Buffer's internal locking regresses.
+func TestSnapshotConcurrent(t *testing.T) {
+	b := &Buffer{Max: 64}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			b.Emitf(sim.Time(i), KindTx, 1, "msg %d", i)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := b.Snapshot()
+		for j := 1; j < len(snap); j++ {
+			if snap[j].At < snap[j-1].At {
+				t.Fatalf("snapshot out of order at %d: %v < %v", j, snap[j].At, snap[j-1].At)
+			}
+		}
+		b.Len()
+		b.Dropped()
+	}
+	<-done
+	if b.Len() != 64 {
+		t.Fatalf("len = %d, want 64", b.Len())
+	}
+	snap := b.Snapshot()
+	snap[0].Detail = "mutated"
+	if b.Snapshot()[0].Detail == "mutated" {
+		t.Fatal("Snapshot aliases internal storage")
+	}
+}

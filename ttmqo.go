@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -300,7 +301,18 @@ type (
 	NodeMetrics = obs.NodeMetrics
 	// OptimizerState is the exported tier-1 optimizer state.
 	OptimizerState = obs.OptimizerState
+	// QuerySpan is one query's lifecycle span: admission, install flood,
+	// first result, cancellation — all in virtual time. A Simulation
+	// records one per admitted user query; Spans().Snapshot() reads them.
+	QuerySpan = telemetry.QuerySpan
+	// SpanSummary aggregates a run's query spans for export: flood/dedup
+	// counts and the time-to-first-result distribution.
+	SpanSummary = obs.SpanSummary
 )
+
+// SummarizeSpans reduces a span snapshot to its export summary (nil when
+// no queries were recorded, so the JSON field is omitted).
+func SummarizeSpans(spans []QuerySpan) *SpanSummary { return obs.SummarizeSpans(spans) }
 
 // Serving tier (internal/gateway): a goroutine-safe multi-client gateway in
 // front of a Simulation. Concurrent sessions subscribe with query text;
@@ -415,6 +427,10 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) { return experiments.RunChaos
 
 // ChaosString renders the chaos study as a text table.
 func ChaosString(rows []ChaosRow) string { return experiments.ChaosString(rows) }
+
+// ScalingString renders the scaling study as a text table, including the
+// per-query time-to-first-result columns.
+func ScalingString(rows []ScalingRow) string { return experiments.ScalingString(rows) }
 
 // ParseChaosScenario reads a fault scenario in the chaos text format;
 // BuiltinChaosScenario returns a canned one by name (none, churn, burst,
