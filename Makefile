@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel serve-soak chaos-soak admin-smoke clean
+.PHONY: build test race vet bench bench-parallel bench-check bench-baseline serve-soak chaos-soak admin-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,20 @@ bench:
 # CPU, and the field generator's hot path.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'Figure3Parallel|FieldReading' -benchmem .
+
+# The serving hot-path regression gate: run the serve benchmark suite
+# (binary vs JSON encode, fan-out, WAL append, dedup lookup) and compare
+# against the committed baseline in BENCH_serve.json. Only the
+# machine-independent gauges are gated — the binary/JSON speedup ratio and
+# allocations per delivered message — so the check is stable across CI
+# runners; a >10% regression of either exits non-zero.
+bench-check:
+	$(GO) run ./cmd/ttmqo-bench -benchcheck BENCH_serve.json
+
+# Refresh the committed serve-suite baseline after intentional hot-path
+# changes (commit the regenerated BENCH_serve.json with the change).
+bench-baseline:
+	$(GO) run ./cmd/ttmqo-bench -benchout BENCH_serve.json
 
 # A short gateway soak under the race detector: 120 concurrent clients
 # churning subscriptions through the serving tier, with the admin plane

@@ -16,6 +16,7 @@ import (
 // BenchmarkFigure2Example regenerates the §3.2.2 worked example: 20→12
 // acquisition messages (8→6 nodes) and 14→7 aggregation messages.
 func BenchmarkFigure2Example(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := ttmqo.RunFigure2Example()
 		if err != nil {
@@ -38,6 +39,7 @@ func BenchmarkFigure3(b *testing.B) {
 	for _, w := range []string{"A", "B", "C"} {
 		for _, side := range []int{4, 8} {
 			b.Run(fmt.Sprintf("workload%s/%dnodes", w, side*side), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					rows, err := ttmqo.RunFigure3(ttmqo.Fig3Config{
 						Seed:      1,
@@ -66,6 +68,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure3Parallel(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := ttmqo.RunFigure3(ttmqo.Fig3Config{
 					Seed: 1, Duration: 2 * time.Minute, Parallelism: workers,
@@ -79,6 +82,7 @@ func BenchmarkFigure3Parallel(b *testing.B) {
 
 // BenchmarkFigure4A regenerates the benefit-ratio-versus-concurrency curve.
 func BenchmarkFigure4A(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := ttmqo.RunFigure4A(ttmqo.Fig4Config{Seed: 1, Runs: 1})
 		if err != nil {
@@ -94,6 +98,7 @@ func BenchmarkFigure4A(b *testing.B) {
 
 // BenchmarkFigure4B regenerates the benefit-ratio-versus-α curve.
 func BenchmarkFigure4B(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := ttmqo.RunFigure4B(ttmqo.Fig4Config{Seed: 1, Runs: 1})
 		if err != nil {
@@ -109,6 +114,7 @@ func BenchmarkFigure4B(b *testing.B) {
 
 // BenchmarkFigure4C regenerates the synthetic-query-count curves.
 func BenchmarkFigure4C(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := ttmqo.RunFigure4C(ttmqo.Fig4Config{Seed: 1, Runs: 1})
 		if err != nil {
@@ -126,6 +132,7 @@ func BenchmarkFigure4C(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	for _, frac := range []float64{0, 0.5, 1} {
 		b.Run(fmt.Sprintf("agg%.0f%%", frac*100), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rows, err := ttmqo.RunFigure5(ttmqo.Fig5Config{
 					Seed:         1,
@@ -149,6 +156,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkAblation regenerates the tier-2 mechanism ablation (DESIGN.md's
 // design-choice study).
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := ttmqo.RunAblation(ttmqo.AblationConfig{Seed: 1, Duration: 4 * time.Minute})
 		if err != nil {
@@ -164,6 +172,7 @@ func BenchmarkAblation(b *testing.B) {
 
 // BenchmarkScaling regenerates the network-size scaling curve (extension).
 func BenchmarkScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := ttmqo.RunScaling(ttmqo.ScalingConfig{Seed: 1, Duration: 4 * time.Minute,
 			Sides: []int{4, 8, 12}})
@@ -320,6 +329,7 @@ func BenchmarkFieldReadingCached(b *testing.B) {
 // BenchmarkReliability regenerates the node-failure QoS study (the paper's
 // §5 future-work direction, built as an extension).
 func BenchmarkReliability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := ttmqo.RunReliability(ttmqo.ReliabilityConfig{Seed: 1, Duration: 4 * time.Minute})
 		if err != nil {

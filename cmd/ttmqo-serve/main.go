@@ -1,6 +1,7 @@
 // Command ttmqo-serve runs the concurrent query-serving gateway in front
-// of a simulated sensor network, speaking newline-delimited JSON over TCP,
-// or drives it with the built-in load generator.
+// of a simulated sensor network, speaking a length-prefixed binary wire
+// protocol (with a JSON debug fallback) over TCP, or drives it with the
+// built-in load generators.
 //
 // Usage:
 //
@@ -8,24 +9,29 @@
 //	            [-tick 250ms] [-quantum 2048ms] [-buffer B] [-quota Q]
 //	            [-rate R] [-burst K] [-mtbf D] [-mttr D] [-wal gw.wal]
 //	            [-readtimeout 75s] [-crash-after D] [-crash-outage D]
-//	            [-admin 127.0.0.1:9090]
+//	            [-admin 127.0.0.1:9090] [-wire binary]
 //	            [-json out.json] [-series out.csv] [-sample 30s]
 //	ttmqo-serve -loadgen [-clients 100] [-rounds 24] [-pool 12] [-churn 0.35]
 //	            [-maxsubs 2] [-crashround R] [-wal gw.wal] [-seed S]
 //	            [-side N] [-scheme ttmqo] [-buffer B] [-admin 127.0.0.1:0]
 //	            [-json out.json]
+//	ttmqo-serve -loadgen -net [-for 3s] [-clients C] [-maxsubs M] [-pool P]
+//	            [-side N] [-seed S] [-wire binary]
 //
 // Serving mode: clients connect over TCP and send one JSON request per
 // line — {"op":"subscribe","query":"SELECT ..."}, {"op":"unsubscribe",
 // "sub":N}, {"op":"stats"}, {"op":"ping"} heartbeats, optionally
 // {"op":"hello","client":"name"} first — and receive result epochs as they
-// are produced. A wall-clock pacer advances the simulation by -quantum of
-// virtual time every -tick. Semantically equal subscriptions (after
-// normalization) share one in-network query; a subscriber that stalls
-// -buffer results behind is evicted; a connection silent past -readtimeout
-// is dropped (0 keeps the 75s default; negative disables). SIGINT drains
-// the gateway and, with -json, writes the obs run export (including the
-// gateway counters) before exiting.
+// are produced. A hello carrying "wire":"binary" (or any request sent as a
+// binary frame) switches the response stream to the binary codec; -wire
+// json pins the server to newline-delimited JSON for debugging with nc or
+// scripts, ignoring such upgrades. A wall-clock pacer advances the
+// simulation by -quantum of virtual time every -tick. Semantically equal
+// subscriptions (after normalization) share one in-network query; a
+// subscriber that stalls -buffer results behind is evicted; a connection
+// silent past -readtimeout is dropped (0 keeps the 75s default; negative
+// disables). SIGINT drains the gateway and, with -json, writes the obs run
+// export (including the gateway counters) before exiting.
 //
 // Crash recovery: with -wal, committed session/subscription lifecycle is
 // write-ahead logged there, and a restart over a non-empty log recovers the
@@ -45,6 +51,12 @@
 // fan-out counters, WAL appends/compactions/size, radio traffic and
 // per-node energy, and a time-to-first-result histogram fed by per-query
 // lifecycle spans. The admin plane works in both serving and loadgen mode.
+//
+// Over-the-wire load generator (-loadgen -net): stands up a real TCP
+// server and -clients concurrent socket clients that subscribe to queries
+// from a -pool and count delivered result frames for -for of wall clock,
+// then print the delivered-message throughput. -wire selects the encoding
+// under test (binary by default, json for the comparison run).
 //
 // Load-generator mode (-loadgen): -clients concurrent goroutines churn
 // subscriptions drawn from a -pool of distinct queries for -rounds phased
@@ -113,13 +125,38 @@ func run() error {
 	churn := flag.Float64("churn", 0.35, "loadgen: per-round per-client churn probability")
 	maxsubs := flag.Int("maxsubs", 2, "loadgen: max live subscriptions per client")
 	crashround := flag.Int("crashround", 0, "loadgen: crash and recover the gateway at the start of this round (requires -wal)")
+	wire := flag.String("wire", "binary", "wire encoding: binary (default; JSON handshake upgrades to binary frames) or json (pin newline-delimited JSON, debug mode)")
+	netload := flag.Bool("net", false, "loadgen: drive a real TCP server with socket clients instead of the in-process churn loadgen")
+	forDur := flag.Duration("for", 3*time.Second, "netload: wall-clock duration of the -loadgen -net run")
 	flag.Parse()
+
+	switch *wire {
+	case "binary", "json":
+	default:
+		return fmt.Errorf("-wire must be binary or json, got %q", *wire)
+	}
 
 	scheme, err := network.ParseScheme(*schemeName)
 	if err != nil {
 		return err
 	}
 
+	if *loadgen && *netload {
+		rep, err := gateway.RunNetLoadgen(gateway.NetLoadConfig{
+			Clients:       *clients,
+			SubsPerClient: *maxsubs,
+			Duration:      *forDur,
+			Pool:          *pool,
+			Side:          *side,
+			Seed:          *seed,
+			JSON:          *wire == "json",
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		return nil
+	}
 	if *loadgen {
 		return runLoadgen(gateway.LoadgenConfig{
 			Clients:    *clients,
@@ -175,6 +212,7 @@ func run() error {
 		TickEvery:   *tick,
 		Quantum:     *quantum,
 		ReadTimeout: *readTimeout,
+		ForceJSON:   *wire == "json",
 	}
 
 	// A non-empty log from a previous run means a crashed (or killed)

@@ -1,6 +1,7 @@
 package ttmqo
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/chaos"
+	"repro/internal/gateway"
 	"repro/internal/telemetry"
 )
 
@@ -192,6 +194,48 @@ func TestDocsCoverChaosScenarios(t *testing.T) {
 	}
 	if !strings.Contains(readme, "chaos-soak") {
 		t.Error("README.md does not mention the chaos-soak make target")
+	}
+}
+
+// TestDocsCoverWireFormat: the README's wire-protocol section must state
+// the magic byte and wire version the codec actually uses, name the wire
+// flags and the benchmark-gate workflow, and the benchmark suite the gate
+// runs must be walked through in EXPERIMENTS.md with its committed
+// baseline file. This is the drift check for the serving hot path.
+func TestDocsCoverWireFormat(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	// The documented constants must match the code.
+	if want := fmt.Sprintf("0x%X", gateway.FrameMagic); !strings.Contains(readme, want) {
+		t.Errorf("README.md does not state the frame magic byte %s", want)
+	}
+	if want := fmt.Sprintf("`%d`", gateway.WireVersion); !strings.Contains(readme, want) {
+		t.Errorf("README.md does not state wire version %d", gateway.WireVersion)
+	}
+	for _, f := range []string{"-wire", "-net", "-for", "-benchout", "-benchcheck"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README.md does not mention wire/bench flag %s", f)
+		}
+	}
+	for _, target := range []string{"bench-check", "bench-baseline"} {
+		if !strings.Contains(readme, target) {
+			t.Errorf("README.md does not mention the %s make target", target)
+		}
+	}
+	if !strings.Contains(readme, "BENCH_serve.json") {
+		t.Error("README.md does not mention the committed baseline BENCH_serve.json")
+	}
+	if _, err := os.Stat("BENCH_serve.json"); err != nil {
+		t.Errorf("committed baseline BENCH_serve.json missing: %v", err)
+	}
+	// Every row of the serve suite must be walked through in EXPERIMENTS.md.
+	for _, row := range []string{
+		"encode/binary", "encode/json", "fanout/binary", "fanout/json",
+		"wal/binary", "wal/json", "dedup/interned", "dedup/string",
+	} {
+		if !strings.Contains(experiments, row) {
+			t.Errorf("EXPERIMENTS.md does not mention serve benchmark row %q", row)
+		}
 	}
 }
 

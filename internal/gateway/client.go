@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a TCP client for the serving protocol, speaking either wire
+// encoding. The handshake is always JSON; with ClientConfig.Binary set the
+// client requests the binary framing in its hello and encodes every
+// subsequent request as a binary frame. The read side auto-detects the
+// server's framing per frame, so the JSON→binary transition needs no
+// coordination.
+//
+// Client is not safe for concurrent use: it is a protocol endpoint for
+// tests, the load generator and ad-hoc tooling, not a connection pool.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	binary  bool
+	scratch []byte
+	timeout time.Duration
+}
+
+// ClientConfig parametrizes Dial.
+type ClientConfig struct {
+	// Binary requests the binary wire encoding (the default in
+	// cmd/ttmqo-serve's load generator); zero value speaks NDJSON.
+	Binary bool
+	// Timeout bounds each Send/Recv; 0 means no deadline.
+	Timeout time.Duration
+}
+
+// Dial connects to a serving-tier address.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(conn, 32*1024)
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 1<<20),
+		bw:      bw,
+		enc:     json.NewEncoder(bw),
+		binary:  cfg.Binary,
+		timeout: cfg.Timeout,
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Hello performs the session handshake (JSON both ways) and negotiates the
+// configured wire encoding for everything after it. A non-empty token
+// re-attaches a detached session.
+func (c *Client) Hello(client, token string) (Response, error) {
+	req := Request{Op: OpHello, Client: client, Token: token}
+	if c.binary {
+		req.Wire = "binary"
+	}
+	// The hello itself always goes out as JSON: the handshake stays
+	// debuggable and a pre-binary server still understands it.
+	if err := c.deadline(); err != nil {
+		return Response{}, err
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Type == TypeError {
+		return resp, fmt.Errorf("gateway: hello: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Send writes one request in the negotiated encoding.
+func (c *Client) Send(req Request) error {
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	if c.binary {
+		bp := getFrameBuf()
+		b, err := appendRequestFrame(*bp, &req)
+		if err != nil {
+			putFrameBuf(bp)
+			return err
+		}
+		*bp = b
+		_, err = c.bw.Write(sealFrame(b))
+		putFrameBuf(bp)
+		if err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next response, auto-detecting its framing.
+func (c *Client) Recv() (Response, error) {
+	if err := c.deadline(); err != nil {
+		return Response{}, err
+	}
+	first, err := c.br.ReadByte()
+	if err != nil {
+		return Response{}, err
+	}
+	if first == FrameMagic {
+		c.scratch, err = readBinaryFrame(c.br, c.scratch)
+		if err != nil {
+			return Response{}, err
+		}
+		return decodeResponsePayload(c.scratch)
+	}
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return Response{}, err
+	}
+	c.scratch = append(append(c.scratch[:0], first), line...)
+	var resp Response
+	if err := json.Unmarshal(c.scratch, &resp); err != nil {
+		return Response{}, fmt.Errorf("gateway: bad response line: %w", err)
+	}
+	return resp, nil
+}
+
+// RecvType reads responses until one of the wanted type arrives, skipping
+// interleaved stream frames; a TypeError response surfaces as an error.
+func (c *Client) RecvType(want string) (Response, error) {
+	for {
+		resp, err := c.Recv()
+		if err != nil {
+			return Response{}, err
+		}
+		if resp.Type == want {
+			return resp, nil
+		}
+		if resp.Type == TypeError {
+			return resp, fmt.Errorf("gateway: server error while waiting for %q: %s", want, resp.Error)
+		}
+	}
+}
+
+func (c *Client) deadline() error {
+	if c.timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.timeout))
+}

@@ -195,7 +195,7 @@ type Update struct {
 type Subscription struct {
 	id     SubID
 	sess   *Session
-	key    string
+	key    *internedKey // canonical query key; pointer-shared with shared.key
 	qid    query.ID
 	shared bool
 	ch     chan Update
@@ -224,7 +224,7 @@ func (s *Subscription) QueryID() query.ID { return s.qid }
 func (s *Subscription) Shared() bool { return s.shared }
 
 // Key returns the canonical cache key of the subscribed query.
-func (s *Subscription) Key() string { return s.key }
+func (s *Subscription) Key() string { return s.key.String() }
 
 // Updates is the subscriber's result stream.
 func (s *Subscription) Updates() <-chan Update { return s.ch }
@@ -374,7 +374,7 @@ func (st Stats) Metrics() obs.GatewayMetrics {
 
 // shared is one admitted in-network query and its subscriber set.
 type shared struct {
-	key  string
+	key  *internedKey
 	qid  query.ID
 	q    query.Query
 	subs []*Subscription // ordered by SubID (monotonic), so fan-out is deterministic
@@ -509,13 +509,21 @@ type Gateway struct {
 	finalStatus Status
 
 	// Loop-owned state.
-	sessions   map[string]*Session
-	byKey      map[string]*shared
+	sessions map[string]*Session
+	// keys interns canonical query keys; byKey is pointer-keyed off it, so
+	// dedup lookups hash one word after the single intern of the incoming
+	// key, and key equality anywhere on the loop is pointer equality.
+	keys       *internTable
+	byKey      map[*internedKey]*shared
 	byQID      map[query.ID]*shared
 	staged     []*command
 	evictQueue []*Subscription // stalled subscribers awaiting removal at the next Advance
 	nextSub    SubID
 	stats      Stats
+	// peakSubs is the high-water subscriber count of any single shared
+	// query, used to presize new subscriber slices to the fan-out the
+	// workload has already demonstrated.
+	peakSubs int
 
 	// WAL state (loop-owned; see wal.go).
 	wal       *wal
@@ -555,14 +563,21 @@ func build(cfg Config) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Presize the hot maps from the configured admission bounds: sessions
+	// from the session cap, the dedup cache from the most distinct queries
+	// those sessions could hold. Both are capped so a generous config does
+	// not preallocate megabytes for a small run.
+	sessHint := sizeHint(cfg.MaxSessions, 1024)
+	keyHint := sizeHint(cfg.MaxSessions*cfg.SessionQuota, 4096)
 	g := &Gateway{
 		cfg:      cfg,
 		sim:      s,
 		inbox:    make(chan any, 256),
 		done:     make(chan struct{}),
-		sessions: make(map[string]*Session),
-		byKey:    make(map[string]*shared),
-		byQID:    make(map[query.ID]*shared),
+		sessions: make(map[string]*Session, sessHint),
+		keys:     newInternTable(keyHint),
+		byKey:    make(map[*internedKey]*shared, keyHint),
+		byQID:    make(map[query.ID]*shared, keyHint),
 		nextSub:  1,
 	}
 	s.Results().OnRows = g.onRows
@@ -616,6 +631,18 @@ func (g *Gateway) send(msg any) error {
 
 // ErrClosed is returned for any command issued after Close.
 var ErrClosed = fmt.Errorf("gateway: closed")
+
+// sizeHint bounds a configuration-derived map presize so generous limits
+// don't translate into large idle allocations.
+func sizeHint(n, max int) int {
+	if n > max {
+		return max
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
 
 // Register creates a session under a unique client-chosen name.
 func (g *Gateway) Register(name string) (*Session, error) {
@@ -1056,7 +1083,7 @@ func (g *Gateway) register(name string) result2[*Session] {
 		g:         g,
 		name:      name,
 		token:     g.newToken(name),
-		live:      make(map[SubID]*Subscription),
+		live:      make(map[SubID]*Subscription, g.cfg.SessionQuota),
 		tokens:    g.cfg.Burst,
 		attached:  true,
 		idleSince: now,
@@ -1141,7 +1168,7 @@ func (g *Gateway) applyAttach(name, token string) result2[attachResult] {
 	subs := make([]ResumeInfo, 0, len(ids))
 	for _, id := range ids {
 		sub := s.live[id]
-		subs = append(subs, ResumeInfo{ID: id, Key: sub.key, QueryID: sub.qid, LastSeq: sub.seq})
+		subs = append(subs, ResumeInfo{ID: id, Key: sub.key.String(), QueryID: sub.qid, LastSeq: sub.seq})
 	}
 	return result2[attachResult]{v: attachResult{sess: s, subs: subs}}
 }
@@ -1265,15 +1292,23 @@ func (g *Gateway) applySubscribe(c *command) (*Subscription, error) {
 // run already passed them). A nil ch makes the subscription detached from
 // birth, delivering into its resume ring.
 func (g *Gateway) admitSub(s *Session, id SubID, q query.Query, key string, ch chan Update) (*Subscription, error) {
-	sh, hit := g.byKey[key]
+	// The one string hash on the admission path: everything downstream —
+	// the dedup lookup, removal, equality — keys on the interned pointer.
+	k := g.keys.intern(key)
+	sh, hit := g.byKey[k]
 	if !hit {
 		qid, err := g.sim.Post(q)
 		if err != nil {
 			g.stats.AdmitErrors++
+			g.keys.drop(k)
 			return nil, fmt.Errorf("gateway: admit %q: %w", key, err)
 		}
-		sh = &shared{key: key, qid: qid, q: q}
-		g.byKey[key] = sh
+		// Presize the subscriber set to the largest fan-out any query has
+		// reached so far: under dedup-heavy load (the workload this system
+		// exists for) a new shared query tends to accumulate a similar
+		// subscriber count, so the slice grows once instead of log(n) times.
+		sh = &shared{key: k, qid: qid, q: q, subs: make([]*Subscription, 0, g.peakSubs)}
+		g.byKey[k] = sh
 		g.byQID[qid] = sh
 		g.stats.Admitted++
 	} else {
@@ -1282,13 +1317,16 @@ func (g *Gateway) admitSub(s *Session, id SubID, q query.Query, key string, ch c
 	sub := &Subscription{
 		id:       id,
 		sess:     s,
-		key:      key,
+		key:      k,
 		qid:      sh.qid,
 		shared:   hit,
 		ch:       ch,
 		detached: ch == nil,
 	}
 	sh.subs = append(sh.subs, sub) // SubIDs are monotonic: stays ordered
+	if len(sh.subs) > g.peakSubs {
+		g.peakSubs = len(sh.subs)
+	}
 	s.live[sub.id] = sub
 	g.stats.Subscribes++
 	g.stats.ActiveSubscriptions++
@@ -1332,6 +1370,7 @@ func (g *Gateway) removeSub(sub *Subscription, reason CloseReason) {
 	}
 	if len(sh.subs) == 0 {
 		delete(g.byKey, sh.key)
+		g.keys.drop(sh.key)
 		delete(g.byQID, sh.qid)
 		if err := g.sim.Cancel(sh.qid); err == nil {
 			g.stats.Cancelled++

@@ -1,0 +1,241 @@
+package gateway
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// NetLoadConfig parametrizes RunNetLoadgen — the over-the-wire counterpart
+// of RunLoadgen. Where RunLoadgen measures the gateway core with in-process
+// channels (and is deterministic), the net load generator stands up a real
+// TCP server, dials real clients and pushes every fanned-out update through
+// the wire codec, so its msgs/sec reflects the full encode→fanout→write→
+// decode path. Being wall-clock paced, its numbers are environment
+// observations, not deterministic fixtures.
+type NetLoadConfig struct {
+	// Clients is the number of concurrent TCP connections (default 32).
+	Clients int
+	// SubsPerClient is the subscription count per connection (default 2).
+	SubsPerClient int
+	// Duration is how long to stream after all subscriptions are live
+	// (default 3s).
+	Duration time.Duration
+	// Pool is the number of distinct queries drawn from (default 12);
+	// clients cycle through it, so the dedup cache collapses the fan-in.
+	Pool int
+	// Side is the deployment grid side (default 4).
+	Side int
+	// Seed drives the simulation and the query pool.
+	Seed int64
+	// JSON pins the NDJSON wire encoding; default is the binary codec.
+	JSON bool
+	// TickEvery is the server pacer period (default 2ms — a fast pacer, so
+	// the run is fan-out-bound rather than timer-bound).
+	TickEvery time.Duration
+	// Quantum is the virtual time per tick (default 2048ms).
+	Quantum time.Duration
+}
+
+func (cfg *NetLoadConfig) defaults() {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 32
+	}
+	if cfg.SubsPerClient <= 0 {
+		cfg.SubsPerClient = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = 12
+	}
+	if cfg.Side <= 0 {
+		cfg.Side = 4
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 2 * time.Millisecond
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 2048 * time.Millisecond
+	}
+}
+
+// NetLoadReport is the outcome of one over-the-wire load run.
+type NetLoadReport struct {
+	Config   NetLoadConfig
+	Wire     string // "binary" or "json"
+	Messages int64  // stream frames (rows/agg) received across all clients
+	Rows     int64  // data rows within those frames
+	Wall     time.Duration
+	Stats    Stats
+}
+
+// Throughput returns delivered stream messages per wall-clock second.
+func (r *NetLoadReport) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Messages) / r.Wall.Seconds()
+}
+
+// String renders the human-readable summary.
+func (r *NetLoadReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "netload: wire=%s clients=%d subs/client=%d pool=%d seed=%d nodes=%d\n",
+		r.Wire, r.Config.Clients, r.Config.SubsPerClient, r.Config.Pool,
+		r.Config.Seed, r.Config.Side*r.Config.Side)
+	fmt.Fprintf(&sb, "wall=%v messages=%d rows=%d throughput=%.0f msgs/s\n",
+		r.Wall.Round(time.Millisecond), r.Messages, r.Rows, r.Throughput())
+	fmt.Fprintf(&sb, "gateway: epochs=%d updates=%d dropped=%d dedup_hits=%d admitted=%d\n",
+		r.Stats.Epochs, r.Stats.Updates, r.Stats.Dropped, r.Stats.DedupHits, r.Stats.Admitted)
+	return sb.String()
+}
+
+// RunNetLoadgen stands up a gateway behind a TCP server, drives Clients
+// real connections through the configured wire encoding and measures
+// delivered stream throughput over Duration.
+func RunNetLoadgen(cfg NetLoadConfig) (*NetLoadReport, error) {
+	cfg.defaults()
+	topo, err := topology.PaperGrid(cfg.Side)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := New(Config{
+		Sim: network.Config{
+			Topo:   topo,
+			Scheme: network.TTMQO,
+			Seed:   cfg.Seed,
+		},
+		SessionQuota: cfg.SubsPerClient + 1,
+		MaxSessions:  cfg.Clients + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+	srv, err := NewServer(gw, ServerConfig{
+		Addr:      "127.0.0.1:0",
+		TickEvery: cfg.TickEvery,
+		Quantum:   cfg.Quantum,
+		ForceJSON: cfg.JSON,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	pool := make([]string, 0, cfg.Pool)
+	for _, tq := range workload.Random(workload.RandomConfig{
+		Seed:       cfg.Seed + 7777,
+		NumQueries: cfg.Pool,
+	}) {
+		pool = append(pool, tq.Query.String())
+	}
+
+	var messages, rows atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients)
+	stop := make(chan struct{})
+	ready := make(chan struct{}, cfg.Clients)
+
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String(), ClientConfig{
+				Binary:  !cfg.JSON,
+				Timeout: 30 * time.Second,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Hello(fmt.Sprintf("net-%05d", i), ""); err != nil {
+				errs <- err
+				return
+			}
+			for s := 0; s < cfg.SubsPerClient; s++ {
+				q := pool[(i*cfg.SubsPerClient+s)%len(pool)]
+				if err := c.Send(Request{Op: OpSubscribe, Query: q}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.RecvType(TypeSubscribed); err != nil {
+					errs <- err
+					return
+				}
+			}
+			ready <- struct{}{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := c.Recv()
+				if err != nil {
+					select {
+					case <-stop: // server shut down under us: expected
+						return
+					default:
+					}
+					errs <- err
+					return
+				}
+				if resp.Type == TypeRows || resp.Type == TypeAgg {
+					messages.Add(1)
+					rows.Add(int64(len(resp.Rows)))
+				}
+			}
+		}(i)
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		select {
+		case <-ready:
+		case err := <-errs:
+			close(stop)
+			srv.Close()
+			wg.Wait()
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	wall := time.Since(start)
+	close(stop)
+	srv.Close() // severs connections so blocked Recvs return
+	wg.Wait()
+
+	st, err := gw.Stats()
+	if err != nil {
+		return nil, err
+	}
+	wire := "binary"
+	if cfg.JSON {
+		wire = "json"
+	}
+	rep := &NetLoadReport{
+		Config:   cfg,
+		Wire:     wire,
+		Messages: messages.Load(),
+		Rows:     rows.Load(),
+		Wall:     wall,
+		Stats:    st,
+	}
+	select {
+	case err := <-errs:
+		return rep, err
+	default:
+	}
+	return rep, nil
+}

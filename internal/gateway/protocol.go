@@ -46,6 +46,11 @@ type Request struct {
 	// Tag is echoed on the direct response so clients can correlate
 	// pipelined requests.
 	Tag string `json:"tag,omitempty"`
+	// Wire requests an outbound encoding on OpHello: "binary" switches the
+	// server's responses to the length-prefixed binary framing after the
+	// (always-JSON) hello response; empty or "json" keeps NDJSON. A client
+	// that sends binary-framed requests gets binary responses regardless.
+	Wire string `json:"wire,omitempty"`
 }
 
 // Response types.

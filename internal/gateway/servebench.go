@@ -1,0 +1,332 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/query"
+	"repro/internal/topology"
+)
+
+// The serve benchmark suite — the perf trajectory of the serving hot path.
+//
+// RunServeBench measures the encode→fanout→write path with Go's benchmark
+// harness (testing.Benchmark, usable outside `go test`) in both wire
+// encodings back to back, and derives two machine-independent gauges:
+//
+//   - BinarySpeedup: JSON fan-out ns/op divided by binary fan-out ns/op,
+//     measured in the same process seconds apart, so machine speed cancels
+//     out of the ratio.
+//   - AllocsPerMessage: heap allocations per delivered message on the
+//     binary fan-out path (the ~0 target of the zero-allocation work).
+//
+// CompareServeBench gates those gauges (and per-row allocation counts)
+// against a committed baseline (BENCH_serve.json): ratios and allocation
+// counts are stable across machines, so CI can fail a >10% regression
+// without chasing absolute nanoseconds. Absolute ns/op and msgs/sec are
+// recorded for the trajectory but deliberately not gated.
+
+// fanSubs is the subscriber fan-out factor the write benchmarks model: one
+// update delivered to this many connections per op.
+const fanSubs = 8
+
+// ServeBenchRow is one benchmark measurement.
+type ServeBenchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MsgsPerSec is the delivered-message rate implied by NsPerOp for rows
+	// that deliver messages (fan-out and netload rows), 0 otherwise.
+	MsgsPerSec float64 `json:"msgs_per_sec,omitempty"`
+}
+
+// ServeBenchReport is the serve suite's machine-readable outcome.
+type ServeBenchReport struct {
+	Rows []ServeBenchRow `json:"rows"`
+	// BinarySpeedup is fanout/json ns/op ÷ fanout/binary ns/op — how many
+	// times faster the binary hot path moves one update to 8 subscribers.
+	BinarySpeedup float64 `json:"binary_speedup"`
+	// AllocsPerMessage is heap allocations per delivered message on the
+	// binary fan-out path.
+	AllocsPerMessage float64 `json:"allocs_per_message"`
+	// Note reminds readers which fields are gated.
+	Note string `json:"note"`
+}
+
+// ServeBenchConfig parametrizes RunServeBench.
+type ServeBenchConfig struct {
+	// Loadgen adds over-the-wire netload rows (binary and JSON, a second
+	// or so each). Trajectory only — wall-clock TCP throughput is an
+	// environment observation and is never gated.
+	Loadgen bool
+	// LoadgenDuration bounds each netload run (default 1s).
+	LoadgenDuration time.Duration
+}
+
+// benchUpdate builds the canonical workload item: one acquisition epoch of
+// a 16-node grid reading two attributes — the shape the paper's serving
+// experiments fan out every epoch.
+func benchUpdate() Update {
+	rows := make([]query.Row, 16)
+	for i := range rows {
+		rows[i] = query.Row{
+			Node: topology.NodeID(1 + i),
+			Values: map[field.Attr]float64{
+				field.AttrLight: 500 + float64(i)*3.25,
+				field.AttrTemp:  20 + float64(i)*0.5,
+			},
+		}
+	}
+	return Update{Sub: 7, QueryID: 3, Seq: 42, At: 8192 * time.Millisecond, Rows: rows}
+}
+
+func row(name string, r testing.BenchmarkResult, msgsPerOp int) ServeBenchRow {
+	ns := float64(r.NsPerOp())
+	out := ServeBenchRow{
+		Name:        name,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if msgsPerOp > 0 && ns > 0 {
+		out.MsgsPerSec = float64(msgsPerOp) * 1e9 / ns
+	}
+	return out
+}
+
+// RunServeBench measures the serving hot path and returns the report.
+func RunServeBench(cfg ServeBenchConfig) (*ServeBenchReport, error) {
+	u := benchUpdate()
+	rep := &ServeBenchReport{
+		Note: "gated: binary_speedup, allocs_per_message, binary rows' allocs_per_op; ns_per_op and msgs_per_sec are trajectory only",
+	}
+
+	// encode: build one frame/line from the update, no I/O.
+	encBin := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 4096)
+		for i := 0; i < b.N; i++ {
+			frame := sealFrame(appendUpdateFrame(buf[:0], &u))
+			if len(frame) == 0 {
+				b.Fatal("empty frame")
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("encode/binary", encBin, 0))
+
+	encJSON := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(wireUpdate(u)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("encode/json", encJSON, 0))
+
+	// fanout: one update through connWriter.writeUpdate to fanSubs
+	// connections (discard-backed) — encode, copy, flush per delivery.
+	// This is exactly what Server.handle's forwarders execute per epoch.
+	mkWriters := func(binary bool) []*connWriter {
+		ws := make([]*connWriter, fanSubs)
+		for i := range ws {
+			ws[i] = newConnWriter(io.Discard)
+			if binary {
+				ws[i].setBinary()
+			}
+		}
+		return ws
+	}
+	fanBin := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ws := mkWriters(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ws {
+				if err := w.writeUpdate(&u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("fanout/binary", fanBin, fanSubs))
+
+	fanJSON := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ws := mkWriters(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ws {
+				if err := w.writeUpdate(&u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("fanout/json", fanJSON, fanSubs))
+
+	// wal: append one lifecycle record through the reused frame buffer vs
+	// the JSON marshalling it replaced.
+	rec := walRecord{Op: walOpSubscribe, At: 8192 * 1e6, Sess: "client-00042", Sub: 17,
+		Query: "SELECT light, temp WHERE light > 200 EPOCH DURATION 8192ms"}
+	walBin := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		w := &wal{w: bufio.NewWriterSize(io.Discard, 64*1024)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("wal/binary", walBin, 0))
+
+	walJSON := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bw := bufio.NewWriterSize(io.Discard, 64*1024)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := json.Marshal(rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			j = append(j, '\n')
+			if _, err := bw.Write(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("wal/json", walJSON, 0))
+
+	// intern: dedup-cache lookup via interned pointer vs string key.
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("SELECT light, temp WHERE light > %d GROUP BY nodeid EPOCH DURATION 8192ms", i)
+	}
+	internB := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		tab := newInternTable(len(keys))
+		m := make(map[*internedKey]*shared, len(keys))
+		ks := make([]*internedKey, len(keys))
+		for i, k := range keys {
+			ks[i] = tab.intern(k)
+			m[ks[i]] = &shared{}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m[ks[i%len(ks)]] == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("dedup/interned", internB, 0))
+
+	stringB := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		m := make(map[string]*shared, len(keys))
+		for _, k := range keys {
+			m[k] = &shared{}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m[keys[i%len(keys)]] == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	rep.Rows = append(rep.Rows, row("dedup/string", stringB, 0))
+
+	if fanBin.NsPerOp() > 0 {
+		rep.BinarySpeedup = float64(fanJSON.NsPerOp()) / float64(fanBin.NsPerOp())
+	}
+	rep.AllocsPerMessage = float64(fanBin.AllocsPerOp()) / float64(fanSubs)
+
+	if cfg.Loadgen {
+		d := cfg.LoadgenDuration
+		if d <= 0 {
+			d = time.Second
+		}
+		for _, jsonWire := range []bool{false, true} {
+			lr, err := RunNetLoadgen(NetLoadConfig{
+				Clients:       16,
+				SubsPerClient: 2,
+				Duration:      d,
+				Seed:          1,
+				JSON:          jsonWire,
+			})
+			if err != nil {
+				return nil, err
+			}
+			name := "netload/binary"
+			if jsonWire {
+				name = "netload/json"
+			}
+			rep.Rows = append(rep.Rows, ServeBenchRow{Name: name, MsgsPerSec: lr.Throughput()})
+		}
+	}
+	return rep, nil
+}
+
+// String renders the report as the benchmark table the CLI prints.
+func (r *ServeBenchReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %10s %10s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op", "msgs/sec")
+	for _, row := range r.Rows {
+		msgs := ""
+		if row.MsgsPerSec > 0 {
+			msgs = fmt.Sprintf("%14.0f", row.MsgsPerSec)
+		}
+		fmt.Fprintf(&sb, "%-16s %12.1f %10d %10d %14s\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, msgs)
+	}
+	fmt.Fprintf(&sb, "binary speedup (fanout json/binary): %.1fx\n", r.BinarySpeedup)
+	fmt.Fprintf(&sb, "allocs per delivered message (binary): %.2f\n", r.AllocsPerMessage)
+	return sb.String()
+}
+
+// CompareServeBench checks current against a committed baseline and returns
+// the list of violations (empty = pass). tol is the fractional regression
+// allowed on gated gauges (0.10 = 10%). Allocation gauges additionally get
+// a half-allocation absolute slack so a 0-alloc baseline doesn't turn
+// measurement noise into failures — but a real regression to 1+ allocs per
+// op still trips it.
+func CompareServeBench(baseline, current *ServeBenchReport, tol float64) []string {
+	var bad []string
+	if current.BinarySpeedup < baseline.BinarySpeedup*(1-tol) {
+		bad = append(bad, fmt.Sprintf(
+			"binary_speedup regressed: %.2fx, baseline %.2fx (tolerance %.0f%%)",
+			current.BinarySpeedup, baseline.BinarySpeedup, tol*100))
+	}
+	if current.AllocsPerMessage > baseline.AllocsPerMessage*(1+tol)+0.5 {
+		bad = append(bad, fmt.Sprintf(
+			"allocs_per_message regressed: %.2f, baseline %.2f",
+			current.AllocsPerMessage, baseline.AllocsPerMessage))
+	}
+	// The acceptance bar is absolute, independent of the baseline.
+	if current.AllocsPerMessage > 2 {
+		bad = append(bad, fmt.Sprintf(
+			"allocs_per_message %.2f exceeds the absolute bound of 2", current.AllocsPerMessage))
+	}
+	base := make(map[string]ServeBenchRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[r.Name] = r
+	}
+	for _, r := range current.Rows {
+		b, ok := base[r.Name]
+		if !ok || !strings.HasSuffix(r.Name, "/binary") {
+			continue // new rows and non-binary rows are not gated
+		}
+		if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol)+0.5 {
+			bad = append(bad, fmt.Sprintf(
+				"%s allocs/op regressed: %d, baseline %d", r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return bad
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -31,6 +32,11 @@ type ServerConfig struct {
 	// runs). Clients keep quiet periods alive with OpPing heartbeats.
 	// DefaultReadTimeout if zero; negative disables the deadline.
 	ReadTimeout time.Duration
+	// ForceJSON pins every response to the NDJSON encoding, ignoring binary
+	// wire negotiation (Request.Wire and binary-framed requests). Debug
+	// mode: the stream stays readable with nc/jq at the cost of the
+	// hot-path allocation savings. Inbound binary frames are still decoded.
+	ForceJSON bool
 }
 
 // Server serves the gateway's newline-delimited JSON protocol over TCP and
@@ -120,17 +126,79 @@ func (s *Server) accept() {
 	}
 }
 
-// connWriter serializes response lines from the request handler and the
-// per-subscription forwarders onto one connection.
+// connWriter serializes responses from the request handler and the
+// per-subscription forwarders onto one connection. All encodings go
+// through one per-connection bufio.Writer — a response is built into a
+// pooled frame buffer (binary) or the encoder's internal buffer (JSON),
+// copied into the buffered writer and flushed once, so the steady-state
+// fan-out path performs zero allocations and one syscall per response
+// instead of allocating an encoder buffer each time.
 type connWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder // writes through bw
+	binary bool          // outbound framing: binary frames vs NDJSON
+}
+
+func newConnWriter(conn io.Writer) *connWriter {
+	bw := bufio.NewWriterSize(conn, 32*1024)
+	return &connWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// setBinary switches outbound framing to binary frames; responses written
+// before the switch were NDJSON, which the client-side reader detects per
+// frame, so the transition point needs no synchronization with the peer.
+func (w *connWriter) setBinary() {
+	w.mu.Lock()
+	w.binary = true
+	w.mu.Unlock()
 }
 
 func (w *connWriter) write(r Response) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.enc.Encode(r)
+	if w.binary {
+		bp := getFrameBuf()
+		b, err := appendResponseFrame(*bp, &r)
+		if err != nil {
+			putFrameBuf(bp)
+			return err
+		}
+		*bp = b
+		_, err = w.bw.Write(sealFrame(b))
+		putFrameBuf(bp)
+		if err != nil {
+			return err
+		}
+		return w.bw.Flush()
+	}
+	if err := w.enc.Encode(r); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// writeUpdate is the fan-out hot path: in binary mode the update encodes
+// straight from its simulation form into a pooled buffer — no intermediate
+// Response, no string-keyed maps, no per-message allocation.
+func (w *connWriter) writeUpdate(u *Update) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.binary {
+		bp := getFrameBuf()
+		b := appendUpdateFrame(*bp, u)
+		*bp = b
+		_, err := w.bw.Write(sealFrame(b))
+		putFrameBuf(bp)
+		if err != nil {
+			return err
+		}
+		return w.bw.Flush()
+	}
+	if err := w.enc.Encode(wireUpdate(*u)); err != nil {
+		return err
+	}
+	return w.bw.Flush()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -148,9 +216,11 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	w := &connWriter{enc: json.NewEncoder(conn)}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := newConnWriter(conn)
+	// The reader's buffer bounds a JSON request line the way the old
+	// Scanner cap did; binary frames are bounded by maxFramePayload.
+	br := bufio.NewReaderSize(conn, 1<<20)
+	var scratch []byte // reused binary frame payload buffer
 
 	var sess *Session
 	// named tracks whether the client claimed the session with an explicit
@@ -191,7 +261,7 @@ func (s *Server) handle(conn net.Conn) {
 	forward := func(sub *Subscription) {
 		defer s.wg.Done()
 		for u := range sub.Updates() {
-			if w.write(wireUpdate(u)) != nil {
+			if w.writeUpdate(&u) != nil {
 				conn.Close()
 				return
 			}
@@ -200,29 +270,62 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	for {
-		// Refresh the read deadline per request line; a silent client is
-		// cut loose (and, if named, left resumable) instead of pinning a
+		// Refresh the read deadline per request; a silent client is cut
+		// loose (and, if named, left resumable) instead of pinning a
 		// handler goroutine forever.
 		if s.cfg.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		if !sc.Scan() {
+		// Auto-detect framing per request: a FrameMagic first byte is a
+		// binary frame, anything else is a JSON line. The two interleave
+		// freely on one connection.
+		first, err := br.ReadByte()
+		if err != nil {
 			return
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
 		var req Request
-		if err := json.Unmarshal(line, &req); err != nil {
-			_ = w.write(Response{Type: TypeError, Error: fmt.Sprintf("bad request: %v", err)})
-			continue
+		if first == FrameMagic {
+			scratch, err = readBinaryFrame(br, scratch)
+			if err != nil {
+				return
+			}
+			req, err = decodeRequestPayload(scratch)
+			if err != nil {
+				_ = w.write(Response{Type: TypeError, Error: fmt.Sprintf("bad request: %v", err)})
+				continue
+			}
+			// A binary-speaking client reads binary; answer in kind unless
+			// the operator pinned JSON for debugging.
+			if !s.cfg.ForceJSON {
+				w.setBinary()
+			}
+		} else {
+			if first == '\n' {
+				continue
+			}
+			line, err := br.ReadSlice('\n')
+			if err != nil {
+				return
+			}
+			// Rebuild the full line: the first byte was consumed by the
+			// framing peek. json.Unmarshal needs it back in place, so keep
+			// a tiny prefix copy rather than a whole-line copy.
+			full := append(append(scratch[:0], first), line...)
+			scratch = full
+			if err := json.Unmarshal(full, &req); err != nil {
+				_ = w.write(Response{Type: TypeError, Error: fmt.Sprintf("bad request: %v", err)})
+				continue
+			}
 		}
 		fail := func(err error) {
 			_ = w.write(Response{Type: TypeError, Tag: req.Tag, Error: err.Error()})
 		}
 		switch req.Op {
 		case OpHello:
+			// Wire negotiation: the hello response goes out in the current
+			// encoding (JSON for a JSON-speaking client — the handshake
+			// stays human-readable), then the stream switches.
+			upgrade := req.Wire == "binary" && !s.cfg.ForceJSON
 			if req.Token != "" {
 				// Re-attach: claim a detached session by name + token and
 				// report the resumable streams with their cursors.
@@ -246,6 +349,9 @@ func (s *Server) handle(conn net.Conn) {
 					})
 				}
 				_ = w.write(Response{Type: TypeHello, Tag: req.Tag, Session: sess.Name(), Token: sess.Token(), Subs: subs})
+				if upgrade {
+					w.setBinary()
+				}
 				continue
 			}
 			if err := ensure(req.Client); err != nil {
@@ -254,6 +360,9 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			named = true
 			_ = w.write(Response{Type: TypeHello, Tag: req.Tag, Session: sess.Name(), Token: sess.Token()})
+			if upgrade {
+				w.setBinary()
+			}
 		case OpResume:
 			if sess == nil {
 				fail(fmt.Errorf("no session"))

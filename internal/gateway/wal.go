@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -65,11 +66,19 @@ type walRecord struct {
 }
 
 // wal is the append handle. All methods run on the gateway loop goroutine.
+//
+// Records are written as binary frames (see codec.go) through one reused
+// encode buffer: appends between flush points batch in the bufio.Writer
+// and hit the disk as a single write per group-commit (walAdvance flushes
+// once per Advance), with zero allocations per record in steady state.
+// readWAL still accepts NDJSON records, so logs written before the binary
+// codec recover cleanly.
 type wal struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
-	size int64 // bytes appended (including buffered, not-yet-flushed ones)
+	size int64  // bytes appended (including buffered, not-yet-flushed ones)
+	buf  []byte // reused per-record frame buffer (loop goroutine only)
 }
 
 func createWAL(path string) (*wal, error) {
@@ -81,15 +90,16 @@ func createWAL(path string) (*wal, error) {
 }
 
 func (w *wal) append(r walRecord) error {
-	b, err := json.Marshal(r)
+	b, err := appendWALFrame(w.buf[:0], &r)
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
-	if _, err := w.w.Write(b); err != nil {
+	w.buf = b
+	frame := sealFrame(b)
+	if _, err := w.w.Write(frame); err != nil {
 		return err
 	}
-	w.size += int64(len(b))
+	w.size += int64(len(frame))
 	return nil
 }
 
@@ -107,37 +117,80 @@ func (w *wal) close() error {
 	return cerr
 }
 
-// readWAL parses a log file. A truncated final line (torn write at crash)
-// is tolerated and dropped; any earlier malformed line is an error.
+// readWAL parses a log file, auto-detecting the record framing byte by
+// byte: a FrameMagic first byte is a binary frame, anything else is a
+// legacy NDJSON line, and the two may interleave (a pre-codec log compacted
+// by a post-codec gateway). A truncated or malformed final record (torn
+// write at crash) is tolerated and dropped; any earlier malformed record is
+// an error.
 func readWAL(path string) ([]walRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(f, 1<<20)
 	var recs []walRecord
-	var torn bool
-	for sc.Scan() {
-		if torn {
+	var scratch []byte
+	for {
+		first, err := br.ReadByte()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first == FrameMagic {
+			scratch, err = readBinaryFrame(br, scratch)
+			if err != nil {
+				// A short read is a torn tail only at end of log; a frame
+				// that could not even state its length is torn if nothing
+				// follows it.
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return recs, nil
+				}
+				return nil, fmt.Errorf("gateway: wal %s: %w", path, err)
+			}
+			r, err := decodeWALPayload(scratch)
+			if err != nil {
+				// Corrupt payload: legal only as the final record, where it
+				// is indistinguishable from a torn write.
+				if _, eof := br.ReadByte(); eof == io.EOF {
+					return recs, nil
+				}
+				return nil, fmt.Errorf("gateway: wal %s: malformed record before end of log: %w", path, err)
+			}
+			recs = append(recs, r)
+			continue
+		}
+		if first == '\n' {
+			continue
+		}
+		line, err := br.ReadSlice('\n')
+		tail := err == io.EOF
+		if err != nil && !tail {
+			return nil, err
+		}
+		scratch = append(append(scratch[:0], first), line...)
+		var r walRecord
+		if jerr := json.Unmarshal(scratch, &r); jerr != nil {
+			if tail || isAtEOF(br) {
+				return recs, nil // torn final line
+			}
 			return nil, fmt.Errorf("gateway: wal %s: malformed record before end of log", path)
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var r walRecord
-		if err := json.Unmarshal(line, &r); err != nil {
-			torn = true // legal only as the final (torn) line
-			continue
-		}
 		recs = append(recs, r)
+		if tail {
+			return recs, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return recs, nil
+}
+
+// isAtEOF reports whether the reader has no bytes left (used to decide if a
+// malformed record was the log's torn tail).
+func isAtEOF(br *bufio.Reader) bool {
+	_, err := br.Peek(1)
+	return err == io.EOF
 }
 
 // rewriteWAL atomically replaces the log with recs and returns a fresh
@@ -266,7 +319,7 @@ func (g *Gateway) replay(r walRecord) error {
 			g:      g,
 			name:   r.Sess,
 			token:  r.Token,
-			live:   make(map[SubID]*Subscription),
+			live:   make(map[SubID]*Subscription, g.cfg.SessionQuota),
 			tokens: g.cfg.Burst,
 		}
 		g.sessions[r.Sess] = s
