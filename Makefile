@@ -56,9 +56,11 @@ admin-smoke:
 # The chaos soak under the race detector: scripted fault scenarios — node
 # churn, loss bursts, partitions, and gateway crash/recover cycles mid-run —
 # with the delivery invariants (no duplicates, no sequence gaps, bounded
-# completeness loss, no goroutine leaks) asserted after the drain.
+# completeness loss, no goroutine leaks) asserted after the drain. The
+# federation soak reruns the router-tier drills (kill-a-shard,
+# partition-the-router) across seeds under the same invariants.
 chaos-soak:
-	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants' ./internal/chaos
+	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants|TestFederationChaosSoak' ./internal/chaos
 
 clean:
 	rm -f ttmqo-bench ttmqo-sim ttmqo-workload ttmqo-shell ttmqo-serve

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|chaos|lifetime|scaling|serve|all]
+//	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|chaos|lifetime|scaling|federation|serve|all]
 //	            [-seed N] [-minutes M] [-runs R] [-parallel P] [-md report.md]
 //	            [-json out.json] [-benchout BENCH_serve.json] [-benchcheck BENCH_serve.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -45,7 +45,7 @@ func main() {
 }
 
 func run() int {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, 4c, 5, ablation, reliability, chaos, lifetime, scaling, serve or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, 4c, 5, ablation, reliability, chaos, lifetime, scaling, federation, serve or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	minutes := flag.Int("minutes", 10, "simulated minutes per packet-level run")
 	runs := flag.Int("runs", 3, "workload seeds averaged per stochastic point")
@@ -249,6 +249,16 @@ func run() int {
 		}
 		keep("scaling", rows)
 		fmt.Print(ttmqo.ScalingString(rows))
+		return nil
+	})
+
+	dispatch("federation", func() error {
+		rows, err := ttmqo.RunFederationScaling(ttmqo.FederationScalingConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		keep("federation", rows)
+		fmt.Print(ttmqo.FederationScalingString(rows))
 		return nil
 	})
 

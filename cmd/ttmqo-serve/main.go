@@ -11,6 +11,10 @@
 //	            [-readtimeout 75s] [-crash-after D] [-crash-outage D]
 //	            [-admin 127.0.0.1:9090] [-wire binary]
 //	            [-json out.json] [-series out.csv] [-sample 30s]
+//	ttmqo-serve -shards K [-waldir DIR] [-addr :7443] [-side N] [-scheme S]
+//	            [-seed S] [-alpha A] [-tick 250ms] [-quantum 2048ms]
+//	            [-buffer B] [-quota Q] [-rate R] [-burst K] [-mtbf D] [-mttr D]
+//	            [-admin 127.0.0.1:9090] [-wire binary]
 //	ttmqo-serve -loadgen [-clients 100] [-rounds 24] [-pool 12] [-churn 0.35]
 //	            [-maxsubs 2] [-crashround R] [-wal gw.wal] [-seed S]
 //	            [-side N] [-scheme ttmqo] [-buffer B] [-admin 127.0.0.1:0]
@@ -41,6 +45,19 @@
 // then recovers it and re-serves on the same address: a built-in
 // crash/recovery drill. -crash-outage holds the gateway down for that long
 // before recovery starts, so readiness probes can observe the outage.
+//
+// Federation: -shards K (K > 1) shards the deployment into K
+// region-partitioned simulations, each behind its own gateway, fronted by
+// a consistent-hash router speaking the same wire protocol — sessions
+// hash to home shards, cross-shard queries split their nodeid region
+// predicate per shard and re-aggregate (SUM/COUNT/MIN/MAX/AVG) at the
+// router, and shards advance in parallel. -side sizes each shard's grid,
+// so K shards simulate K*(side²-1) sensors with global ids 1..K*(side²-1).
+// -waldir gives every shard a write-ahead log (DIR/shard-<i>.wal) so a
+// crashed shard can be rebuilt and its canonical upstream streams resumed
+// in place. Sharded serving is incompatible with -loadgen, -wal,
+// -crash-after, -json and -series. The admin plane exposes per-shard
+// ttmqo_shard_* families and the router merge-latency histogram.
 //
 // Admin plane: -admin mounts an HTTP server (use 127.0.0.1:0 for an
 // ephemeral port; the bound address is printed) exposing /metrics
@@ -83,6 +100,7 @@ import (
 	"time"
 
 	ttmqo "repro"
+	"repro/internal/federation"
 	"repro/internal/gateway"
 	"repro/internal/network"
 	"repro/internal/telemetry"
@@ -128,6 +146,8 @@ func run() error {
 	wire := flag.String("wire", "binary", "wire encoding: binary (default; JSON handshake upgrades to binary frames) or json (pin newline-delimited JSON, debug mode)")
 	netload := flag.Bool("net", false, "loadgen: drive a real TCP server with socket clients instead of the in-process churn loadgen")
 	forDur := flag.Duration("for", 3*time.Second, "netload: wall-clock duration of the -loadgen -net run")
+	shards := flag.Int("shards", 1, "shard the deployment into K region partitions behind a federation router (1 = single gateway)")
+	waldir := flag.String("waldir", "", "federation: per-shard write-ahead-log directory (DIR/shard-<i>.wal), enables shard crash recovery")
 	flag.Parse()
 
 	switch *wire {
@@ -139,6 +159,38 @@ func run() error {
 	scheme, err := network.ParseScheme(*schemeName)
 	if err != nil {
 		return err
+	}
+
+	if *shards > 1 {
+		switch {
+		case *loadgen:
+			return fmt.Errorf("-shards is incompatible with -loadgen")
+		case *wal != "":
+			return fmt.Errorf("-shards uses per-shard logs; set -waldir instead of -wal")
+		case *crashAfter > 0:
+			return fmt.Errorf("-crash-after supports only single-gateway serving")
+		case *jsonOut != "" || *seriesOut != "":
+			return fmt.Errorf("-json/-series support only single-gateway serving")
+		}
+		return serveFederated(federation.Config{
+			Shards:       *shards,
+			Side:         *side,
+			Seed:         *seed,
+			Scheme:       scheme,
+			Alpha:        *alpha,
+			Buffer:       *buffer,
+			SessionQuota: *quota,
+			Rate:         *rate,
+			Burst:        *burst,
+			WALDir:       *waldir,
+			Failures:     network.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
+		}, gateway.ServerConfig{
+			Addr:        *addr,
+			TickEvery:   *tick,
+			Quantum:     *quantum,
+			ReadTimeout: *readTimeout,
+			ForceJSON:   *wire == "json",
+		}, *admin)
 	}
 
 	if *loadgen && *netload {
@@ -314,6 +366,60 @@ func run() error {
 	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d admitted=%d dedup_ratio=%.2f updates=%d evicted=%d recoveries=%d\n",
 		st.Sessions, st.Subscribes, st.DedupHits, st.Admitted, st.DedupRatio(), st.Updates, st.Evicted, st.Recoveries)
 	return writeExports(gw, *jsonOut, *seriesOut)
+}
+
+// serveFederated runs the sharded serving mode: a federation router over
+// K region-partitioned gateway shards behind the same TCP server and
+// wire protocol.
+func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAddr string) error {
+	rt, err := federation.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := gateway.NewServer(rt, srvCfg)
+	if err != nil {
+		rt.Close()
+		return err
+	}
+	fmt.Printf("ttmqo-serve: router on %s (%d shards × side %d = %d sensors, scheme=%s)\n",
+		srv.Addr(), cfg.Shards, cfg.Side, cfg.Shards*(cfg.Side*cfg.Side-1), cfg.Scheme)
+
+	if adminAddr != "" {
+		reg := telemetry.NewRegistry()
+		federation.RegisterMetrics(reg, func() *federation.Router { return rt })
+		adm := telemetry.NewAdmin(telemetry.AdminConfig{
+			Registry: reg,
+			Ready:    rt.Alive,
+			Status:   func() any { return rt.FedStats() },
+		})
+		bound, err := adm.Start(adminAddr)
+		if err != nil {
+			rt.Close()
+			srv.Close()
+			return err
+		}
+		fmt.Printf("ttmqo-serve: admin on http://%s\n", bound)
+		defer adm.Close()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ttmqo-serve: draining")
+
+	// Closing the router first fails staged commands so connection
+	// handlers unblock, then the server stops (the single-gateway drain
+	// order, fleet-wide).
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st := rt.FedStats()
+	fmt.Printf("shards=%d sessions=%d subscribes=%d dedup_hits=%d trees=%d merged_epochs=%d updates=%d merge_latency=%v\n",
+		st.Shards, st.Sessions, st.Subscribes, st.DedupHits, st.Trees, st.MergedEpochs, st.Updates, rt.MergeLatency())
+	return nil
 }
 
 // startAdmin mounts the telemetry admin plane: a registry wired to the

@@ -62,7 +62,9 @@
 //     bounded fan-out (-addr, -side, -scheme, -seed, -alpha, -tick,
 //     -quantum, -buffer, -quota, -rate, -burst, -mtbf, -mttr, -json,
 //     -series, -sample), plus a load-generator mode (-loadgen, -clients,
-//     -rounds, -pool, -churn, -maxsubs).
+//     -rounds, -pool, -churn, -maxsubs) and a sharded federation mode
+//     (-shards, -waldir) fronting several region-partitioned gateways
+//     with a consistent-hash, aggregate-recombining router.
 //
 // The gateway is also a library: NewGateway wraps a Simulation in a
 // goroutine-safe session/subscription front end whose group-commit

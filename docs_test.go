@@ -231,10 +231,53 @@ func TestDocsCoverWireFormat(t *testing.T) {
 	// Every row of the serve suite must be walked through in EXPERIMENTS.md.
 	for _, row := range []string{
 		"encode/binary", "encode/json", "fanout/binary", "fanout/json",
-		"wal/binary", "wal/json", "dedup/interned", "dedup/string",
+		"fanout/burst", "wal/binary", "wal/json", "dedup/interned", "dedup/string",
 	} {
 		if !strings.Contains(experiments, row) {
 			t.Errorf("EXPERIMENTS.md does not mention serve benchmark row %q", row)
+		}
+	}
+}
+
+// TestDocsCoverFederation: README.md must document the sharded router
+// tier — the flags that start it, the federation fault drills and the
+// scaling figure — and EXPERIMENTS.md must walk through the drills and
+// the router metric families. This is the drift check for the federation
+// surface.
+func TestDocsCoverFederation(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	for _, f := range []string{"-shards", "-waldir"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README.md does not mention federation flag %s", f)
+		}
+	}
+	if !strings.Contains(readme, "-fig federation") {
+		t.Error("README.md does not mention the federation scaling figure (-fig federation)")
+	}
+	for _, n := range chaos.FedScenarioNames() {
+		if !strings.Contains(readme, n) {
+			t.Errorf("README.md does not mention federation drill %q", n)
+		}
+		if !strings.Contains(experiments, n) {
+			t.Errorf("EXPERIMENTS.md does not walk through federation drill %q", n)
+		}
+	}
+	// The router metric families the docs walk through must be real
+	// registered names — a rename in federation/telemetry.go must show up
+	// here.
+	for _, fam := range []string{
+		"ttmqo_router_up",
+		"ttmqo_router_alive_shards",
+		"ttmqo_router_merge_latency_seconds",
+		"ttmqo_router_merged_epochs_total",
+		"ttmqo_router_partial_updates_total",
+		"ttmqo_router_upstream_resumes_total",
+		"ttmqo_shard_up",
+		"ttmqo_shard_virtual_time_seconds",
+	} {
+		if !strings.Contains(readme+experiments, fam) {
+			t.Errorf("docs do not mention federation metric family %s", fam)
 		}
 	}
 }

@@ -232,6 +232,7 @@ func TestRunAllReport(t *testing.T) {
 		"# TTMQO evaluation report",
 		"## Figure 2", "## Figure 3", "## Figure 4(a)", "## Figure 5",
 		"ablation", "Reliability", "lifetime",
+		"## Federation scaling with shard count",
 		"| tinydb | 20 (paper: 20)",
 	} {
 		if !strings.Contains(md, want) {

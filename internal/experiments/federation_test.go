@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func runFedSweep(t *testing.T) []FederationScalingRow {
+	t.Helper()
+	rows, err := RunFederationScaling(FederationScalingConfig{
+		Seed:   1,
+		Shards: []int{1, 2, 4},
+		Rounds: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	return rows
+}
+
+// TestFederationScalingLinear asserts the sweep's structural shape: with
+// per-shard load held constant, downstream deliveries, sessions and
+// upstream subscriptions all scale exactly with the shard count.
+func TestFederationScalingLinear(t *testing.T) {
+	rows := runFedSweep(t)
+	base := rows[0]
+	if base.Updates == 0 || base.Rows == 0 {
+		t.Fatalf("single-shard cell delivered nothing: %+v", base)
+	}
+	if base.Trees != 2 {
+		t.Fatalf("single-shard trees = %d, want 2 (region + aggregate)", base.Trees)
+	}
+	for _, r := range rows[1:] {
+		k := int64(r.Shards)
+		if r.Sessions != r.Shards*4 || r.Subs != r.Shards*8 {
+			t.Errorf("%d shards: sessions/subs = %d/%d, want %d/%d",
+				r.Shards, r.Sessions, r.Subs, r.Shards*4, r.Shards*8)
+		}
+		// One deduped region upstream per shard plus the aggregate's slice
+		// on every shard.
+		if r.Upstreams != 2*r.Shards {
+			t.Errorf("%d shards: upstreams = %d, want %d", r.Shards, r.Upstreams, 2*r.Shards)
+		}
+		if r.Updates != k*base.Updates {
+			t.Errorf("%d shards: updates = %d, want %d (linear in shard count)",
+				r.Shards, r.Updates, k*base.Updates)
+		}
+		if r.Rows != k*base.Rows {
+			t.Errorf("%d shards: rows = %d, want %d", r.Shards, r.Rows, k*base.Rows)
+		}
+		if r.UpdatesPerSec <= 0 {
+			t.Errorf("%d shards: throughput not measured", r.Shards)
+		}
+	}
+}
+
+// TestFederationScalingDeterministic reruns the sweep and asserts every
+// deterministic field is identical; wall-clock fields are exempt.
+func TestFederationScalingDeterministic(t *testing.T) {
+	a := runFedSweep(t)
+	b := runFedSweep(t)
+	for i := range a {
+		x, y := a[i], b[i]
+		x.UpdatesPerSec, y.UpdatesPerSec = 0, 0
+		x.Speedup, y.Speedup = 0, 0
+		x.MergeLatencyUS, y.MergeLatencyUS = 0, 0
+		if x != y {
+			t.Errorf("row %d differs between runs:\n first:  %+v\n second: %+v", i, x, y)
+		}
+	}
+}
+
+// TestFederationScalingDefaults covers the default sweep shape without
+// running it end to end.
+func TestFederationScalingDefaults(t *testing.T) {
+	var cfg FederationScalingConfig
+	cfg.setDefaults()
+	if len(cfg.Shards) != 4 || cfg.Shards[3] != 8 {
+		t.Fatalf("default shard sweep = %v", cfg.Shards)
+	}
+	if cfg.Side != 3 || cfg.SubsPerShard != 4 || cfg.Rounds != 8 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Quantum != 8192*time.Millisecond {
+		t.Fatalf("default quantum = %v", cfg.Quantum)
+	}
+}

@@ -50,6 +50,7 @@ type Report struct {
 	Chaos       []ChaosRow
 	Lifetime    []LifetimeRow
 	Scaling     []ScalingRow
+	Federation  []FederationScalingRow
 	// Timings records each study's cell count, wall clock and speedup.
 	Timings []StudyTiming
 	Elapsed time.Duration
@@ -110,6 +111,11 @@ func RunAll(cfg ReportConfig) (*Report, error) {
 	if r.Scaling, err = RunScaling(ScalingConfig{Seed: cfg.Seed, Duration: cfg.Duration,
 		Parallelism: cfg.Parallelism, Timing: timed("scaling")}); err != nil {
 		return nil, fmt.Errorf("scaling: %w", err)
+	}
+	// Federation cells run sequentially on purpose: each cell's wall clock
+	// feeds its throughput gauge, so no worker pool and no Timing slot.
+	if r.Federation, err = RunFederationScaling(FederationScalingConfig{Seed: cfg.Seed}); err != nil {
+		return nil, fmt.Errorf("federation scaling: %w", err)
 	}
 	return r, nil
 }
@@ -191,6 +197,15 @@ func (r *Report) Markdown() string {
 	for _, row := range r.Scaling {
 		fmt.Fprintf(&b, "| %d | %s | %.4f | %.1f | %.0f | %d |\n",
 			row.Nodes, row.Scheme, row.AvgTxPct, row.SavingsPct, row.MeanLatencyMS, row.Messages)
+	}
+
+	b.WriteString("\n## Federation scaling with shard count (extension)\n\n")
+	b.WriteString("Constant per-shard world and subscriber load; the router advances\nshards in parallel and recombines partial aggregates at a shared\nwatermark. Delivered updates scale exactly with the fleet; upd/s and\nspeedup are wall-clock and vary with the host's core count.\n\n")
+	b.WriteString("| shards | sensors | sessions | subs | upstreams | updates | merged epochs | upd/s | speedup |\n|---|---|---|---|---|---|---|---|---|\n")
+	for _, row := range r.Federation {
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %d | %.0f | %.2fx |\n",
+			row.Shards, row.Sensors, row.Sessions, row.Subs, row.Upstreams,
+			row.Updates, row.MergedEpochs, row.UpdatesPerSec, row.Speedup)
 	}
 
 	b.WriteString("\n## Energy & network lifetime (extension)\n\n")

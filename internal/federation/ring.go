@@ -1,0 +1,70 @@
+// Package federation breaks the one-simulation/one-gateway ceiling: K
+// region-partitioned simulations each run behind their own gateway.Gateway
+// shard, fronted by a Router that consistent-hashes sessions to home
+// shards, plans cross-shard queries by splitting their nodeid region
+// predicate across the shards it intersects, merges and re-aggregates the
+// partial results (SUM/COUNT/MIN/MAX/AVG recombination) with one canonical
+// upstream subscription per shard per query, and fails a dead shard's
+// state over after recovery using the gateway's WAL + session-token resume
+// machinery. The Router implements gateway.Backend, so the existing TCP
+// server, binary wire codec and client front it unchanged.
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual points each shard claims on the
+// hash ring. More replicas smooth the key distribution at the cost of a
+// larger (still tiny) lookup table.
+const DefaultReplicas = 64
+
+// ring maps session names onto shards by consistent hashing: each shard
+// claims Replicas pseudo-random points on a 64-bit circle and a name lands
+// on the first point at or clockwise of its own hash. Adding or removing
+// one shard moves only ~1/K of the keyspace.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func newRing(shards, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("shard-%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// lookup returns the home shard of a key.
+func (r *ring) lookup(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the highest point, the circle continues at the lowest
+	}
+	return r.points[i].shard
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

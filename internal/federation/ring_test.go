@@ -1,0 +1,56 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring must be deterministic (same shard count, same layout), cover
+// every shard, and move only a small keyspace fraction when a shard is
+// added.
+func TestRingDeterministicAndCovering(t *testing.T) {
+	a := newRing(4, 0)
+	b := newRing(4, 0)
+	hits := make(map[int]int, 4)
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		s := a.lookup(key)
+		if s != b.lookup(key) {
+			t.Fatalf("ring lookup for %q is not deterministic", key)
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("lookup(%q) = %d, out of range", key, s)
+		}
+		hits[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if hits[s] == 0 {
+			t.Fatalf("shard %d claimed no keys out of 4096", s)
+		}
+	}
+}
+
+// Consistency: growing K shards to K+1 may only move keys onto the new
+// shard — a key that stays on an old shard must stay on the same one.
+func TestRingGrowMovesOnlyToNewShard(t *testing.T) {
+	small := newRing(4, 0)
+	big := newRing(5, 0)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		before, after := small.lookup(key), big.lookup(key)
+		if before == after {
+			continue
+		}
+		if after != 4 {
+			t.Fatalf("key %q moved from shard %d to old shard %d", key, before, after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("no key moved to the new shard (ring ignores it)")
+	}
+	if moved > 4096/2 {
+		t.Fatalf("%d/4096 keys moved on grow; consistent hashing should move ~1/5", moved)
+	}
+}

@@ -1,0 +1,1553 @@
+package federation
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/network"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultShards     = 1
+	DefaultSide       = 4
+	DefaultMaxPending = 256
+	// defaultCatchUpStep bounds one recovery replay advance when the router
+	// has never advanced (so no quantum is known yet).
+	defaultCatchUpStep = 2048 * time.Millisecond
+)
+
+// Config parametrizes a Router and its shard fleet.
+type Config struct {
+	// Shards is the number of region partitions K (DefaultShards if <= 0).
+	Shards int
+	// Side is each shard's PaperGrid side; a shard simulates Side*Side
+	// nodes of which Side*Side-1 are sensors (DefaultSide if <= 0).
+	Side int
+	// Seed drives shard i's simulation with Seed+i, so shards model
+	// distinct regions of one field.
+	Seed int64
+	// Scheme selects the optimization tiers (network.TTMQO if zero).
+	Scheme network.Scheme
+	// Alpha is the tier-1 termination parameter (scheme default if 0).
+	Alpha float64
+	// Buffer, MaxSessions, SessionQuota, Rate, Burst mirror the gateway
+	// limits. Buffer bounds both the per-shard upstream channels and the
+	// downstream subscriber channels; MaxSessions and SessionQuota are
+	// enforced at the router (shards see only the router's own sessions).
+	Buffer       int
+	MaxSessions  int
+	SessionQuota int
+	Rate         float64
+	Burst        float64
+	// WALDir, when set, gives every shard a write-ahead log
+	// (<WALDir>/shard-<i>.wal) so a crashed shard can be rebuilt with
+	// RecoverShard. Empty disables crash recovery.
+	WALDir string
+	// Replicas is the virtual-point count per shard on the session hash
+	// ring (DefaultReplicas if <= 0).
+	Replicas int
+	// MaxPending bounds buffered epochs per query tree while a watermark
+	// stalls (dead or partitioned shard). Overflow force-releases the
+	// oldest epochs without the missing shard's partials
+	// (DefaultMaxPending if <= 0).
+	MaxPending int
+	// Failures injects node outages into every shard's simulation (zero
+	// value disables them).
+	Failures network.FailureConfig
+	// OnShardSim, when set, runs against each shard's freshly built
+	// simulation (chaos fault injection); re-applied on recovery replay.
+	OnShardSim func(shard int, s *network.Simulation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.Side <= 0 {
+		c.Side = DefaultSide
+	}
+	if c.Scheme == 0 {
+		c.Scheme = network.TTMQO
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = gateway.DefaultMaxSessions
+	}
+	if c.SessionQuota <= 0 {
+		c.SessionQuota = gateway.DefaultSessionQuota
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = gateway.DefaultBuffer
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	return c
+}
+
+// Stats is the router's own counter snapshot (shard gateway counters are
+// separate; see ShardStats and ServeStats).
+type Stats struct {
+	Shards              int
+	AliveShards         int
+	Sessions            int64 // registrations ever accepted
+	ActiveSessions      int
+	Subscribes          int64
+	Unsubscribes        int64
+	DedupHits           int64 // subscribes coalesced onto an existing tree
+	ActiveSubscriptions int
+	Trees               int   // live canonical cross-shard queries
+	UpstreamSubs        int   // live upstream subscriptions across shards
+	PartialUpdates      int64 // upstream updates drained from shards
+	Updates             int64 // merged updates delivered downstream
+	MergedEpochs        int64 // epochs released by the watermark
+	ForcedReleases      int64 // epochs released early by MaxPending overflow
+	LateDropped         int64 // partials that arrived for an already-released epoch
+	Evicted             int64 // downstream subscribers dropped on overflow
+	RingDropped         int64 // detached-subscriber updates dropped by ring bound
+	ShardCrashes        int64
+	ShardRecoveries     int64
+	Partitions          int64
+	Heals               int64
+	UpstreamResumes     int64 // upstream streams resumed after recover/heal
+}
+
+// upstream is the router's one canonical subscription to a shard for a
+// query tree.
+type upstream struct {
+	sh      *shard
+	tr      *tree
+	slice   int // index into tr.plan.slices
+	sub     *gateway.Subscription
+	id      gateway.SubID
+	lastSeq uint64
+}
+
+// shard is one region partition: a simulation behind its own gateway,
+// plus the router's upstream session on it.
+type shard struct {
+	idx  int
+	cfg  gateway.Config
+	gw   *gateway.Gateway
+	name string // the router's upstream session name
+	// token survives crashes: gateway.Recover replays the WAL, so the
+	// original session token re-attaches to the rebuilt gateway.
+	token string
+	sess  *gateway.Session
+	ups   map[gateway.SubID]*upstream
+	// alive: the gateway process is up. reachable: the router's upstream
+	// session is attached (false during a simulated network partition —
+	// the shard keeps advancing, its updates park in resume rings).
+	alive     bool
+	reachable bool
+	vnow      sim.Time // the shard's virtual clock
+	// frozen is the watermark contribution while !alive || !reachable:
+	// the last virtual instant whose updates the router has seen.
+	frozen sim.Time
+}
+
+// watermark is the virtual instant this shard's partials are complete
+// strictly below, from the router's point of view. Completeness is
+// exclusive: an epoch scheduled exactly at the clock's current value can
+// still surface in the next quantum, so only epochs with At < watermark
+// may release.
+func (sh *shard) watermark() sim.Time {
+	if sh.alive && sh.reachable {
+		return sh.vnow
+	}
+	return sh.frozen
+}
+
+// tree is one canonical downstream query: its plan, its per-shard
+// upstream subscriptions and its downstream subscribers.
+type tree struct {
+	key  string
+	p    *plan
+	qid  query.ID    // representative upstream query id (first slice's)
+	ups  []*upstream // parallel to p.slices
+	subs []*Sub      // ascending SubID
+	// pending buffers partially merged epochs until the watermark (min
+	// over planned shards) passes them.
+	pending  map[sim.Time]*epochAcc
+	released sim.Time // newest released epoch instant
+	broken   error    // set when upstream establishment failed
+}
+
+func (t *tree) acc(at sim.Time) *epochAcc {
+	a := t.pending[at]
+	if a == nil {
+		a = newEpochAcc(at)
+		if t.pending == nil {
+			t.pending = make(map[sim.Time]*epochAcc, 4)
+		}
+		t.pending[at] = a
+	}
+	return a
+}
+
+// rcmd is a staged downstream command, committed in deterministic order
+// at the next Advance (mirroring the gateway's group-commit mailbox).
+type rcmd struct {
+	kind rcmdKind
+	sess *Session
+	seq  uint64      // per-session staging order
+	q    query.Query // subscribe
+	id   gateway.SubID
+	done chan rres
+}
+
+type rcmdKind uint8
+
+const (
+	cmdSubscribe rcmdKind = iota
+	cmdUnsubscribe
+	cmdClose
+)
+
+type rres struct {
+	sub *Sub
+	err error
+}
+
+// Ticket resolves a staged router command at the next Advance.
+type Ticket struct {
+	r    *Router
+	done chan rres
+}
+
+// Wait blocks until the command commits (the next Advance) or the router
+// closes.
+func (t *Ticket) Wait() (*Sub, error) {
+	select {
+	case res := <-t.done:
+		return res.sub, res.err
+	case <-t.r.done:
+		select {
+		case res := <-t.done:
+			return res.sub, res.err
+		default:
+			return nil, gateway.ErrClosed
+		}
+	}
+}
+
+// pendingUp is an upstream subscription staged on a shard this round,
+// resolved after the shard advances.
+type pendingUp struct {
+	up *upstream
+	tk *gateway.Ticket
+}
+
+// pendingAck is a downstream subscribe reply held until its tree's
+// upstreams resolve.
+type pendingAck struct {
+	c   *rcmd
+	sub *Sub
+	tr  *tree
+}
+
+// Router fronts K gateway shards behind the gateway.Backend surface:
+// sessions consistent-hash to home shards, cross-shard queries are
+// planned into per-shard slices with one canonical upstream subscription
+// each, and partial results merge under a per-tree watermark so
+// downstream updates stay in virtual-time order even when a shard dies
+// or partitions.
+type Router struct {
+	cfg  Config
+	ring *ring
+	spn  int // sensors per shard
+
+	done chan struct{} // closed on Close; unblocks ticket waiters
+
+	mu         sync.Mutex
+	shards     []*shard
+	sessions   map[string]*Session
+	trees      map[string]*tree
+	staged     []*rcmd
+	pendingUps []pendingUp
+	nextSub    gateway.SubID
+	now        sim.Time // the router's virtual clock (max of shard clocks)
+	quantum    time.Duration
+	closed     bool
+	stats      Stats
+	// onMerge observes each Advance's merge+release wall-clock latency
+	// (telemetry hook; see SetMergeObserver).
+	onMerge func(time.Duration)
+	// mergeTotal/mergeCount back MergeLatency for reports.
+	mergeTotal time.Duration
+	mergeCount int64
+}
+
+// New builds the shard fleet and the router's upstream session on each
+// shard.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	topo, err := topology.PaperGrid(cfg.Side)
+	if err != nil {
+		return nil, fmt.Errorf("federation: shard topology: %w", err)
+	}
+	r := &Router{
+		cfg:      cfg,
+		ring:     newRing(cfg.Shards, cfg.Replicas),
+		spn:      topo.Size() - 1,
+		done:     make(chan struct{}),
+		sessions: make(map[string]*Session),
+		trees:    make(map[string]*tree),
+		quantum:  defaultCatchUpStep,
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := r.buildShard(i)
+		if err != nil {
+			for _, prev := range r.shards {
+				_ = prev.gw.Close()
+			}
+			return nil, err
+		}
+		r.shards = append(r.shards, sh)
+	}
+	return r, nil
+}
+
+func (r *Router) buildShard(i int) (*shard, error) {
+	topo, err := topology.PaperGrid(r.cfg.Side)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := gateway.Config{
+		Sim: network.Config{
+			Topo:     topo,
+			Scheme:   r.cfg.Scheme,
+			Seed:     r.cfg.Seed + int64(i),
+			Alpha:    r.cfg.Alpha,
+			Failures: r.cfg.Failures,
+		},
+		Buffer: r.cfg.Buffer,
+		// The shard only ever sees the router's sessions: one upstream
+		// session plus a durable mirror per downstream session homed here.
+		MaxSessions:  r.cfg.MaxSessions + 1,
+		SessionQuota: r.cfg.MaxSessions * r.cfg.SessionQuota,
+		Rate:         r.cfg.Rate,
+		Burst:        r.cfg.Burst,
+		// The router's upstream session detaches during partitions of
+		// unbounded (virtual) length; it must never be idle-reaped.
+		IdleTimeout: -1,
+	}
+	if r.cfg.WALDir != "" {
+		gcfg.WALPath = filepath.Join(r.cfg.WALDir, fmt.Sprintf("shard-%d.wal", i))
+	}
+	if hook := r.cfg.OnShardSim; hook != nil {
+		idx := i
+		gcfg.OnSim = func(s *network.Simulation) { hook(idx, s) }
+	}
+	gw, err := gateway.New(gcfg)
+	if err != nil {
+		return nil, fmt.Errorf("federation: shard %d: %w", i, err)
+	}
+	name := fmt.Sprintf("router@shard-%d", i)
+	sess, err := gw.Register(name)
+	if err != nil {
+		_ = gw.Close()
+		return nil, fmt.Errorf("federation: shard %d upstream session: %w", i, err)
+	}
+	return &shard{
+		idx:       i,
+		cfg:       gcfg,
+		gw:        gw,
+		name:      name,
+		token:     sess.Token(),
+		sess:      sess,
+		ups:       make(map[gateway.SubID]*upstream),
+		alive:     true,
+		reachable: true,
+	}, nil
+}
+
+// Shards returns the configured shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Now returns the router's virtual clock.
+func (r *Router) Now() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.now
+}
+
+// HomeShard returns the shard a session name hashes to.
+func (r *Router) HomeShard(name string) int { return r.ring.lookup(name) }
+
+// SetMergeObserver installs a callback observing each Advance's
+// merge-and-release wall-clock latency (telemetry).
+func (r *Router) SetMergeObserver(fn func(time.Duration)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onMerge = fn
+}
+
+// MergeLatency reports the mean merge-and-release latency per Advance.
+func (r *Router) MergeLatency() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mergeCount == 0 {
+		return 0
+	}
+	return r.mergeTotal / time.Duration(r.mergeCount)
+}
+
+// FedStats snapshots the router's counters.
+func (r *Router) FedStats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statsLocked()
+}
+
+func (r *Router) statsLocked() Stats {
+	st := r.stats
+	st.Shards = len(r.shards)
+	for _, sh := range r.shards {
+		if sh.alive {
+			st.AliveShards++
+		}
+		st.UpstreamSubs += len(sh.ups)
+	}
+	st.ActiveSessions = 0
+	for _, s := range r.sessions {
+		if s.attached {
+			st.ActiveSessions++
+		}
+		st.ActiveSubscriptions += len(s.live)
+	}
+	st.Trees = len(r.trees)
+	return st
+}
+
+// ShardStats snapshots one shard's gateway counters (final counters for a
+// dead shard).
+func (r *Router) ShardStats(i int) (gateway.Stats, error) {
+	r.mu.Lock()
+	if i < 0 || i >= len(r.shards) {
+		r.mu.Unlock()
+		return gateway.Stats{}, fmt.Errorf("federation: no shard %d", i)
+	}
+	gw := r.shards[i].gw
+	r.mu.Unlock()
+	return gw.Stats()
+}
+
+// Alive reports whether the router is serving (false after Close).
+func (r *Router) Alive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.closed
+}
+
+// UpstreamSubsOn returns the number of canonical upstream subscriptions
+// the router holds on shard i.
+func (r *Router) UpstreamSubsOn(i int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.shards) {
+		return 0
+	}
+	return len(r.shards[i].ups)
+}
+
+// ShardAlive reports whether shard i's gateway is up.
+func (r *Router) ShardAlive(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return i >= 0 && i < len(r.shards) && r.shards[i].alive
+}
+
+// ShardNow returns shard i's virtual clock (frozen at crash time for a
+// dead shard).
+func (r *Router) ShardNow(i int) sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.shards) {
+		return 0
+	}
+	return r.shards[i].vnow
+}
+
+// ServeStats implements gateway.Backend: shard counters summed, with the
+// serving-level fields overlaid from the router's own view.
+func (r *Router) ServeStats() (gateway.Stats, sim.Time, error) {
+	r.mu.Lock()
+	gws := make([]*gateway.Gateway, len(r.shards))
+	for i, sh := range r.shards {
+		gws[i] = sh.gw
+	}
+	fs := r.statsLocked()
+	now := r.now
+	r.mu.Unlock()
+
+	var agg gateway.Stats
+	for _, gw := range gws {
+		st, err := gw.Stats()
+		if err != nil {
+			continue
+		}
+		addGatewayStats(&agg, st)
+	}
+	agg.Sessions = fs.Sessions
+	agg.ActiveSessions = fs.ActiveSessions
+	agg.Subscribes = fs.Subscribes
+	agg.Unsubscribes = fs.Unsubscribes
+	agg.DedupHits = fs.DedupHits
+	agg.ActiveSubscriptions = fs.ActiveSubscriptions
+	agg.SharedQueries = fs.Trees
+	agg.Updates = fs.Updates
+	agg.Evicted = fs.Evicted
+	agg.RingDropped += fs.RingDropped
+	agg.Recoveries += fs.ShardRecoveries
+	return agg, now, nil
+}
+
+// addGatewayStats folds one shard's backend-side counters into the sum.
+// Serving-level fields are overwritten by the router's own counters in
+// ServeStats, so only the simulation/WAL-side ones matter here.
+func addGatewayStats(dst *gateway.Stats, s gateway.Stats) {
+	dst.Admitted += s.Admitted
+	dst.Cancelled += s.Cancelled
+	dst.Updates += s.Updates
+	dst.Epochs += s.Epochs
+	dst.Dropped += s.Dropped
+	dst.Evicted += s.Evicted
+	dst.Detaches += s.Detaches
+	dst.Attaches += s.Attaches
+	dst.Resumes += s.Resumes
+	dst.ResumeGaps += s.ResumeGaps
+	dst.RingDropped += s.RingDropped
+	dst.IdleReaped += s.IdleReaped
+	dst.Recoveries += s.Recoveries
+	dst.WALAppends += s.WALAppends
+	dst.WALSizeBytes += s.WALSizeBytes
+	dst.WALCompactions += s.WALCompactions
+}
+
+// ---------------------------------------------------------------------------
+// Sessions and subscriptions (the downstream surface)
+
+// Session is a downstream client session at the router. It satisfies
+// gateway.ServerSession, so the TCP server drives it like a gateway
+// session.
+type Session struct {
+	r     *Router
+	name  string
+	token string
+	home  int
+	// mirror is the durable twin on the home shard's gateway; its WAL
+	// entry is what makes the session token survive a shard crash.
+	mirror   *gateway.Session
+	seq      uint64 // staging order tiebreaker
+	live     map[gateway.SubID]*Sub
+	attached bool
+	closed   bool
+}
+
+// Name returns the session's registered name.
+func (s *Session) Name() string { return s.name }
+
+// Token returns the resume token for Attach after a disconnect.
+func (s *Session) Token() string { return s.token }
+
+// Sub is one downstream subscription to a merged cross-shard stream. It
+// satisfies gateway.ServerSub.
+type Sub struct {
+	sess   *Session
+	tr     *tree
+	id     gateway.SubID
+	key    string
+	shared bool
+
+	// Guarded by sess.r.mu.
+	seq      uint64
+	ch       chan gateway.Update
+	ring     []gateway.Update // parked tail while detached
+	detached bool
+	reason   gateway.CloseReason
+}
+
+// ID returns the subscription id (unique within the router).
+func (s *Sub) ID() gateway.SubID { return s.id }
+
+// Key returns the canonical downstream query text.
+func (s *Sub) Key() string { return s.key }
+
+// Shared reports whether the subscription joined an existing query tree.
+func (s *Sub) Shared() bool { return s.shared }
+
+// QueryID returns the representative upstream query id of the tree.
+func (s *Sub) QueryID() query.ID {
+	s.sess.r.mu.Lock()
+	defer s.sess.r.mu.Unlock()
+	return s.tr.qid
+}
+
+// Updates returns the live update channel (replaced on Resume).
+func (s *Sub) Updates() <-chan gateway.Update {
+	s.sess.r.mu.Lock()
+	defer s.sess.r.mu.Unlock()
+	return s.ch
+}
+
+// Reason reports why the channel closed (ReasonNone while live).
+func (s *Sub) Reason() gateway.CloseReason {
+	s.sess.r.mu.Lock()
+	defer s.sess.r.mu.Unlock()
+	return s.reason
+}
+
+// Register creates a downstream session homed (by consistent hash) on one
+// shard. The home shard must be alive: the durable mirror session minted
+// there backs the resume token.
+func (r *Router) Register(name string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, gateway.ErrClosed
+	}
+	if _, dup := r.sessions[name]; dup {
+		return nil, fmt.Errorf("federation: session %q already registered", name)
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		return nil, fmt.Errorf("federation: session limit %d reached", r.cfg.MaxSessions)
+	}
+	home := r.ring.lookup(name)
+	sh := r.shards[home]
+	if !sh.alive {
+		return nil, fmt.Errorf("federation: home shard %d for %q is down", home, name)
+	}
+	mirror, err := sh.gw.Register(name)
+	if err != nil {
+		return nil, fmt.Errorf("federation: home shard %d: %w", home, err)
+	}
+	s := &Session{
+		r:        r,
+		name:     name,
+		token:    mirror.Token(),
+		home:     home,
+		mirror:   mirror,
+		live:     make(map[gateway.SubID]*Sub),
+		attached: true,
+	}
+	r.sessions[name] = s
+	r.stats.Sessions++
+	return s, nil
+}
+
+// Attach re-claims a detached session by name and token.
+func (r *Router) Attach(name, token string) (*Session, []gateway.ResumeInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, gateway.ErrClosed
+	}
+	s := r.sessions[name]
+	if s == nil {
+		return nil, nil, fmt.Errorf("federation: no session %q", name)
+	}
+	if s.token != token {
+		return nil, nil, fmt.Errorf("federation: bad token for session %q", name)
+	}
+	if s.attached {
+		return nil, nil, fmt.Errorf("federation: session %q is already attached", name)
+	}
+	s.attached = true
+	ids := make([]gateway.SubID, 0, len(s.live))
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	infos := make([]gateway.ResumeInfo, 0, len(ids))
+	for _, id := range ids {
+		sub := s.live[id]
+		infos = append(infos, gateway.ResumeInfo{
+			ID: id, Key: sub.key, QueryID: sub.tr.qid, LastSeq: sub.seq,
+		})
+	}
+	return s, infos, nil
+}
+
+// RegisterSession implements gateway.Backend.
+func (r *Router) RegisterSession(name string) (gateway.ServerSession, error) {
+	s, err := r.Register(name)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AttachSession implements gateway.Backend.
+func (r *Router) AttachSession(name, token string) (gateway.ServerSession, []gateway.ResumeInfo, error) {
+	s, infos, err := r.Attach(name, token)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, infos, nil
+}
+
+// SubscribeAsync stages a subscription, committed at the next Advance.
+func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, gateway.ErrClosed
+	}
+	if s.closed {
+		return nil, fmt.Errorf("federation: session %q is closed", s.name)
+	}
+	s.seq++
+	c := &rcmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan rres, 1)}
+	r.staged = append(r.staged, c)
+	return &Ticket{r: r, done: c.done}, nil
+}
+
+// SubscribeQuery implements gateway.ServerSession: parse, stage, wait.
+func (s *Session) SubscribeQuery(text string) (gateway.ServerSub, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := s.SubscribeAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := tk.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// UnsubscribeAsync stages an unsubscribe, committed at the next Advance.
+func (s *Session) UnsubscribeAsync(id gateway.SubID) (*Ticket, error) {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, gateway.ErrClosed
+	}
+	if s.closed {
+		return nil, fmt.Errorf("federation: session %q is closed", s.name)
+	}
+	s.seq++
+	c := &rcmd{kind: cmdUnsubscribe, sess: s, seq: s.seq, id: id, done: make(chan rres, 1)}
+	r.staged = append(r.staged, c)
+	return &Ticket{r: r, done: c.done}, nil
+}
+
+// Unsubscribe implements gateway.ServerSession (blocks until commit).
+func (s *Session) Unsubscribe(id gateway.SubID) error {
+	tk, err := s.UnsubscribeAsync(id)
+	if err != nil {
+		return err
+	}
+	_, err = tk.Wait()
+	return err
+}
+
+// Detach releases the connection but keeps the session resumable: live
+// streams park their tails in bounded rings.
+func (s *Session) Detach() error {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return gateway.ErrClosed
+	}
+	if s.closed {
+		return fmt.Errorf("federation: session %q is closed", s.name)
+	}
+	if !s.attached {
+		return fmt.Errorf("federation: session %q is already detached", s.name)
+	}
+	s.attached = false
+	for _, sub := range s.live {
+		sub.detachLocked()
+	}
+	return nil
+}
+
+// detachLocked parks the stream: buffered updates move to the ring and
+// the channel closes so the forwarder drains out.
+func (sub *Sub) detachLocked() {
+	if sub.detached || sub.reason != gateway.ReasonNone {
+		return
+	}
+	sub.detached = true
+	sub.reason = gateway.ReasonDetached
+	close(sub.ch)
+	for u := range sub.ch {
+		sub.pushRing(u)
+	}
+}
+
+// pushRing appends to the parked tail, dropping the oldest update past
+// the buffer bound.
+func (sub *Sub) pushRing(u gateway.Update) {
+	r := sub.sess.r
+	sub.ring = append(sub.ring, u)
+	if max := r.cfg.Buffer; len(sub.ring) > max {
+		drop := len(sub.ring) - max
+		sub.ring = append(sub.ring[:0], sub.ring[drop:]...)
+		r.stats.RingDropped += int64(drop)
+	}
+}
+
+// Resume revives a detached stream from just after sequence `after`,
+// replaying the parked tail before going live. Implements
+// gateway.ServerSession.
+func (s *Session) Resume(id gateway.SubID, after uint64) (gateway.ServerSub, error) {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, gateway.ErrClosed
+	}
+	if !s.attached {
+		return nil, fmt.Errorf("federation: session %q is detached", s.name)
+	}
+	sub := s.live[id]
+	if sub == nil {
+		return nil, fmt.Errorf("federation: session %q has no stream %d", s.name, id)
+	}
+	if !sub.detached {
+		return nil, fmt.Errorf("federation: stream %d is already attached", id)
+	}
+	sub.ch = make(chan gateway.Update, r.cfg.Buffer)
+	for _, u := range sub.ring {
+		if u.Seq > after {
+			sub.ch <- u
+		}
+	}
+	sub.ring = nil
+	sub.detached = false
+	sub.reason = gateway.ReasonNone
+	return sub, nil
+}
+
+// CloseAsync stages session teardown; completion lags until the next
+// Advance. Implements gateway.ServerSession.
+func (s *Session) CloseAsync() error {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return gateway.ErrClosed
+	}
+	if s.closed {
+		return nil
+	}
+	s.seq++
+	c := &rcmd{kind: cmdClose, sess: s, seq: s.seq, done: make(chan rres, 1)}
+	r.staged = append(r.staged, c)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Advance: group commit, parallel shard advance, drain, merge, release
+
+// Advance commits staged downstream commands, advances every alive shard
+// by d in parallel, drains their partial results and releases fully
+// merged epochs up to the watermark. Implements gateway.Backend.
+func (r *Router) Advance(d time.Duration) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, gateway.ErrClosed
+	}
+	if d > 0 {
+		r.quantum = d
+	}
+
+	applied, acks := r.commitLocked()
+
+	// Advance alive shards in parallel: each runs its own simulation for
+	// one quantum; this is where shard count buys wall-clock throughput.
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.shards))
+	for _, sh := range r.shards {
+		if !sh.alive {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			_, errs[sh.idx] = sh.gw.Advance(d)
+		}(sh)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, sh := range r.shards {
+		if !sh.alive {
+			continue
+		}
+		if err := errs[sh.idx]; err != nil {
+			// The shard died under us (e.g. chaos crash): freeze it.
+			sh.alive = false
+			sh.reachable = false
+			sh.frozen = sh.vnow
+			sh.sess = nil
+			for _, up := range sh.ups {
+				up.sub = nil
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("federation: shard %d advance: %w", sh.idx, err)
+			}
+			continue
+		}
+		sh.vnow += sim.Time(d)
+		if sh.vnow > r.now {
+			r.now = sh.vnow
+		}
+	}
+
+	r.resolveUpstreamsLocked()
+
+	t0 := time.Now()
+	for _, sh := range r.shards {
+		if sh.alive && sh.reachable {
+			r.drainShardLocked(sh)
+		}
+	}
+	r.releaseLocked()
+	merge := time.Since(t0)
+	r.mergeTotal += merge
+	r.mergeCount++
+	if r.onMerge != nil {
+		r.onMerge(merge)
+	}
+
+	r.ackLocked(acks)
+	return applied, firstErr
+}
+
+// commitLocked applies staged commands in deterministic (session name,
+// seq) order. Subscribe acks are deferred until upstream resolution.
+func (r *Router) commitLocked() (int, []pendingAck) {
+	staged := r.staged
+	r.staged = nil
+	sort.SliceStable(staged, func(i, j int) bool {
+		if staged[i].sess.name != staged[j].sess.name {
+			return staged[i].sess.name < staged[j].sess.name
+		}
+		return staged[i].seq < staged[j].seq
+	})
+	var acks []pendingAck
+	for _, c := range staged {
+		switch c.kind {
+		case cmdSubscribe:
+			sub, tr, err := r.applySubscribeLocked(c)
+			if err != nil {
+				c.done <- rres{err: err}
+				continue
+			}
+			acks = append(acks, pendingAck{c: c, sub: sub, tr: tr})
+		case cmdUnsubscribe:
+			c.done <- rres{err: r.applyUnsubscribeLocked(c)}
+		case cmdClose:
+			r.applyCloseLocked(c.sess)
+			c.done <- rres{}
+		}
+	}
+	return len(staged), acks
+}
+
+func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
+	s := c.sess
+	if s.closed {
+		return nil, nil, fmt.Errorf("federation: session %q is closed", s.name)
+	}
+	if len(s.live) >= r.cfg.SessionQuota {
+		return nil, nil, fmt.Errorf("federation: session %q is at its quota of %d subscriptions",
+			s.name, r.cfg.SessionQuota)
+	}
+	q := c.q.Normalize()
+	q.ID = 0
+	if q.Lifetime != 0 {
+		return nil, nil, fmt.Errorf("federation: LIFETIME is not supported for subscriptions")
+	}
+	key := gateway.CanonicalKey(q)
+	r.stats.Subscribes++
+	tr := r.trees[key]
+	shared := tr != nil
+	if tr == nil {
+		p, err := planQuery(q, len(r.shards), r.spn)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Every planned shard must be alive and reachable to establish
+		// the canonical upstreams.
+		for _, sl := range p.slices {
+			sh := r.shards[sl.shard]
+			if !sh.alive || !sh.reachable {
+				return nil, nil, fmt.Errorf("federation: shard %d (region sensors %d..%d) is unavailable",
+					sl.shard, sl.shard*r.spn+1, (sl.shard+1)*r.spn)
+			}
+		}
+		tr = &tree{key: key, p: p}
+		for i, sl := range p.slices {
+			sh := r.shards[sl.shard]
+			up := &upstream{sh: sh, tr: tr, slice: i}
+			tk, err := sh.sess.SubscribeAsync(sl.q)
+			if err != nil {
+				return nil, nil, fmt.Errorf("federation: shard %d subscribe: %w", sl.shard, err)
+			}
+			tr.ups = append(tr.ups, up)
+			r.pendingUps = append(r.pendingUps, pendingUp{up: up, tk: tk})
+		}
+		r.trees[key] = tr
+	} else {
+		r.stats.DedupHits++
+	}
+	r.nextSub++
+	sub := &Sub{
+		sess:   s,
+		tr:     tr,
+		id:     r.nextSub,
+		key:    key,
+		shared: shared,
+		ch:     make(chan gateway.Update, r.cfg.Buffer),
+		seq:    0,
+	}
+	if !s.attached {
+		sub.detached = true
+		sub.reason = gateway.ReasonDetached
+	}
+	tr.subs = append(tr.subs, sub)
+	s.live[sub.id] = sub
+	return sub, tr, nil
+}
+
+func (r *Router) applyUnsubscribeLocked(c *rcmd) error {
+	s := c.sess
+	sub := s.live[c.id]
+	if sub == nil {
+		return fmt.Errorf("federation: session %q has no subscription %d", s.name, c.id)
+	}
+	r.stats.Unsubscribes++
+	r.dropSubLocked(sub, gateway.ReasonUnsubscribed)
+	return nil
+}
+
+func (r *Router) applyCloseLocked(s *Session) {
+	if s.closed {
+		return
+	}
+	for _, id := range sortedSubIDs(s.live) {
+		r.dropSubLocked(s.live[id], gateway.ReasonShutdown)
+	}
+	s.closed = true
+	s.attached = false
+	delete(r.sessions, s.name)
+	// Tear down the durable mirror on the home shard so its WAL entry is
+	// reclaimed; best effort — the shard may be down.
+	if sh := r.shards[s.home]; sh.alive && s.mirror != nil {
+		if tk, err := s.mirror.CloseAsync(); err == nil {
+			go func() { _, _ = tk.Wait() }()
+		}
+	}
+	s.mirror = nil
+}
+
+// dropSubLocked closes a downstream stream and, on last-unsubscribe,
+// tears its tree down (cancelling the canonical upstreams).
+func (r *Router) dropSubLocked(sub *Sub, reason gateway.CloseReason) {
+	s := sub.sess
+	delete(s.live, sub.id)
+	if sub.reason == gateway.ReasonNone || sub.detached {
+		if sub.detached {
+			sub.ring = nil
+			sub.reason = reason
+		} else {
+			sub.reason = reason
+			close(sub.ch)
+		}
+	}
+	tr := sub.tr
+	for i, other := range tr.subs {
+		if other == sub {
+			tr.subs = append(tr.subs[:i], tr.subs[i+1:]...)
+			break
+		}
+	}
+	if len(tr.subs) == 0 {
+		r.teardownTreeLocked(tr)
+	}
+}
+
+func (r *Router) teardownTreeLocked(tr *tree) {
+	for _, up := range tr.ups {
+		if up.sub != nil {
+			delete(up.sh.ups, up.id)
+			if up.sh.alive && up.sh.reachable && up.sh.sess != nil {
+				if tk, err := up.sh.sess.UnsubscribeAsync(up.id); err == nil {
+					go func() { _, _ = tk.Wait() }()
+				}
+			}
+			up.sub = nil
+		}
+	}
+	delete(r.trees, tr.key)
+}
+
+// resolveUpstreamsLocked collects the shard tickets staged at commit
+// (the shard Advance has committed them) and wires the upstream subs.
+func (r *Router) resolveUpstreamsLocked() {
+	pending := r.pendingUps
+	r.pendingUps = nil
+	for _, pu := range pending {
+		up := pu.up
+		sub, err := pu.tk.Wait()
+		if err != nil {
+			if up.tr.broken == nil {
+				up.tr.broken = fmt.Errorf("federation: shard %d admission: %w", up.sh.idx, err)
+			}
+			continue
+		}
+		up.sub = sub
+		up.id = sub.ID()
+		up.lastSeq = 0
+		up.sh.ups[up.id] = up
+		if up.slice == 0 {
+			up.tr.qid = sub.QueryID()
+		}
+	}
+}
+
+// ackLocked replies to the deferred subscribe commands, failing those
+// whose trees broke during upstream establishment.
+func (r *Router) ackLocked(acks []pendingAck) {
+	for _, a := range acks {
+		if a.tr.broken != nil {
+			err := a.tr.broken
+			if _, live := a.sub.sess.live[a.sub.id]; live {
+				r.dropSubLocked(a.sub, gateway.ReasonShutdown)
+			}
+			a.c.done <- rres{err: err}
+			continue
+		}
+		a.c.done <- rres{sub: a.sub}
+	}
+}
+
+// drainShardLocked empties every upstream channel of one shard into the
+// pending epoch accumulators.
+func (r *Router) drainShardLocked(sh *shard) {
+	for _, id := range sortedUpIDs(sh.ups) {
+		up := sh.ups[id]
+		if up.sub == nil {
+			continue
+		}
+		r.drainUpstreamLocked(up)
+	}
+}
+
+func (r *Router) drainUpstreamLocked(up *upstream) {
+	ch := up.sub.Updates()
+	for {
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				// The shard closed the stream under us (eviction — should
+				// not happen at router drain cadence, but a chaos scenario
+				// can force it). Orphan the upstream; the tree stalls
+				// until teardown.
+				up.sub = nil
+				return
+			}
+			up.lastSeq = u.Seq
+			r.mergePartialLocked(up, u)
+		default:
+			return
+		}
+	}
+}
+
+func (r *Router) mergePartialLocked(up *upstream, u gateway.Update) {
+	r.stats.PartialUpdates++
+	tr := up.tr
+	if tr.released > 0 && u.At <= tr.released {
+		r.stats.LateDropped++
+		return
+	}
+	acc := tr.acc(u.At)
+	if len(u.Rows) > 0 {
+		acc.rows = translateRows(acc.rows, u.Rows, up.sh.idx, r.spn)
+	}
+	if len(u.Aggs) > 0 {
+		acc.addAggs(u.Aggs)
+	}
+}
+
+// releaseLocked pushes every fully merged epoch (At <= the tree's
+// watermark) downstream in virtual-time order. MaxPending overflow
+// force-releases the oldest epochs without the stalled shard's partials.
+func (r *Router) releaseLocked() {
+	for _, key := range sortedTreeKeys(r.trees) {
+		tr := r.trees[key]
+		if len(tr.pending) == 0 {
+			continue
+		}
+		wm := sim.Time(1<<63 - 1)
+		for _, idx := range tr.p.shardSet() {
+			if w := r.shards[idx].watermark(); w < wm {
+				wm = w
+			}
+		}
+		times := make([]sim.Time, 0, len(tr.pending))
+		for at := range tr.pending {
+			times = append(times, at)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		force := 0
+		if over := len(times) - r.cfg.MaxPending; over > 0 {
+			force = over
+		}
+		for i, at := range times {
+			if at >= wm && i >= force {
+				break
+			}
+			if at >= wm {
+				r.stats.ForcedReleases++
+			}
+			r.releaseEpochLocked(tr, tr.pending[at])
+			delete(tr.pending, at)
+			tr.released = at
+		}
+		// A tree can lose its last subscriber via eviction during release.
+		if len(tr.subs) == 0 {
+			r.teardownTreeLocked(tr)
+		}
+	}
+}
+
+func (r *Router) releaseEpochLocked(tr *tree, acc *epochAcc) {
+	r.stats.MergedEpochs++
+	aggs := acc.finish(tr.p)
+	var evicted []*Sub
+	for _, sub := range tr.subs {
+		sub.seq++
+		u := gateway.Update{
+			Sub:      sub.id,
+			QueryID:  tr.qid,
+			Seq:      sub.seq,
+			At:       acc.at,
+			Rows:     acc.rows,
+			Aggs:     aggs,
+			Enqueued: time.Now(),
+		}
+		if sub.detached {
+			sub.pushRing(u)
+			r.stats.Updates++
+			continue
+		}
+		select {
+		case sub.ch <- u:
+			r.stats.Updates++
+		default:
+			evicted = append(evicted, sub)
+		}
+	}
+	for _, sub := range evicted {
+		r.stats.Evicted++
+		r.dropSubEvictedLocked(sub)
+	}
+}
+
+// dropSubEvictedLocked removes an overflowed subscriber without tearing
+// the tree down mid-release (releaseLocked sweeps empty trees after).
+func (r *Router) dropSubEvictedLocked(sub *Sub) {
+	delete(sub.sess.live, sub.id)
+	sub.reason = gateway.ReasonEvicted
+	close(sub.ch)
+	tr := sub.tr
+	for i, other := range tr.subs {
+		if other == sub {
+			tr.subs = append(tr.subs[:i], tr.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection and recovery
+
+// CrashShard kills shard i's gateway process abruptly (no clean
+// shutdown). Its trees stall at the frozen watermark until RecoverShard.
+func (r *Router) CrashShard(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, err := r.shardLocked(i)
+	if err != nil {
+		return err
+	}
+	if !sh.alive {
+		return fmt.Errorf("federation: shard %d is already down", i)
+	}
+	if err := sh.gw.Crash(); err != nil {
+		return err
+	}
+	sh.alive = false
+	sh.reachable = false
+	sh.frozen = sh.vnow
+	sh.sess = nil
+	for _, up := range sh.ups {
+		up.sub = nil // channels closed with ReasonCrashed
+	}
+	r.stats.ShardCrashes++
+	return nil
+}
+
+// RecoverShard rebuilds a crashed shard from its WAL, re-attaches the
+// router's upstream session by its durable token, resumes every upstream
+// stream from its last delivered sequence number, and replays the shard
+// forward to the router's clock one quantum at a time (draining between
+// steps so no channel overflows).
+func (r *Router) RecoverShard(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, err := r.shardLocked(i)
+	if err != nil {
+		return err
+	}
+	if sh.alive {
+		return fmt.Errorf("federation: shard %d is alive", i)
+	}
+	if sh.cfg.WALPath == "" {
+		return fmt.Errorf("federation: shard %d has no WAL (set Config.WALDir)", i)
+	}
+	gw, err := gateway.Recover(sh.cfg)
+	if err != nil {
+		return fmt.Errorf("federation: shard %d recover: %w", i, err)
+	}
+	sh.gw = gw
+	if err := r.reattachLocked(sh); err != nil {
+		return err
+	}
+	sh.alive = true
+	sh.reachable = true
+	r.stats.ShardRecoveries++
+	r.catchUpLocked(sh)
+	return nil
+}
+
+// PartitionShard cuts the router off from shard i without stopping it:
+// the upstream session detaches, so the shard keeps advancing and its
+// updates park in bounded resume rings until HealShard.
+func (r *Router) PartitionShard(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, err := r.shardLocked(i)
+	if err != nil {
+		return err
+	}
+	if !sh.alive {
+		return fmt.Errorf("federation: shard %d is down", i)
+	}
+	if !sh.reachable {
+		return fmt.Errorf("federation: shard %d is already partitioned", i)
+	}
+	if err := sh.sess.Detach(); err != nil {
+		return err
+	}
+	sh.reachable = false
+	sh.frozen = sh.vnow
+	for _, up := range sh.ups {
+		up.sub = nil // channels closed with ReasonDetached
+	}
+	r.stats.Partitions++
+	return nil
+}
+
+// HealShard reconnects a partitioned shard: the upstream session
+// re-attaches and every stream resumes from its last delivered sequence,
+// replaying the parked tail (bounded by the shard's resume rings).
+func (r *Router) HealShard(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, err := r.shardLocked(i)
+	if err != nil {
+		return err
+	}
+	if !sh.alive {
+		return fmt.Errorf("federation: shard %d is down (use RecoverShard)", i)
+	}
+	if sh.reachable {
+		return fmt.Errorf("federation: shard %d is not partitioned", i)
+	}
+	if err := r.reattachLocked(sh); err != nil {
+		return err
+	}
+	sh.reachable = true
+	r.stats.Heals++
+	// The parked tails are already in the fresh channels; fold them in
+	// now so the next Advance's watermark releases them in order.
+	r.drainShardLocked(sh)
+	return nil
+}
+
+func (r *Router) shardLocked(i int) (*shard, error) {
+	if r.closed {
+		return nil, gateway.ErrClosed
+	}
+	if i < 0 || i >= len(r.shards) {
+		return nil, fmt.Errorf("federation: no shard %d", i)
+	}
+	return r.shards[i], nil
+}
+
+// reattachLocked re-claims the router's upstream session on a shard and
+// resumes every tracked upstream stream from its last delivered
+// sequence number.
+func (r *Router) reattachLocked(sh *shard) error {
+	sess, infos, err := sh.gw.Attach(sh.name, sh.token)
+	if err != nil {
+		return fmt.Errorf("federation: shard %d attach: %w", sh.idx, err)
+	}
+	sh.sess = sess
+	known := make(map[gateway.SubID]bool, len(infos))
+	for _, in := range infos {
+		known[in.ID] = true
+	}
+	for _, id := range sortedUpIDs(sh.ups) {
+		up := sh.ups[id]
+		if !known[id] {
+			// The shard no longer carries the stream (e.g. its query was
+			// cancelled before the crash landed in the WAL). Orphan it.
+			delete(sh.ups, id)
+			continue
+		}
+		sub, err := sess.Resume(id, up.lastSeq)
+		if err != nil {
+			delete(sh.ups, id)
+			continue
+		}
+		up.sub = sub
+		r.stats.UpstreamResumes++
+	}
+	// Drop any shard-side streams the router no longer wants (their trees
+	// were torn down while the shard was unreachable).
+	for _, in := range infos {
+		if _, want := sh.ups[in.ID]; !want {
+			if tk, err := sess.UnsubscribeAsync(in.ID); err == nil {
+				go func() { _, _ = tk.Wait() }()
+			}
+		}
+	}
+	return nil
+}
+
+// catchUpLocked replays a recovered shard forward to the router's clock,
+// draining between quantum steps so upstream channels never overflow.
+func (r *Router) catchUpLocked(sh *shard) {
+	step := r.quantum
+	if step <= 0 {
+		step = defaultCatchUpStep
+	}
+	for sh.vnow < r.now {
+		d := step
+		if rem := time.Duration(r.now - sh.vnow); rem < d {
+			d = rem
+		}
+		if _, err := sh.gw.Advance(d); err != nil {
+			sh.alive = false
+			sh.reachable = false
+			sh.frozen = sh.vnow
+			return
+		}
+		sh.vnow += sim.Time(d)
+		r.drainShardLocked(sh)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+
+// Close shuts the router and every alive shard down. Staged commands and
+// live downstream streams fail with ReasonShutdown.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return gateway.ErrClosed
+	}
+	r.closed = true
+	for _, c := range r.staged {
+		c.done <- rres{err: gateway.ErrClosed}
+	}
+	r.staged = nil
+	r.pendingUps = nil
+	for _, s := range r.sessions {
+		s.closed = true
+		s.attached = false
+		for _, id := range sortedSubIDs(s.live) {
+			sub := s.live[id]
+			if sub.reason == gateway.ReasonNone && !sub.detached {
+				sub.reason = gateway.ReasonShutdown
+				close(sub.ch)
+			} else if sub.detached {
+				sub.reason = gateway.ReasonShutdown
+				sub.ring = nil
+			}
+		}
+		s.live = map[gateway.SubID]*Sub{}
+	}
+	gws := make([]*gateway.Gateway, 0, len(r.shards))
+	for _, sh := range r.shards {
+		if sh.alive {
+			gws = append(gws, sh.gw)
+		}
+		sh.alive = false
+		sh.reachable = false
+	}
+	close(r.done)
+	r.mu.Unlock()
+
+	var firstErr error
+	for _, gw := range gws {
+		if err := gw.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+
+func sortedSubIDs(m map[gateway.SubID]*Sub) []gateway.SubID {
+	ids := make([]gateway.SubID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedUpIDs(m map[gateway.SubID]*upstream) []gateway.SubID {
+	ids := make([]gateway.SubID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedTreeKeys(m map[string]*tree) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

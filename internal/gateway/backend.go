@@ -1,0 +1,105 @@
+package gateway
+
+import (
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// Backend is the serving surface Server drives: session registration and
+// re-attachment, virtual-time pacing, and the stats snapshot. The single
+// *Gateway implements it directly; the federation router implements it
+// over a fleet of shards, which lets one TCP server front either without
+// the wire protocol knowing the difference.
+type Backend interface {
+	// RegisterSession creates a session under a unique client-chosen name.
+	RegisterSession(name string) (ServerSession, error)
+	// AttachSession re-claims a detached session by name and resume token,
+	// reporting its resumable streams.
+	AttachSession(name, token string) (ServerSession, []ResumeInfo, error)
+	// Advance commits staged commands and moves virtual time forward by d,
+	// returning the number of commands applied.
+	Advance(d time.Duration) (int, error)
+	// ServeStats snapshots the backend's counters and current virtual time.
+	ServeStats() (Stats, sim.Time, error)
+}
+
+// ServerSession is the per-client surface the connection handler uses.
+type ServerSession interface {
+	Name() string
+	Token() string
+	// SubscribeQuery parses and subscribes a TinyDB-dialect query string.
+	SubscribeQuery(text string) (ServerSub, error)
+	Unsubscribe(id SubID) error
+	// Resume revives a detached stream from just after sequence number
+	// `after`, replaying the parked tail before going live.
+	Resume(id SubID, after uint64) (ServerSub, error)
+	// Detach releases the connection but keeps the session resumable.
+	Detach() error
+	// CloseAsync tears the session down; completion may lag the call.
+	CloseAsync() error
+}
+
+// ServerSub is one update stream as the connection forwarders consume it.
+type ServerSub interface {
+	ID() SubID
+	QueryID() query.ID
+	Shared() bool
+	Key() string
+	Updates() <-chan Update
+	Reason() CloseReason
+}
+
+// gwSession adapts *Session to ServerSession (the concrete methods return
+// concrete types, so the interface needs thin wrappers).
+type gwSession struct{ *Session }
+
+func (s gwSession) SubscribeQuery(text string) (ServerSub, error) {
+	sub, err := s.Session.SubscribeQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (s gwSession) Resume(id SubID, after uint64) (ServerSub, error) {
+	sub, err := s.Session.Resume(id, after)
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (s gwSession) CloseAsync() error {
+	t, err := s.Session.CloseAsync()
+	if err != nil {
+		return err
+	}
+	go func() { _, _ = t.Wait() }()
+	return nil
+}
+
+// RegisterSession implements Backend.
+func (g *Gateway) RegisterSession(name string) (ServerSession, error) {
+	s, err := g.Register(name)
+	if err != nil {
+		return nil, err
+	}
+	return gwSession{s}, nil
+}
+
+// AttachSession implements Backend.
+func (g *Gateway) AttachSession(name, token string) (ServerSession, []ResumeInfo, error) {
+	s, infos, err := g.Attach(name, token)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gwSession{s}, infos, nil
+}
+
+// ServeStats implements Backend.
+func (g *Gateway) ServeStats() (Stats, sim.Time, error) {
+	sn, err := g.statsAndNow()
+	return sn.stats, sn.now, err
+}

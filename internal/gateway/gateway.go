@@ -499,6 +499,11 @@ type Gateway struct {
 	inbox chan any
 	done  chan struct{} // closed when the loop exits
 
+	// sendMu serializes send against loop exit; sealed is set (under the
+	// write lock) by seal once the loop will never read the inbox again.
+	sendMu sync.RWMutex
+	sealed bool
+
 	closeOnce sync.Once
 	closeErr  error
 
@@ -615,17 +620,69 @@ func New(cfg Config) (*Gateway, error) {
 func (g *Gateway) Series() *obs.Series { return g.series }
 
 // send delivers a message to the loop, failing once the gateway is closed.
+// The read lock is held across the enqueue: seal (run by the exiting loop
+// after done closes) takes the write lock before draining the inbox, so a
+// send that returns nil is guaranteed a reply from either the loop or the
+// drain — never silently dropped.
 func (g *Gateway) send(msg any) error {
-	select {
-	case <-g.done:
+	g.sendMu.RLock()
+	defer g.sendMu.RUnlock()
+	if g.sealed {
 		return ErrClosed
-	default:
 	}
 	select {
 	case g.inbox <- msg:
 		return nil
 	case <-g.done:
 		return ErrClosed
+	}
+}
+
+// seal closes the mailbox after the loop has exited: once the write lock
+// is acquired no sender can still be mid-enqueue, so the drain below
+// answers every message that raced in ahead of the close. Runs on the
+// loop goroutine (tail of shutdown/crash), after the finals are
+// snapshotted and done is closed.
+func (g *Gateway) seal() {
+	g.sendMu.Lock()
+	g.sealed = true
+	g.sendMu.Unlock()
+	for {
+		select {
+		case msg := <-g.inbox:
+			g.reject(msg)
+		default:
+			return
+		}
+	}
+}
+
+// reject answers a mailbox message that arrived too late for the loop to
+// process. Every reply channel is buffered, so none of these block.
+func (g *Gateway) reject(msg any) {
+	switch m := msg.(type) {
+	case *command:
+		m.done <- result{err: ErrClosed}
+	case registerReq:
+		m.reply <- result2[*Session]{err: ErrClosed}
+	case statsReq:
+		m.reply <- statsNow{stats: g.finalStats, now: g.sim.Engine().Now()}
+	case statusReq:
+		m.reply <- g.finalStatus
+	case exportReq:
+		m.reply <- g.finalExp
+	case advanceReq:
+		m.reply <- advanceInfo{now: g.sim.Engine().Now(), err: ErrClosed}
+	case detachReq:
+		m.reply <- ErrClosed
+	case attachReq:
+		m.reply <- result2[attachResult]{err: ErrClosed}
+	case resumeReq:
+		m.reply <- result2[*Subscription]{err: ErrClosed}
+	case crashReq:
+		m.reply <- struct{}{}
+	case closeReq:
+		m.reply <- nil
 	}
 }
 
@@ -1018,11 +1075,22 @@ func (g *Gateway) Export() (obs.RunExport, error) {
 // idempotent; the final Stats and Export remain readable.
 func (g *Gateway) Close() error {
 	g.closeOnce.Do(func() {
+		// The sealed send path, not a bare inbox enqueue: after a crash
+		// both the (buffered) inbox send and done are ready, and picking
+		// the send would block forever on a reply the exited loop can
+		// never give. A nil send is answered by the loop's shutdown or,
+		// if a crash races in, by the seal drain.
 		reply := make(chan error, 1)
+		if err := g.send(closeReq{reply: reply}); err != nil {
+			return // already crashed or closed; finals are frozen
+		}
 		select {
-		case g.inbox <- closeReq{reply: reply}:
-			g.closeErr = <-reply
+		case g.closeErr = <-reply:
 		case <-g.done:
+			select {
+			case g.closeErr = <-reply:
+			default:
+			}
 		}
 	})
 	return g.closeErr
@@ -1597,6 +1665,7 @@ func (g *Gateway) shutdown() {
 	g.finalStatus.Alive = false
 	g.finalMu.Unlock()
 	close(g.done)
+	g.seal()
 }
 
 // crash is shutdown's violent sibling: nothing drains, nothing cancels,
@@ -1644,4 +1713,5 @@ func (g *Gateway) crash() {
 	g.finalStatus.Alive = false
 	g.finalMu.Unlock()
 	close(g.done)
+	g.seal()
 }

@@ -36,6 +36,20 @@ import (
 // update delivered to this many connections per op.
 const fanSubs = 8
 
+// burstN is the same-round burst the flush-batching benchmark models: a
+// quantum spanning burstN epochs delivers that many updates per
+// subscription per Advance, which the forwarder must flush as one write.
+const burstN = 4
+
+// countingWriter counts underlying writes — each one models a syscall on a
+// real connection.
+type countingWriter struct{ writes int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	return len(p), nil
+}
+
 // ServeBenchRow is one benchmark measurement.
 type ServeBenchRow struct {
 	Name        string  `json:"name"`
@@ -56,6 +70,12 @@ type ServeBenchReport struct {
 	// AllocsPerMessage is heap allocations per delivered message on the
 	// binary fan-out path.
 	AllocsPerMessage float64 `json:"allocs_per_message"`
+	// FlushesPerBurst is the number of underlying connection writes one
+	// fan-out round of burstN same-round updates costs on the batched
+	// write path — the syscall count the per-round flush batching exists
+	// to bound. Gated absolutely at <= 1.5 (one write per round plus
+	// measurement slack); the pre-batching path cost burstN.
+	FlushesPerBurst float64 `json:"flushes_per_burst"`
 	// Note reminds readers which fields are gated.
 	Note string `json:"note"`
 }
@@ -171,6 +191,34 @@ func RunServeBench(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 		}
 	})
 	rep.Rows = append(rep.Rows, row("fanout/json", fanJSON, fanSubs))
+
+	// fanout/burst: one round of burstN same-round updates staged through
+	// the buffered write path and flushed once — the forwarder's per-round
+	// shape after flush batching. The counting writer measures the actual
+	// underlying writes (syscalls) per round.
+	cw := &countingWriter{}
+	burstWriter := newConnWriter(cw)
+	burstWriter.setBinary()
+	var burstWrites float64
+	burst := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cw.writes = 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < burstN; j++ {
+				if err := burstWriter.writeUpdateBuffered(&u); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := burstWriter.flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		burstWrites = float64(cw.writes) / float64(b.N)
+	})
+	rep.Rows = append(rep.Rows, row("fanout/burst", burst, burstN))
+	rep.FlushesPerBurst = burstWrites
 
 	// wal: append one lifecycle record through the reused frame buffer vs
 	// the JSON marshalling it replaced.
@@ -288,6 +336,9 @@ func (r *ServeBenchReport) String() string {
 	}
 	fmt.Fprintf(&sb, "binary speedup (fanout json/binary): %.1fx\n", r.BinarySpeedup)
 	fmt.Fprintf(&sb, "allocs per delivered message (binary): %.2f\n", r.AllocsPerMessage)
+	if r.FlushesPerBurst > 0 {
+		fmt.Fprintf(&sb, "connection writes per %d-update round (batched): %.2f\n", burstN, r.FlushesPerBurst)
+	}
 	return sb.String()
 }
 
@@ -313,6 +364,13 @@ func CompareServeBench(baseline, current *ServeBenchReport, tol float64) []strin
 	if current.AllocsPerMessage > 2 {
 		bad = append(bad, fmt.Sprintf(
 			"allocs_per_message %.2f exceeds the absolute bound of 2", current.AllocsPerMessage))
+	}
+	// Flush batching is gated absolutely too: a same-round burst must cost
+	// ~one connection write, not one per update.
+	if current.FlushesPerBurst > 1.5 {
+		bad = append(bad, fmt.Sprintf(
+			"flushes_per_burst %.2f exceeds the absolute bound of 1.5 (per-update flush regression)",
+			current.FlushesPerBurst))
 	}
 	base := make(map[string]ServeBenchRow, len(baseline.Rows))
 	for _, r := range baseline.Rows {

@@ -18,7 +18,7 @@ func TestServeBenchReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"encode/binary", "encode/json", "fanout/binary", "fanout/json",
-		"wal/binary", "wal/json", "dedup/interned", "dedup/string"}
+		"fanout/burst", "wal/binary", "wal/json", "dedup/interned", "dedup/string"}
 	if len(rep.Rows) != len(want) {
 		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(want))
 	}
@@ -35,6 +35,11 @@ func TestServeBenchReportShape(t *testing.T) {
 	}
 	if rep.AllocsPerMessage > 2 {
 		t.Errorf("allocs per delivered message %.2f, acceptance bar is 2", rep.AllocsPerMessage)
+	}
+	// Flush batching: a burst of burstN same-round updates must hit the
+	// connection as ~one write, not one per update.
+	if rep.FlushesPerBurst <= 0 || rep.FlushesPerBurst > 1.5 {
+		t.Errorf("flushes per %d-update burst = %.2f, want ~1", burstN, rep.FlushesPerBurst)
 	}
 	// Self-comparison passes the gate.
 	if bad := CompareServeBench(rep, rep, 0.10); len(bad) != 0 {

@@ -40,9 +40,10 @@ type ServerConfig struct {
 }
 
 // Server serves the gateway's newline-delimited JSON protocol over TCP and
-// drives the simulation with a wall-clock pacer.
+// drives the simulation with a wall-clock pacer. It fronts any Backend —
+// a single *Gateway or a federation router.
 type Server struct {
-	gw  *Gateway
+	gw  Backend
 	ln  net.Listener
 	cfg ServerConfig
 
@@ -55,9 +56,9 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 }
 
-// NewServer starts listening and pacing. The caller owns the Gateway and
+// NewServer starts listening and pacing. The caller owns the backend and
 // should Close it after Server.Close.
-func NewServer(gw *Gateway, cfg ServerConfig) (*Server, error) {
+func NewServer(gw Backend, cfg ServerConfig) (*Server, error) {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 250 * time.Millisecond
 	}
@@ -182,6 +183,16 @@ func (w *connWriter) write(r Response) error {
 // straight from its simulation form into a pooled buffer — no intermediate
 // Response, no string-keyed maps, no per-message allocation.
 func (w *connWriter) writeUpdate(u *Update) error {
+	if err := w.writeUpdateBuffered(u); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// writeUpdateBuffered stages one update in the connection's write buffer
+// without flushing, so a same-round burst of updates costs one syscall
+// when the caller flushes once at the end of the burst.
+func (w *connWriter) writeUpdateBuffered(u *Update) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.binary {
@@ -190,14 +201,15 @@ func (w *connWriter) writeUpdate(u *Update) error {
 		*bp = b
 		_, err := w.bw.Write(sealFrame(b))
 		putFrameBuf(bp)
-		if err != nil {
-			return err
-		}
-		return w.bw.Flush()
-	}
-	if err := w.enc.Encode(wireUpdate(*u)); err != nil {
 		return err
 	}
+	return w.enc.Encode(wireUpdate(*u))
+}
+
+// flush drains the write buffer to the connection.
+func (w *connWriter) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.bw.Flush()
 }
 
@@ -222,7 +234,7 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<20)
 	var scratch []byte // reused binary frame payload buffer
 
-	var sess *Session
+	var sess ServerSession
 	// named tracks whether the client claimed the session with an explicit
 	// hello: named sessions detach (stay resumable) on disconnect, while
 	// anonymous auto-registered ones are torn down.
@@ -236,7 +248,7 @@ func (s *Server) handle(conn net.Conn) {
 			name = fmt.Sprintf("conn-%d", id)
 		}
 		var err error
-		sess, err = s.gw.Register(name)
+		sess, err = s.gw.RegisterSession(name)
 		return err
 	}
 	defer func() {
@@ -251,17 +263,34 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		// Tear the session down at the next tick; the forwarders end
 		// when their subscriptions close.
-		if t, err := sess.CloseAsync(); err == nil {
-			go func() { _, _ = t.Wait() }()
-		}
+		_ = sess.CloseAsync()
 	}()
 
 	// forward pumps one subscription's updates to the connection until it
-	// closes, then reports the reason.
-	forward := func(sub *Subscription) {
+	// closes, then reports the reason. An Advance delivers a whole round of
+	// epochs at once, so the ready burst is staged into the write buffer
+	// and flushed with one syscall instead of one per message.
+	forward := func(sub ServerSub) {
 		defer s.wg.Done()
-		for u := range sub.Updates() {
-			if w.writeUpdate(&u) != nil {
+		ch := sub.Updates()
+		for u := range ch {
+			for more := true; more; {
+				if w.writeUpdateBuffered(&u) != nil {
+					conn.Close()
+					return
+				}
+				select {
+				case next, ok := <-ch:
+					if !ok {
+						more = false
+					} else {
+						u = next
+					}
+				default:
+					more = false
+				}
+			}
+			if w.flush() != nil {
 				conn.Close()
 				return
 			}
@@ -333,7 +362,7 @@ func (s *Server) handle(conn net.Conn) {
 					fail(fmt.Errorf("connection already has session %q", sess.Name()))
 					continue
 				}
-				se, infos, err := s.gw.Attach(req.Client, req.Token)
+				se, infos, err := s.gw.AttachSession(req.Client, req.Token)
 				if err != nil {
 					fail(err)
 					continue
@@ -418,16 +447,16 @@ func (s *Server) handle(conn net.Conn) {
 			// The forwarder emits the TypeClosed line when the channel
 			// drains; nothing more to say here.
 		case OpStats:
-			sn, err := s.gw.statsAndNow()
+			st, now, err := s.gw.ServeStats()
 			if err != nil {
 				fail(err)
 				continue
 			}
-			gm := sn.stats.Metrics()
+			gm := st.Metrics()
 			_ = w.write(Response{
 				Type:  TypeStats,
 				Tag:   req.Tag,
-				AtMS:  time.Duration(sn.now).Milliseconds(),
+				AtMS:  time.Duration(now).Milliseconds(),
 				Stats: &gm,
 			})
 		default:

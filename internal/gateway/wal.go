@@ -77,8 +77,13 @@ type wal struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
-	size int64  // bytes appended (including buffered, not-yet-flushed ones)
+	size int64  // bytes accepted by the writer (including buffered ones)
 	buf  []byte // reused per-record frame buffer (loop goroutine only)
+	// err poisons the log after the first write failure: a WAL that may
+	// have dropped or torn a record mid-file must not accept more appends
+	// (compaction thresholds and recovery would trust a lie), so every
+	// later append/flush fails fast with the original error.
+	err error
 }
 
 func createWAL(path string) (*wal, error) {
@@ -90,20 +95,37 @@ func createWAL(path string) (*wal, error) {
 }
 
 func (w *wal) append(r walRecord) error {
+	if w.err != nil {
+		return w.err
+	}
 	b, err := appendWALFrame(w.buf[:0], &r)
 	if err != nil {
 		return err
 	}
 	w.buf = b
 	frame := sealFrame(b)
-	if _, err := w.w.Write(frame); err != nil {
-		return err
+	// Account only for what the writer accepted: a short write (bufio
+	// draining to a failing file) must not inflate size past the bytes
+	// that can ever reach the disk.
+	n, err := w.w.Write(frame)
+	w.size += int64(n)
+	if err != nil {
+		w.err = fmt.Errorf("gateway: wal append %s: %w", w.path, err)
+		return w.err
 	}
-	w.size += int64(len(frame))
 	return nil
 }
 
-func (w *wal) flush() error { return w.w.Flush() }
+func (w *wal) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("gateway: wal flush %s: %w", w.path, err)
+		return w.err
+	}
+	return nil
+}
 
 func (w *wal) close() error {
 	if w == nil {

@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"bufio"
+	"errors"
+	"testing"
+)
+
+// shortWriter accepts up to n bytes, then fails every write — the shape of
+// a disk filling up mid-record.
+type shortWriter struct {
+	n   int
+	err error
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) <= w.n {
+		w.n -= len(p)
+		return len(p), nil
+	}
+	n := w.n
+	w.n = 0
+	return n, w.err
+}
+
+// TestWALAppendShortWriteAccounting: a failed append must account only the
+// bytes the writer actually accepted (not the whole frame), and the first
+// write error must poison the log so later appends and flushes fail fast
+// instead of appending after a torn record.
+func TestWALAppendShortWriteAccounting(t *testing.T) {
+	boom := errors.New("disk full")
+	sw := &shortWriter{n: 10, err: boom}
+	// A buffer smaller than one frame forces the writer to drain during
+	// append, surfacing the short write inside wal.append itself.
+	w := &wal{path: "short-write-test", w: bufio.NewWriterSize(sw, 8)}
+
+	rec := walRecord{Op: walOpRegister, At: 42, Sess: "alice", Token: "0123456789abcdef"}
+	err := w.append(rec)
+	if !errors.Is(err, boom) {
+		t.Fatalf("append after short write = %v, want wrapped %v", err, boom)
+	}
+	frame := sealFrame(w.buf)
+	if w.size >= int64(len(frame)) {
+		t.Fatalf("size %d counts the full %d-byte frame despite the short write", w.size, len(frame))
+	}
+	if w.size > 10+8 {
+		// Direct write plus at most one buffered drain: nothing beyond the
+		// accepted bytes (and the tiny buffer) may be counted.
+		t.Fatalf("size %d exceeds the %d bytes the writer could have accepted", w.size, 10+8)
+	}
+	sizeAfterFailure := w.size
+
+	// Poisoned: appends and flushes fail fast with the original error and
+	// the accounting stays frozen.
+	for i := 0; i < 3; i++ {
+		if err := w.append(rec); !errors.Is(err, boom) {
+			t.Fatalf("append on poisoned wal = %v, want %v", err, boom)
+		}
+		if err := w.flush(); !errors.Is(err, boom) {
+			t.Fatalf("flush on poisoned wal = %v, want %v", err, boom)
+		}
+	}
+	if w.size != sizeAfterFailure {
+		t.Fatalf("poisoned wal size moved: %d -> %d", sizeAfterFailure, w.size)
+	}
+}
+
+// TestWALFlushErrorPoisons: an error surfacing at flush (append fit the
+// bufio buffer, the drain failed later) must poison the log too.
+func TestWALFlushErrorPoisons(t *testing.T) {
+	boom := errors.New("io error")
+	sw := &shortWriter{n: 0, err: boom}
+	w := &wal{path: "flush-error-test", w: bufio.NewWriterSize(sw, 1<<12)}
+
+	if err := w.append(walRecord{Op: walOpAdvance, At: 1}); err != nil {
+		t.Fatalf("buffered append should succeed, got %v", err)
+	}
+	if err := w.flush(); !errors.Is(err, boom) {
+		t.Fatalf("flush = %v, want %v", err, boom)
+	}
+	if err := w.append(walRecord{Op: walOpAdvance, At: 2}); !errors.Is(err, boom) {
+		t.Fatalf("append after failed flush = %v, want %v", err, boom)
+	}
+}

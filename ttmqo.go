@@ -258,6 +258,11 @@ type (
 	ScalingConfig = experiments.ScalingConfig
 	// ScalingRow is one (size, scheme) cell of the scaling study.
 	ScalingRow = experiments.ScalingRow
+	// FederationScalingConfig parametrizes RunFederationScaling.
+	FederationScalingConfig = experiments.FederationScalingConfig
+	// FederationScalingRow is one fleet-size cell of the federation
+	// scaling study.
+	FederationScalingRow = experiments.FederationScalingRow
 	// EnergyModel converts radio and sensing activity into Joules.
 	EnergyModel = metrics.EnergyModel
 	// SweepTiming records a sweep's wall-clock accounting; point a config's
@@ -449,6 +454,18 @@ func RunLifetime(cfg LifetimeConfig) ([]LifetimeRow, error) {
 // RunScaling sweeps network sizes for the baseline and TTMQO, extending
 // Figure 3's two sizes into a curve (with result latency).
 func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) { return experiments.RunScaling(cfg) }
+
+// RunFederationScaling sweeps router fleet sizes with constant per-shard
+// load, measuring downstream subscriber throughput against shard count.
+func RunFederationScaling(cfg FederationScalingConfig) ([]FederationScalingRow, error) {
+	return experiments.RunFederationScaling(cfg)
+}
+
+// FederationScalingString renders the federation scaling study as a text
+// table.
+func FederationScalingString(rows []FederationScalingRow) string {
+	return experiments.FederationScalingString(rows)
+}
 
 // DefaultEnergyModel returns the mica2-flavoured energy defaults.
 func DefaultEnergyModel() EnergyModel { return metrics.DefaultEnergyModel() }
