@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel bench-check bench-baseline serve-soak chaos-soak admin-smoke clean
+.PHONY: build test race vet bench bench-parallel bench-check bench-baseline serve-soak chaos-soak admin-smoke fuzz clean
 
 build:
 	$(GO) build ./...
@@ -58,9 +58,20 @@ admin-smoke:
 # with the delivery invariants (no duplicates, no sequence gaps, bounded
 # completeness loss, no goroutine leaks) asserted after the drain. The
 # federation soak reruns the router-tier drills (kill-a-shard,
-# partition-the-router) across seeds under the same invariants.
+# partition-the-router) across seeds under the same invariants, and the
+# share soak crashes the gateway underneath the sharing coordinator while
+# cached replay and live delivery interleave.
 chaos-soak:
-	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants|TestFederationChaosSoak' ./internal/chaos
+	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants|TestFederationChaosSoak|TestShareChaosSoak' ./internal/chaos
+
+# A short fuzz pass over the grammar-adjacent surfaces: the query parser's
+# robustness invariants (never panic; accepted input round-trips) and the
+# canonical dedup/CSE key's byte-stability under predicate reordering,
+# duplicate entries and whitespace noise. The seeded corpora live in the
+# fuzz tests themselves; this budget is sized for CI.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/query
+	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime 10s ./internal/gateway
 
 clean:
 	rm -f ttmqo-bench ttmqo-sim ttmqo-workload ttmqo-shell ttmqo-serve

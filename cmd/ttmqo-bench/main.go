@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|chaos|lifetime|scaling|federation|serve|all]
+//	ttmqo-bench [-fig 2|3|4a|4b|4c|5|ablation|reliability|chaos|lifetime|scaling|federation|share|serve|all]
 //	            [-seed N] [-minutes M] [-runs R] [-parallel P] [-md report.md]
 //	            [-json out.json] [-benchout BENCH_serve.json] [-benchcheck BENCH_serve.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -38,6 +38,7 @@ import (
 
 	ttmqo "repro"
 	"repro/internal/gateway"
+	"repro/internal/share"
 )
 
 func main() {
@@ -45,7 +46,7 @@ func main() {
 }
 
 func run() int {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, 4c, 5, ablation, reliability, chaos, lifetime, scaling, federation, serve or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, 4c, 5, ablation, reliability, chaos, lifetime, scaling, federation, share, serve or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	minutes := flag.Int("minutes", 10, "simulated minutes per packet-level run")
 	runs := flag.Int("runs", 3, "workload seeds averaged per stochastic point")
@@ -262,6 +263,16 @@ func run() int {
 		return nil
 	})
 
+	dispatch("share", func() error {
+		rows, err := ttmqo.RunShareStudy(ttmqo.ShareStudyConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		keep("share", rows)
+		fmt.Print(ttmqo.ShareStudyString(rows))
+		return nil
+	})
+
 	dispatch("lifetime", func() error {
 		rows, err := ttmqo.RunLifetime(ttmqo.LifetimeConfig{Seed: *seed, Duration: dur, Parallelism: *parallel, Timing: &tm})
 		if err != nil {
@@ -325,6 +336,10 @@ func runServeSuite(outPath, checkPath string) int {
 	rep, err := gateway.RunServeBench(gateway.ServeBenchConfig{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve bench:", err)
+		return 1
+	}
+	if err := share.BenchServe(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "serve bench (share rows):", err)
 		return 1
 	}
 	fmt.Print(rep.String())

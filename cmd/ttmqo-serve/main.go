@@ -103,6 +103,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/gateway"
 	"repro/internal/network"
+	"repro/internal/share"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -148,6 +149,8 @@ func run() error {
 	forDur := flag.Duration("for", 3*time.Second, "netload: wall-clock duration of the -loadgen -net run")
 	shards := flag.Int("shards", 1, "shard the deployment into K region partitions behind a federation router (1 = single gateway)")
 	waldir := flag.String("waldir", "", "federation: per-shard write-ahead-log directory (DIR/shard-<i>.wal), enables shard crash recovery")
+	shareOn := flag.Bool("share", false, "front the serving tier with the cross-query sharing coordinator (partial-aggregate CSE + windowed result cache)")
+	cacheWindow := flag.Int("cache-window", 0, "share: result-cache depth in epochs (0 = default, negative disables cached replay; requires -share)")
 	flag.Parse()
 
 	switch *wire {
@@ -159,6 +162,20 @@ func run() error {
 	scheme, err := network.ParseScheme(*schemeName)
 	if err != nil {
 		return err
+	}
+
+	if *cacheWindow != 0 && !*shareOn {
+		return fmt.Errorf("-cache-window requires -share")
+	}
+	if *shareOn {
+		switch {
+		case *loadgen:
+			return fmt.Errorf("-share is incompatible with -loadgen")
+		case *crashAfter > 0:
+			return fmt.Errorf("-share does not compose with the -crash-after drill")
+		case *jsonOut != "" || *seriesOut != "":
+			return fmt.Errorf("-json/-series support only gateway-direct serving")
+		}
 	}
 
 	if *shards > 1 {
@@ -190,7 +207,7 @@ func run() error {
 			Quantum:     *quantum,
 			ReadTimeout: *readTimeout,
 			ForceJSON:   *wire == "json",
-		}, *admin)
+		}, *admin, *shareOn, *cacheWindow)
 	}
 
 	if *loadgen && *netload {
@@ -287,6 +304,25 @@ func run() error {
 			return err
 		}
 	}
+	if *shareOn {
+		return serveShared(shareServeOpts{
+			coord: share.Config{
+				Upstream:     share.OverGateway(gw),
+				Sensors:      topo.Size() - 1,
+				Window:       *cacheWindow,
+				Buffer:       *buffer,
+				SessionQuota: *quota,
+			},
+			srv:     srvCfg,
+			admin:   *admin,
+			trace:   traceBuf,
+			closeUp: gw.Close,
+			register: func(reg *telemetry.Registry) {
+				gateway.RegisterMetrics(reg, func() *gateway.Gateway { return gw })
+			},
+			banner: fmt.Sprintf("scheme=%s nodes=%d tick=%v quantum=%v", scheme, topo.Size(), *tick, *quantum),
+		})
+	}
 	srv, err := gateway.NewServer(gw, srvCfg)
 	if err != nil {
 		gw.Close()
@@ -370,11 +406,31 @@ func run() error {
 
 // serveFederated runs the sharded serving mode: a federation router over
 // K region-partitioned gateway shards behind the same TCP server and
-// wire protocol.
-func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAddr string) error {
+// wire protocol. With shareOn the router is fronted by the sharing
+// coordinator, so cross-query CSE and cached replay span the whole fleet.
+func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAddr string, shareOn bool, cacheWindow int) error {
 	rt, err := federation.New(cfg)
 	if err != nil {
 		return err
+	}
+	if shareOn {
+		return serveShared(shareServeOpts{
+			coord: share.Config{
+				Upstream:     share.OverRouter(rt),
+				Sensors:      cfg.Shards * (cfg.Side*cfg.Side - 1),
+				Window:       cacheWindow,
+				Buffer:       cfg.Buffer,
+				SessionQuota: cfg.SessionQuota,
+			},
+			srv:     srvCfg,
+			admin:   adminAddr,
+			closeUp: rt.Close,
+			register: func(reg *telemetry.Registry) {
+				federation.RegisterMetrics(reg, func() *federation.Router { return rt })
+			},
+			banner: fmt.Sprintf("%d shards × side %d = %d sensors, scheme=%s",
+				cfg.Shards, cfg.Side, cfg.Shards*(cfg.Side*cfg.Side-1), cfg.Scheme),
+		})
 	}
 	srv, err := gateway.NewServer(rt, srvCfg)
 	if err != nil {
@@ -419,6 +475,98 @@ func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAdd
 	st := rt.FedStats()
 	fmt.Printf("shards=%d sessions=%d subscribes=%d dedup_hits=%d trees=%d merged_epochs=%d updates=%d merge_latency=%v\n",
 		st.Shards, st.Sessions, st.Subscribes, st.DedupHits, st.Trees, st.MergedEpochs, st.Updates, rt.MergeLatency())
+	return nil
+}
+
+// shareServeOpts parametrizes serveShared: the coordinator's config, the
+// TCP server, the admin plane, and the hooks tying the tier beneath the
+// coordinator into drain order and metric registration.
+type shareServeOpts struct {
+	coord    share.Config
+	srv      gateway.ServerConfig
+	admin    string
+	trace    *trace.Buffer
+	closeUp  func() error
+	register func(*telemetry.Registry)
+	banner   string
+}
+
+// serveShared fronts the serving tier (single gateway or federation
+// router) with the cross-query sharing coordinator and serves it over the
+// same TCP wire protocol. On shutdown the coordinator drains first so its
+// staged commands fail and connection handlers unblock, then the tier
+// beneath it, then the listener.
+func serveShared(o shareServeOpts) error {
+	coord, err := share.New(o.coord)
+	if err != nil {
+		o.closeUp()
+		return err
+	}
+	srv, err := gateway.NewServer(coord, o.srv)
+	if err != nil {
+		coord.Close()
+		o.closeUp()
+		return err
+	}
+	cell, window := o.coord.Cell, o.coord.Window
+	if cell <= 0 {
+		cell = share.DefaultCell
+	}
+	switch {
+	case window == 0:
+		window = share.DefaultWindow
+	case window < 0:
+		window = 0
+	}
+	fmt.Printf("ttmqo-serve: sharing coordinator on %s (cell=%d cache-window=%d; %s)\n",
+		srv.Addr(), cell, window, o.banner)
+
+	if o.admin != "" {
+		reg := telemetry.NewRegistry()
+		o.register(reg)
+		share.RegisterMetrics(reg, func() *share.Coordinator { return coord })
+		cfg := telemetry.AdminConfig{
+			Registry: reg,
+			Ready:    coord.Alive,
+			Status:   func() any { return coord.ShareStats() },
+		}
+		if o.trace != nil {
+			cfg.Trace = func(w io.Writer) {
+				for _, e := range o.trace.Snapshot() {
+					fmt.Fprintln(w, e)
+				}
+			}
+		}
+		adm := telemetry.NewAdmin(cfg)
+		bound, err := adm.Start(o.admin)
+		if err != nil {
+			coord.Close()
+			o.closeUp()
+			srv.Close()
+			return err
+		}
+		fmt.Printf("ttmqo-serve: admin on http://%s\n", bound)
+		defer adm.Close()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ttmqo-serve: draining")
+
+	if err := coord.Close(); err != nil {
+		return err
+	}
+	if err := o.closeUp(); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st := coord.ShareStats()
+	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d fragments_created=%d fragments_reused=%d reuse_ratio=%.2f cache_hits=%d replayed_epochs=%d updates=%d\n",
+		st.Sessions, st.Subscribes, st.DedupHits, st.FragmentsCreated, st.FragmentsReused,
+		st.FragmentReuseRatio(), st.CacheHits, st.ReplayedEpochs, st.Updates)
 	return nil
 }
 

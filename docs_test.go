@@ -282,6 +282,59 @@ func TestDocsCoverFederation(t *testing.T) {
 	}
 }
 
+// TestDocsCoverShare: README.md must document the cross-query sharing
+// layer — the serve flags that mount it, the study figure and the chaos
+// drill — and EXPERIMENTS.md must walk through the study, the drill and
+// the sharing rows of the serve bench suite. The metric families the
+// docs name must be the registered ones. This is the drift check for
+// the sharing/caching surface.
+func TestDocsCoverShare(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	for _, f := range []string{"-share", "-cache-window"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README.md does not mention sharing flag %s", f)
+		}
+	}
+	if !strings.Contains(readme, "-fig share") {
+		t.Error("README.md does not mention the sharing study (-fig share)")
+	}
+	if !strings.Contains(readme, chaos.ShareScenarioName) {
+		t.Errorf("README.md does not mention the sharing drill %q", chaos.ShareScenarioName)
+	}
+	if !strings.Contains(experiments, chaos.ShareScenarioName) {
+		t.Errorf("EXPERIMENTS.md does not walk through the sharing drill %q", chaos.ShareScenarioName)
+	}
+	// The sharing rows of the serve bench suite must be walked through
+	// next to the committed baseline they are gated against.
+	for _, row := range []string{"share/ttfr-cold", "share/ttfr-warm"} {
+		if !strings.Contains(experiments, row) {
+			t.Errorf("EXPERIMENTS.md does not mention serve benchmark row %q", row)
+		}
+	}
+	// The metric families the docs walk through must be real registered
+	// names — a rename in share/telemetry.go must show up here.
+	for _, fam := range []string{
+		"ttmqo_share_fragment_reuse_ratio",
+		"ttmqo_share_fragments_created_total",
+		"ttmqo_share_fragments_reused_total",
+		"ttmqo_share_fragments_active",
+		"ttmqo_cache_hit_ratio",
+		"ttmqo_cache_hits_total",
+		"ttmqo_cache_replayed_epochs_total",
+	} {
+		if !strings.Contains(readme+experiments, fam) {
+			t.Errorf("docs do not mention sharing metric family %s", fam)
+		}
+	}
+	if !strings.Contains(readme, "FuzzCanonicalKey") {
+		t.Error("README.md does not mention the canonical-key fuzz harness")
+	}
+	if !strings.Contains(readme, "make fuzz") {
+		t.Error("README.md does not mention the fuzz make target")
+	}
+}
+
 // TestDocsCoverAdminPlane: README.md must document every admin HTTP
 // endpoint the server actually serves, the flags that mount it, and the
 // smoke-drill make target; EXPERIMENTS.md must show the readiness drill.

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestShareScenarioValidation covers the config guard rails.
+func TestShareScenarioValidation(t *testing.T) {
+	if _, err := RunShareScenario(ShareRunConfig{}); err == nil {
+		t.Fatal("share drill ran without a WAL directory")
+	}
+	if _, err := RunShareScenario(ShareRunConfig{WALDir: t.TempDir(), Rounds: shareClearRound + 1}); err == nil {
+		t.Fatal("share drill accepted a round budget too short to observe recovery")
+	}
+}
+
+// TestShareCrashUnderTheCache crashes the gateway underneath the sharing
+// coordinator mid-stream, lets a late subscriber replay from cache during
+// the outage, recovers the gateway from its WAL and asserts every
+// delivery invariant — including value agreement between cached replay
+// and live delivery — held across the crash.
+func TestShareCrashUnderTheCache(t *testing.T) {
+	rep, err := RunShareScenario(ShareRunConfig{
+		Seed:   7,
+		WALDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.LateReplayed == 0 {
+		t.Fatal("mid-outage subscriber replayed nothing from cache")
+	}
+	if rep.Updates <= rep.UpdatesAtFault {
+		t.Fatalf("no post-recovery progress: %d at fault, %d final", rep.UpdatesAtFault, rep.Updates)
+	}
+	if rep.Duplicates != 0 || rep.Gaps != 0 || rep.OrderViolations != 0 || rep.ValueMismatches != 0 {
+		t.Fatalf("delivery invariants broken: dup=%d gaps=%d order=%d values=%d",
+			rep.Duplicates, rep.Gaps, rep.OrderViolations, rep.ValueMismatches)
+	}
+	if rep.Stats.Reattaches != 1 || rep.Stats.UpstreamResumes == 0 {
+		t.Fatalf("failover accounting: reattaches=%d resumes=%d",
+			rep.Stats.Reattaches, rep.Stats.UpstreamResumes)
+	}
+}
+
+// TestShareChaosSoak reruns the sharing drill across seeds and cache
+// depths; it rides the `make chaos-soak` target next to the gateway and
+// federation soaks.
+func TestShareChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short mode")
+	}
+	for _, window := range []int{0, 2, 4} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rep, err := RunShareScenario(ShareRunConfig{
+				Seed:   seed,
+				WALDir: t.TempDir(),
+				Window: window,
+			})
+			if err != nil {
+				t.Fatalf("window=%d seed=%d: %v", window, seed, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("window=%d seed=%d violation: %s", window, seed, v)
+			}
+		}
+	}
+}

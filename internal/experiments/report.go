@@ -51,6 +51,7 @@ type Report struct {
 	Lifetime    []LifetimeRow
 	Scaling     []ScalingRow
 	Federation  []FederationScalingRow
+	Share       []ShareStudyRow
 	// Timings records each study's cell count, wall clock and speedup.
 	Timings []StudyTiming
 	Elapsed time.Duration
@@ -116,6 +117,9 @@ func RunAll(cfg ReportConfig) (*Report, error) {
 	// feeds its throughput gauge, so no worker pool and no Timing slot.
 	if r.Federation, err = RunFederationScaling(FederationScalingConfig{Seed: cfg.Seed}); err != nil {
 		return nil, fmt.Errorf("federation scaling: %w", err)
+	}
+	if r.Share, err = RunShareStudy(ShareStudyConfig{Seed: cfg.Seed}); err != nil {
+		return nil, fmt.Errorf("share study: %w", err)
 	}
 	return r, nil
 }
@@ -206,6 +210,19 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %d | %.0f | %.2fx |\n",
 			row.Shards, row.Sensors, row.Sessions, row.Subs, row.Upstreams,
 			row.Updates, row.MergedEpochs, row.UpdatesPerSec, row.Speedup)
+	}
+
+	b.WriteString("\n## Cross-query sharing at the gateway (extension)\n\n")
+	b.WriteString("Each overlap factor runs the same subscriber population twice: straight\nagainst the gateway (tier-1 exact dedup only) and through the\n`internal/share` coordinator (partial-aggregate CSE + windowed result\ncache). At overlap 0 every query is a single grid cell, so sharing can\nonly tie; as regions widen and coincide, fragment reuse cuts the\ndistinct queries injected into the network, and the warm cache replays\nrecent epochs so late subscribers skip the cold first-epoch wait.\n\n")
+	b.WriteString("| overlap | sharing | upstream | messages | cold ttfr95 (ms) | late ttfr95 (ms) | fragment reuse | cache hits |\n|---|---|---|---|---|---|---|---|\n")
+	for _, row := range r.Share {
+		mode := "off"
+		if row.Sharing {
+			mode = "on"
+		}
+		fmt.Fprintf(&b, "| %.2f | %s | %d | %d | %.0f | %.0f | %.2f | %.2f |\n",
+			row.Overlap, mode, row.Upstream, row.Messages,
+			row.ColdTTFR95MS, row.LateTTFR95MS, row.FragmentReuse, row.CacheHitRatio)
 	}
 
 	b.WriteString("\n## Energy & network lifetime (extension)\n\n")

@@ -170,6 +170,79 @@ func TestRouterRoutesRegionPredicate(t *testing.T) {
 	}
 }
 
+// TestRouterEmptyShardEpochReleasesWatermark: the merge watermark is
+// time-based, not row-based. A spanned shard whose slice contributes zero
+// rows in an epoch (here: a selective value filter that some epochs no
+// node of shard 1 passes) must still release that epoch when its virtual
+// clock passes — an empty contribution is not a stall, unlike a crashed
+// or partitioned shard.
+func TestRouterEmptyShardEpochReleasesWatermark(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	sess, err := r.Register("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nodeid >= 2 spans global sensors 2..6: nodes 2..3 on shard 0 and
+	// 4..6 on shard 1. The light filter is selective enough that shard 1
+	// has epochs with no qualifying rows while shard 0 still reports.
+	tk := stageSub(t, sess, "SELECT nodeid, light WHERE nodeid >= 2 AND light >= 650 EPOCH DURATION 8192ms")
+	if _, err := r.Advance(testQuantum); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.FedStats(); st.UpstreamSubs != 2 {
+		t.Fatalf("query fanned to %d upstreams, want both shards spanned", st.UpstreamSubs)
+	}
+
+	var updates []gateway.Update
+	for i := 0; i < 12; i++ {
+		if _, err := r.Advance(testQuantum); err != nil {
+			t.Fatal(err)
+		}
+		drain(sub.Updates(), &updates)
+	}
+	checkStream(t, updates)
+	if len(updates) < 4 {
+		t.Fatalf("got %d released epochs, want >= 4", len(updates))
+	}
+
+	// Find a released epoch carrying shard-0 rows but none from shard 1,
+	// with later epochs released after it: proof the empty contribution
+	// did not hold the watermark.
+	emptyShard1 := -1
+	for i, u := range updates {
+		shard0, shard1 := 0, 0
+		for _, row := range u.Rows {
+			switch {
+			case row.Node >= 2 && row.Node <= 3:
+				shard0++
+			case row.Node >= 4 && row.Node <= 6:
+				shard1++
+			default:
+				t.Fatalf("row from node %d outside the queried region", row.Node)
+			}
+		}
+		if shard0 > 0 && shard1 == 0 {
+			emptyShard1 = i
+			break
+		}
+	}
+	if emptyShard1 < 0 {
+		t.Fatal("no epoch with an empty shard-1 contribution surfaced; filter threshold needs retuning")
+	}
+	if emptyShard1 == len(updates)-1 {
+		t.Fatalf("empty shard-1 epoch %d is the final release: nothing proves the watermark moved past it", emptyShard1)
+	}
+
+	st := r.FedStats()
+	if st.MergedEpochs != int64(len(updates)) {
+		t.Fatalf("merged epochs %d != released updates %d", st.MergedEpochs, len(updates))
+	}
+}
+
 func TestRouterDedupAndTeardown(t *testing.T) {
 	r := newTestRouter(t, Config{})
 	alice, _ := r.Register("alice")

@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// disorder reverses a rotated copy of xs — enough churn to exercise every
+// ordering the normalizer must undo, deterministically from the fuzzed
+// mix byte.
+func disorder[T any](xs []T, mix uint8) []T {
+	if len(xs) < 2 {
+		return xs
+	}
+	n := int(mix) % len(xs)
+	out := make([]T, 0, len(xs))
+	out = append(out, xs[n:]...)
+	out = append(out, xs[:n]...)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// FuzzCanonicalKey pins the byte-stability of the semantic dedup key that
+// both the gateway cache and the sharing layer's CSE registry hash on. For
+// any parseable input, the key must be identical under: round-tripping the
+// key itself through the parser, whitespace inflation of the source text,
+// arbitrary reordering of the attribute/aggregate/window/predicate lists,
+// and duplicated list entries. A single byte of drift would split one
+// shared in-network query into two.
+func FuzzCanonicalKey(f *testing.F) {
+	seeds := []string{
+		"SELECT light EPOCH DURATION 2048ms",
+		"SELECT temp, light, humidity WHERE light >= 100 AND light <= 300 EPOCH DURATION 4096ms",
+		"select light where 280<light<600 epoch duration 4096",
+		"SELECT MAX(light), MIN(temp), COUNT(nodeid) WHERE temp > 20 EPOCH DURATION 8192ms",
+		"SELECT SUM(light), AVG(light) WHERE nodeid >= 5 AND nodeid <= 12 EPOCH DURATION 8192",
+		"SELECT AVG(light) GROUP BY temp BUCKET 10 EPOCH DURATION 4096",
+		"SELECT COUNT(nodeid) WHERE nodeid BETWEEN 3 AND 9 EPOCH DURATION 2048",
+		"SELECT WINAVG(light, 8, 2), WINMAX(temp, 4, 2) WHERE light > 100 EPOCH DURATION 4096",
+		"SELECT humidity FROM sensors WHERE 10 <= humidity EPOCH DURATION 24576",
+		"sElEcT LiGhT, TeMp ePoCh DuRaTiOn 2048",
+		"SELECT light WHERE light > 1e3 EPOCH DURATION 4s",
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(1))
+		f.Add(s, uint8(7))
+	}
+	f.Fuzz(func(t *testing.T, input string, mix uint8) {
+		q, err := query.Parse(input)
+		if err != nil {
+			return
+		}
+		key := CanonicalKey(q)
+
+		// The key is a fixed point: parsing the canonical rendering and
+		// keying it again reproduces the same bytes.
+		back, err := query.Parse(key)
+		if err != nil {
+			t.Fatalf("canonical key %q of %q does not re-parse: %v", key, input, err)
+		}
+		if k := CanonicalKey(back); k != key {
+			t.Fatalf("key not a fixed point for %q:\n first: %q\n again: %q", input, key, k)
+		}
+
+		// Whitespace is lexical noise: inflating every separator in the
+		// source text must not move the key.
+		padded := strings.ReplaceAll(input, " ", " \t  ")
+		qp, err := query.Parse(padded)
+		if err != nil {
+			t.Fatalf("whitespace inflation broke parsing of %q: %v", input, err)
+		}
+		if k := CanonicalKey(qp); k != key {
+			t.Fatalf("whitespace moved the key for %q:\n base:   %q\n padded: %q", input, key, k)
+		}
+
+		// List order is semantic noise: the normalizer must undo any
+		// permutation of the projection, aggregate, window and predicate
+		// lists.
+		perm := q.Clone()
+		perm.Attrs = disorder(perm.Attrs, mix)
+		perm.Aggs = disorder(perm.Aggs, mix)
+		perm.Wins = disorder(perm.Wins, mix)
+		perm.Preds = disorder(perm.Preds, mix)
+		if k := CanonicalKey(perm); k != key {
+			t.Fatalf("reordering moved the key for %q (mix=%d):\n base:     %q\n permuted: %q", input, mix, key, k)
+		}
+
+		// Duplicate list entries collapse in normalization.
+		dup := q.Clone()
+		if len(dup.Attrs) > 0 {
+			dup.Attrs = append(dup.Attrs, dup.Attrs[0])
+		}
+		if len(dup.Aggs) > 0 {
+			dup.Aggs = append(dup.Aggs, dup.Aggs[0])
+		}
+		if len(dup.Preds) > 0 {
+			dup.Preds = append(dup.Preds, dup.Preds[0])
+		}
+		if k := CanonicalKey(dup); k != key {
+			t.Fatalf("duplicated entries moved the key for %q:\n base: %q\n dup:  %q", input, key, k)
+		}
+	})
+}

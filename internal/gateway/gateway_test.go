@@ -238,6 +238,63 @@ func TestGatewayBackpressureEviction(t *testing.T) {
 	}
 }
 
+// TestGatewayEvictionReleasesRefcount: evicting the sole subscriber of a
+// shared query must release its refcount and cancel the admitted query
+// upstream, exactly like an explicit unsubscribe would — and a later
+// subscriber to the same canonical query re-admits it from scratch.
+func TestGatewayEvictionReleasesRefcount(t *testing.T) {
+	const buffer = 2
+	gw := newTestGateway(t, Config{Buffer: buffer})
+	slow, _ := gw.Register("slow")
+	ts := stage(t, slow, "SELECT light EPOCH DURATION 2048ms")
+	if _, err := gw.Advance(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ts.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := mustStats(t, gw); st.Admitted != 1 || st.SharedQueries != 1 {
+		t.Fatalf("admission accounting before eviction: %+v", st)
+	}
+
+	// Never drain: the buffer fills, the overflow marks the subscriber for
+	// eviction, and the following Advance sweeps it out.
+	for round := 0; round < 8; round++ {
+		if _, err := gw.Advance(2048 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := mustStats(t, gw)
+	if st.Evicted != 1 {
+		t.Fatalf("evicted=%d, want 1", st.Evicted)
+	}
+	if ss.Reason() != ReasonEvicted {
+		t.Errorf("reason %v, want evicted", ss.Reason())
+	}
+	// The regression under test: with no other subscriber holding the
+	// canonical query, the eviction must drop the refcount to zero and
+	// cancel the in-network query instead of leaking it.
+	if st.Cancelled != 1 || st.SharedQueries != 0 || st.ActiveSubscriptions != 0 {
+		t.Fatalf("eviction leaked the shared query: %+v", st)
+	}
+
+	// A fresh subscriber to the same canonical form is a new admission,
+	// not a dedup hit against a ghost entry.
+	fresh, _ := gw.Register("fresh")
+	tf := stage(t, fresh, "SELECT light EPOCH DURATION 2048ms")
+	if _, err := gw.Advance(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st = mustStats(t, gw)
+	if st.Admitted != 2 || st.DedupHits != 0 || st.SharedQueries != 1 {
+		t.Fatalf("re-subscribe after eviction did not re-admit: %+v", st)
+	}
+}
+
 // TestGatewayQuota: per-session subscription quota rejects the overflow
 // subscribe without touching the network.
 func TestGatewayQuota(t *testing.T) {

@@ -76,6 +76,16 @@ type ServeBenchReport struct {
 	// to bound. Gated absolutely at <= 1.5 (one write per round plus
 	// measurement slack); the pre-batching path cost burstN.
 	FlushesPerBurst float64 `json:"flushes_per_burst"`
+	// Sharing-tier gauges, filled by share.BenchServe (the share package
+	// sits above this one, so the suite's sharing scenario lives there)
+	// from a deterministic virtual-time scenario — exactly reproducible on
+	// any machine. FragmentReuseRatio and CacheHitRatio mirror the
+	// scenario's coordinator stats; WarmReplaySpeedup is the cold
+	// late-subscriber TTFR divided by the cached-replay TTFR, gated
+	// absolutely at >= 5.
+	FragmentReuseRatio float64 `json:"fragment_reuse_ratio,omitempty"`
+	CacheHitRatio      float64 `json:"cache_hit_ratio,omitempty"`
+	WarmReplaySpeedup  float64 `json:"warm_replay_speedup,omitempty"`
 	// Note reminds readers which fields are gated.
 	Note string `json:"note"`
 }
@@ -125,7 +135,7 @@ func row(name string, r testing.BenchmarkResult, msgsPerOp int) ServeBenchRow {
 func RunServeBench(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 	u := benchUpdate()
 	rep := &ServeBenchReport{
-		Note: "gated: binary_speedup, allocs_per_message, binary rows' allocs_per_op; ns_per_op and msgs_per_sec are trajectory only",
+		Note: "gated: binary_speedup, allocs_per_message, binary rows' allocs_per_op, warm_replay_speedup, fragment_reuse_ratio, cache_hit_ratio; ns_per_op and msgs_per_sec are trajectory only",
 	}
 
 	// encode: build one frame/line from the update, no I/O.
@@ -339,6 +349,11 @@ func (r *ServeBenchReport) String() string {
 	if r.FlushesPerBurst > 0 {
 		fmt.Fprintf(&sb, "connection writes per %d-update round (batched): %.2f\n", burstN, r.FlushesPerBurst)
 	}
+	if r.WarmReplaySpeedup > 0 {
+		fmt.Fprintf(&sb, "fragment reuse ratio (share scenario): %.2f\n", r.FragmentReuseRatio)
+		fmt.Fprintf(&sb, "cache hit ratio (share scenario): %.2f\n", r.CacheHitRatio)
+		fmt.Fprintf(&sb, "warm replay speedup (cold ttfr / warm ttfr): %.1fx\n", r.WarmReplaySpeedup)
+	}
 	return sb.String()
 }
 
@@ -371,6 +386,25 @@ func CompareServeBench(baseline, current *ServeBenchReport, tol float64) []strin
 		bad = append(bad, fmt.Sprintf(
 			"flushes_per_burst %.2f exceeds the absolute bound of 1.5 (per-update flush regression)",
 			current.FlushesPerBurst))
+	}
+	// The sharing scenario is deterministic virtual time, so its gauges
+	// carry no measurement noise: cached replay must keep a late
+	// subscriber's first result at least 5x faster than a cold epoch wait,
+	// and the CSE/cache ratios must not fall below the committed baseline.
+	if current.WarmReplaySpeedup > 0 && current.WarmReplaySpeedup < 5 {
+		bad = append(bad, fmt.Sprintf(
+			"warm_replay_speedup %.2fx below the absolute bound of 5x (cached replay regression)",
+			current.WarmReplaySpeedup))
+	}
+	if current.FragmentReuseRatio < baseline.FragmentReuseRatio*(1-tol) {
+		bad = append(bad, fmt.Sprintf(
+			"fragment_reuse_ratio regressed: %.3f, baseline %.3f",
+			current.FragmentReuseRatio, baseline.FragmentReuseRatio))
+	}
+	if current.CacheHitRatio < baseline.CacheHitRatio*(1-tol) {
+		bad = append(bad, fmt.Sprintf(
+			"cache_hit_ratio regressed: %.3f, baseline %.3f",
+			current.CacheHitRatio, baseline.CacheHitRatio))
 	}
 	base := make(map[string]ServeBenchRow, len(baseline.Rows))
 	for _, r := range baseline.Rows {

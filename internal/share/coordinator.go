@@ -1,0 +1,1262 @@
+package share
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+var errLifetime = fmt.Errorf("share: LIFETIME is not supported for subscriptions (the coordinator cancels fragments when their last reference drops)")
+
+// Defaults.
+const (
+	// DefaultCell is the fragment cell width in sensor ids. Smaller cells
+	// share more aggressively but admit more in-network queries per
+	// subscriber; 8 matches the region granularity of the paper workloads.
+	DefaultCell = 8
+	// DefaultWindow is how many released epochs the result cache retains
+	// per fragment and per canonical query.
+	DefaultWindow = 4
+	// DefaultMaxPending bounds buffered incomplete epochs per query while
+	// a fragment warms up or stalls.
+	DefaultMaxPending = 16
+)
+
+// Config parametrizes a Coordinator.
+type Config struct {
+	// Upstream is the tier the fragments stream from: OverGateway or
+	// OverRouter (required).
+	Upstream Upstream
+	// Sensors is the deployment's sensor id space 1..Sensors (required);
+	// it lets a query with no region predicate share fragments with one
+	// that names the full range explicitly.
+	Sensors int
+	// Cell is the fragment cell width in sensor ids (DefaultCell if <= 0).
+	Cell int
+	// Window is the result-cache depth in epochs (DefaultWindow if <= 0;
+	// negative disables caching).
+	Window int
+	// Buffer bounds each downstream subscriber channel and resume ring
+	// (gateway.DefaultBuffer if <= 0).
+	Buffer int
+	// MaxSessions and SessionQuota mirror the gateway limits, enforced at
+	// the coordinator (the upstream sees only the coordinator's own
+	// sessions).
+	MaxSessions  int
+	SessionQuota int
+	// UpstreamQuota caps fragments per coordinator-owned upstream session;
+	// the coordinator grows a session pool as the registry grows
+	// (gateway.DefaultSessionQuota if <= 0, matching the upstream default).
+	UpstreamQuota int
+	// MaxPending bounds buffered incomplete epochs per canonical query
+	// (DefaultMaxPending if <= 0).
+	MaxPending int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cell <= 0 {
+		c.Cell = DefaultCell
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = gateway.DefaultBuffer
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = gateway.DefaultMaxSessions
+	}
+	if c.SessionQuota <= 0 {
+		c.SessionQuota = gateway.DefaultSessionQuota
+	}
+	if c.UpstreamQuota <= 0 {
+		c.UpstreamQuota = gateway.DefaultSessionQuota
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	return c
+}
+
+// Stats is the coordinator's counter snapshot. Like the gateway's, every
+// field is a pure function of the committed command sequence and the
+// upstream seed.
+type Stats struct {
+	Sessions       int64 `json:"sessions"`
+	ActiveSessions int   `json:"active_sessions"`
+	Subscribes     int64 `json:"subscribes"`
+	Unsubscribes   int64 `json:"unsubscribes"`
+	QuotaRejected  int64 `json:"quota_rejected"`
+	// DedupHits counts subscribers joining an already-live canonical
+	// query; Trees is the live canonical query gauge.
+	DedupHits int64 `json:"dedup_hits"`
+	Trees     int   `json:"trees"`
+	// Fragment registry accounting: Created fragments paid an upstream
+	// admission (the residual cost), Reused ones were already streaming
+	// for another query, Cancelled ones were torn down at refcount zero.
+	FragmentsCreated   int64 `json:"fragments_created"`
+	FragmentsReused    int64 `json:"fragments_reused"`
+	FragmentsCancelled int64 `json:"fragments_cancelled"`
+	FragmentsActive    int   `json:"fragments_active"`
+	UpstreamSessions   int   `json:"upstream_sessions"`
+	// Windowed-cache accounting: a subscribe is a CacheHit when it
+	// replayed at least one recent epoch immediately, a CacheMiss when it
+	// had to wait out a live epoch. ReplayedEpochs counts epochs served
+	// from cache.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	ReplayedEpochs int64 `json:"replayed_epochs"`
+	// Epoch recombination: MergedEpochs released complete compositions;
+	// PartialDropped counts epochs discarded because a fragment (admitted
+	// later) never contributed; LateDropped counts fragment epochs older
+	// than the released watermark.
+	MergedEpochs   int64 `json:"merged_epochs"`
+	PartialDropped int64 `json:"partial_dropped"`
+	LateDropped    int64 `json:"late_dropped"`
+	// Downstream delivery accounting, mirroring the gateway's.
+	Updates     int64 `json:"updates"`
+	Evicted     int64 `json:"evicted"`
+	RingDropped int64 `json:"ring_dropped"`
+	Resumes     int64 `json:"resumes"`
+	ResumeGaps  int64 `json:"resume_gaps"`
+	// Upstream failover accounting.
+	Reattaches      int64 `json:"reattaches"`
+	UpstreamResumes int64 `json:"upstream_resumes"`
+}
+
+// FragmentReuseRatio is the fraction of fragment references served by an
+// already-materialized fragment (> 0 means CSE is sharing work).
+func (st Stats) FragmentReuseRatio() float64 {
+	total := st.FragmentsCreated + st.FragmentsReused
+	if total == 0 {
+		return 0
+	}
+	return float64(st.FragmentsReused) / float64(total)
+}
+
+// CacheHitRatio is the fraction of subscribes served an immediate replay.
+func (st Stats) CacheHitRatio() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// cachedEpoch is one retained result epoch.
+type cachedEpoch struct {
+	at   sim.Time
+	rows []query.Row
+	aggs []query.AggResult
+}
+
+// fragRef ties a fragment to one referencing tree and its planned index.
+type fragRef struct {
+	tr  *shareTree
+	idx int
+}
+
+// fragment is one refcounted upstream stream in the registry.
+type fragment struct {
+	key     string
+	q       query.Query
+	sess    UpstreamSession
+	sessIdx int
+	tk      UpstreamTicket // pending until the next Advance resolves it
+	sub     UpstreamSub
+	id      gateway.SubID
+	lastSeq uint64
+	refs    int
+	trees   []fragRef
+	ring    []cachedEpoch // last Window epochs, oldest first
+}
+
+// shareTree is one canonical downstream query: its plan, its fragment
+// composition and its subscribers.
+type shareTree struct {
+	key   string
+	p     *sharePlan
+	frags []*fragment // parallel to p.frags
+	fresh bool        // some fragment was created for this tree (no warm cache)
+	qid   query.ID    // representative upstream query id (first fragment's)
+	subs  []*Sub      // ascending SubID
+	// pending buffers epochs until every fragment has contributed.
+	pending  map[sim.Time]*shareAcc
+	released sim.Time // newest instant delivered (or seeded by replay)
+	ring     []cachedEpoch
+	broken   error
+}
+
+func (tr *shareTree) acc(at sim.Time) *shareAcc {
+	a := tr.pending[at]
+	if a == nil {
+		a = newShareAcc(at)
+		if tr.pending == nil {
+			tr.pending = make(map[sim.Time]*shareAcc, 4)
+		}
+		tr.pending[at] = a
+	}
+	return a
+}
+
+type scmdKind uint8
+
+const (
+	cmdSubscribe scmdKind = iota
+	cmdUnsubscribe
+	cmdClose
+)
+
+// scmd is a staged downstream command, committed in deterministic
+// (session name, seq) order at the next Advance.
+type scmd struct {
+	kind scmdKind
+	sess *Session
+	seq  uint64
+	q    query.Query
+	id   gateway.SubID
+	done chan sres
+}
+
+type sres struct {
+	sub *Sub
+	err error
+}
+
+// Ticket is a staged subscribe/unsubscribe resolving at the next Advance.
+type Ticket struct {
+	done chan sres
+}
+
+// Wait blocks until the next Advance commits the command.
+func (t *Ticket) Wait() (*Sub, error) {
+	r := <-t.done
+	return r.sub, r.err
+}
+
+// pendingAck defers a subscribe reply past fragment resolution and cache
+// replay.
+type pendingAck struct {
+	c       *scmd
+	sub     *Sub
+	tr      *shareTree
+	newTree bool
+}
+
+// Coordinator is the sharing layer. It implements gateway.Backend, so the
+// TCP server (or any driver) fronts it exactly like a gateway or a
+// federation router.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	up      Upstream
+	upSess  []UpstreamSession
+	upLoad  []int // live fragments per upstream session
+	closed  bool
+	nextSub gateway.SubID
+	nextTok uint64
+
+	sessions map[string]*Session
+	staged   []*scmd
+	frags    map[string]*fragment
+	trees    map[string]*shareTree
+	resolve  []*fragment // fragments with pending tickets
+	stats    Stats
+}
+
+// New builds a coordinator over cfg.Upstream. The upstream must be fresh:
+// the coordinator assumes it is the only driver of upstream Advance.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Upstream == nil {
+		return nil, fmt.Errorf("share: Config.Upstream is required")
+	}
+	if cfg.Sensors <= 0 {
+		return nil, fmt.Errorf("share: Config.Sensors must name the sensor id space (got %d)", cfg.Sensors)
+	}
+	c := &Coordinator{
+		cfg:      cfg.withDefaults(),
+		up:       cfg.Upstream,
+		sessions: make(map[string]*Session),
+		frags:    make(map[string]*fragment),
+		trees:    make(map[string]*shareTree),
+	}
+	return c, nil
+}
+
+// ShareStats snapshots the coordinator's own counters.
+func (c *Coordinator) ShareStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statsLocked()
+}
+
+func (c *Coordinator) statsLocked() Stats {
+	st := c.stats
+	st.ActiveSessions = len(c.sessions)
+	st.Trees = len(c.trees)
+	st.FragmentsActive = len(c.frags)
+	st.UpstreamSessions = len(c.upSess)
+	return st
+}
+
+// Now returns the upstream's virtual clock.
+func (c *Coordinator) Now() (sim.Time, error) { return c.up.Now() }
+
+// Alive reports whether the upstream is up.
+func (c *Coordinator) Alive() bool { return c.up.Alive() }
+
+// ServeStats implements gateway.Backend: the upstream's counters with the
+// serving-tier fields overridden by the coordinator's own view, so one
+// status line reads correctly whichever backend the server fronts.
+func (c *Coordinator) ServeStats() (gateway.Stats, sim.Time, error) {
+	st, now, err := c.up.ServeStats()
+	if err != nil {
+		return st, now, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.statsLocked()
+	st.Sessions = s.Sessions
+	st.ActiveSessions = s.ActiveSessions
+	st.Subscribes = s.Subscribes
+	st.Unsubscribes = s.Unsubscribes
+	st.DedupHits = s.DedupHits
+	st.QuotaRejected += s.QuotaRejected
+	st.Evicted += s.Evicted
+	st.RingDropped += s.RingDropped
+	st.Resumes = s.Resumes
+	st.ResumeGaps = s.ResumeGaps
+	st.SharedQueries = s.Trees
+	st.Updates = s.Updates
+	active := 0
+	for _, sess := range c.sessions {
+		active += len(sess.live)
+	}
+	st.ActiveSubscriptions = active
+	return st, now, nil
+}
+
+func (c *Coordinator) mintToken(name string) string {
+	c.nextTok++
+	h := fnv.New64a()
+	fmt.Fprintf(h, "share:%s:%d", name, c.nextTok)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ---------------------------------------------------------------------------
+// Downstream sessions
+
+// Session is one registered downstream client.
+type Session struct {
+	c     *Coordinator
+	name  string
+	token string
+
+	// Guarded by c.mu.
+	seq      uint64
+	live     map[gateway.SubID]*Sub
+	attached bool
+	closed   bool
+}
+
+// Name returns the session's registered name.
+func (s *Session) Name() string { return s.name }
+
+// Token returns the resume token for Attach after a disconnect.
+func (s *Session) Token() string { return s.token }
+
+// Sub is one downstream subscription to a composed fragment stream. It
+// satisfies gateway.ServerSub.
+type Sub struct {
+	sess   *Session
+	tr     *shareTree
+	id     gateway.SubID
+	key    string
+	shared bool
+
+	// Guarded by sess.c.mu.
+	seq      uint64
+	ch       chan gateway.Update
+	ring     []gateway.Update // parked tail while detached
+	detached bool
+	reason   gateway.CloseReason
+}
+
+// ID returns the subscription id (unique within the coordinator).
+func (s *Sub) ID() gateway.SubID { return s.id }
+
+// Key returns the canonical downstream query text.
+func (s *Sub) Key() string { return s.key }
+
+// Shared reports whether the subscription joined a live canonical query.
+func (s *Sub) Shared() bool { return s.shared }
+
+// QueryID returns the representative upstream query id of the tree.
+func (s *Sub) QueryID() query.ID {
+	s.sess.c.mu.Lock()
+	defer s.sess.c.mu.Unlock()
+	return s.tr.qid
+}
+
+// Updates returns the live update channel (replaced on Resume).
+func (s *Sub) Updates() <-chan gateway.Update {
+	s.sess.c.mu.Lock()
+	defer s.sess.c.mu.Unlock()
+	return s.ch
+}
+
+// Reason reports why the channel closed (ReasonNone while live).
+func (s *Sub) Reason() gateway.CloseReason {
+	s.sess.c.mu.Lock()
+	defer s.sess.c.mu.Unlock()
+	return s.reason
+}
+
+// Register creates a downstream session.
+func (c *Coordinator) Register(name string) (*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, gateway.ErrClosed
+	}
+	if _, dup := c.sessions[name]; dup {
+		return nil, fmt.Errorf("share: session %q already registered", name)
+	}
+	if len(c.sessions) >= c.cfg.MaxSessions {
+		return nil, fmt.Errorf("share: session limit %d reached", c.cfg.MaxSessions)
+	}
+	s := &Session{
+		c:        c,
+		name:     name,
+		token:    c.mintToken(name),
+		live:     make(map[gateway.SubID]*Sub),
+		attached: true,
+	}
+	c.sessions[name] = s
+	c.stats.Sessions++
+	return s, nil
+}
+
+// Attach re-claims a detached session by name and token.
+func (c *Coordinator) Attach(name, token string) (*Session, []gateway.ResumeInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, gateway.ErrClosed
+	}
+	s := c.sessions[name]
+	if s == nil {
+		return nil, nil, fmt.Errorf("share: no session %q", name)
+	}
+	if s.token != token {
+		return nil, nil, fmt.Errorf("share: bad token for session %q", name)
+	}
+	if s.attached {
+		return nil, nil, fmt.Errorf("share: session %q is already attached", name)
+	}
+	s.attached = true
+	infos := make([]gateway.ResumeInfo, 0, len(s.live))
+	for _, id := range sortedIDs(s.live) {
+		sub := s.live[id]
+		infos = append(infos, gateway.ResumeInfo{
+			ID: id, Key: sub.key, QueryID: sub.tr.qid, LastSeq: sub.seq,
+		})
+	}
+	return s, infos, nil
+}
+
+// RegisterSession implements gateway.Backend.
+func (c *Coordinator) RegisterSession(name string) (gateway.ServerSession, error) {
+	s, err := c.Register(name)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AttachSession implements gateway.Backend.
+func (c *Coordinator) AttachSession(name, token string) (gateway.ServerSession, []gateway.ResumeInfo, error) {
+	s, infos, err := c.Attach(name, token)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, infos, nil
+}
+
+// SubscribeAsync stages a subscription, committed at the next Advance.
+func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, gateway.ErrClosed
+	}
+	if s.closed {
+		return nil, fmt.Errorf("share: session %q is closed", s.name)
+	}
+	s.seq++
+	cmd := &scmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan sres, 1)}
+	c.staged = append(c.staged, cmd)
+	return &Ticket{done: cmd.done}, nil
+}
+
+// SubscribeQuery implements gateway.ServerSession: parse, stage, wait.
+func (s *Session) SubscribeQuery(text string) (gateway.ServerSub, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := s.SubscribeAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := tk.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// UnsubscribeAsync stages an unsubscribe, committed at the next Advance.
+func (s *Session) UnsubscribeAsync(id gateway.SubID) (*Ticket, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, gateway.ErrClosed
+	}
+	if s.closed {
+		return nil, fmt.Errorf("share: session %q is closed", s.name)
+	}
+	s.seq++
+	cmd := &scmd{kind: cmdUnsubscribe, sess: s, seq: s.seq, id: id, done: make(chan sres, 1)}
+	c.staged = append(c.staged, cmd)
+	return &Ticket{done: cmd.done}, nil
+}
+
+// Unsubscribe implements gateway.ServerSession (blocks until commit).
+func (s *Session) Unsubscribe(id gateway.SubID) error {
+	tk, err := s.UnsubscribeAsync(id)
+	if err != nil {
+		return err
+	}
+	_, err = tk.Wait()
+	return err
+}
+
+// Detach releases the connection but keeps the session resumable: live
+// streams park their tails in bounded rings.
+func (s *Session) Detach() error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return gateway.ErrClosed
+	}
+	if s.closed {
+		return fmt.Errorf("share: session %q is closed", s.name)
+	}
+	if !s.attached {
+		return fmt.Errorf("share: session %q is already detached", s.name)
+	}
+	s.attached = false
+	for _, id := range sortedIDs(s.live) {
+		s.live[id].detachLocked()
+	}
+	return nil
+}
+
+func (sub *Sub) detachLocked() {
+	if sub.detached || sub.reason != gateway.ReasonNone {
+		return
+	}
+	sub.detached = true
+	sub.reason = gateway.ReasonDetached
+	close(sub.ch)
+	for u := range sub.ch {
+		sub.pushRingLocked(u)
+	}
+}
+
+func (sub *Sub) pushRingLocked(u gateway.Update) {
+	c := sub.sess.c
+	sub.ring = append(sub.ring, u)
+	if max := c.cfg.Buffer; len(sub.ring) > max {
+		drop := len(sub.ring) - max
+		sub.ring = append(sub.ring[:0], sub.ring[drop:]...)
+		c.stats.RingDropped += int64(drop)
+	}
+}
+
+// Resume revives a detached stream from just after sequence `after`,
+// replaying the parked tail before going live. Implements
+// gateway.ServerSession.
+func (s *Session) Resume(id gateway.SubID, after uint64) (gateway.ServerSub, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, gateway.ErrClosed
+	}
+	if !s.attached {
+		return nil, fmt.Errorf("share: session %q is detached", s.name)
+	}
+	sub := s.live[id]
+	if sub == nil {
+		return nil, fmt.Errorf("share: session %q has no stream %d", s.name, id)
+	}
+	if !sub.detached {
+		return nil, fmt.Errorf("share: stream %d is already attached", id)
+	}
+	sub.ch = make(chan gateway.Update, c.cfg.Buffer)
+	if len(sub.ring) > 0 && sub.ring[0].Seq > after+1 {
+		c.stats.ResumeGaps++
+	}
+	for _, u := range sub.ring {
+		if u.Seq > after {
+			sub.ch <- u
+		}
+	}
+	sub.ring = nil
+	sub.detached = false
+	sub.reason = gateway.ReasonNone
+	c.stats.Resumes++
+	return sub, nil
+}
+
+// CloseAsync stages session teardown; completion lags until the next
+// Advance. Implements gateway.ServerSession.
+func (s *Session) CloseAsync() error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return gateway.ErrClosed
+	}
+	if s.closed {
+		return nil
+	}
+	s.seq++
+	cmd := &scmd{kind: cmdClose, sess: s, seq: s.seq, done: make(chan sres, 1)}
+	c.staged = append(c.staged, cmd)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Advance: group commit, upstream advance, drain, recombine, release
+
+// Advance commits staged downstream commands, advances the upstream by d,
+// drains fragment streams, recombines complete epochs and replays cached
+// windows to fresh subscribers. Implements gateway.Backend.
+func (c *Coordinator) Advance(d time.Duration) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, gateway.ErrClosed
+	}
+
+	applied, acks := c.commitLocked()
+
+	_, upErr := c.up.Advance(d)
+
+	c.resolveFragsLocked()
+	c.replayLocked(acks)
+	c.drainLocked()
+	c.releaseLocked()
+	c.ackLocked(acks)
+	return applied, upErr
+}
+
+func (c *Coordinator) commitLocked() (int, []pendingAck) {
+	staged := c.staged
+	c.staged = nil
+	sort.SliceStable(staged, func(i, j int) bool {
+		if staged[i].sess.name != staged[j].sess.name {
+			return staged[i].sess.name < staged[j].sess.name
+		}
+		return staged[i].seq < staged[j].seq
+	})
+	var acks []pendingAck
+	for _, cmd := range staged {
+		switch cmd.kind {
+		case cmdSubscribe:
+			ack, err := c.applySubscribeLocked(cmd)
+			if err != nil {
+				cmd.done <- sres{err: err}
+				continue
+			}
+			acks = append(acks, ack)
+		case cmdUnsubscribe:
+			cmd.done <- sres{err: c.applyUnsubscribeLocked(cmd)}
+		case cmdClose:
+			c.applyCloseLocked(cmd.sess)
+			cmd.done <- sres{}
+		}
+	}
+	return len(staged), acks
+}
+
+func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
+	s := cmd.sess
+	if s.closed {
+		return pendingAck{}, fmt.Errorf("share: session %q is closed", s.name)
+	}
+	if len(s.live) >= c.cfg.SessionQuota {
+		c.stats.QuotaRejected++
+		return pendingAck{}, fmt.Errorf("share: session %q is at its quota of %d subscriptions",
+			s.name, c.cfg.SessionQuota)
+	}
+	p, err := planShare(cmd.q, c.cfg.Sensors, c.cfg.Cell)
+	if err != nil {
+		return pendingAck{}, err
+	}
+	c.stats.Subscribes++
+	tr := c.trees[p.key]
+	newTree := tr == nil
+	if newTree {
+		tr = &shareTree{key: p.key, p: p}
+		for i, fq := range p.frags {
+			fr := c.frags[fq.key]
+			if fr == nil {
+				fr, err = c.materializeLocked(fq)
+				if err != nil {
+					// Roll back the references this tree already took.
+					for _, held := range tr.frags {
+						c.decrefLocked(held, tr)
+					}
+					return pendingAck{}, err
+				}
+				tr.fresh = true
+				c.stats.FragmentsCreated++
+			} else {
+				c.stats.FragmentsReused++
+			}
+			fr.refs++
+			fr.trees = append(fr.trees, fragRef{tr: tr, idx: i})
+			tr.frags = append(tr.frags, fr)
+		}
+		c.trees[p.key] = tr
+	} else {
+		c.stats.DedupHits++
+	}
+	c.nextSub++
+	sub := &Sub{
+		sess:   s,
+		tr:     tr,
+		id:     c.nextSub,
+		key:    p.key,
+		shared: !newTree,
+		ch:     make(chan gateway.Update, c.cfg.Buffer),
+	}
+	if !s.attached {
+		sub.detached = true
+		sub.reason = gateway.ReasonDetached
+	}
+	tr.subs = append(tr.subs, sub)
+	s.live[sub.id] = sub
+	return pendingAck{c: cmd, sub: sub, tr: tr, newTree: newTree}, nil
+}
+
+// materializeLocked admits one new fragment upstream: it picks (or grows)
+// an upstream session with quota headroom and stages the subscribe; the
+// ticket resolves after the upstream's next Advance.
+func (c *Coordinator) materializeLocked(fq fragQuery) (*fragment, error) {
+	idx := -1
+	for i, load := range c.upLoad {
+		if load < c.cfg.UpstreamQuota {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		sess, err := c.up.Register(fmt.Sprintf("share-up-%d", len(c.upSess)))
+		if err != nil {
+			return nil, fmt.Errorf("share: upstream session: %w", err)
+		}
+		c.upSess = append(c.upSess, sess)
+		c.upLoad = append(c.upLoad, 0)
+		idx = len(c.upSess) - 1
+	}
+	tk, err := c.upSess[idx].SubscribeAsync(fq.q)
+	if err != nil {
+		return nil, fmt.Errorf("share: fragment subscribe: %w", err)
+	}
+	fr := &fragment{key: fq.key, q: fq.q, sess: c.upSess[idx], sessIdx: idx, tk: tk}
+	c.frags[fq.key] = fr
+	c.upLoad[idx]++
+	c.resolve = append(c.resolve, fr)
+	return fr, nil
+}
+
+// decrefLocked drops one tree's reference on a fragment, cancelling the
+// upstream stream at refcount zero. This runs on every path a subscriber
+// leaves by — unsubscribe, session close, slow-consumer eviction — so an
+// evicted session's fragments are released exactly like a cancelled one's.
+func (c *Coordinator) decrefLocked(fr *fragment, tr *shareTree) {
+	for i, ref := range fr.trees {
+		if ref.tr == tr {
+			fr.trees = append(fr.trees[:i], fr.trees[i+1:]...)
+			break
+		}
+	}
+	fr.refs--
+	if fr.refs > 0 {
+		return
+	}
+	delete(c.frags, fr.key)
+	c.upLoad[fr.sessIdx]--
+	if fr.sub != nil {
+		if err := fr.sess.UnsubscribeAsync(fr.id); err == nil {
+			c.stats.FragmentsCancelled++
+		}
+	} else {
+		// Never resolved: still count the teardown; the ticket's stream is
+		// dropped when it resolves.
+		c.stats.FragmentsCancelled++
+	}
+	fr.sub = nil
+}
+
+func (c *Coordinator) applyUnsubscribeLocked(cmd *scmd) error {
+	s := cmd.sess
+	sub := s.live[cmd.id]
+	if sub == nil {
+		return fmt.Errorf("share: session %q has no subscription %d", s.name, cmd.id)
+	}
+	c.stats.Unsubscribes++
+	c.dropSubLocked(sub, gateway.ReasonUnsubscribed)
+	return nil
+}
+
+func (c *Coordinator) applyCloseLocked(s *Session) {
+	if s.closed {
+		return
+	}
+	for _, id := range sortedIDs(s.live) {
+		c.dropSubLocked(s.live[id], gateway.ReasonShutdown)
+	}
+	s.closed = true
+	s.attached = false
+	delete(c.sessions, s.name)
+}
+
+// dropSubLocked closes a downstream stream and, on last-unsubscribe,
+// tears its tree down (releasing the fragment references).
+func (c *Coordinator) dropSubLocked(sub *Sub, reason gateway.CloseReason) {
+	s := sub.sess
+	delete(s.live, sub.id)
+	if sub.reason == gateway.ReasonNone || sub.detached {
+		if sub.detached {
+			sub.ring = nil
+			sub.reason = reason
+		} else {
+			sub.reason = reason
+			close(sub.ch)
+		}
+	}
+	tr := sub.tr
+	for i, other := range tr.subs {
+		if other == sub {
+			tr.subs = append(tr.subs[:i], tr.subs[i+1:]...)
+			break
+		}
+	}
+	if len(tr.subs) == 0 {
+		c.teardownTreeLocked(tr)
+	}
+}
+
+func (c *Coordinator) teardownTreeLocked(tr *shareTree) {
+	for _, fr := range tr.frags {
+		c.decrefLocked(fr, tr)
+	}
+	tr.frags = nil
+	delete(c.trees, tr.key)
+}
+
+// resolveFragsLocked collects the fragment tickets staged at commit (the
+// upstream Advance has committed them) and wires the streams.
+func (c *Coordinator) resolveFragsLocked() {
+	pending := c.resolve
+	c.resolve = nil
+	for _, fr := range pending {
+		sub, err := fr.tk.Wait()
+		fr.tk = nil
+		if err != nil {
+			for _, ref := range fr.trees {
+				if ref.tr.broken == nil {
+					ref.tr.broken = fmt.Errorf("share: fragment admission %q: %w", fr.key, err)
+				}
+			}
+			continue
+		}
+		if fr.refs == 0 {
+			// Every referencing tree left before resolution: cancel.
+			_ = fr.sess.UnsubscribeAsync(sub.ID())
+			continue
+		}
+		fr.sub = sub
+		fr.id = sub.ID()
+		fr.lastSeq = 0
+		for _, ref := range fr.trees {
+			if ref.idx == 0 {
+				ref.tr.qid = sub.QueryID()
+			}
+		}
+	}
+}
+
+// replayLocked serves the windowed cache to fresh subscribers before any
+// live epoch from this Advance can reach them, keeping per-stream virtual
+// time monotonic. A subscriber joining a live tree replays the tree's own
+// released window; the first subscriber of a new tree whose fragments all
+// pre-existed gets a window synthesized from the fragment caches.
+func (c *Coordinator) replayLocked(acks []pendingAck) {
+	if c.cfg.Window <= 0 {
+		for _, a := range acks {
+			if a.tr.broken == nil {
+				c.stats.CacheMisses++
+			}
+		}
+		return
+	}
+	synthesized := make(map[*shareTree]bool)
+	for _, a := range acks {
+		tr := a.tr
+		if tr.broken != nil {
+			continue
+		}
+		if a.newTree && !tr.fresh && !synthesized[tr] {
+			c.synthesizeLocked(tr)
+			synthesized[tr] = true
+		}
+		if len(tr.ring) == 0 {
+			c.stats.CacheMisses++
+			continue
+		}
+		c.stats.CacheHits++
+		for _, e := range tr.ring {
+			c.pushLocked(tr, a.sub, e)
+			c.stats.ReplayedEpochs++
+		}
+	}
+}
+
+// synthesizeLocked rebuilds a new tree's recent window from the caches of
+// its (all pre-existing) fragments: the epochs present in every fragment
+// ring recombine exactly like live ones.
+func (c *Coordinator) synthesizeLocked(tr *shareTree) {
+	counts := make(map[sim.Time]int)
+	for _, fr := range tr.frags {
+		for _, e := range fr.ring {
+			counts[e.at]++
+		}
+	}
+	var ats []sim.Time
+	for at, n := range counts {
+		if n == len(tr.frags) {
+			ats = append(ats, at)
+		}
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	if len(ats) > c.cfg.Window {
+		ats = ats[len(ats)-c.cfg.Window:]
+	}
+	for _, at := range ats {
+		acc := newShareAcc(at)
+		for i, fr := range tr.frags {
+			for _, e := range fr.ring {
+				if e.at == at {
+					acc.add(i, gateway.Update{At: at, Rows: e.rows, Aggs: e.aggs})
+					break
+				}
+			}
+		}
+		rows, aggs := acc.finish(tr.p)
+		tr.ring = append(tr.ring, cachedEpoch{at: at, rows: rows, aggs: aggs})
+		tr.released = at
+	}
+}
+
+// drainLocked empties every live fragment stream into the referencing
+// trees' epoch accumulators and the fragment's cache ring.
+func (c *Coordinator) drainLocked() {
+	for _, key := range sortedFragKeys(c.frags) {
+		fr := c.frags[key]
+		if fr.sub == nil {
+			continue
+		}
+		ch := fr.sub.Updates()
+		for {
+			select {
+			case u, ok := <-ch:
+				if !ok {
+					// The upstream closed the stream under us (crash or
+					// eviction); the tree stalls until reattach/teardown.
+					fr.sub = nil
+					goto next
+				}
+				fr.lastSeq = u.Seq
+				c.mergeLocked(fr, u)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+func (c *Coordinator) mergeLocked(fr *fragment, u gateway.Update) {
+	if c.cfg.Window > 0 {
+		fr.ring = append(fr.ring, cachedEpoch{at: u.At, rows: u.Rows, aggs: u.Aggs})
+		if len(fr.ring) > c.cfg.Window {
+			fr.ring = append(fr.ring[:0], fr.ring[len(fr.ring)-c.cfg.Window:]...)
+		}
+	}
+	for _, ref := range fr.trees {
+		if ref.tr.released > 0 && u.At <= ref.tr.released {
+			c.stats.LateDropped++
+			continue
+		}
+		ref.tr.acc(u.At).add(ref.idx, u)
+	}
+}
+
+// releaseLocked delivers every complete epoch in virtual-time order. An
+// incomplete epoch older than a complete one can never complete (aligned
+// epochs: a fragment that skipped it will not revisit it) and is dropped
+// rather than delivered with wrong partial values.
+func (c *Coordinator) releaseLocked() {
+	for _, key := range sortedTreeKeys(c.trees) {
+		tr := c.trees[key]
+		if len(tr.pending) == 0 {
+			continue
+		}
+		ats := make([]sim.Time, 0, len(tr.pending))
+		for at := range tr.pending {
+			ats = append(ats, at)
+		}
+		sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+		for _, at := range ats {
+			acc := tr.pending[at]
+			if !acc.complete(len(tr.frags)) {
+				continue
+			}
+			c.releaseEpochLocked(tr, acc)
+			delete(tr.pending, at)
+			tr.released = at
+		}
+		// Sweep unreleasable epochs: older than the watermark, or beyond
+		// the pending bound (a stalled fragment must not leak memory).
+		for at := range tr.pending {
+			if at <= tr.released {
+				delete(tr.pending, at)
+				c.stats.PartialDropped++
+			}
+		}
+		for len(tr.pending) > c.cfg.MaxPending {
+			oldest := sim.Time(1<<63 - 1)
+			for at := range tr.pending {
+				if at < oldest {
+					oldest = at
+				}
+			}
+			delete(tr.pending, oldest)
+			c.stats.PartialDropped++
+		}
+		// A tree can lose its last subscriber via eviction during release.
+		if len(tr.subs) == 0 {
+			c.teardownTreeLocked(tr)
+		}
+	}
+}
+
+func (c *Coordinator) releaseEpochLocked(tr *shareTree, acc *shareAcc) {
+	c.stats.MergedEpochs++
+	rows, aggs := acc.finish(tr.p)
+	e := cachedEpoch{at: acc.at, rows: rows, aggs: aggs}
+	if c.cfg.Window > 0 {
+		tr.ring = append(tr.ring, e)
+		if len(tr.ring) > c.cfg.Window {
+			tr.ring = append(tr.ring[:0], tr.ring[len(tr.ring)-c.cfg.Window:]...)
+		}
+	}
+	var evicted []*Sub
+	for _, sub := range tr.subs {
+		if !c.pushLocked(tr, sub, e) {
+			evicted = append(evicted, sub)
+		}
+	}
+	for _, sub := range evicted {
+		c.stats.Evicted++
+		c.dropSubEvictedLocked(sub)
+	}
+}
+
+// pushLocked delivers one epoch to one subscriber without blocking,
+// reporting false when the subscriber has stalled past its buffer bound.
+func (c *Coordinator) pushLocked(tr *shareTree, sub *Sub, e cachedEpoch) bool {
+	sub.seq++
+	u := gateway.Update{
+		Sub:      sub.id,
+		QueryID:  tr.qid,
+		Seq:      sub.seq,
+		At:       e.at,
+		Rows:     e.rows,
+		Aggs:     e.aggs,
+		Enqueued: time.Now(),
+	}
+	if sub.detached {
+		sub.pushRingLocked(u)
+		c.stats.Updates++
+		return true
+	}
+	select {
+	case sub.ch <- u:
+		c.stats.Updates++
+		return true
+	default:
+		return false
+	}
+}
+
+// dropSubEvictedLocked removes an overflowed subscriber without tearing
+// the tree down mid-release (releaseLocked sweeps empty trees after).
+// The fragment refcounts release through the same teardown as explicit
+// cancels, so an evicted slow consumer never strands upstream queries.
+func (c *Coordinator) dropSubEvictedLocked(sub *Sub) {
+	delete(sub.sess.live, sub.id)
+	sub.reason = gateway.ReasonEvicted
+	close(sub.ch)
+	tr := sub.tr
+	for i, other := range tr.subs {
+		if other == sub {
+			tr.subs = append(tr.subs[:i], tr.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// ackLocked replies to the deferred subscribe commands, failing those
+// whose trees broke during fragment establishment.
+func (c *Coordinator) ackLocked(acks []pendingAck) {
+	for _, a := range acks {
+		if a.tr.broken != nil {
+			err := a.tr.broken
+			if _, live := a.sub.sess.live[a.sub.id]; live {
+				c.dropSubLocked(a.sub, gateway.ReasonShutdown)
+			}
+			a.c.done <- sres{err: err}
+			continue
+		}
+		a.c.done <- sres{sub: a.sub}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Upstream failover
+
+// Reattach rebinds the coordinator to a recovered upstream (e.g. a
+// gateway rebuilt from its WAL after a crash): every coordinator-owned
+// upstream session re-claims its name and token, and every fragment
+// stream resumes from its last drained sequence number — so downstream
+// subscribers see a pause, never a duplicate or a gap, and the windowed
+// cache (which lives here, not upstream) keeps serving replays across
+// the outage.
+func (c *Coordinator) Reattach(up Upstream) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return gateway.ErrClosed
+	}
+	fresh := make([]UpstreamSession, len(c.upSess))
+	for i, old := range c.upSess {
+		sess, _, err := up.Attach(old.Name(), old.Token())
+		if err != nil {
+			return fmt.Errorf("share: reattach session %q: %w", old.Name(), err)
+		}
+		fresh[i] = sess
+	}
+	c.up = up
+	c.upSess = fresh
+	c.stats.Reattaches++
+	for _, key := range sortedFragKeys(c.frags) {
+		fr := c.frags[key]
+		fr.sess = fresh[fr.sessIdx]
+		if fr.id == 0 {
+			continue // never resolved before the crash
+		}
+		sub, err := fr.sess.Resume(fr.id, fr.lastSeq)
+		if err != nil {
+			return fmt.Errorf("share: resume fragment %q: %w", fr.key, err)
+		}
+		fr.sub = sub
+		c.stats.UpstreamResumes++
+	}
+	return nil
+}
+
+// Close tears down every session and fragment. The upstream is left to
+// its owner.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return gateway.ErrClosed
+	}
+	for _, name := range sortedSessionNames(c.sessions) {
+		c.applyCloseLocked(c.sessions[name])
+	}
+	for _, cmd := range c.staged {
+		cmd.done <- sres{err: gateway.ErrClosed}
+	}
+	c.staged = nil
+	c.closed = true
+	return nil
+}
+
+func sortedIDs(m map[gateway.SubID]*Sub) []gateway.SubID {
+	ids := make([]gateway.SubID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedFragKeys(m map[string]*fragment) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedTreeKeys(m map[string]*shareTree) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedSessionNames(m map[string]*Session) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,57 @@
+package share
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gateway"
+)
+
+// TestBenchServeGauges pins the sharing rows of the serve suite: the
+// scenario must produce both TTFR rows, hit the absolute warm-replay
+// bound the bench gate enforces, and be byte-deterministic across runs
+// (virtual time only — rerunning must reproduce every gauge exactly).
+func TestBenchServeGauges(t *testing.T) {
+	run := func() *gateway.ServeBenchReport {
+		t.Helper()
+		rep := &gateway.ServeBenchReport{}
+		if err := BenchServe(rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+
+	var cold, warm float64
+	for _, r := range rep.Rows {
+		switch r.Name {
+		case "share/ttfr-cold":
+			cold = r.NsPerOp
+		case "share/ttfr-warm":
+			warm = r.NsPerOp
+		}
+	}
+	if cold == 0 || warm == 0 {
+		t.Fatalf("missing share TTFR rows: %+v", rep.Rows)
+	}
+	if rep.WarmReplaySpeedup < 5 {
+		t.Fatalf("warm replay speedup %.2fx below the 5x gate (cold %.0fns, warm %.0fns)",
+			rep.WarmReplaySpeedup, cold, warm)
+	}
+	if rep.FragmentReuseRatio <= 0 {
+		t.Fatalf("fragment reuse ratio %v, want > 0 (overlapping queries share no fragments?)", rep.FragmentReuseRatio)
+	}
+	if rep.CacheHitRatio <= 0 {
+		t.Fatalf("cache hit ratio %v, want > 0 (late subscriber missed the cache?)", rep.CacheHitRatio)
+	}
+
+	// The gate must pass a fresh run against itself as baseline, and the
+	// scenario must reproduce exactly.
+	if bad := gateway.CompareServeBench(rep, rep, 0.10); len(bad) != 0 {
+		t.Fatalf("self-comparison violations: %v", bad)
+	}
+	again := run()
+	if !reflect.DeepEqual(rep, again) {
+		t.Fatalf("share bench not deterministic:\n first: %+v\n again: %+v", rep, again)
+	}
+}

@@ -1,0 +1,90 @@
+package share
+
+import (
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+)
+
+// TestShareMetricsExposition: the sharing layer's metric families expose
+// the counters and derived ratios the scaling study depends on, and the
+// exposition is a deterministic function of the committed workload.
+func TestShareMetricsExposition(t *testing.T) {
+	run := func() string {
+		c, _ := newTestCoord(t, gateway.Config{}, Config{Window: 3})
+		reg := telemetry.NewRegistry()
+		RegisterMetrics(reg, func() *Coordinator { return c })
+
+		sess, err := c.Register("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tkA := stageShare(t, sess, "SELECT SUM(light) WHERE nodeid >= 1 AND nodeid <= 8 EPOCH DURATION 8192ms")
+		tkB := stageShare(t, sess, "SELECT SUM(light) WHERE nodeid >= 5 AND nodeid <= 12 EPOCH DURATION 8192ms")
+		advance(t, c, testQuantum)
+		if _, err := tkA.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		subB, err := tkB.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ub []gateway.Update
+		for i := 0; i < 12; i++ {
+			advance(t, c, testQuantum)
+			drainSub(subB, &ub)
+		}
+		// A latecomer on B's query exercises the cache-hit path.
+		late, err := c.Register("late")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ltk := stageShare(t, late, "SELECT SUM(light) WHERE nodeid >= 5 AND nodeid <= 12 EPOCH DURATION 8192ms")
+		advance(t, c, testQuantum)
+		if _, err := ltk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Exposition()
+	}
+
+	a := run()
+	if b := run(); a != b {
+		t.Fatalf("same workload, different expositions:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	samples, err := telemetry.ParseExposition(a)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	want := map[string]float64{
+		"ttmqo_share_fragments_created_total": 3,
+		"ttmqo_share_fragments_reused_total":  1,
+		"ttmqo_share_fragment_reuse_ratio":    0.25,
+		"ttmqo_share_trees":                   2,
+		"ttmqo_share_fragments_active":        3,
+		"ttmqo_cache_hits_total":              1,
+		"ttmqo_cache_hit_ratio":               1.0 / 3.0, // A and B cold-missed, the latecomer hit
+		"ttmqo_share_subscribes_total":        3,
+		"ttmqo_share_dedup_hits_total":        1,
+		"ttmqo_share_active_sessions":         2,
+	}
+	for name, v := range want {
+		got, ok := telemetry.FindSample(samples, name)
+		if !ok {
+			t.Errorf("exposition lacks %s", name)
+			continue
+		}
+		if got.Value != v {
+			t.Errorf("%s = %v, want %v", name, got.Value, v)
+		}
+	}
+	for _, name := range []string{
+		"ttmqo_cache_replayed_epochs_total",
+		"ttmqo_share_merged_epochs_total",
+		"ttmqo_share_updates_total",
+	} {
+		if got, ok := telemetry.FindSample(samples, name); !ok || got.Value <= 0 {
+			t.Errorf("%s = %v (present=%v), want > 0", name, got.Value, ok)
+		}
+	}
+}

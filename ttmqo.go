@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/runner"
+	"repro/internal/share"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -263,6 +264,11 @@ type (
 	// FederationScalingRow is one fleet-size cell of the federation
 	// scaling study.
 	FederationScalingRow = experiments.FederationScalingRow
+	// ShareStudyConfig parametrizes RunShareStudy.
+	ShareStudyConfig = experiments.ShareStudyConfig
+	// ShareStudyRow is one (overlap, sharing on/off) cell of the
+	// cross-query sharing study.
+	ShareStudyRow = experiments.ShareStudyRow
 	// EnergyModel converts radio and sensing activity into Joules.
 	EnergyModel = metrics.EnergyModel
 	// SweepTiming records a sweep's wall-clock accounting; point a config's
@@ -352,10 +358,21 @@ type (
 	LoadReport = gateway.LoadReport
 	// GatewayMetrics is the gateway counter block of a RunExport.
 	GatewayMetrics = obs.GatewayMetrics
+	// ShareCoordinator is the tier-2 cross-query sharing layer: fragment
+	// CSE plus a windowed result cache in front of a gateway or router.
+	ShareCoordinator = share.Coordinator
+	// ShareConfig parametrizes NewShareCoordinator.
+	ShareConfig = share.Config
+	// ShareStats is the sharing layer's counter snapshot.
+	ShareStats = share.Stats
 )
 
 // NewGateway builds a serving gateway around a fresh Simulation.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// NewShareCoordinator builds the cross-query sharing layer over an
+// upstream serving tier (share.OverGateway or share.OverRouter).
+func NewShareCoordinator(cfg ShareConfig) (*ShareCoordinator, error) { return share.New(cfg) }
 
 // NewGatewayServer starts serving a gateway over TCP with a wall-clock
 // pacer; Close the server before the gateway.
@@ -465,6 +482,18 @@ func RunFederationScaling(cfg FederationScalingConfig) ([]FederationScalingRow, 
 // table.
 func FederationScalingString(rows []FederationScalingRow) string {
 	return experiments.FederationScalingString(rows)
+}
+
+// RunShareStudy sweeps query-overlap factors with the tier-2 sharing
+// layer on and off, measuring injected tier-1 messages and cold vs
+// warm-cache late-subscriber time-to-first-result.
+func RunShareStudy(cfg ShareStudyConfig) ([]ShareStudyRow, error) {
+	return experiments.RunShareStudy(cfg)
+}
+
+// ShareStudyString renders the cross-query sharing study as a text table.
+func ShareStudyString(rows []ShareStudyRow) string {
+	return experiments.ShareStudyString(rows)
 }
 
 // DefaultEnergyModel returns the mica2-flavoured energy defaults.
