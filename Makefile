@@ -60,9 +60,13 @@ admin-smoke:
 # federation soak reruns the router-tier drills (kill-a-shard,
 # partition-the-router) across seeds under the same invariants, and the
 # share soak crashes the gateway underneath the sharing coordinator while
-# cached replay and live delivery interleave.
+# cached replay and live delivery interleave. The overload soak swaps fault
+# injection for demand: thundering-herd admission storms, a slow-loris
+# subscriber that stops reading, and a shard wedged without crashing, with
+# the resilience invariants (bounded mailbox depth, honored retry-after,
+# degraded-not-deadlocked watermarks) asserted on top of the delivery ones.
 chaos-soak:
-	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants|TestFederationChaosSoak|TestShareChaosSoak' ./internal/chaos
+	$(GO) test -race -count=1 -v -run 'TestChaosSoak|TestCrashRecoveryInvariants|TestFederationChaosSoak|TestShareChaosSoak|TestOverloadChaosSoak' ./internal/chaos
 
 # A short fuzz pass over the grammar-adjacent surfaces: the query parser's
 # robustness invariants (never panic; accepted input round-trips) and the

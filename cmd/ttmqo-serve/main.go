@@ -8,7 +8,9 @@
 //	ttmqo-serve [-addr :7443] [-side N] [-scheme ttmqo] [-seed S] [-alpha A]
 //	            [-tick 250ms] [-quantum 2048ms] [-buffer B] [-quota Q]
 //	            [-rate R] [-burst K] [-mtbf D] [-mttr D] [-wal gw.wal]
-//	            [-readtimeout 75s] [-crash-after D] [-crash-outage D]
+//	            [-readtimeout 75s] [-write-timeout 30s]
+//	            [-max-staged N] [-mailbox-deadline D] [-max-live-subs N]
+//	            [-crash-after D] [-crash-outage D]
 //	            [-admin 127.0.0.1:9090] [-wire binary]
 //	            [-json out.json] [-series out.csv] [-sample 30s]
 //	ttmqo-serve -shards K [-waldir DIR] [-addr :7443] [-side N] [-scheme S]
@@ -36,6 +38,20 @@
 // silent past -readtimeout is dropped (0 keeps the 75s default; negative
 // disables). SIGINT drains the gateway and, with -json, writes the obs run
 // export (including the gateway counters) before exiting.
+//
+// Overload resilience: -max-staged bounds the group-commit mailbox (new
+// subscribes past the bound are shed with an "overloaded" error carrying a
+// retry-after hint, and sustained pressure walks the brownout ladder:
+// cache replay off, then fan-out batching, then rejecting all new
+// admissions); -mailbox-deadline sheds subscribes whose mailbox sojourn
+// exceeded their budget (a per-request deadline_ms overrides it);
+// -max-live-subs caps concurrently live subscriptions fleet-wide; and
+// -write-timeout drops connections that stop reading their result stream
+// (slow-loris defense; 0 keeps the 30s default, negative disables). In
+// sharded mode the bounds apply per shard, each shard's backend sits
+// behind a circuit breaker, and epochs released without full shard
+// coverage are marked degraded with a coverage fraction. The admin plane
+// exposes everything under the ttmqo_resilience_* families.
 //
 // Crash recovery: with -wal, committed session/subscription lifecycle is
 // write-ahead logged there, and a restart over a non-empty log recovers the
@@ -151,6 +167,10 @@ func run() error {
 	waldir := flag.String("waldir", "", "federation: per-shard write-ahead-log directory (DIR/shard-<i>.wal), enables shard crash recovery")
 	shareOn := flag.Bool("share", false, "front the serving tier with the cross-query sharing coordinator (partial-aggregate CSE + windowed result cache)")
 	cacheWindow := flag.Int("cache-window", 0, "share: result-cache depth in epochs (0 = default, negative disables cached replay; requires -share)")
+	maxStaged := flag.Int("max-staged", 0, "admission control: shed new subscribes once this many commands are staged in the group-commit mailbox (0 disables; also arms the brownout ladder)")
+	mailboxDeadline := flag.Duration("mailbox-deadline", 0, "admission control: default mailbox sojourn budget for subscribes; a per-request deadline_ms overrides (0 disables)")
+	maxLiveSubs := flag.Int("max-live-subs", 0, "admission control: global cap on concurrently live subscriptions (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-connection write deadline guarding against non-reading subscribers (0 = 30s default, negative disables)")
 	flag.Parse()
 
 	switch *wire {
@@ -190,23 +210,27 @@ func run() error {
 			return fmt.Errorf("-json/-series support only single-gateway serving")
 		}
 		return serveFederated(federation.Config{
-			Shards:       *shards,
-			Side:         *side,
-			Seed:         *seed,
-			Scheme:       scheme,
-			Alpha:        *alpha,
-			Buffer:       *buffer,
-			SessionQuota: *quota,
-			Rate:         *rate,
-			Burst:        *burst,
-			WALDir:       *waldir,
-			Failures:     network.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
+			Shards:          *shards,
+			Side:            *side,
+			Seed:            *seed,
+			Scheme:          scheme,
+			Alpha:           *alpha,
+			Buffer:          *buffer,
+			SessionQuota:    *quota,
+			Rate:            *rate,
+			Burst:           *burst,
+			WALDir:          *waldir,
+			Failures:        network.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
+			MailboxDeadline: *mailboxDeadline,
+			MaxStaged:       *maxStaged,
+			MaxLiveSubs:     *maxLiveSubs,
 		}, gateway.ServerConfig{
-			Addr:        *addr,
-			TickEvery:   *tick,
-			Quantum:     *quantum,
-			ReadTimeout: *readTimeout,
-			ForceJSON:   *wire == "json",
+			Addr:         *addr,
+			TickEvery:    *tick,
+			Quantum:      *quantum,
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+			ForceJSON:    *wire == "json",
 		}, *admin, *shareOn, *cacheWindow)
 	}
 
@@ -269,19 +293,23 @@ func run() error {
 			Failures: network.FailureConfig{MTBF: *mtbf, MTTR: *mttr},
 			Trace:    traceBuf,
 		},
-		Buffer:       *buffer,
-		SessionQuota: *quota,
-		Rate:         *rate,
-		Burst:        *burst,
-		Sample:       sm,
-		WALPath:      *wal,
+		Buffer:          *buffer,
+		SessionQuota:    *quota,
+		Rate:            *rate,
+		Burst:           *burst,
+		Sample:          sm,
+		WALPath:         *wal,
+		MaxStaged:       *maxStaged,
+		MailboxDeadline: *mailboxDeadline,
+		MaxLiveSubs:     *maxLiveSubs,
 	}
 	srvCfg := gateway.ServerConfig{
-		Addr:        *addr,
-		TickEvery:   *tick,
-		Quantum:     *quantum,
-		ReadTimeout: *readTimeout,
-		ForceJSON:   *wire == "json",
+		Addr:         *addr,
+		TickEvery:    *tick,
+		Quantum:      *quantum,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		ForceJSON:    *wire == "json",
 	}
 
 	// A non-empty log from a previous run means a crashed (or killed)

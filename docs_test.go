@@ -335,6 +335,66 @@ func TestDocsCoverShare(t *testing.T) {
 	}
 }
 
+// TestDocsCoverResilience: README.md must document the overload layer —
+// the admission-control flags, the drill names and the bench gate — and
+// EXPERIMENTS.md must walk through the drills, the resilience metric
+// families and the gated overload rows of the serve suite. This is the
+// drift check for the overload/degraded-mode surface.
+func TestDocsCoverResilience(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	for _, f := range []string{"-max-staged", "-mailbox-deadline", "-max-live-subs", "-write-timeout"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README.md does not mention admission-control flag %s", f)
+		}
+	}
+	for _, n := range chaos.OverloadScenarioNames() {
+		if !strings.Contains(readme, n) {
+			t.Errorf("README.md does not mention overload drill %q", n)
+		}
+		if !strings.Contains(experiments, n) {
+			t.Errorf("EXPERIMENTS.md does not walk through overload drill %q", n)
+		}
+	}
+	// The gated overload rows and their committed gauge must be walked
+	// through next to the baseline that gates them.
+	for _, row := range []string{"overload/first-result-unloaded", "overload/p99-under-herd"} {
+		if !strings.Contains(experiments, row) {
+			t.Errorf("EXPERIMENTS.md does not mention serve benchmark row %q", row)
+		}
+	}
+	if !strings.Contains(readme+experiments, "overload_p99_ratio") {
+		t.Error("docs do not mention the gated overload_p99_ratio gauge")
+	}
+	// The resilience metric families the docs walk through must be real
+	// registered names — a rename in any tier's telemetry.go must show up
+	// here.
+	for _, fam := range []string{
+		"ttmqo_resilience_shed_queue_total",
+		"ttmqo_resilience_shed_deadline_total",
+		"ttmqo_resilience_shed_subs_total",
+		"ttmqo_resilience_shed_brownout_total",
+		"ttmqo_resilience_brownout_escalations_total",
+		"ttmqo_resilience_brownout_recoveries_total",
+		"ttmqo_resilience_brownout_level",
+		"ttmqo_resilience_breaker_trips_total",
+		"ttmqo_resilience_breaker_probes_total",
+		"ttmqo_resilience_breaker_recoveries_total",
+		"ttmqo_resilience_breaker_state",
+		"ttmqo_resilience_degraded_epochs_total",
+		"ttmqo_resilience_shard_stalls_total",
+		"ttmqo_resilience_stalled_shards",
+		"ttmqo_resilience_router_shed_deadline_total",
+		"ttmqo_resilience_replay_sheds_total",
+		"ttmqo_resilience_share_shed_deadline_total",
+		"ttmqo_resilience_share_degraded_epochs_total",
+	} {
+		if !strings.Contains(readme+experiments, fam) {
+			t.Errorf("docs do not mention resilience metric family %s", fam)
+		}
+	}
+}
+
 // TestDocsCoverAdminPlane: README.md must document every admin HTTP
 // endpoint the server actually serves, the flags that mount it, and the
 // smoke-drill make target; EXPERIMENTS.md must show the readiness drill.

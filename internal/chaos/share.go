@@ -42,6 +42,60 @@ const (
 	shareClearRound = 9
 )
 
+// shareLedgerCap bounds the value-consistency ledger: cached replays and
+// crash-recovery re-deliveries land within a few windows of the live
+// cursor, so a sliding window this deep checks every consistency-relevant
+// observation while keeping a long soak's memory flat.
+const shareLedgerCap = 512
+
+// epochKey identifies one (query, epoch) delivery for the consistency
+// ledger.
+type epochKey struct {
+	qid query.ID
+	at  time.Duration
+}
+
+// fingerprintLedger pins the first-seen fingerprint of each (query,
+// epoch) and bounds its own memory with FIFO eviction over insertion
+// order. Observations whose key has slid off the window are re-pinned
+// rather than checked — consistency is enforced across the window where
+// replays and recoveries actually land, at O(cap) space no matter how
+// long the drill runs.
+type fingerprintLedger struct {
+	limit int
+	seen  map[epochKey]string
+	order []epochKey // circular FIFO of live keys once len == limit
+	head  int        // next eviction slot when full
+}
+
+func newFingerprintLedger(limit int) *fingerprintLedger {
+	return &fingerprintLedger{
+		limit: limit,
+		seen:  make(map[epochKey]string, limit),
+		order: make([]epochKey, 0, limit),
+	}
+}
+
+// check records fp for k on first sight and reports whether a previously
+// pinned fingerprint disagrees.
+func (l *fingerprintLedger) check(k epochKey, fp string) (mismatch bool) {
+	if prev, ok := l.seen[k]; ok {
+		return prev != fp
+	}
+	if len(l.order) == l.limit {
+		delete(l.seen, l.order[l.head])
+		l.order[l.head] = k
+		l.head = (l.head + 1) % l.limit
+	} else {
+		l.order = append(l.order, k)
+	}
+	l.seen[k] = fp
+	return false
+}
+
+// size reports the number of pinned fingerprints (bounded by the cap).
+func (l *fingerprintLedger) size() int { return len(l.seen) }
+
 // ShareRunConfig parametrizes the sharing-layer drill.
 type ShareRunConfig struct {
 	// Seed seeds the gateway's world (1 if zero).
@@ -174,11 +228,9 @@ func RunShareScenario(cfg ShareRunConfig) (*ShareReport, error) {
 	// Value consistency ledger: the first delivery of a (query, epoch)
 	// pins its content; every later observation — another subscriber's
 	// live copy, a cached replay, a post-recovery delivery — must match.
-	type epochKey struct {
-		qid query.ID
-		at  time.Duration
-	}
-	truth := make(map[epochKey]string)
+	// The ledger is bounded (FIFO over insertion order) so a long soak
+	// holds a sliding window of epochs instead of growing forever.
+	truth := newFingerprintLedger(shareLedgerCap)
 	check := NewStreamChecker()
 	type drillSub struct {
 		sub  *share.Sub
@@ -190,12 +242,8 @@ func RunShareScenario(cfg ShareRunConfig) (*ShareReport, error) {
 		rep.Rows = check.Rows
 		k := epochKey{qid: u.QueryID, at: u.At}
 		fp := fmt.Sprintf("%v|%v", u.Rows, u.Aggs)
-		if prev, ok := truth[k]; ok {
-			if prev != fp {
-				rep.ValueMismatches++
-			}
-		} else {
-			truth[k] = fp
+		if truth.check(k, fp) {
+			rep.ValueMismatches++
 		}
 	}
 	drainAll := func() {

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"testing"
+	"time"
 )
 
 // TestShareScenarioValidation covers the config guard rails.
@@ -67,5 +68,50 @@ func TestShareChaosSoak(t *testing.T) {
 				t.Errorf("window=%d seed=%d violation: %s", window, seed, v)
 			}
 		}
+	}
+}
+
+// TestFingerprintLedgerBounded pins the consistency ledger's memory flat
+// across a drill-length stream of distinct epochs: the FIFO window never
+// outgrows its cap (no map growth, no queue growth), mismatches inside
+// the window are still caught, and evicted keys re-pin silently instead
+// of false-positiving.
+func TestFingerprintLedgerBounded(t *testing.T) {
+	const window = 64
+	l := newFingerprintLedger(window)
+	for i := 0; i < 100_000; i++ {
+		k := epochKey{qid: 1, at: time.Duration(i)}
+		if l.check(k, "fp") {
+			t.Fatalf("first sight of epoch %d reported a mismatch", i)
+		}
+		if l.size() > window {
+			t.Fatalf("ledger grew to %d entries after %d inserts (cap %d)", l.size(), i+1, window)
+		}
+	}
+	if l.size() != window {
+		t.Fatalf("ledger holds %d entries after a long run, want a full window of %d", l.size(), window)
+	}
+	if got := len(l.order); got != window {
+		t.Fatalf("FIFO ring holds %d slots, want %d", got, window)
+	}
+	if got := cap(l.order); got != window {
+		t.Fatalf("FIFO ring backing array grew to %d slots, want %d", got, window)
+	}
+
+	// A conflicting re-observation inside the window is a mismatch...
+	live := epochKey{qid: 1, at: time.Duration(99_999)}
+	if !l.check(live, "different") {
+		t.Fatal("in-window conflicting fingerprint not reported")
+	}
+	// ...while an agreeing one is not.
+	if l.check(live, "fp") {
+		t.Fatal("in-window agreeing fingerprint misreported")
+	}
+	// An epoch long since evicted re-pins with whatever it now carries.
+	if l.check(epochKey{qid: 1, at: 0}, "different") {
+		t.Fatal("evicted epoch treated as a mismatch")
+	}
+	if l.size() != window {
+		t.Fatalf("re-pinning an evicted epoch grew the ledger to %d (cap %d)", l.size(), window)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/network"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -65,6 +66,21 @@ type Config struct {
 	// OnShardSim, when set, runs against each shard's freshly built
 	// simulation (chaos fault injection); re-applied on recovery replay.
 	OnShardSim func(shard int, s *network.Simulation)
+	// MailboxDeadline is the default staging-sojourn budget for downstream
+	// subscribes: a command that waits longer than this in the router's
+	// group-commit mailbox is shed with resilience.ErrOverloaded instead of
+	// being applied late. Zero disables the default; a per-command budget
+	// (SubscribeAsyncBudget / wire deadline_ms) always overrides.
+	MailboxDeadline time.Duration
+	// MaxStaged and MaxLiveSubs forward the gateway admission-control
+	// bounds to every shard (zero disables, as on the gateway). Shard-side
+	// brownout pressure also feeds the router's BrownoutLevel.
+	MaxStaged   int
+	MaxLiveSubs int
+	// Breaker parametrizes the per-shard circuit breaker guarding the
+	// watermark against stuck-but-not-crashed shards (zero value uses the
+	// resilience defaults).
+	Breaker resilience.BreakerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +133,13 @@ type Stats struct {
 	Partitions          int64
 	Heals               int64
 	UpstreamResumes     int64 // upstream streams resumed after recover/heal
+	ShedDeadline        int64 // subscribes shed: mailbox sojourn exceeded the budget
+	DegradedEpochs      int64 // epochs released without full shard coverage
+	ShardStalls         int64 // StallShard(i, true) calls (chaos stuck-shard injections)
+	StalledShards       int   // shards currently wedged by StallShard
+	BreakerTrips        int64 // per-shard breakers tripped open (summed)
+	BreakerProbes       int64 // half-open probes issued (summed)
+	BreakerRecoveries   int64 // breakers closed again after a probe succeeded (summed)
 }
 
 // upstream is the router's one canonical subscription to a shard for a
@@ -151,6 +174,13 @@ type shard struct {
 	// frozen is the watermark contribution while !alive || !reachable:
 	// the last virtual instant whose updates the router has seen.
 	frozen sim.Time
+	// stalled simulates a wedged-but-running gateway (StallShard): the
+	// shard stops answering Advance without crashing. brk observes every
+	// round's outcome; once it trips open the shard's frozen clock stops
+	// gating the watermark and spanned trees release degraded epochs
+	// instead of stalling.
+	stalled bool
+	brk     *resilience.Breaker
 }
 
 // watermark is the virtual instant this shard's partials are complete
@@ -201,6 +231,25 @@ type rcmd struct {
 	q    query.Query // subscribe
 	id   gateway.SubID
 	done chan rres
+	// at/deadline implement the mailbox sojourn budget: at is stamped when
+	// the command is staged, and a subscribe still uncommitted after
+	// deadline (or Config.MailboxDeadline when zero) is shed at commit.
+	at       time.Time
+	deadline time.Duration
+}
+
+// remainingBudget is the unspent part of the staging deadline, forwarded
+// to the shard gateways' mailboxes so one budget spans the whole
+// router→shard chain.
+func (c *rcmd) remainingBudget() time.Duration {
+	if c.deadline <= 0 || c.at.IsZero() {
+		return 0
+	}
+	rem := c.deadline - time.Since(c.at)
+	if rem < 0 {
+		return 0
+	}
+	return rem
 }
 
 type rcmdKind uint8
@@ -335,6 +384,8 @@ func (r *Router) buildShard(i int) (*shard, error) {
 		SessionQuota: r.cfg.MaxSessions * r.cfg.SessionQuota,
 		Rate:         r.cfg.Rate,
 		Burst:        r.cfg.Burst,
+		MaxStaged:    r.cfg.MaxStaged,
+		MaxLiveSubs:  r.cfg.MaxLiveSubs,
 		// The router's upstream session detaches during partitions of
 		// unbounded (virtual) length; it must never be idle-reaped.
 		IdleTimeout: -1,
@@ -366,6 +417,7 @@ func (r *Router) buildShard(i int) (*shard, error) {
 		ups:       make(map[gateway.SubID]*upstream),
 		alive:     true,
 		reachable: true,
+		brk:       resilience.NewBreaker(r.cfg.Breaker),
 	}, nil
 }
 
@@ -414,7 +466,13 @@ func (r *Router) statsLocked() Stats {
 		if sh.alive {
 			st.AliveShards++
 		}
+		if sh.stalled {
+			st.StalledShards++
+		}
 		st.UpstreamSubs += len(sh.ups)
+		st.BreakerTrips += sh.brk.Trips
+		st.BreakerProbes += sh.brk.Probes
+		st.BreakerRecoveries += sh.brk.Recoveries
 	}
 	st.ActiveSessions = 0
 	for _, s := range r.sessions {
@@ -507,6 +565,7 @@ func (r *Router) ServeStats() (gateway.Stats, sim.Time, error) {
 	agg.Evicted = fs.Evicted
 	agg.RingDropped += fs.RingDropped
 	agg.Recoveries += fs.ShardRecoveries
+	agg.ShedDeadline += fs.ShedDeadline
 	return agg, now, nil
 }
 
@@ -530,6 +589,37 @@ func addGatewayStats(dst *gateway.Stats, s gateway.Stats) {
 	dst.WALAppends += s.WALAppends
 	dst.WALSizeBytes += s.WALSizeBytes
 	dst.WALCompactions += s.WALCompactions
+	dst.ShedQueue += s.ShedQueue
+	dst.ShedDeadline += s.ShedDeadline
+	dst.ShedSubs += s.ShedSubs
+	dst.ShedBrownout += s.ShedBrownout
+}
+
+// BrownoutLevel implements gateway.BrownoutReporter over the fleet: the
+// router's pressure is its hottest alive shard's ladder rung.
+func (r *Router) BrownoutLevel() resilience.Level {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lvl := resilience.LevelNormal
+	for _, sh := range r.shards {
+		if sh.alive {
+			if l := sh.gw.BrownoutLevel(); l > lvl {
+				lvl = l
+			}
+		}
+	}
+	return lvl
+}
+
+// ShardBreaker reports shard i's circuit-breaker state
+// (BreakerClosed for an out-of-range index).
+func (r *Router) ShardBreaker(i int) resilience.BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.shards) {
+		return resilience.BreakerClosed
+	}
+	return r.shards[i].brk.State()
 }
 
 // ---------------------------------------------------------------------------
@@ -696,6 +786,15 @@ func (r *Router) AttachSession(name, token string) (gateway.ServerSession, []gat
 
 // SubscribeAsync stages a subscription, committed at the next Advance.
 func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
+	return s.SubscribeAsyncBudget(q, 0)
+}
+
+// SubscribeAsyncBudget stages a subscription carrying a mailbox deadline
+// budget: if the command is still staged after `budget` at commit time it
+// is shed with resilience.ErrOverloaded, and whatever is left of the
+// budget is forwarded to the shard gateways' own mailboxes. Zero falls
+// back to Config.MailboxDeadline.
+func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ticket, error) {
 	r := s.r
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -706,18 +805,26 @@ func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
 		return nil, fmt.Errorf("federation: session %q is closed", s.name)
 	}
 	s.seq++
-	c := &rcmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan rres, 1)}
+	c := &rcmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan rres, 1),
+		at: time.Now(), deadline: budget}
 	r.staged = append(r.staged, c)
 	return &Ticket{r: r, done: c.done}, nil
 }
 
 // SubscribeQuery implements gateway.ServerSession: parse, stage, wait.
 func (s *Session) SubscribeQuery(text string) (gateway.ServerSub, error) {
+	return s.SubscribeQueryBudget(text, 0)
+}
+
+// SubscribeQueryBudget implements gateway.BudgetSubscriber: the wire
+// deadline_ms budget rides the staged command through the router and on
+// to the shard mailboxes.
+func (s *Session) SubscribeQueryBudget(text string, budget time.Duration) (gateway.ServerSub, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	tk, err := s.SubscribeAsync(q)
+	tk, err := s.SubscribeAsyncBudget(q, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -873,12 +980,24 @@ func (r *Router) Advance(d time.Duration) (int, error) {
 
 	// Advance alive shards in parallel: each runs its own simulation for
 	// one quantum; this is where shard count buys wall-clock throughput.
+	// Stalled shards (chaos: wedged but not crashed) and shards behind an
+	// open breaker are held out of the round; their breakers observe the
+	// timeout — a closed breaker counts its failure streak, an open one
+	// ticks its cooldown toward a half-open probe.
 	var wg sync.WaitGroup
 	errs := make([]error, len(r.shards))
+	advanced := make([]bool, len(r.shards))
+	preState := make([]resilience.BreakerState, len(r.shards))
 	for _, sh := range r.shards {
 		if !sh.alive {
 			continue
 		}
+		preState[sh.idx] = sh.brk.State()
+		if sh.stalled || preState[sh.idx] == resilience.BreakerOpen {
+			sh.brk.Observe(false)
+			continue
+		}
+		advanced[sh.idx] = true
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
@@ -888,7 +1007,7 @@ func (r *Router) Advance(d time.Duration) (int, error) {
 	wg.Wait()
 	var firstErr error
 	for _, sh := range r.shards {
-		if !sh.alive {
+		if !sh.alive || !advanced[sh.idx] {
 			continue
 		}
 		if err := errs[sh.idx]; err != nil {
@@ -908,6 +1027,13 @@ func (r *Router) Advance(d time.Duration) (int, error) {
 		sh.vnow += sim.Time(d)
 		if sh.vnow > r.now {
 			r.now = sh.vnow
+		}
+		sh.brk.Observe(true)
+		if preState[sh.idx] == resilience.BreakerHalfOpen {
+			// The probe succeeded: the breaker closed, so replay the quanta
+			// the shard sat out while open. Coverage returns to 1.0 once its
+			// watermark passes the other shards' again.
+			r.catchUpLocked(sh)
 		}
 	}
 
@@ -942,10 +1068,15 @@ func (r *Router) commitLocked() (int, []pendingAck) {
 		}
 		return staged[i].seq < staged[j].seq
 	})
+	wall := time.Now()
 	var acks []pendingAck
 	for _, c := range staged {
 		switch c.kind {
 		case cmdSubscribe:
+			if err := r.checkDeadlineLocked(c, wall); err != nil {
+				c.done <- rres{err: err}
+				continue
+			}
 			sub, tr, err := r.applySubscribeLocked(c)
 			if err != nil {
 				c.done <- rres{err: err}
@@ -960,6 +1091,20 @@ func (r *Router) commitLocked() (int, []pendingAck) {
 		}
 	}
 	return len(staged), acks
+}
+
+// checkDeadlineLocked sheds a staged subscribe whose mailbox sojourn
+// (stage to commit, wall clock) exceeded its budget.
+func (r *Router) checkDeadlineLocked(c *rcmd, wall time.Time) error {
+	budget := c.deadline
+	if budget <= 0 {
+		budget = r.cfg.MailboxDeadline
+	}
+	if budget <= 0 || c.at.IsZero() || wall.Sub(c.at) <= budget {
+		return nil
+	}
+	r.stats.ShedDeadline++
+	return &resilience.OverloadError{RetryAfter: gateway.DefaultShedRetryAfter, Reason: "deadline"}
 }
 
 func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
@@ -995,10 +1140,11 @@ func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
 			}
 		}
 		tr = &tree{key: key, p: p}
+		rem := c.remainingBudget()
 		for i, sl := range p.slices {
 			sh := r.shards[sl.shard]
 			up := &upstream{sh: sh, tr: tr, slice: i}
-			tk, err := sh.sess.SubscribeAsync(sl.q)
+			tk, err := sh.sess.SubscribeAsyncBudget(sl.q, rem)
 			if err != nil {
 				return nil, nil, fmt.Errorf("federation: shard %d subscribe: %w", sl.shard, err)
 			}
@@ -1200,7 +1346,15 @@ func (r *Router) releaseLocked() {
 		}
 		wm := sim.Time(1<<63 - 1)
 		for _, idx := range tr.p.shardSet() {
-			if w := r.shards[idx].watermark(); w < wm {
+			sh := r.shards[idx]
+			if sh.brk.State() != resilience.BreakerClosed {
+				// A tripped (or still-probing) shard must not stall the
+				// whole tree: its frozen clock is ignored and epochs release
+				// degraded — marked with their coverage fraction — until the
+				// breaker closes and the shard catches up.
+				continue
+			}
+			if w := sh.watermark(); w < wm {
 				wm = w
 			}
 		}
@@ -1233,6 +1387,26 @@ func (r *Router) releaseLocked() {
 
 func (r *Router) releaseEpochLocked(tr *tree, acc *epochAcc) {
 	r.stats.MergedEpochs++
+	// Coverage: a spanned shard has contributed everything it will for
+	// this epoch exactly when its watermark passed the epoch's instant.
+	// Anything released ahead of a shard's watermark (breaker exclusion,
+	// MaxPending force-release) is degraded, with the contributing
+	// fraction on every delivered update.
+	spanned := tr.p.shardSet()
+	covered := 0
+	for _, idx := range spanned {
+		if r.shards[idx].watermark() > acc.at {
+			covered++
+		}
+	}
+	degraded := covered < len(spanned)
+	coverage := 1.0
+	if len(spanned) > 0 {
+		coverage = float64(covered) / float64(len(spanned))
+	}
+	if degraded {
+		r.stats.DegradedEpochs++
+	}
 	aggs := acc.finish(tr.p)
 	var evicted []*Sub
 	for _, sub := range tr.subs {
@@ -1244,6 +1418,8 @@ func (r *Router) releaseEpochLocked(tr *tree, acc *epochAcc) {
 			At:       acc.at,
 			Rows:     acc.rows,
 			Aggs:     aggs,
+			Degraded: degraded,
+			Coverage: coverage,
 			Enqueued: time.Now(),
 		}
 		if sub.detached {
@@ -1393,6 +1569,39 @@ func (r *Router) HealShard(i int) error {
 	// The parked tails are already in the fresh channels; fold them in
 	// now so the next Advance's watermark releases them in order.
 	r.drainShardLocked(sh)
+	return nil
+}
+
+// StallShard wedges shard i (stuck=true): its gateway stays alive and
+// reachable but stops answering Advance, the way a live-locked or
+// GC-thrashing process would — no crash, no partition, just silence.
+// The router's per-shard circuit breaker observes the consecutive
+// timeouts and trips open after Config.Breaker.TripAfter of them, at
+// which point spanned trees release epochs without the shard (marked
+// degraded with a coverage fraction) instead of stalling behind its
+// frozen watermark. StallShard(i, false) un-wedges it; the next
+// half-open probe succeeds, the breaker closes, and the shard replays
+// forward to the router's clock.
+func (r *Router) StallShard(i int, stuck bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, err := r.shardLocked(i)
+	if err != nil {
+		return err
+	}
+	if !sh.alive {
+		return fmt.Errorf("federation: shard %d is down", i)
+	}
+	if sh.stalled == stuck {
+		if stuck {
+			return fmt.Errorf("federation: shard %d is already stalled", i)
+		}
+		return fmt.Errorf("federation: shard %d is not stalled", i)
+	}
+	sh.stalled = stuck
+	if stuck {
+		r.stats.ShardStalls++
+	}
 	return nil
 }
 

@@ -45,6 +45,12 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Router) {
 		{r.NewCounter("ttmqo_shard_partitions_total", "router-shard partitions injected"), func(s Stats) int64 { return s.Partitions }},
 		{r.NewCounter("ttmqo_shard_heals_total", "router-shard partitions healed"), func(s Stats) int64 { return s.Heals }},
 		{r.NewCounter("ttmqo_router_upstream_resumes_total", "upstream streams resumed after recover/heal"), func(s Stats) int64 { return s.UpstreamResumes }},
+		{r.NewCounter("ttmqo_resilience_breaker_trips_total", "per-shard circuit breakers tripped open on consecutive stuck rounds"), func(s Stats) int64 { return s.BreakerTrips }},
+		{r.NewCounter("ttmqo_resilience_breaker_probes_total", "half-open probes issued after breaker cooldowns"), func(s Stats) int64 { return s.BreakerProbes }},
+		{r.NewCounter("ttmqo_resilience_breaker_recoveries_total", "breakers closed again after a successful probe"), func(s Stats) int64 { return s.BreakerRecoveries }},
+		{r.NewCounter("ttmqo_resilience_degraded_epochs_total", "epochs released without full shard coverage"), func(s Stats) int64 { return s.DegradedEpochs }},
+		{r.NewCounter("ttmqo_resilience_shard_stalls_total", "stuck-shard injections (StallShard)"), func(s Stats) int64 { return s.ShardStalls }},
+		{r.NewCounter("ttmqo_resilience_router_shed_deadline_total", "downstream subscribes shed: router mailbox sojourn exceeded the budget"), func(s Stats) int64 { return s.ShedDeadline }},
 	}
 
 	shardUp := r.NewGauge("ttmqo_shard_up", "1 while the shard's gateway actor loop is up", "shard")
@@ -52,6 +58,8 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Router) {
 	shardUpdates := r.NewCounter("ttmqo_shard_updates_total", "result deliveries fanned out by the shard gateway", "shard")
 	shardEpochs := r.NewCounter("ttmqo_shard_epochs_total", "result epochs produced by the shard simulation", "shard")
 	shardUpstreams := r.NewGauge("ttmqo_shard_upstream_subscriptions", "canonical upstream subscriptions held on the shard", "shard")
+	breakerState := r.NewGauge("ttmqo_resilience_breaker_state", "shard circuit-breaker state: 0 closed, 1 open, 2 half-open", "shard")
+	stalledShards := r.NewGauge("ttmqo_resilience_stalled_shards", "shards currently wedged by a stuck-shard injection")
 
 	mergeHist := r.NewHistogram("ttmqo_router_merge_latency_seconds",
 		"wall-clock time per Advance spent draining, recombining and releasing partial results", MergeLatencyBounds)
@@ -75,6 +83,7 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Router) {
 		aliveShards.Gauge().Set(float64(st.AliveShards))
 		trees.Gauge().Set(float64(st.Trees))
 		upstreamSubs.Gauge().Set(float64(st.UpstreamSubs))
+		stalledShards.Gauge().Set(float64(st.StalledShards))
 		for _, c := range counters {
 			c.fam.Counter().Set(float64(c.get(st)))
 		}
@@ -85,6 +94,7 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Router) {
 			} else {
 				shardUp.Gauge(label).Set(0)
 			}
+			breakerState.Gauge(label).Set(float64(rt.ShardBreaker(i)))
 			shardVTime.Gauge(label).Set(time.Duration(rt.ShardNow(i)).Seconds())
 			shardUpstreams.Gauge(label).Set(float64(rt.UpstreamSubsOn(i)))
 			gst, err := rt.ShardStats(i)

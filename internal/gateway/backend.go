@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,24 @@ type ServerSession interface {
 	CloseAsync() error
 }
 
+// BudgetSubscriber is the optional ServerSession extension for deadline
+// propagation: a wire subscribe carrying deadline_ms lands here, and the
+// budget rides down through whatever mailbox chain the backend has
+// (router staging, shard gateway staging) — any hop that out-waits the
+// budget sheds the command with ErrOverloaded instead of applying it
+// late. Sessions without the extension just ignore budgets.
+type BudgetSubscriber interface {
+	SubscribeQueryBudget(text string, budget time.Duration) (ServerSub, error)
+}
+
+// BrownoutReporter is the optional Backend extension exposing the
+// brownout degradation ladder. The server's pacer coalesces ticks at
+// LevelBatching and the connection handlers shed new subscribes at
+// LevelShed without even staging them.
+type BrownoutReporter interface {
+	BrownoutLevel() resilience.Level
+}
+
 // ServerSub is one update stream as the connection forwarders consume it.
 type ServerSub interface {
 	ID() SubID
@@ -57,6 +76,14 @@ type gwSession struct{ *Session }
 
 func (s gwSession) SubscribeQuery(text string) (ServerSub, error) {
 	sub, err := s.Session.SubscribeQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (s gwSession) SubscribeQueryBudget(text string, budget time.Duration) (ServerSub, error) {
+	sub, err := s.Session.SubscribeQueryBudget(text, budget)
 	if err != nil {
 		return nil, err
 	}

@@ -3,9 +3,12 @@ package gateway
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Client is a TCP client for the serving protocol, speaking either wire
@@ -111,25 +114,44 @@ func (c *Client) Send(req Request) error {
 	return c.bw.Flush()
 }
 
-// Recv reads the next response, auto-detecting its framing.
+// ErrPingTimeout marks a Recv that failed because the configured
+// read deadline expired — the server went quiet past the client's
+// heartbeat window. Retry policy treats it as a reconnect-and-resume
+// signal, distinct from protocol errors (which are not retried).
+var ErrPingTimeout = errors.New("gateway: ping timeout")
+
+// wrapRead types a read-side failure: deadline expiry becomes
+// ErrPingTimeout (matchable with errors.Is), everything else passes
+// through untouched.
+func wrapRead(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrPingTimeout, err)
+	}
+	return err
+}
+
+// Recv reads the next response, auto-detecting its framing. A read that
+// dies on the configured deadline returns an error matching
+// ErrPingTimeout.
 func (c *Client) Recv() (Response, error) {
 	if err := c.deadline(); err != nil {
 		return Response{}, err
 	}
 	first, err := c.br.ReadByte()
 	if err != nil {
-		return Response{}, err
+		return Response{}, wrapRead(err)
 	}
 	if first == FrameMagic {
 		c.scratch, err = readBinaryFrame(c.br, c.scratch)
 		if err != nil {
-			return Response{}, err
+			return Response{}, wrapRead(err)
 		}
 		return decodeResponsePayload(c.scratch)
 	}
 	line, err := c.br.ReadSlice('\n')
 	if err != nil {
-		return Response{}, err
+		return Response{}, wrapRead(err)
 	}
 	c.scratch = append(append(c.scratch[:0], first), line...)
 	var resp Response
@@ -161,4 +183,95 @@ func (c *Client) deadline() error {
 		return nil
 	}
 	return c.conn.SetDeadline(time.Now().Add(c.timeout))
+}
+
+// OverloadFromResponse converts an "overloaded" TypeError response into
+// its typed *resilience.OverloadError (carrying the server's retry-after
+// floor); nil for any other response.
+func OverloadFromResponse(resp Response) error {
+	if resp.Type != TypeError || resp.Code != CodeOverloaded {
+		return nil
+	}
+	return &resilience.OverloadError{
+		RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond,
+		Reason:     resp.Error,
+	}
+}
+
+// RetryConfig parametrizes SubscribeRetry.
+type RetryConfig struct {
+	// Attempts bounds the subscribe tries (8 if <= 0).
+	Attempts int
+	// Backoff is the jittered delay policy between attempts; its zero
+	// value uses the resilience defaults.
+	Backoff resilience.Backoff
+	// Deadline, when positive, rides the wire as the subscribe's mailbox
+	// deadline budget.
+	Deadline time.Duration
+	// Sleep replaces time.Sleep between attempts (tests inject a
+	// recorder).
+	Sleep func(time.Duration)
+	// OnFrame receives stream responses that interleave with the
+	// subscribe round trip (updates for this connection's other
+	// subscriptions); dropped when nil.
+	OnFrame func(Response)
+}
+
+// SubscribeRetry subscribes with the client retry policy: an
+// "overloaded" rejection backs off with capped exponential delay plus
+// full jitter — floored by the server's retry-after hint — and re-issues
+// the subscribe. The retry is idempotent: a shed subscribe was never
+// applied, so re-subscribing cannot double-admit, and per-subscription
+// Seq numbering keeps delivery exactly-once for consumers that dedup on
+// it. Non-overload errors fail immediately.
+func (c *Client) SubscribeRetry(queryText, tag string, rc RetryConfig) (Response, error) {
+	attempts := rc.Attempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	sleep := rc.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		req := Request{Op: OpSubscribe, Query: queryText, Tag: tag}
+		if rc.Deadline > 0 {
+			req.DeadlineMS = rc.Deadline.Milliseconds()
+		}
+		if err := c.Send(req); err != nil {
+			return Response{}, err
+		}
+		resp, err := c.recvTagged(tag, rc.OnFrame)
+		if err != nil {
+			return Response{}, err
+		}
+		if resp.Type == TypeSubscribed {
+			return resp, nil
+		}
+		oe := OverloadFromResponse(resp)
+		if oe == nil {
+			return resp, fmt.Errorf("gateway: subscribe: %s", resp.Error)
+		}
+		lastErr = oe
+		sleep(rc.Backoff.Delay(attempt, resilience.RetryAfterHint(oe)))
+	}
+	return Response{}, fmt.Errorf("gateway: subscribe gave up after %d attempts: %w", attempts, lastErr)
+}
+
+// recvTagged reads until the tagged direct response (subscribed or
+// error) arrives, handing interleaved stream frames to onFrame.
+func (c *Client) recvTagged(tag string, onFrame func(Response)) (Response, error) {
+	for {
+		resp, err := c.Recv()
+		if err != nil {
+			return Response{}, err
+		}
+		if (resp.Type == TypeSubscribed || resp.Type == TypeError) && resp.Tag == tag {
+			return resp, nil
+		}
+		if onFrame != nil {
+			onFrame(resp)
+		}
+	}
 }

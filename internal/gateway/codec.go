@@ -351,6 +351,7 @@ func appendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 	b = binary.AppendUvarint(b, req.After)
 	b = appendString(b, req.Tag)
 	b = appendString(b, req.Wire)
+	b = binary.AppendVarint(b, req.DeadlineMS)
 	return b, nil
 }
 
@@ -374,6 +375,7 @@ func decodeRequestPayload(p []byte) (Request, error) {
 	req.After = r.uvarint()
 	req.Tag = r.str()
 	req.Wire = r.str()
+	req.DeadlineMS = r.varint()
 	return req, r.finish()
 }
 
@@ -413,6 +415,12 @@ func appendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 		b = binary.AppendVarint(b, int64(resp.Sub))
 		b = binary.AppendUvarint(b, resp.Seq)
 		b = binary.AppendVarint(b, resp.AtMS)
+		// Coverage rides only on degraded epochs, so the common fully-
+		// covered frame costs one byte.
+		b = appendBool(b, resp.Degraded)
+		if resp.Degraded {
+			b = appendFloat(b, resp.Coverage)
+		}
 		b = binary.AppendUvarint(b, uint64(len(resp.Rows)))
 		for _, row := range resp.Rows {
 			b = binary.AppendVarint(b, int64(row.Node))
@@ -429,6 +437,10 @@ func appendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 		b = binary.AppendVarint(b, int64(resp.Sub))
 		b = binary.AppendUvarint(b, resp.Seq)
 		b = binary.AppendVarint(b, resp.AtMS)
+		b = appendBool(b, resp.Degraded)
+		if resp.Degraded {
+			b = appendFloat(b, resp.Coverage)
+		}
 		b = binary.AppendUvarint(b, uint64(len(resp.Aggs)))
 		for _, a := range resp.Aggs {
 			op, attr, err := splitAggName(a.Agg)
@@ -459,6 +471,8 @@ func appendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 	case TypeError:
 		b = appendString(b, resp.Tag)
 		b = appendString(b, resp.Error)
+		b = appendString(b, resp.Code)
+		b = binary.AppendVarint(b, resp.RetryAfterMS)
 	}
 	return b, nil
 }
@@ -474,6 +488,10 @@ func appendUpdateFrame(buf []byte, u *Update) []byte {
 		b = binary.AppendVarint(b, int64(u.Sub))
 		b = binary.AppendUvarint(b, u.Seq)
 		b = binary.AppendVarint(b, int64(u.At.Milliseconds()))
+		b = appendBool(b, u.Degraded)
+		if u.Degraded {
+			b = appendFloat(b, u.Coverage)
+		}
 		b = binary.AppendUvarint(b, uint64(len(u.Rows)))
 		for _, row := range u.Rows {
 			b = binary.AppendVarint(b, int64(row.Node))
@@ -491,6 +509,10 @@ func appendUpdateFrame(buf []byte, u *Update) []byte {
 	b = binary.AppendVarint(b, int64(u.Sub))
 	b = binary.AppendUvarint(b, u.Seq)
 	b = binary.AppendVarint(b, int64(u.At.Milliseconds()))
+	b = appendBool(b, u.Degraded)
+	if u.Degraded {
+		b = appendFloat(b, u.Coverage)
+	}
 	b = binary.AppendUvarint(b, uint64(len(u.Aggs)))
 	for _, a := range u.Aggs {
 		b = append(b, byte(a.Agg.Op), byte(a.Agg.Attr))
@@ -540,6 +562,10 @@ func decodeResponsePayload(p []byte) (Response, error) {
 		resp.Sub = SubID(r.varint())
 		resp.Seq = r.uvarint()
 		resp.AtMS = r.varint()
+		resp.Degraded = r.bool()
+		if resp.Degraded {
+			resp.Coverage = r.float()
+		}
 		if n := r.count(2); n > 0 {
 			resp.Rows = make([]WireRow, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {
@@ -559,6 +585,10 @@ func decodeResponsePayload(p []byte) (Response, error) {
 		resp.Sub = SubID(r.varint())
 		resp.Seq = r.uvarint()
 		resp.AtMS = r.varint()
+		resp.Degraded = r.bool()
+		if resp.Degraded {
+			resp.Coverage = r.float()
+		}
 		if n := r.count(11); n > 0 {
 			resp.Aggs = make([]WireAgg, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {
@@ -590,6 +620,8 @@ func decodeResponsePayload(p []byte) (Response, error) {
 	case TypeError:
 		resp.Tag = r.str()
 		resp.Error = r.str()
+		resp.Code = r.str()
+		resp.RetryAfterMS = r.varint()
 	}
 	return resp, r.finish()
 }

@@ -43,6 +43,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpHello, Client: "alice", Tag: "h", Wire: "binary"},
 		{Op: OpHello, Client: "phoenix", Token: "tok-123"},
 		{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms", Tag: "s1"},
+		{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms", Tag: "d1", DeadlineMS: 1500},
 		{Op: OpUnsubscribe, Sub: 7},
 		{Op: OpStats, Tag: "st"},
 		{Op: OpPing, Tag: "hb"},
@@ -78,10 +79,17 @@ func TestResponseRoundTrip(t *testing.T) {
 			{Agg: "MAX(light)", Group: 2, Value: 733.5},
 			{Agg: "AVG(temp)", Empty: true},
 		}},
+		{Type: TypeRows, Sub: 6, Seq: 2, AtMS: 2048, Degraded: true, Coverage: 0.5, Rows: []WireRow{
+			{Node: 1, Values: map[string]float64{"light": 100}},
+		}},
+		{Type: TypeAgg, Sub: 6, Seq: 3, AtMS: 4096, Degraded: true, Coverage: 0.75, Aggs: []WireAgg{
+			{Agg: "MAX(light)", Value: 12.5},
+		}},
 		{Type: TypeClosed, Sub: 2, Reason: "unsubscribed"},
 		{Type: TypeStats, Tag: "st", AtMS: 12288, Stats: &obs.GatewayMetrics{Admitted: 3, ActiveSessions: 1}},
 		{Type: TypePong, Tag: "hb"},
 		{Type: TypeError, Tag: "bad", Error: "no such subscription"},
+		{Type: TypeError, Tag: "sh", Error: "gateway overloaded", Code: CodeOverloaded, RetryAfterMS: 25},
 	}
 	for _, want := range cases {
 		frame := encodeFrame(t, func(b []byte) ([]byte, error) {

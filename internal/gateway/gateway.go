@@ -45,6 +45,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -73,6 +75,9 @@ const (
 	// DefaultSnapshotEvery is how many Advances pass between WAL
 	// compactions.
 	DefaultSnapshotEvery = 256
+	// DefaultShedRetryAfter is the base retry-after hint attached to
+	// overload rejections when Config.ShedRetryAfter is zero.
+	DefaultShedRetryAfter = 250 * time.Millisecond
 )
 
 // Config parametrizes a Gateway.
@@ -121,6 +126,31 @@ type Config struct {
 	// ChaosLabel, when set, annotates the export manifest's Chaos field
 	// with the fault scenario the run was driven under.
 	ChaosLabel string
+	// MaxStaged, when positive, bounds the group-commit mailbox: a
+	// subscribe arriving while MaxStaged commands are already staged is
+	// rejected immediately with a typed *resilience.OverloadError
+	// carrying a retry-after hint. Unsubscribes and session closes are
+	// always staged — they free resources. Zero disables the bound.
+	MaxStaged int
+	// MailboxDeadline, when positive, is the default sojourn budget for
+	// staged subscribes (the CoDel-style deadline on the group-commit
+	// mailbox): a subscribe that waits longer than its budget between
+	// staging and the committing Advance is shed with ErrOverloaded
+	// instead of applied. Per-command budgets (SubscribeAsyncBudget, wire
+	// deadline_ms) override it. Zero disables the default deadline.
+	MailboxDeadline time.Duration
+	// MaxLiveSubs, when positive, caps gateway-wide live subscriptions;
+	// subscribes beyond the cap are shed with ErrOverloaded. Zero
+	// disables the global cap (per-session quotas still apply).
+	MaxLiveSubs int
+	// ShedRetryAfter is the base retry-after hint on overload rejections
+	// (DefaultShedRetryAfter if zero); the hint grows with mailbox depth.
+	ShedRetryAfter time.Duration
+	// Brownout parametrizes the degradation ladder's hysteresis; the
+	// ladder observes mailbox pressure once per Advance and only ever
+	// moves when MaxStaged is set (without a bound there is no pressure
+	// signal).
+	Brownout resilience.BrownoutConfig
 }
 
 // SubID identifies one subscription within a gateway.
@@ -183,6 +213,14 @@ type Update struct {
 	Rows []query.Row
 	// Aggs is one aggregation epoch (nil for acquisition queries).
 	Aggs []query.AggResult
+	// Degraded marks an epoch released without full shard coverage: a
+	// tripped circuit breaker excluded one or more spanned shards from
+	// the federation merge watermark, so the epoch may be missing those
+	// shards' contributions. Coverage is then the fraction of spanned
+	// shards that were contributing when the epoch released; both fields
+	// are zero on single-gateway and fully-covered updates.
+	Degraded bool
+	Coverage float64
 	// Enqueued is the wall-clock instant the gateway fanned the update
 	// out, for client-observed latency measurement. It never feeds back
 	// into the simulation.
@@ -302,6 +340,22 @@ type Stats struct {
 	Epochs  int64 `json:"epochs"`
 	Dropped int64 `json:"dropped"`
 	Evicted int64 `json:"evicted"`
+	// Overload-shedding counters (all zero unless the resilience knobs
+	// are set). ShedQueue counts subscribes rejected at stage time by the
+	// MaxStaged mailbox bound; ShedDeadline counts subscribes shed at the
+	// commit boundary because they out-sat their mailbox deadline budget;
+	// ShedSubs counts subscribes rejected by the global MaxLiveSubs cap;
+	// ShedBrownout counts subscribes rejected while the brownout ladder
+	// sat at its shed rung. BrownoutLevel is the ladder's current rung
+	// (gauge; see resilience.Level) and BrownoutEscalations /
+	// BrownoutRecoveries count its rung transitions.
+	ShedQueue           int64 `json:"shed_queue"`
+	ShedDeadline        int64 `json:"shed_deadline"`
+	ShedSubs            int64 `json:"shed_subs"`
+	ShedBrownout        int64 `json:"shed_brownout"`
+	BrownoutLevel       int   `json:"brownout_level"`
+	BrownoutEscalations int64 `json:"brownout_escalations"`
+	BrownoutRecoveries  int64 `json:"brownout_recoveries"`
 	// Crash-recovery and reconnection counters. Detaches/Attaches count
 	// session disconnect/re-claim pairs; Resumes counts resumed
 	// subscription streams and ResumeGaps the resumes that could not
@@ -358,6 +412,13 @@ func (st Stats) Metrics() obs.GatewayMetrics {
 		Epochs:              st.Epochs,
 		Dropped:             st.Dropped,
 		Evicted:             st.Evicted,
+		ShedQueue:           st.ShedQueue,
+		ShedDeadline:        st.ShedDeadline,
+		ShedSubs:            st.ShedSubs,
+		ShedBrownout:        st.ShedBrownout,
+		BrownoutLevel:       st.BrownoutLevel,
+		BrownoutEscalations: st.BrownoutEscalations,
+		BrownoutRecoveries:  st.BrownoutRecoveries,
 		Detaches:            st.Detaches,
 		Attaches:            st.Attaches,
 		Resumes:             st.Resumes,
@@ -398,6 +459,12 @@ type command struct {
 	key  string      // subscribe
 	sub  SubID       // unsubscribe
 	done chan result
+	// at is the wall-clock staging instant and deadline the subscribe's
+	// sojourn budget through the mailbox (<= 0 falls back to
+	// Config.MailboxDeadline). Wall clock never feeds the simulation:
+	// shed commands leave no WAL record, so replay stays exact.
+	at       time.Time
+	deadline time.Duration
 }
 
 type result struct {
@@ -529,6 +596,11 @@ type Gateway struct {
 	// query, used to presize new subscriber slices to the fan-out the
 	// workload has already demonstrated.
 	peakSubs int
+	// brown is the loop-owned brownout ladder; brownLevel publishes its
+	// rung for cross-goroutine reads (the server pacer and pre-stage
+	// shedding), updated only at Advance boundaries.
+	brown      *resilience.Brownout
+	brownLevel atomic.Int32
 
 	// WAL state (loop-owned; see wal.go).
 	wal       *wal
@@ -584,6 +656,7 @@ func build(cfg Config) (*Gateway, error) {
 		byKey:    make(map[*internedKey]*shared, keyHint),
 		byQID:    make(map[query.ID]*shared, keyHint),
 		nextSub:  1,
+		brown:    resilience.NewBrownout(cfg.Brownout),
 	}
 	s.Results().OnRows = g.onRows
 	s.Results().OnAggs = g.onAggs
@@ -722,17 +795,30 @@ func (g *Gateway) Register(name string) (*Session, error) {
 // Advance. Errors detectable without the simulation (parse-level
 // validation, LIFETIME) fail immediately.
 func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
+	return s.SubscribeAsyncBudget(q, 0)
+}
+
+// SubscribeAsyncBudget is SubscribeAsync with an explicit mailbox
+// deadline budget: if the command sits staged longer than budget before
+// the committing Advance reaches it, it is shed with a typed
+// *resilience.OverloadError instead of applied. A budget <= 0 falls back
+// to Config.MailboxDeadline. The staged queue itself may also reject the
+// command immediately when Config.MaxStaged or the brownout ladder says
+// the mailbox is full — that error comes back from this call, not Wait.
+func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ticket, error) {
 	n, key, err := canonicalize(q)
 	if err != nil {
 		return nil, err
 	}
 	c := &command{
-		kind: cmdSubscribe,
-		sess: s,
-		seq:  s.nextSeq(),
-		q:    n,
-		key:  key,
-		done: make(chan result, 1),
+		kind:     cmdSubscribe,
+		sess:     s,
+		seq:      s.nextSeq(),
+		q:        n,
+		key:      key,
+		done:     make(chan result, 1),
+		at:       time.Now(),
+		deadline: budget,
 	}
 	if err := s.g.send(c); err != nil {
 		return nil, err
@@ -752,11 +838,21 @@ func (s *Session) Subscribe(q query.Query) (*Subscription, error) {
 
 // SubscribeQuery parses and subscribes a TinyDB-dialect query string.
 func (s *Session) SubscribeQuery(text string) (*Subscription, error) {
+	return s.SubscribeQueryBudget(text, 0)
+}
+
+// SubscribeQueryBudget is SubscribeQuery with a mailbox deadline budget
+// (see SubscribeAsyncBudget).
+func (s *Session) SubscribeQueryBudget(text string, budget time.Duration) (*Subscription, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return s.Subscribe(q)
+	t, err := s.SubscribeAsyncBudget(q, budget)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait()
 }
 
 // UnsubscribeAsync stages the removal of one subscription.
@@ -990,6 +1086,11 @@ type Status struct {
 	ResumeRingUpdates int `json:"resume_ring_updates"`
 	// Queries counts lifecycle spans recorded since the run began.
 	Queries int `json:"queries"`
+	// BrownoutLevel names the brownout ladder's current rung ("normal",
+	// "no-replay", "batching", "shed"); Staged is the group-commit
+	// mailbox's current depth.
+	BrownoutLevel string `json:"brownout_level"`
+	Staged        int    `json:"staged"`
 }
 
 // Status returns the /statusz snapshot. After Close or Crash it returns
@@ -1029,6 +1130,8 @@ func (g *Gateway) status() Status {
 		WALAppends:          g.stats.WALAppends,
 		WALCompactions:      g.stats.WALCompactions,
 		Queries:             g.sim.Spans().Len(),
+		BrownoutLevel:       g.brown.Level().String(),
+		Staged:              len(g.staged),
 	}
 	for _, s := range g.sessions {
 		if s.attached {
@@ -1104,7 +1207,11 @@ func (g *Gateway) loop() {
 	for msg := range g.inbox {
 		switch m := msg.(type) {
 		case *command:
-			g.staged = append(g.staged, m)
+			if err := g.admitStage(m); err != nil {
+				m.done <- result{err: err}
+			} else {
+				g.staged = append(g.staged, m)
+			}
 		case registerReq:
 			m.reply <- g.register(m.name)
 		case statsReq:
@@ -1114,6 +1221,7 @@ func (g *Gateway) loop() {
 		case exportReq:
 			m.reply <- g.export()
 		case advanceReq:
+			g.observePressure()
 			g.sweepEvicted()
 			applied := g.commit()
 			g.reap()
@@ -1137,6 +1245,60 @@ func (g *Gateway) loop() {
 			return
 		}
 	}
+}
+
+// admitStage is stage-time admission control on the group-commit
+// mailbox: subscribes are rejected while the staged queue sits at its
+// MaxStaged bound or the brownout ladder sits at its shed rung.
+// Unsubscribes and session closes are always staged — they free
+// resources, and shedding them would only deepen an overload.
+func (g *Gateway) admitStage(c *command) error {
+	if c.kind != cmdSubscribe {
+		return nil
+	}
+	if g.brown.Level() >= resilience.LevelShed {
+		g.stats.ShedBrownout++
+		return &resilience.OverloadError{RetryAfter: g.retryAfter(), Reason: "brownout"}
+	}
+	if g.cfg.MaxStaged > 0 && len(g.staged) >= g.cfg.MaxStaged {
+		g.stats.ShedQueue++
+		return &resilience.OverloadError{RetryAfter: g.retryAfter(), Reason: "queue"}
+	}
+	return nil
+}
+
+// retryAfter is the backoff hint handed to shed clients: the configured
+// base, grown with mailbox depth so a deeper backlog pushes retries
+// further out instead of re-synchronizing the herd at one instant.
+func (g *Gateway) retryAfter() time.Duration {
+	base := g.cfg.ShedRetryAfter
+	if base <= 0 {
+		base = DefaultShedRetryAfter
+	}
+	if g.cfg.MaxStaged > 0 && len(g.staged) > 0 {
+		base += base * time.Duration(len(g.staged)/g.cfg.MaxStaged)
+	}
+	return base
+}
+
+// observePressure feeds the brownout ladder one mailbox-pressure reading
+// per Advance (pressured = staged depth at half the MaxStaged bound or
+// beyond) and publishes the rung. Without a MaxStaged bound there is no
+// pressure signal and the ladder stays at LevelNormal.
+func (g *Gateway) observePressure() {
+	pressured := g.cfg.MaxStaged > 0 && len(g.staged)*2 >= g.cfg.MaxStaged
+	lvl := g.brown.Observe(pressured)
+	g.brownLevel.Store(int32(lvl))
+	g.stats.BrownoutLevel = int(lvl)
+	g.stats.BrownoutEscalations = g.brown.Escalations
+	g.stats.BrownoutRecoveries = g.brown.Recoveries
+}
+
+// BrownoutLevel returns the brownout ladder's current rung. Readable
+// from any goroutine (the server's pacer polls it between ticks); it
+// only moves at Advance boundaries.
+func (g *Gateway) BrownoutLevel() resilience.Level {
+	return resilience.Level(g.brownLevel.Load())
 }
 
 func (g *Gateway) register(name string) result2[*Session] {
@@ -1306,9 +1468,14 @@ func (g *Gateway) commit() int {
 		return batch[i].seq < batch[j].seq
 	})
 	now := int64(g.sim.Engine().Now())
+	wall := time.Now()
 	for _, c := range batch {
 		switch c.kind {
 		case cmdSubscribe:
+			if err := g.checkDeadline(c, wall); err != nil {
+				c.done <- result{err: err}
+				continue
+			}
 			sub, err := g.applySubscribe(c)
 			if err == nil {
 				g.walAppend(walRecord{Op: walOpSubscribe, At: now, Sess: c.sess.name, Sub: sub.id, Query: c.key})
@@ -1331,10 +1498,32 @@ func (g *Gateway) commit() int {
 	return len(batch)
 }
 
+// checkDeadline sheds a staged subscribe that out-sat its mailbox
+// deadline budget — the CoDel-style control on the group-commit queue:
+// under sustained pressure the stage-to-commit sojourn grows, and work
+// that blew its budget is dropped at the commit boundary before it costs
+// the simulation anything. Shed commands never reach the WAL, so
+// crash-recovery replay stays exact.
+func (g *Gateway) checkDeadline(c *command, wall time.Time) error {
+	budget := c.deadline
+	if budget <= 0 {
+		budget = g.cfg.MailboxDeadline
+	}
+	if budget <= 0 || c.at.IsZero() || wall.Sub(c.at) <= budget {
+		return nil
+	}
+	g.stats.ShedDeadline++
+	return &resilience.OverloadError{RetryAfter: g.retryAfter(), Reason: "deadline"}
+}
+
 func (g *Gateway) applySubscribe(c *command) (*Subscription, error) {
 	s := c.sess
 	if s.closed {
 		return nil, fmt.Errorf("gateway: session %q is closed", s.name)
+	}
+	if g.cfg.MaxLiveSubs > 0 && g.stats.ActiveSubscriptions >= g.cfg.MaxLiveSubs {
+		g.stats.ShedSubs++
+		return nil, &resilience.OverloadError{RetryAfter: g.retryAfter(), Reason: "subs"}
 	}
 	if len(s.live) >= g.cfg.SessionQuota {
 		g.stats.QuotaRejected++

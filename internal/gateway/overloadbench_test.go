@@ -1,0 +1,34 @@
+package gateway
+
+import "testing"
+
+// TestOverloadBenchDeterministic runs the virtual-time admission storm
+// twice and checks the properties the bench gate depends on: the gauges
+// are bit-identical across runs (no wall clock leaks in), the herd's tail
+// pays a real shedding delay (ratio > 1), and the delay stays within the
+// acceptance bar (ratio <= 4) — retrying shed subscribers are admitted in
+// waves, not starved.
+func TestOverloadBenchDeterministic(t *testing.T) {
+	a, err := runOverloadBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOverloadBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("overload bench is nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.Unloaded <= 0 {
+		t.Fatalf("unloaded first-result latency = %v, want > 0", a.Unloaded)
+	}
+	ratio := float64(a.HerdP99) / float64(a.Unloaded)
+	if ratio <= 1 {
+		t.Fatalf("herd p99 %v <= unloaded %v; the storm never shed", a.HerdP99, a.Unloaded)
+	}
+	if ratio > 4 {
+		t.Fatalf("herd p99 %v is %.2fx unloaded %v, acceptance bar is 4x",
+			a.HerdP99, ratio, a.Unloaded)
+	}
+}

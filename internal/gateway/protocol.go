@@ -51,6 +51,12 @@ type Request struct {
 	// (always-JSON) hello response; empty or "json" keeps NDJSON. A client
 	// that sends binary-framed requests gets binary responses regardless.
 	Wire string `json:"wire,omitempty"`
+	// DeadlineMS attaches a mailbox deadline budget to OpSubscribe and
+	// OpResume, in milliseconds: if the command waits longer than the
+	// budget in the serving tier's group-commit mailbox it is shed with a
+	// TypeError response carrying Code "overloaded" and a retry-after
+	// hint, instead of being applied late. Zero means the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Response types.
@@ -128,11 +134,27 @@ type Response struct {
 	Stats *obs.GatewayMetrics `json:"stats,omitempty"`
 	// Error is the failure message (TypeError).
 	Error string `json:"error,omitempty"`
+	// Code classifies a TypeError ("overloaded" is the only code so far:
+	// the serving tier shed the request under admission control); empty
+	// for plain protocol or validation failures.
+	Code string `json:"code,omitempty"`
+	// RetryAfterMS is the server's backoff floor for an "overloaded"
+	// error, in milliseconds; clients jitter on top of it, never below.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Degraded marks a TypeRows/TypeAgg epoch released without full
+	// federation shard coverage (a circuit breaker excluded one or more
+	// spanned shards); Coverage is then the contributing fraction.
+	Degraded bool    `json:"degraded,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
 }
+
+// CodeOverloaded is the Response.Code for admission-control rejections.
+const CodeOverloaded = "overloaded"
 
 // wireUpdate converts a delivered update to its wire form.
 func wireUpdate(u Update) Response {
-	r := Response{Sub: u.Sub, Seq: u.Seq, AtMS: int64(u.At.Milliseconds())}
+	r := Response{Sub: u.Sub, Seq: u.Seq, AtMS: int64(u.At.Milliseconds()),
+		Degraded: u.Degraded, Coverage: u.Coverage}
 	if u.Rows != nil || u.Aggs == nil {
 		r.Type = TypeRows
 		r.Rows = make([]WireRow, 0, len(u.Rows))

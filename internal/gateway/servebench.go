@@ -86,6 +86,13 @@ type ServeBenchReport struct {
 	FragmentReuseRatio float64 `json:"fragment_reuse_ratio,omitempty"`
 	CacheHitRatio      float64 `json:"cache_hit_ratio,omitempty"`
 	WarmReplaySpeedup  float64 `json:"warm_replay_speedup,omitempty"`
+	// OverloadP99Ratio is the overload scenario's outcome: the p99
+	// subscribe-to-first-result latency of a thundering herd admitted
+	// through a bounded staging mailbox (shed clients retrying at round
+	// boundaries) divided by the same latency unloaded, both in virtual
+	// time. Gated absolutely at <= 4 — admission control must convert
+	// overload into bounded delay for the tail, not starvation.
+	OverloadP99Ratio float64 `json:"overload_p99_ratio,omitempty"`
 	// Note reminds readers which fields are gated.
 	Note string `json:"note"`
 }
@@ -135,7 +142,7 @@ func row(name string, r testing.BenchmarkResult, msgsPerOp int) ServeBenchRow {
 func RunServeBench(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 	u := benchUpdate()
 	rep := &ServeBenchReport{
-		Note: "gated: binary_speedup, allocs_per_message, binary rows' allocs_per_op, warm_replay_speedup, fragment_reuse_ratio, cache_hit_ratio; ns_per_op and msgs_per_sec are trajectory only",
+		Note: "gated: binary_speedup, allocs_per_message, binary rows' allocs_per_op, warm_replay_speedup, fragment_reuse_ratio, cache_hit_ratio, overload_p99_ratio; ns_per_op and msgs_per_sec are trajectory only",
 	}
 
 	// encode: build one frame/line from the update, no I/O.
@@ -306,6 +313,21 @@ func RunServeBench(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 	}
 	rep.AllocsPerMessage = float64(fanBin.AllocsPerOp()) / float64(fanSubs)
 
+	// overload: the deterministic virtual-time admission storm. Both rows
+	// report virtual nanoseconds (like the share/ttfr rows), and the
+	// herd-to-unloaded ratio is the gated gauge.
+	ov, err := runOverloadBench()
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows,
+		ServeBenchRow{Name: "overload/first-result-unloaded", NsPerOp: float64(ov.Unloaded.Nanoseconds())},
+		ServeBenchRow{Name: "overload/p99-under-herd", NsPerOp: float64(ov.HerdP99.Nanoseconds())},
+	)
+	if ov.Unloaded > 0 {
+		rep.OverloadP99Ratio = float64(ov.HerdP99) / float64(ov.Unloaded)
+	}
+
 	if cfg.Loadgen {
 		d := cfg.LoadgenDuration
 		if d <= 0 {
@@ -353,6 +375,9 @@ func (r *ServeBenchReport) String() string {
 		fmt.Fprintf(&sb, "fragment reuse ratio (share scenario): %.2f\n", r.FragmentReuseRatio)
 		fmt.Fprintf(&sb, "cache hit ratio (share scenario): %.2f\n", r.CacheHitRatio)
 		fmt.Fprintf(&sb, "warm replay speedup (cold ttfr / warm ttfr): %.1fx\n", r.WarmReplaySpeedup)
+	}
+	if r.OverloadP99Ratio > 0 {
+		fmt.Fprintf(&sb, "overload p99 ratio (herd p99 / unloaded first result): %.2fx\n", r.OverloadP99Ratio)
 	}
 	return sb.String()
 }
@@ -405,6 +430,15 @@ func CompareServeBench(baseline, current *ServeBenchReport, tol float64) []strin
 		bad = append(bad, fmt.Sprintf(
 			"cache_hit_ratio regressed: %.3f, baseline %.3f",
 			current.CacheHitRatio, baseline.CacheHitRatio))
+	}
+	// The overload scenario is virtual time as well, so the bound is
+	// absolute: a herd squeezed through the bounded staging mailbox must
+	// see its p99 first result within 4x the unloaded latency — shedding
+	// that starves the tail instead of delaying it trips this.
+	if current.OverloadP99Ratio > 4 {
+		bad = append(bad, fmt.Sprintf(
+			"overload_p99_ratio %.2fx exceeds the absolute bound of 4x (herd tail starved)",
+			current.OverloadP99Ratio))
 	}
 	base := make(map[string]ServeBenchRow, len(baseline.Rows))
 	for _, r := range baseline.Rows {

@@ -18,7 +18,8 @@ func TestServeBenchReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"encode/binary", "encode/json", "fanout/binary", "fanout/json",
-		"fanout/burst", "wal/binary", "wal/json", "dedup/interned", "dedup/string"}
+		"fanout/burst", "wal/binary", "wal/json", "dedup/interned", "dedup/string",
+		"overload/first-result-unloaded", "overload/p99-under-herd"}
 	if len(rep.Rows) != len(want) {
 		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(want))
 	}
@@ -40,6 +41,11 @@ func TestServeBenchReportShape(t *testing.T) {
 	// connection as ~one write, not one per update.
 	if rep.FlushesPerBurst <= 0 || rep.FlushesPerBurst > 1.5 {
 		t.Errorf("flushes per %d-update burst = %.2f, want ~1", burstN, rep.FlushesPerBurst)
+	}
+	// Overload: shedding must cost the herd's tail some rounds (ratio > 1)
+	// but stay within the acceptance bar of 4x the unloaded latency.
+	if rep.OverloadP99Ratio <= 1 || rep.OverloadP99Ratio > 4 {
+		t.Errorf("overload p99 ratio = %.2fx, want in (1, 4]", rep.OverloadP99Ratio)
 	}
 	// Self-comparison passes the gate.
 	if bad := CompareServeBench(rep, rep, 0.10); len(bad) != 0 {
@@ -122,6 +128,16 @@ func TestCompareServeBenchCatchesRegressions(t *testing.T) {
 	jsonDrift.Rows[3].AllocsPerOp = 9000
 	if bad := CompareServeBench(baseline, jsonDrift, 0.10); len(bad) != 0 {
 		t.Fatalf("non-binary row drift flagged: %v", bad)
+	}
+
+	// Overload starvation: the herd's p99 blowing past 4x the unloaded
+	// first-result latency trips the absolute gate even though the
+	// baseline predates the gauge.
+	starved := clone()
+	starved.OverloadP99Ratio = 7
+	bad = CompareServeBench(baseline, starved, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "overload_p99_ratio") {
+		t.Fatalf("overload starvation not flagged correctly: %v", bad)
 	}
 
 	// Rows new in current (no baseline entry) pass through ungated.

@@ -3,16 +3,24 @@ package gateway
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // DefaultReadTimeout is the default per-read deadline on client
 // connections. It is deliberately several heartbeat intervals long.
 const DefaultReadTimeout = 75 * time.Second
+
+// DefaultWriteTimeout is the default per-write deadline: a slow-loris
+// subscriber that stops reading long enough to fill its socket buffers
+// is dropped instead of wedging its forwarder goroutines.
+const DefaultWriteTimeout = 30 * time.Second
 
 // ServerConfig parametrizes Serve.
 type ServerConfig struct {
@@ -32,6 +40,13 @@ type ServerConfig struct {
 	// runs). Clients keep quiet periods alive with OpPing heartbeats.
 	// DefaultReadTimeout if zero; negative disables the deadline.
 	ReadTimeout time.Duration
+	// WriteTimeout is the server-side write deadline, armed before every
+	// response write: a client that stops reading (slow loris) fills its
+	// socket buffers, the write expires, and the connection drops — its
+	// named session detaches and its subscriptions park in resume rings
+	// rather than wedging forwarder goroutines. DefaultWriteTimeout if
+	// zero; negative disables the deadline.
+	WriteTimeout time.Duration
 	// ForceJSON pins every response to the NDJSON encoding, ignoring binary
 	// wire negotiation (Request.Wire and binary-framed requests). Debug
 	// mode: the stream stays readable with nc/jq at the cost of the
@@ -68,6 +83,9 @@ func NewServer(gw Backend, cfg ServerConfig) (*Server, error) {
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = DefaultReadTimeout
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -99,16 +117,33 @@ func (s *Server) Close() error {
 // pace drives virtual time: one Advance per wall tick. Client commands
 // that arrived since the previous tick commit at the next one, so a
 // subscribe observed over TCP is live within TickEvery.
+//
+// When the backend's brownout ladder reaches LevelBatching, the pacer
+// coalesces pairs of ticks into one double-quantum Advance: virtual time
+// progresses at the same rate, but each fan-out round carries twice the
+// epochs, so the per-burst flush batching amortizes twice as many writes
+// per syscall while the tier is hot.
 func (s *Server) pace() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.TickEvery)
 	defer t.Stop()
+	br, _ := s.gw.(BrownoutReporter)
+	owe := false // a tick was skipped; the next Advance is double
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if _, err := s.gw.Advance(s.cfg.Quantum); err != nil {
+			q := s.cfg.Quantum
+			switch {
+			case owe:
+				owe = false
+				q = 2 * s.cfg.Quantum
+			case br != nil && br.BrownoutLevel() >= resilience.LevelBatching:
+				owe = true
+				continue
+			}
+			if _, err := s.gw.Advance(q); err != nil {
 				return
 			}
 		}
@@ -139,11 +174,31 @@ type connWriter struct {
 	bw     *bufio.Writer
 	enc    *json.Encoder // writes through bw
 	binary bool          // outbound framing: binary frames vs NDJSON
+	// dl arms the write deadline before each write when the underlying
+	// writer is a real connection and timeout is positive; a stalled
+	// reader then errors the write instead of wedging the forwarders.
+	dl      writeDeadliner
+	timeout time.Duration
 }
+
+// writeDeadliner is the slice of net.Conn the write-timeout path needs;
+// non-socket writers (benchmarks) simply don't implement it.
+type writeDeadliner interface{ SetWriteDeadline(time.Time) error }
 
 func newConnWriter(conn io.Writer) *connWriter {
 	bw := bufio.NewWriterSize(conn, 32*1024)
-	return &connWriter{bw: bw, enc: json.NewEncoder(bw)}
+	w := &connWriter{bw: bw, enc: json.NewEncoder(bw)}
+	if d, ok := conn.(writeDeadliner); ok {
+		w.dl = d
+	}
+	return w
+}
+
+// arm refreshes the write deadline; callers hold w.mu.
+func (w *connWriter) arm() {
+	if w.dl != nil && w.timeout > 0 {
+		_ = w.dl.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
 }
 
 // setBinary switches outbound framing to binary frames; responses written
@@ -158,6 +213,7 @@ func (w *connWriter) setBinary() {
 func (w *connWriter) write(r Response) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.arm()
 	if w.binary {
 		bp := getFrameBuf()
 		b, err := appendResponseFrame(*bp, &r)
@@ -195,6 +251,7 @@ func (w *connWriter) writeUpdate(u *Update) error {
 func (w *connWriter) writeUpdateBuffered(u *Update) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.arm()
 	if w.binary {
 		bp := getFrameBuf()
 		b := appendUpdateFrame(*bp, u)
@@ -210,6 +267,7 @@ func (w *connWriter) writeUpdateBuffered(u *Update) error {
 func (w *connWriter) flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.arm()
 	return w.bw.Flush()
 }
 
@@ -229,6 +287,8 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	w := newConnWriter(conn)
+	w.timeout = s.cfg.WriteTimeout
+	brownout, _ := s.gw.(BrownoutReporter)
 	// The reader's buffer bounds a JSON request line the way the old
 	// Scanner cap did; binary frames are bounded by maxFramePayload.
 	br := bufio.NewReaderSize(conn, 1<<20)
@@ -295,7 +355,13 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
-		_ = w.write(Response{Type: TypeClosed, Sub: sub.ID(), Reason: sub.Reason().String()})
+		// The closed notice must reach the client or the connection is
+		// useless: an evicted slow consumer whose socket is already full
+		// times this write out too, and leaving the conn open would park
+		// the client on a silent stream until the read timeout. Sever it.
+		if w.write(Response{Type: TypeClosed, Sub: sub.ID(), Reason: sub.Reason().String()}) != nil {
+			conn.Close()
+		}
 	}
 
 	for {
@@ -347,7 +413,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		fail := func(err error) {
-			_ = w.write(Response{Type: TypeError, Tag: req.Tag, Error: err.Error()})
+			r := Response{Type: TypeError, Tag: req.Tag, Error: err.Error()}
+			// Overload rejections are typed on the wire: the client's
+			// retry policy keys on the code and the retry-after floor.
+			if errors.Is(err, resilience.ErrOverloaded) {
+				r.Code = CodeOverloaded
+				r.RetryAfterMS = resilience.RetryAfterHint(err).Milliseconds()
+			}
+			_ = w.write(r)
 		}
 		switch req.Op {
 		case OpHello:
@@ -416,11 +489,23 @@ func (s *Server) handle(conn net.Conn) {
 		case OpPing:
 			_ = w.write(Response{Type: TypePong, Tag: req.Tag})
 		case OpSubscribe:
+			// At the ladder's shed rung, reject before even staging: the
+			// mailbox is the resource brownout protects.
+			if brownout != nil && brownout.BrownoutLevel() >= resilience.LevelShed {
+				fail(&resilience.OverloadError{RetryAfter: DefaultShedRetryAfter, Reason: "brownout"})
+				continue
+			}
 			if err := ensure(""); err != nil {
 				fail(err)
 				continue
 			}
-			sub, err := sess.SubscribeQuery(req.Query)
+			var sub ServerSub
+			var err error
+			if bs, ok := sess.(BudgetSubscriber); ok && req.DeadlineMS > 0 {
+				sub, err = bs.SubscribeQueryBudget(req.Query, time.Duration(req.DeadlineMS)*time.Millisecond)
+			} else {
+				sub, err = sess.SubscribeQuery(req.Query)
+			}
 			if err != nil {
 				fail(err)
 				continue

@@ -56,6 +56,12 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Gateway) {
 		{r.NewCounter("ttmqo_gateway_recoveries_total", "gateways rebuilt by WAL replay"), func(s Stats) int64 { return s.Recoveries }},
 		{r.NewCounter("ttmqo_wal_appends_total", "write-ahead-log records appended"), func(s Stats) int64 { return s.WALAppends }},
 		{r.NewCounter("ttmqo_wal_compactions_total", "write-ahead-log rewrites"), func(s Stats) int64 { return s.WALCompactions }},
+		{r.NewCounter("ttmqo_resilience_shed_queue_total", "subscribes shed at staging by the mailbox depth bound"), func(s Stats) int64 { return s.ShedQueue }},
+		{r.NewCounter("ttmqo_resilience_shed_deadline_total", "subscribes shed at commit: mailbox sojourn exceeded the deadline budget"), func(s Stats) int64 { return s.ShedDeadline }},
+		{r.NewCounter("ttmqo_resilience_shed_subs_total", "subscribes shed by the global concurrent-subscription cap"), func(s Stats) int64 { return s.ShedSubs }},
+		{r.NewCounter("ttmqo_resilience_shed_brownout_total", "subscribes shed while the brownout ladder sat at its shed rung"), func(s Stats) int64 { return s.ShedBrownout }},
+		{r.NewCounter("ttmqo_resilience_brownout_escalations_total", "brownout ladder steps toward heavier shedding"), func(s Stats) int64 { return s.BrownoutEscalations }},
+		{r.NewCounter("ttmqo_resilience_brownout_recoveries_total", "brownout ladder steps back toward normal"), func(s Stats) int64 { return s.BrownoutRecoveries }},
 	}
 
 	activeSessions := r.NewGauge("ttmqo_gateway_active_sessions", "currently registered sessions")
@@ -65,6 +71,7 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Gateway) {
 	ringUpdates := r.NewGauge("ttmqo_gateway_resume_ring_updates", "updates parked in resume rings (occupancy)")
 	walSize := r.NewGauge("ttmqo_wal_size_bytes", "current write-ahead-log size")
 	virtualTime := r.NewGauge("ttmqo_sim_virtual_time_seconds", "elapsed virtual time")
+	brownoutLevel := r.NewGauge("ttmqo_resilience_brownout_level", "brownout ladder rung: 0 normal, 1 no-replay, 2 batching, 3 shed")
 
 	radioMessages := r.NewCounter("ttmqo_radio_messages_total", "messages put on the air (incl. retries)")
 	radioRetrans := r.NewCounter("ttmqo_radio_retransmissions_total", "collision/loss retransmissions")
@@ -101,6 +108,7 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Gateway) {
 		sharedQueries.Gauge().Set(float64(st.SharedQueries))
 		dedupRatio.Gauge().Set(st.DedupRatio())
 		walSize.Gauge().Set(float64(st.WALSizeBytes))
+		brownoutLevel.Gauge().Set(float64(st.BrownoutLevel))
 
 		if status, err := g.Status(); err == nil {
 			ringUpdates.Gauge().Set(float64(status.ResumeRingUpdates))

@@ -81,6 +81,14 @@ type GatewayMetrics struct {
 	Epochs              int64 `json:"epochs"`
 	Dropped             int64 `json:"dropped"`
 	Evicted             int64 `json:"evicted"`
+	// Overload-shedding and brownout accounting (see gateway.Stats).
+	ShedQueue           int64 `json:"shed_queue"`
+	ShedDeadline        int64 `json:"shed_deadline"`
+	ShedSubs            int64 `json:"shed_subs"`
+	ShedBrownout        int64 `json:"shed_brownout"`
+	BrownoutLevel       int   `json:"brownout_level"`
+	BrownoutEscalations int64 `json:"brownout_escalations"`
+	BrownoutRecoveries  int64 `json:"brownout_recoveries"`
 	// Crash-recovery and reconnection counters (see gateway.Stats).
 	Detaches    int64 `json:"detaches"`
 	Attaches    int64 `json:"attaches"`

@@ -1,0 +1,324 @@
+// Package resilience holds the serving tier's overload-protection
+// primitives: the typed overload rejection with a retry hint, a
+// deterministic circuit breaker counted in observation rounds, the
+// brownout degradation ladder, and capped exponential backoff with full
+// jitter for retrying clients.
+//
+// Everything here is deliberately free of wall-clock reads: the breaker
+// and the brownout ladder advance one step per observation (one per
+// gateway/router Advance), so chaos drills and determinism tests can step
+// them in virtual time, and the same run always trips, probes and
+// recovers on the same rounds.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrOverloaded is the sentinel every OverloadError matches via
+// errors.Is: callers switch on the class ("the tier shed my work; back
+// off and retry") without caring which limit fired.
+var ErrOverloaded = errors.New("overloaded")
+
+// OverloadError is a typed admission rejection: the serving tier shed
+// the work to protect itself and the client should retry after the hint.
+type OverloadError struct {
+	// RetryAfter is the server's backoff hint; clients must treat it as a
+	// floor under their own jittered delay.
+	RetryAfter time.Duration
+	// Reason names the limit that fired ("queue", "deadline", "subs",
+	// "brownout").
+	Reason string
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("overloaded (%s): retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// RetryAfterHint extracts the retry-after floor from an error chain;
+// zero when the chain carries no OverloadError.
+func RetryAfterHint(err error) time.Duration {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: traffic flows; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused while the cooldown runs down.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is allowed; its outcome decides.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Breaker defaults.
+const (
+	DefaultTripAfter = 3
+	DefaultCooldown  = 4
+)
+
+// BreakerConfig parametrizes a Breaker. Both knobs count observation
+// rounds, not wall time — the owner observes once per Advance.
+type BreakerConfig struct {
+	// TripAfter is the consecutive-failure count that opens the breaker
+	// (DefaultTripAfter if <= 0).
+	TripAfter int
+	// Cooldown is how many rounds the breaker stays open before allowing
+	// a half-open probe (DefaultCooldown if <= 0).
+	Cooldown int
+}
+
+// Breaker is a deterministic per-dependency circuit breaker. It is not
+// safe for concurrent use; the owning actor loop drives it.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	cooldown int
+
+	// Trips/Probes/Recoveries are cumulative transition counters for
+	// telemetry.
+	Trips      int64
+	Probes     int64
+	Recoveries int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.TripAfter <= 0 {
+		cfg.TripAfter = DefaultTripAfter
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether the owner should attempt the dependency this
+// round: always in closed, once per probe window in half-open, never
+// while open.
+func (b *Breaker) Allow() bool { return b.state != BreakerOpen }
+
+// Observe records one round's outcome. While open, the round counts
+// against the cooldown regardless of ok (the owner is not talking to the
+// dependency); the breaker moves to half-open when the cooldown expires.
+func (b *Breaker) Observe(ok bool) {
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.TripAfter {
+			b.trip()
+		}
+	case BreakerOpen:
+		b.cooldown--
+		if b.cooldown <= 0 {
+			b.state = BreakerHalfOpen
+			b.Probes++
+		}
+	case BreakerHalfOpen:
+		if ok {
+			b.state = BreakerClosed
+			b.fails = 0
+			b.Recoveries++
+			return
+		}
+		b.trip()
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.cooldown = b.cfg.Cooldown
+	b.Trips++
+}
+
+// ---------------------------------------------------------------------------
+// Brownout ladder
+
+// Level is a rung on the brownout degradation ladder. Under sustained
+// pressure the serve tier sheds in this fixed order; recovery descends
+// the same rungs in reverse.
+type Level uint8
+
+const (
+	// LevelNormal: full service.
+	LevelNormal Level = iota
+	// LevelNoReplay: cache replay to late subscribers is off (they wait
+	// for live epochs instead of an immediate warm window).
+	LevelNoReplay
+	// LevelBatching: fan-out batching doubles up — the pacer coalesces
+	// ticks into bigger Advances so per-burst flush batching amortizes
+	// more writes per syscall.
+	LevelBatching
+	// LevelShed: new admissions are rejected with ErrOverloaded.
+	LevelShed
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelNoReplay:
+		return "no-replay"
+	case LevelBatching:
+		return "batching"
+	case LevelShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Brownout defaults: escalating is quick (two pressured rounds per
+// rung), recovering deliberately slower (four calm rounds per rung) so
+// the ladder doesn't flap around the pressure threshold.
+const (
+	DefaultEscalateAfter = 2
+	DefaultRecoverAfter  = 4
+)
+
+// BrownoutConfig parametrizes the ladder's hysteresis, in observation
+// rounds.
+type BrownoutConfig struct {
+	EscalateAfter int // consecutive pressured rounds per rung up
+	RecoverAfter  int // consecutive calm rounds per rung down
+}
+
+// Brownout tracks the ladder. Not safe for concurrent use; the owning
+// actor loop observes once per Advance and publishes the level through
+// an atomic of its own.
+type Brownout struct {
+	cfg   BrownoutConfig
+	level Level
+	hot   int
+	calm  int
+
+	// Escalations/Recoveries count rung transitions for telemetry.
+	Escalations int64
+	Recoveries  int64
+}
+
+// NewBrownout returns a ladder at LevelNormal.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	if cfg.EscalateAfter <= 0 {
+		cfg.EscalateAfter = DefaultEscalateAfter
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = DefaultRecoverAfter
+	}
+	return &Brownout{cfg: cfg}
+}
+
+// Level returns the current rung.
+func (b *Brownout) Level() Level { return b.level }
+
+// Observe records one round's pressure reading and returns the (possibly
+// changed) level.
+func (b *Brownout) Observe(pressured bool) Level {
+	if pressured {
+		b.calm = 0
+		b.hot++
+		if b.hot >= b.cfg.EscalateAfter && b.level < LevelShed {
+			b.level++
+			b.hot = 0
+			b.Escalations++
+		}
+		return b.level
+	}
+	b.hot = 0
+	b.calm++
+	if b.calm >= b.cfg.RecoverAfter && b.level > LevelNormal {
+		b.level--
+		b.calm = 0
+		b.Recoveries++
+	}
+	return b.level
+}
+
+// ---------------------------------------------------------------------------
+// Client backoff
+
+// Backoff computes capped exponential backoff with full jitter: the
+// delay for attempt n is uniform over [0, min(Cap, Base<<n)], then
+// floored by the server's retry-after hint if one was given. Full jitter
+// decorrelates a thundering herd of rejected clients — the whole point
+// of handing out retry-afters in the first place.
+type Backoff struct {
+	// Base is attempt 0's maximum delay (DefaultBackoffBase if <= 0).
+	Base time.Duration
+	// Cap bounds the exponential growth (DefaultBackoffCap if <= 0).
+	Cap time.Duration
+	// Rand supplies the jitter in [0, 1); rand.Float64 when nil. Tests
+	// inject a fixed source for reproducible schedules.
+	Rand func() float64
+}
+
+// Backoff defaults.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffCap  = 2 * time.Second
+)
+
+// Delay returns the jittered delay for the given attempt (0-based),
+// floored by the server-provided retry-after hint.
+func (b Backoff) Delay(attempt int, floor time.Duration) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	max := base
+	for i := 0; i < attempt && max < cap; i++ {
+		max *= 2
+	}
+	if max > cap {
+		max = cap
+	}
+	rnd := b.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	d := time.Duration(rnd() * float64(max))
+	if d < floor {
+		d = floor
+	}
+	return d
+}

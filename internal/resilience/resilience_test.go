@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestOverloadErrorIsTyped(t *testing.T) {
+	var err error = fmt.Errorf("subscribe: %w",
+		&OverloadError{RetryAfter: 250 * time.Millisecond, Reason: "queue"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("wrapped OverloadError does not match ErrOverloaded")
+	}
+	if got := RetryAfterHint(err); got != 250*time.Millisecond {
+		t.Fatalf("RetryAfterHint = %v, want 250ms", got)
+	}
+	if RetryAfterHint(errors.New("other")) != 0 {
+		t.Fatalf("RetryAfterHint on unrelated error should be zero")
+	}
+}
+
+func TestBreakerTripProbeRecover(t *testing.T) {
+	br := NewBreaker(BreakerConfig{TripAfter: 3, Cooldown: 2})
+	if br.State() != BreakerClosed || !br.Allow() {
+		t.Fatalf("fresh breaker should be closed and allowing")
+	}
+	// Two failures: still closed. A success resets the streak.
+	br.Observe(false)
+	br.Observe(false)
+	br.Observe(true)
+	br.Observe(false)
+	br.Observe(false)
+	if br.State() != BreakerClosed {
+		t.Fatalf("streak should have reset; state=%v", br.State())
+	}
+	br.Observe(false)
+	if br.State() != BreakerOpen || br.Allow() {
+		t.Fatalf("three consecutive failures should trip; state=%v", br.State())
+	}
+	if br.Trips != 1 {
+		t.Fatalf("Trips = %d, want 1", br.Trips)
+	}
+	// Cooldown runs in observation rounds.
+	br.Observe(false)
+	if br.State() != BreakerOpen {
+		t.Fatalf("one cooldown round should not half-open yet")
+	}
+	br.Observe(false)
+	if br.State() != BreakerHalfOpen || !br.Allow() {
+		t.Fatalf("cooldown expiry should half-open; state=%v", br.State())
+	}
+	// Failed probe re-opens; successful probe after a second cooldown closes.
+	br.Observe(false)
+	if br.State() != BreakerOpen || br.Trips != 2 {
+		t.Fatalf("failed probe should re-trip; state=%v trips=%d", br.State(), br.Trips)
+	}
+	br.Observe(false)
+	br.Observe(false)
+	br.Observe(true)
+	if br.State() != BreakerClosed || br.Recoveries != 1 {
+		t.Fatalf("successful probe should close; state=%v recoveries=%d", br.State(), br.Recoveries)
+	}
+}
+
+func TestBrownoutLadderHysteresis(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{EscalateAfter: 2, RecoverAfter: 3})
+	if b.Level() != LevelNormal {
+		t.Fatalf("fresh ladder should be normal")
+	}
+	// Escalate one rung per two pressured rounds, through the fixed order.
+	want := []Level{LevelNormal, LevelNoReplay, LevelNoReplay, LevelBatching,
+		LevelBatching, LevelShed, LevelShed, LevelShed}
+	for i, w := range want {
+		if got := b.Observe(true); got != w {
+			t.Fatalf("round %d: level = %v, want %v", i, got, w)
+		}
+	}
+	// One calm round does not descend; three do, one rung at a time.
+	if got := b.Observe(false); got != LevelShed {
+		t.Fatalf("single calm round should not recover; got %v", got)
+	}
+	b.Observe(false)
+	if got := b.Observe(false); got != LevelBatching {
+		t.Fatalf("three calm rounds should step down once; got %v", got)
+	}
+	// A pressured round resets the calm streak.
+	b.Observe(false)
+	b.Observe(false)
+	b.Observe(true)
+	if got := b.Observe(false); got != LevelBatching {
+		t.Fatalf("pressure should reset the recovery streak; got %v", got)
+	}
+	if b.Escalations != 3 || b.Recoveries != 1 {
+		t.Fatalf("transitions = %d/%d, want 3 escalations, 1 recovery", b.Escalations, b.Recoveries)
+	}
+}
+
+func TestBackoffFullJitterCapAndFloor(t *testing.T) {
+	// Rand pinned to the top of the range: delays are exactly the capped
+	// exponential envelope.
+	hi := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond,
+		Rand: func() float64 { return 0.999999 }}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := hi.Delay(attempt, 0)
+		if d < prev {
+			t.Fatalf("attempt %d: delay %v shrank below %v", attempt, d, prev)
+		}
+		if d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds cap", attempt, d)
+		}
+		prev = d
+	}
+	if prev < 79*time.Millisecond {
+		t.Fatalf("late attempts should approach the cap; got %v", prev)
+	}
+	// Rand pinned low: the server's retry-after floor still holds.
+	lo := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond,
+		Rand: func() float64 { return 0 }}
+	if d := lo.Delay(0, 25*time.Millisecond); d != 25*time.Millisecond {
+		t.Fatalf("floor not honored: %v", d)
+	}
+	// Defaults apply on the zero value.
+	var def Backoff
+	if d := def.Delay(20, 0); d > DefaultBackoffCap {
+		t.Fatalf("zero-value backoff exceeded the default cap: %v", d)
+	}
+}

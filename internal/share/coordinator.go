@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,15 @@ type Config struct {
 	// MaxPending bounds buffered incomplete epochs per canonical query
 	// (DefaultMaxPending if <= 0).
 	MaxPending int
+	// Pressure, when set, reports the serving tier's brownout ladder rung
+	// before each Advance's cache replay: at LevelNoReplay or hotter the
+	// coordinator skips serving the windowed cache to fresh subscribers
+	// (they go live without history), shedding the cheapest work first.
+	Pressure func() resilience.Level
+	// MailboxDeadline is the default staging-sojourn budget for downstream
+	// subscribes, mirroring the gateway's: zero disables, a per-command
+	// budget (SubscribeAsyncBudget / wire deadline_ms) overrides.
+	MailboxDeadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +141,13 @@ type Stats struct {
 	// Upstream failover accounting.
 	Reattaches      int64 `json:"reattaches"`
 	UpstreamResumes int64 `json:"upstream_resumes"`
+	// Resilience accounting: ReplaySheds counts cache replays skipped under
+	// brownout pressure, ShedDeadline counts subscribes shed because their
+	// mailbox sojourn exceeded the budget, DegradedEpochs counts released
+	// epochs built from degraded (partial-coverage) upstream updates.
+	ReplaySheds    int64 `json:"replay_sheds"`
+	ShedDeadline   int64 `json:"shed_deadline"`
+	DegradedEpochs int64 `json:"degraded_epochs"`
 }
 
 // FragmentReuseRatio is the fraction of fragment references served by an
@@ -152,11 +169,15 @@ func (st Stats) CacheHitRatio() float64 {
 	return float64(st.CacheHits) / float64(total)
 }
 
-// cachedEpoch is one retained result epoch.
+// cachedEpoch is one retained result epoch. degraded/coverage survive the
+// cache so a stale epoch served during a shard brownout still tells the
+// subscriber how much of the field it covers.
 type cachedEpoch struct {
-	at   sim.Time
-	rows []query.Row
-	aggs []query.AggResult
+	at       sim.Time
+	rows     []query.Row
+	aggs     []query.AggResult
+	degraded bool
+	coverage float64
 }
 
 // fragRef ties a fragment to one referencing tree and its planned index.
@@ -225,6 +246,11 @@ type scmd struct {
 	q    query.Query
 	id   gateway.SubID
 	done chan sres
+	// at/deadline implement the mailbox sojourn budget (see the gateway's
+	// command struct): a subscribe still staged past its budget at commit
+	// time is shed with resilience.ErrOverloaded.
+	at       time.Time
+	deadline time.Duration
 }
 
 type sres struct {
@@ -495,6 +521,16 @@ func (c *Coordinator) AttachSession(name, token string) (gateway.ServerSession, 
 
 // SubscribeAsync stages a subscription, committed at the next Advance.
 func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
+	return s.SubscribeAsyncBudget(q, 0)
+}
+
+// SubscribeAsyncBudget stages a subscription carrying a mailbox deadline
+// budget: a command still staged past the budget at commit time is shed
+// with resilience.ErrOverloaded. The budget is not forwarded to fragment
+// admissions — fragments are shared across trees, so one subscriber's
+// deadline must not cancel another's stream. Zero falls back to
+// Config.MailboxDeadline.
+func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ticket, error) {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -505,18 +541,24 @@ func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
 		return nil, fmt.Errorf("share: session %q is closed", s.name)
 	}
 	s.seq++
-	cmd := &scmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan sres, 1)}
+	cmd := &scmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan sres, 1),
+		at: time.Now(), deadline: budget}
 	c.staged = append(c.staged, cmd)
 	return &Ticket{done: cmd.done}, nil
 }
 
 // SubscribeQuery implements gateway.ServerSession: parse, stage, wait.
 func (s *Session) SubscribeQuery(text string) (gateway.ServerSub, error) {
+	return s.SubscribeQueryBudget(text, 0)
+}
+
+// SubscribeQueryBudget implements gateway.BudgetSubscriber.
+func (s *Session) SubscribeQueryBudget(text string, budget time.Duration) (gateway.ServerSub, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	tk, err := s.SubscribeAsync(q)
+	tk, err := s.SubscribeAsyncBudget(q, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -686,10 +728,15 @@ func (c *Coordinator) commitLocked() (int, []pendingAck) {
 		}
 		return staged[i].seq < staged[j].seq
 	})
+	wall := time.Now()
 	var acks []pendingAck
 	for _, cmd := range staged {
 		switch cmd.kind {
 		case cmdSubscribe:
+			if err := c.checkDeadlineLocked(cmd, wall); err != nil {
+				cmd.done <- sres{err: err}
+				continue
+			}
 			ack, err := c.applySubscribeLocked(cmd)
 			if err != nil {
 				cmd.done <- sres{err: err}
@@ -704,6 +751,20 @@ func (c *Coordinator) commitLocked() (int, []pendingAck) {
 		}
 	}
 	return len(staged), acks
+}
+
+// checkDeadlineLocked sheds a staged subscribe whose mailbox sojourn
+// (stage to commit, wall clock) exceeded its budget.
+func (c *Coordinator) checkDeadlineLocked(cmd *scmd, wall time.Time) error {
+	budget := cmd.deadline
+	if budget <= 0 {
+		budget = c.cfg.MailboxDeadline
+	}
+	if budget <= 0 || cmd.at.IsZero() || wall.Sub(cmd.at) <= budget {
+		return nil
+	}
+	c.stats.ShedDeadline++
+	return &resilience.OverloadError{RetryAfter: gateway.DefaultShedRetryAfter, Reason: "deadline"}
 }
 
 func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
@@ -922,6 +983,16 @@ func (c *Coordinator) resolveFragsLocked() {
 // released window; the first subscriber of a new tree whose fragments all
 // pre-existed gets a window synthesized from the fragment caches.
 func (c *Coordinator) replayLocked(acks []pendingAck) {
+	if p := c.cfg.Pressure; p != nil && p() >= resilience.LevelNoReplay {
+		// Brownout: replay is the first work shed. Fresh subscribers go
+		// live without history instead of costing a window of pushes each.
+		for _, a := range acks {
+			if a.tr.broken == nil {
+				c.stats.ReplaySheds++
+			}
+		}
+		return
+	}
 	if c.cfg.Window <= 0 {
 		for _, a := range acks {
 			if a.tr.broken == nil {
@@ -977,13 +1048,15 @@ func (c *Coordinator) synthesizeLocked(tr *shareTree) {
 		for i, fr := range tr.frags {
 			for _, e := range fr.ring {
 				if e.at == at {
-					acc.add(i, gateway.Update{At: at, Rows: e.rows, Aggs: e.aggs})
+					acc.add(i, gateway.Update{At: at, Rows: e.rows, Aggs: e.aggs,
+						Degraded: e.degraded, Coverage: e.coverage})
 					break
 				}
 			}
 		}
 		rows, aggs := acc.finish(tr.p)
-		tr.ring = append(tr.ring, cachedEpoch{at: at, rows: rows, aggs: aggs})
+		tr.ring = append(tr.ring, cachedEpoch{at: at, rows: rows, aggs: aggs,
+			degraded: acc.degraded, coverage: acc.cov()})
 		tr.released = at
 	}
 }
@@ -1018,7 +1091,8 @@ func (c *Coordinator) drainLocked() {
 
 func (c *Coordinator) mergeLocked(fr *fragment, u gateway.Update) {
 	if c.cfg.Window > 0 {
-		fr.ring = append(fr.ring, cachedEpoch{at: u.At, rows: u.Rows, aggs: u.Aggs})
+		fr.ring = append(fr.ring, cachedEpoch{at: u.At, rows: u.Rows, aggs: u.Aggs,
+			degraded: u.Degraded, coverage: u.Coverage})
 		if len(fr.ring) > c.cfg.Window {
 			fr.ring = append(fr.ring[:0], fr.ring[len(fr.ring)-c.cfg.Window:]...)
 		}
@@ -1083,8 +1157,12 @@ func (c *Coordinator) releaseLocked() {
 
 func (c *Coordinator) releaseEpochLocked(tr *shareTree, acc *shareAcc) {
 	c.stats.MergedEpochs++
+	if acc.degraded {
+		c.stats.DegradedEpochs++
+	}
 	rows, aggs := acc.finish(tr.p)
-	e := cachedEpoch{at: acc.at, rows: rows, aggs: aggs}
+	e := cachedEpoch{at: acc.at, rows: rows, aggs: aggs,
+		degraded: acc.degraded, coverage: acc.cov()}
 	if c.cfg.Window > 0 {
 		tr.ring = append(tr.ring, e)
 		if len(tr.ring) > c.cfg.Window {
@@ -1114,6 +1192,8 @@ func (c *Coordinator) pushLocked(tr *shareTree, sub *Sub, e cachedEpoch) bool {
 		At:       e.at,
 		Rows:     e.rows,
 		Aggs:     e.aggs,
+		Degraded: e.degraded,
+		Coverage: e.coverage,
 		Enqueued: time.Now(),
 	}
 	if sub.detached {

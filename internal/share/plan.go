@@ -177,18 +177,37 @@ type shareAcc struct {
 	rows []query.Row
 	aggs map[accKey]*accPartial
 	ord  []accKey
+	// degraded/coverage propagate partial shard coverage from upstream
+	// (federation breaker exclusions): the composed epoch is degraded if
+	// any fragment's was, at the worst fragment's coverage fraction.
+	degraded bool
+	coverage float64
 }
 
 func newShareAcc(at sim.Time) *shareAcc {
-	return &shareAcc{at: at, got: make(map[int]bool, 4)}
+	return &shareAcc{at: at, got: make(map[int]bool, 4), coverage: 1}
 }
 
 // complete reports whether all n planned fragments contributed.
 func (a *shareAcc) complete(n int) bool { return len(a.got) >= n }
 
+// cov is the composed coverage fraction (1 unless degraded).
+func (a *shareAcc) cov() float64 {
+	if !a.degraded {
+		return 1
+	}
+	return a.coverage
+}
+
 // add folds one fragment's epoch into the accumulator.
 func (a *shareAcc) add(idx int, u gateway.Update) {
 	a.got[idx] = true
+	if u.Degraded {
+		a.degraded = true
+		if u.Coverage < a.coverage {
+			a.coverage = u.Coverage
+		}
+	}
 	a.rows = append(a.rows, u.Rows...)
 	if len(u.Aggs) == 0 {
 		return

@@ -43,6 +43,9 @@ func RegisterMetrics(r *telemetry.Registry, current func() *Coordinator) {
 		{r.NewCounter("ttmqo_cache_hits_total", "new subscribers whose window replayed from cache"), func(s Stats) int64 { return s.CacheHits }},
 		{r.NewCounter("ttmqo_cache_misses_total", "new subscribers with no cached window"), func(s Stats) int64 { return s.CacheMisses }},
 		{r.NewCounter("ttmqo_cache_replayed_epochs_total", "cached epochs replayed to late subscribers"), func(s Stats) int64 { return s.ReplayedEpochs }},
+		{r.NewCounter("ttmqo_resilience_replay_sheds_total", "cache replays skipped under brownout pressure"), func(s Stats) int64 { return s.ReplaySheds }},
+		{r.NewCounter("ttmqo_resilience_share_shed_deadline_total", "subscribes shed: coordinator mailbox sojourn exceeded the budget"), func(s Stats) int64 { return s.ShedDeadline }},
+		{r.NewCounter("ttmqo_resilience_share_degraded_epochs_total", "epochs recombined from degraded (partial-coverage) upstream updates"), func(s Stats) int64 { return s.DegradedEpochs }},
 	}
 
 	activeSessions := r.NewGauge("ttmqo_share_active_sessions", "currently registered sharing-layer sessions")
