@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-parallel bench-check bench-baseline serve-soak chaos-soak admin-smoke fuzz clean
+.PHONY: build test race vet bench bench-parallel bench-check bench-baseline serve-soak chaos-soak admin-smoke trace-smoke fuzz clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,15 @@ serve-soak:
 # replay) over the process boundary.
 admin-smoke:
 	$(GO) test -race -count=1 -v -run TestAdminSmoke ./cmd/ttmqo-serve
+
+# The causal-tracing smoke drill: boot the real binary as a sharing
+# coordinator over a two-shard federation router, subscribe over the TCP
+# wire with a client-pinned trace ID, and assert the end-to-end story from
+# outside the process — the ID echoes on the ack, every update carries it
+# plus a provenance stamp, and /tracez?trace=<id> exports a span chain
+# walking gateway -> router -> share up to the share/subscribe root.
+trace-smoke:
+	$(GO) test -race -count=1 -v -run TestTraceSmoke ./cmd/ttmqo-serve
 
 # The chaos soak under the race detector: scripted fault scenarios — node
 # churn, loss bursts, partitions, and gateway crash/recover cycles mid-run —

@@ -122,6 +122,7 @@ import (
 	"repro/internal/share"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -171,6 +172,7 @@ func run() error {
 	mailboxDeadline := flag.Duration("mailbox-deadline", 0, "admission control: default mailbox sojourn budget for subscribes; a per-request deadline_ms overrides (0 disables)")
 	maxLiveSubs := flag.Int("max-live-subs", 0, "admission control: global cap on concurrently live subscriptions (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-connection write deadline guarding against non-reading subscribers (0 = 30s default, negative disables)")
+	traceDump := flag.String("trace-dump", "", "write the causal-trace flight-recorder export as JSON to this file on exit (and immediately after a -crash-after drill's crash)")
 	flag.Parse()
 
 	switch *wire {
@@ -231,7 +233,7 @@ func run() error {
 			ReadTimeout:  *readTimeout,
 			WriteTimeout: *writeTimeout,
 			ForceJSON:    *wire == "json",
-		}, *admin, *shareOn, *cacheWindow)
+		}, *admin, *shareOn, *cacheWindow, *traceDump)
 	}
 
 	if *loadgen && *netload {
@@ -284,6 +286,10 @@ func run() error {
 	if *admin != "" {
 		traceBuf = &trace.Buffer{Max: 2048}
 	}
+	// Causal tracing mounts unconditionally: the flight recorder is a
+	// bounded ring owned here, so it survives crash/recovery swaps and is
+	// dumpable (-trace-dump) or exportable (-json) even without -admin.
+	ts := newTraceSet()
 	gwCfg := gateway.Config{
 		Sim: network.Config{
 			Topo:     topo,
@@ -302,6 +308,7 @@ func run() error {
 		MaxStaged:       *maxStaged,
 		MailboxDeadline: *mailboxDeadline,
 		MaxLiveSubs:     *maxLiveSubs,
+		Tracer:          ts.rec(tracing.TierGateway),
 	}
 	srvCfg := gateway.ServerConfig{
 		Addr:         *addr,
@@ -341,12 +348,22 @@ func run() error {
 				Buffer:       *buffer,
 				SessionQuota: *quota,
 			},
-			srv:     srvCfg,
-			admin:   *admin,
-			trace:   traceBuf,
-			closeUp: gw.Close,
+			srv:       srvCfg,
+			admin:     *admin,
+			trace:     traceBuf,
+			traces:    ts,
+			traceDump: *traceDump,
+			closeUp:   gw.Close,
 			register: func(reg *telemetry.Registry) {
 				gateway.RegisterMetrics(reg, func() *gateway.Gateway { return gw })
+			},
+			status: func(doc *telemetry.StatusSections) {
+				if st, err := gw.Status(); err == nil {
+					doc.Gateway = st
+				}
+				if st, err := gw.Stats(); err == nil {
+					doc.Resilience = resilienceSection(st)
+				}
 			},
 			banner: fmt.Sprintf("scheme=%s nodes=%d tick=%v quantum=%v", scheme, topo.Size(), *tick, *quantum),
 		})
@@ -364,7 +381,7 @@ func run() error {
 	var cur atomic.Pointer[gateway.Gateway]
 	cur.Store(gw)
 	if *admin != "" {
-		adm, err := startAdmin(*admin, &cur, traceBuf)
+		adm, err := startAdmin(*admin, &cur, traceBuf, ts)
 		if err != nil {
 			gw.Close()
 			srv.Close()
@@ -387,6 +404,15 @@ func run() error {
 			fmt.Println("ttmqo-serve: injecting crash")
 			srv.Close()
 			gw.Crash()
+			if *traceDump != "" {
+				// The rings are owned up here, not by the crashed gateway,
+				// so the dump carries everything through the crash span.
+				if err := ts.dump(*traceDump); err != nil {
+					fmt.Fprintln(os.Stderr, "ttmqo-serve: trace dump:", err)
+				} else {
+					fmt.Printf("ttmqo-serve: trace dump: %s\n", *traceDump)
+				}
+			}
 			if *crashOutage > 0 {
 				// Hold the outage so /readyz probes can observe the 503
 				// window before recovery flips it back.
@@ -429,6 +455,12 @@ func run() error {
 	st, _ := gw.Stats()
 	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d admitted=%d dedup_ratio=%.2f updates=%d evicted=%d recoveries=%d\n",
 		st.Sessions, st.Subscribes, st.DedupHits, st.Admitted, st.DedupRatio(), st.Updates, st.Evicted, st.Recoveries)
+	if *traceDump != "" {
+		if err := ts.dump(*traceDump); err != nil {
+			return err
+		}
+		fmt.Printf("trace dump: %s\n", *traceDump)
+	}
 	return writeExports(gw, *jsonOut, *seriesOut)
 }
 
@@ -436,7 +468,10 @@ func run() error {
 // K region-partitioned gateway shards behind the same TCP server and
 // wire protocol. With shareOn the router is fronted by the sharing
 // coordinator, so cross-query CSE and cached replay span the whole fleet.
-func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAddr string, shareOn bool, cacheWindow int) error {
+func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAddr string, shareOn bool, cacheWindow int, traceDump string) error {
+	ts := newTraceSet()
+	cfg.Tracer = ts.rec(tracing.TierRouter)
+	cfg.ShardTracer = ts.shardRec()
 	rt, err := federation.New(cfg)
 	if err != nil {
 		return err
@@ -450,11 +485,18 @@ func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAdd
 				Buffer:       cfg.Buffer,
 				SessionQuota: cfg.SessionQuota,
 			},
-			srv:     srvCfg,
-			admin:   adminAddr,
-			closeUp: rt.Close,
+			srv:       srvCfg,
+			admin:     adminAddr,
+			traces:    ts,
+			traceDump: traceDump,
+			closeUp:   rt.Close,
 			register: func(reg *telemetry.Registry) {
 				federation.RegisterMetrics(reg, func() *federation.Router { return rt })
+			},
+			status: func(doc *telemetry.StatusSections) {
+				st := rt.FedStats()
+				doc.Federation = st
+				doc.Resilience = fedResilienceSection(st)
 			},
 			banner: fmt.Sprintf("%d shards × side %d = %d sensors, scheme=%s",
 				cfg.Shards, cfg.Side, cfg.Shards*(cfg.Side*cfg.Side-1), cfg.Scheme),
@@ -471,10 +513,20 @@ func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAdd
 	if adminAddr != "" {
 		reg := telemetry.NewRegistry()
 		federation.RegisterMetrics(reg, func() *federation.Router { return rt })
+		tracing.RegisterMetrics(reg, ts.recorders)
 		adm := telemetry.NewAdmin(telemetry.AdminConfig{
 			Registry: reg,
 			Ready:    rt.Alive,
-			Status:   func() any { return rt.FedStats() },
+			Status: func() any {
+				st := rt.FedStats()
+				return telemetry.StatusSections{
+					Federation: st,
+					Resilience: fedResilienceSection(st),
+					Tracing:    ts.summary(),
+				}
+			},
+			Trace:     ts.renderTrees,
+			TraceJSON: ts.traceJSON,
 		})
 		bound, err := adm.Start(adminAddr)
 		if err != nil {
@@ -503,20 +555,61 @@ func serveFederated(cfg federation.Config, srvCfg gateway.ServerConfig, adminAdd
 	st := rt.FedStats()
 	fmt.Printf("shards=%d sessions=%d subscribes=%d dedup_hits=%d trees=%d merged_epochs=%d updates=%d merge_latency=%v\n",
 		st.Shards, st.Sessions, st.Subscribes, st.DedupHits, st.Trees, st.MergedEpochs, st.Updates, rt.MergeLatency())
+	if traceDump != "" {
+		if err := ts.dump(traceDump); err != nil {
+			return err
+		}
+		fmt.Printf("trace dump: %s\n", traceDump)
+	}
 	return nil
+}
+
+// resilienceSection distills a gateway stats snapshot into the /statusz
+// resilience section: the brownout ladder and the shed counters.
+func resilienceSection(st gateway.Stats) map[string]any {
+	return map[string]any{
+		"brownout_level":       st.BrownoutLevel,
+		"brownout_escalations": st.BrownoutEscalations,
+		"brownout_recoveries":  st.BrownoutRecoveries,
+		"shed_queue":           st.ShedQueue,
+		"shed_deadline":        st.ShedDeadline,
+		"shed_subs":            st.ShedSubs,
+		"shed_brownout":        st.ShedBrownout,
+	}
+}
+
+// fedResilienceSection distills a federation stats snapshot into the
+// /statusz resilience section: breakers, stalls and degraded releases.
+func fedResilienceSection(st federation.Stats) map[string]any {
+	return map[string]any{
+		"shed_deadline":      st.ShedDeadline,
+		"degraded_epochs":    st.DegradedEpochs,
+		"stalled_shards":     st.StalledShards,
+		"shard_stalls":       st.ShardStalls,
+		"breaker_trips":      st.BreakerTrips,
+		"breaker_probes":     st.BreakerProbes,
+		"breaker_recoveries": st.BreakerRecoveries,
+		"shard_crashes":      st.ShardCrashes,
+		"shard_recoveries":   st.ShardRecoveries,
+	}
 }
 
 // shareServeOpts parametrizes serveShared: the coordinator's config, the
 // TCP server, the admin plane, and the hooks tying the tier beneath the
 // coordinator into drain order and metric registration.
 type shareServeOpts struct {
-	coord    share.Config
-	srv      gateway.ServerConfig
-	admin    string
-	trace    *trace.Buffer
-	closeUp  func() error
-	register func(*telemetry.Registry)
-	banner   string
+	coord     share.Config
+	srv       gateway.ServerConfig
+	admin     string
+	trace     *trace.Buffer
+	traces    *traceSet
+	traceDump string
+	closeUp   func() error
+	register  func(*telemetry.Registry)
+	// status fills the upstream tier's /statusz sections (gateway or
+	// federation plus resilience); serveShared adds share and tracing.
+	status func(*telemetry.StatusSections)
+	banner string
 }
 
 // serveShared fronts the serving tier (single gateway or federation
@@ -525,6 +618,9 @@ type shareServeOpts struct {
 // staged commands fail and connection handlers unblock, then the tier
 // beneath it, then the listener.
 func serveShared(o shareServeOpts) error {
+	if o.traces != nil {
+		o.coord.Tracer = o.traces.rec(tracing.TierShare)
+	}
 	coord, err := share.New(o.coord)
 	if err != nil {
 		o.closeUp()
@@ -553,12 +649,35 @@ func serveShared(o shareServeOpts) error {
 		reg := telemetry.NewRegistry()
 		o.register(reg)
 		share.RegisterMetrics(reg, func() *share.Coordinator { return coord })
+		if o.traces != nil {
+			tracing.RegisterMetrics(reg, o.traces.recorders)
+		}
 		cfg := telemetry.AdminConfig{
 			Registry: reg,
 			Ready:    coord.Alive,
-			Status:   func() any { return coord.ShareStats() },
+			Status: func() any {
+				doc := telemetry.StatusSections{Share: coord.ShareStats()}
+				if o.traces != nil {
+					doc.Tracing = o.traces.summary()
+				}
+				if o.status != nil {
+					o.status(&doc)
+				}
+				return doc
+			},
 		}
-		if o.trace != nil {
+		if o.traces != nil {
+			cfg.Trace = func(w io.Writer) {
+				o.traces.renderTrees(w)
+				if o.trace != nil {
+					fmt.Fprintln(w, "\nsimulation events:")
+					for _, e := range o.trace.Snapshot() {
+						fmt.Fprintln(w, e)
+					}
+				}
+			}
+			cfg.TraceJSON = o.traces.traceJSON
+		} else if o.trace != nil {
 			cfg.Trace = func(w io.Writer) {
 				for _, e := range o.trace.Snapshot() {
 					fmt.Fprintln(w, e)
@@ -595,6 +714,12 @@ func serveShared(o shareServeOpts) error {
 	fmt.Printf("sessions=%d subscribes=%d dedup_hits=%d fragments_created=%d fragments_reused=%d reuse_ratio=%.2f cache_hits=%d replayed_epochs=%d updates=%d\n",
 		st.Sessions, st.Subscribes, st.DedupHits, st.FragmentsCreated, st.FragmentsReused,
 		st.FragmentReuseRatio(), st.CacheHits, st.ReplayedEpochs, st.Updates)
+	if o.traceDump != "" && o.traces != nil {
+		if err := o.traces.dump(o.traceDump); err != nil {
+			return err
+		}
+		fmt.Printf("trace dump: %s\n", o.traceDump)
+	}
 	return nil
 }
 
@@ -602,32 +727,55 @@ func serveShared(o shareServeOpts) error {
 // gateway behind cur (surviving crash/recovery swaps), readiness bound to
 // the current gateway's actor loop, /statusz to its live snapshot and
 // /tracez to the simulation trace ring.
-func startAdmin(addr string, cur *atomic.Pointer[gateway.Gateway], traceBuf *trace.Buffer) (*telemetry.Admin, error) {
+func startAdmin(addr string, cur *atomic.Pointer[gateway.Gateway], traceBuf *trace.Buffer, ts *traceSet) (*telemetry.Admin, error) {
 	reg := telemetry.NewRegistry()
 	gateway.RegisterMetrics(reg, cur.Load)
-	adm := telemetry.NewAdmin(telemetry.AdminConfig{
+	if ts != nil {
+		tracing.RegisterMetrics(reg, ts.recorders)
+	}
+	cfg := telemetry.AdminConfig{
 		Registry: reg,
 		Ready: func() bool {
 			g := cur.Load()
 			return g != nil && g.Alive()
 		},
 		Status: func() any {
+			doc := telemetry.StatusSections{}
+			if ts != nil {
+				doc.Tracing = ts.summary()
+			}
 			g := cur.Load()
 			if g == nil {
-				return gateway.Status{}
+				return doc
 			}
-			st, err := g.Status()
-			if err != nil {
-				return gateway.Status{}
+			if st, err := g.Status(); err == nil {
+				doc.Gateway = st
 			}
-			return st
+			if st, err := g.Stats(); err == nil {
+				doc.Resilience = resilienceSection(st)
+			}
+			return doc
 		},
-		Trace: func(w io.Writer) {
+	}
+	if ts != nil {
+		cfg.Trace = func(w io.Writer) {
+			ts.renderTrees(w)
+			if traceBuf != nil {
+				fmt.Fprintln(w, "\nsimulation events:")
+				for _, e := range traceBuf.Snapshot() {
+					fmt.Fprintln(w, e)
+				}
+			}
+		}
+		cfg.TraceJSON = ts.traceJSON
+	} else if traceBuf != nil {
+		cfg.Trace = func(w io.Writer) {
 			for _, e := range traceBuf.Snapshot() {
 				fmt.Fprintln(w, e)
 			}
-		},
-	})
+		}
+	}
+	adm := telemetry.NewAdmin(cfg)
 	bound, err := adm.Start(addr)
 	if err != nil {
 		return nil, err
@@ -685,7 +833,7 @@ func runLoadgen(cfg gateway.LoadgenConfig, adminAddr, jsonOut string) error {
 		var cur atomic.Pointer[gateway.Gateway]
 		cfg.OnGateway = func(g *gateway.Gateway) { cur.Store(g) }
 		var err error
-		adm, err = startAdmin(adminAddr, &cur, nil)
+		adm, err = startAdmin(adminAddr, &cur, nil, nil)
 		if err != nil {
 			return err
 		}

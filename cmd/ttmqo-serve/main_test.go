@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os/exec"
@@ -13,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/gateway"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // procOutput accumulates the child process's output across goroutines.
@@ -144,8 +147,18 @@ func TestAdminSmoke(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &status); err != nil {
 		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
 	}
-	if alive, ok := status["alive"].(bool); !ok || !alive {
-		t.Fatalf("/statusz alive = %v, want true: %s", status["alive"], body)
+	gwSection, ok := status["gateway"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statusz lacks a gateway section: %s", body)
+	}
+	if alive, ok := gwSection["alive"].(bool); !ok || !alive {
+		t.Fatalf("/statusz gateway.alive = %v, want true: %s", gwSection["alive"], body)
+	}
+	if _, ok := status["resilience"].(map[string]any); !ok {
+		t.Fatalf("/statusz lacks a resilience section: %s", body)
+	}
+	if _, ok := status["tracing"]; !ok {
+		t.Fatalf("/statusz lacks a tracing section: %s", body)
 	}
 	if code, _ := get("/tracez"); code != http.StatusOK {
 		t.Fatalf("/tracez = %d, want 200", code)
@@ -197,6 +210,208 @@ func TestAdminSmoke(t *testing.T) {
 	}
 	if s, ok := telemetry.FindSample(samples, "ttmqo_gateway_recoveries_total"); !ok || s.Value < 1 {
 		t.Fatalf("recoveries_total after drill = %+v, want >= 1", s)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not exit after SIGTERM; output:\n%s", out.String())
+	}
+}
+
+// TestTraceSmoke is the end-to-end drill behind `make trace-smoke`: it
+// boots the real binary in its deepest composition — sharing coordinator
+// over a two-shard federation router — subscribes over the real TCP wire
+// with a client-pinned trace ID, and asserts the whole causal story from
+// the outside: the pinned ID echoes on the subscribed ack, every
+// delivered update carries it plus a non-empty provenance stamp, and the
+// admin plane's /tracez?trace=<id> JSON export contains a span chain that
+// walks gateway → router → share tiers up to the share/subscribe root.
+func TestTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the serve binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ttmqo-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0",
+		"-shards", "2",
+		"-side", "3",
+		"-share",
+		"-tick", "50ms",
+		"-quantum", "2048ms",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	addrCh := make(chan string, 1)
+	adminCh := make(chan string, 1)
+	out := &procOutput{}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			l := sc.Text()
+			out.add(l)
+			if rest, ok := strings.CutPrefix(l, "ttmqo-serve: sharing coordinator on "); ok {
+				if f := strings.Fields(rest); len(f) > 0 {
+					select {
+					case addrCh <- f[0]:
+					default:
+					}
+				}
+			}
+			if rest, ok := strings.CutPrefix(l, "ttmqo-serve: admin on http://"); ok {
+				select {
+				case adminCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	var addr, admin string
+	for addr == "" || admin == "" {
+		select {
+		case addr = <-addrCh:
+		case admin = <-adminCh:
+		case <-time.After(15 * time.Second):
+			t.Fatalf("serve banners never printed (addr=%q admin=%q); output so far:\n%s",
+				addr, admin, out.String())
+		}
+	}
+
+	// Subscribe over the binary wire with a client-pinned trace identity.
+	// The query straddles the shard boundary (2 shards × side 3 → sensors
+	// 1..16, split 8|9), so serving it exercises share fragmentation AND
+	// router shard fan-out.
+	const pinned = uint64(0xC0FFEE)
+	cl, err := gateway.Dial(addr, gateway.ClientConfig{Binary: true, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer cl.Close()
+	if _, err := cl.Hello("trace-smoke", ""); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	sub, err := cl.SubscribeRetry(
+		"SELECT SUM(light) WHERE nodeid >= 5 AND nodeid <= 12 EPOCH DURATION 2048ms",
+		"s1", gateway.RetryConfig{TraceID: pinned})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if sub.TraceID != pinned {
+		t.Fatalf("subscribed ack echoes trace %#x, want the pinned %#x", sub.TraceID, pinned)
+	}
+
+	// Every delivered update must carry the trace and a provenance stamp.
+	var update gateway.Response
+	for {
+		resp, err := cl.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v\noutput:\n%s", err, out.String())
+		}
+		if resp.Type == gateway.TypeError {
+			t.Fatalf("server error while waiting for an update: %s", resp.Error)
+		}
+		if (resp.Type == gateway.TypeRows || resp.Type == gateway.TypeAgg) && resp.Sub == sub.Sub {
+			update = resp
+			break
+		}
+	}
+	if update.TraceID != pinned {
+		t.Fatalf("delivered update carries trace %#x, want %#x", update.TraceID, pinned)
+	}
+	if update.Prov == nil {
+		t.Fatalf("delivered update carries no provenance stamp: %+v", update)
+	}
+	if update.Prov.Frags < 1 {
+		t.Fatalf("provenance reports %d fragments, want >= 1: %+v", update.Prov.Frags, update.Prov)
+	}
+	if update.Prov.ShardMask == 0 {
+		t.Fatalf("provenance reports an empty shard mask for a shard-straddling query: %+v", update.Prov)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get("http://" + admin + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The text tree view names the pinned trace in hex.
+	if code, body := get("/tracez"); code != http.StatusOK ||
+		!strings.Contains(body, fmt.Sprintf("trace %016x", pinned)) {
+		t.Fatalf("/tracez = %d, want 200 naming trace %016x:\n%s", code, pinned, body)
+	}
+
+	// The JSON export for the pinned trace must contain a causal chain
+	// that starts at a gateway-tier span and walks parent links through
+	// the router tier to a share/subscribe root.
+	code, body := get(fmt.Sprintf("/tracez?trace=%d", pinned))
+	if code != http.StatusOK {
+		t.Fatalf("/tracez?trace=%d = %d (%s), want 200", pinned, code, body)
+	}
+	var tr tracing.TraceSpans
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("trace export is not JSON: %v\n%s", err, body)
+	}
+	if tr.Trace != pinned {
+		t.Fatalf("export is for trace %#x, want %#x", tr.Trace, pinned)
+	}
+	byID := map[uint64]tracing.Span{}
+	for _, s := range tr.Spans {
+		byID[s.ID] = s
+	}
+	sawChain := false
+	for _, s := range tr.Spans {
+		if s.Tier != tracing.TierGateway {
+			continue
+		}
+		tiers := map[string]bool{}
+		cur, ok := s, true
+		for ok {
+			tiers[cur.Tier] = true
+			if cur.Parent == 0 {
+				break
+			}
+			cur, ok = byID[cur.Parent]
+		}
+		if ok && tiers[tracing.TierGateway] && tiers[tracing.TierRouter] && tiers[tracing.TierShare] &&
+			cur.Tier == tracing.TierShare && cur.Kind == tracing.KindSubscribe {
+			sawChain = true
+			break
+		}
+	}
+	if !sawChain {
+		t.Fatalf("no gateway-tier span walks up through router and share to a share/subscribe root:\n%s", body)
 	}
 
 	// Clean shutdown on SIGTERM.

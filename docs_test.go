@@ -11,6 +11,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/gateway"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // These tests pin the docs to the code: every command must be documented,
@@ -434,6 +435,73 @@ func TestDocsCoverAdminPlane(t *testing.T) {
 	} {
 		if !strings.Contains(readme+experiments, fam) {
 			t.Errorf("docs do not mention metric family %s", fam)
+		}
+	}
+}
+
+// TestDocsCoverTracing: README.md must document the causal-tracing
+// surface — the trace-dump flag, the smoke-drill make target, the
+// per-trace JSON export and the wire provenance fields — and both docs
+// must name every span kind a tier can record plus the tracing metric
+// families and the gated bench gauges. This is the drift check for the
+// tracing/provenance surface.
+func TestDocsCoverTracing(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	if !strings.Contains(readme, "-trace-dump") {
+		t.Error("README.md does not mention the -trace-dump flag")
+	}
+	for _, target := range []string{"trace-smoke"} {
+		if !strings.Contains(readme, target) {
+			t.Errorf("README.md does not mention the %s make target", target)
+		}
+	}
+	for _, doc := range []string{readme, experiments} {
+		if !strings.Contains(doc, "/tracez?trace=") {
+			t.Error("docs do not show the per-trace JSON export path /tracez?trace=")
+			break
+		}
+	}
+	// The wire-level provenance fields must be documented by their JSON
+	// names.
+	for _, field := range []string{"trace_id", "prov", "shard_mask"} {
+		if !strings.Contains(readme, field) {
+			t.Errorf("README.md does not document the wire field %q", field)
+		}
+	}
+	// Every span kind a tier can record must be named somewhere in the
+	// docs — a new hop kind must not ship undocumented.
+	for _, kind := range []string{
+		tracing.KindSubscribe, tracing.KindAdmit, tracing.KindDedupHit,
+		tracing.KindFirstResult, tracing.KindFanout, tracing.KindShed,
+		tracing.KindWALReplay, tracing.KindCrash, tracing.KindReattach,
+		tracing.KindShardFanout, tracing.KindMergeRelease, tracing.KindDegraded,
+		tracing.KindBreakerOpen, tracing.KindBreakerClose,
+		tracing.KindCSEHit, tracing.KindResidualAdmit, tracing.KindCacheReplay,
+	} {
+		if !strings.Contains(readme+experiments, kind) {
+			t.Errorf("docs do not mention span kind %q", kind)
+		}
+	}
+	// The tracing metric families the docs walk through must be real
+	// registered names.
+	for _, fam := range []string{
+		"ttmqo_trace_spans_recorded_total",
+		"ttmqo_trace_spans_dropped_total",
+		"ttmqo_trace_hop_latency_seconds",
+	} {
+		if !strings.Contains(readme+experiments, fam) {
+			t.Errorf("docs do not mention tracing metric family %s", fam)
+		}
+	}
+	// The gated cost gauges and the traced bench row must be walked
+	// through next to the baseline that gates them.
+	if !strings.Contains(experiments, "fanout/traced") {
+		t.Error("EXPERIMENTS.md does not mention the fanout/traced serve benchmark row")
+	}
+	for _, gauge := range []string{"tracing_overhead_ratio", "traced_allocs_per_message"} {
+		if !strings.Contains(readme+experiments, gauge) {
+			t.Errorf("docs do not mention the gated %s gauge", gauge)
 		}
 	}
 }

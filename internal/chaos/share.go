@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/share"
 	"repro/internal/topology"
+	"repro/internal/tracing"
 )
 
 // Sharing-layer fault drill: crash the upstream gateway underneath the
@@ -145,6 +147,13 @@ type ShareReport struct {
 	// Violations lists every invariant breach, sorted; empty means the
 	// stack degraded exactly as promised.
 	Violations []string `json:"violations,omitempty"`
+	// Traces is the causal-trace export (tracing.Export as JSON) collected
+	// from the share and gateway flight recorders after the drill. The
+	// recorders are owned by the harness, so the export spans the crash:
+	// admissions before the fault, the crash and WAL-replay hops, and the
+	// mid-outage cache replay are all present. Byte-identical for a given
+	// seed at any test parallelism.
+	Traces json.RawMessage `json:"traces,omitempty"`
 }
 
 // shareQueryPool is the drill workload: overlapping region aggregates
@@ -193,10 +202,16 @@ func RunShareScenario(cfg ShareRunConfig) (*ShareReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The flight recorders are owned here, not by the tiers, so the crash
+	// does not take the trace with it: gateway.Recover reuses the same
+	// Config and keeps appending to the same ring.
+	gwRec := tracing.New(tracing.TierGateway, 0)
+	shareRec := tracing.New(tracing.TierShare, 0)
 	gwConfig := func() gateway.Config {
 		return gateway.Config{
 			Sim:     network.Config{Topo: topo, Scheme: network.TTMQO, Seed: cfg.Seed},
 			WALPath: filepath.Join(cfg.WALDir, "share-drill.wal"),
+			Tracer:  gwRec,
 		}
 	}
 	gw, err := gateway.New(gwConfig())
@@ -209,6 +224,7 @@ func RunShareScenario(cfg ShareRunConfig) (*ShareReport, error) {
 		Upstream: share.OverGateway(gw),
 		Sensors:  sensors,
 		Window:   cfg.Window,
+		Tracer:   shareRec,
 	})
 	if err != nil {
 		return nil, err
@@ -409,5 +425,6 @@ func RunShareScenario(cfg ShareRunConfig) (*ShareReport, error) {
 		violate("%v", err)
 	}
 	sort.Strings(rep.Violations)
+	rep.Traces = tracing.Collect(shareRec, gwRec).JSON()
 	return rep, nil
 }

@@ -1,8 +1,12 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
+
+	"repro/internal/tracing"
 )
 
 // TestShareScenarioValidation covers the config guard rails.
@@ -44,6 +48,100 @@ func TestShareCrashUnderTheCache(t *testing.T) {
 	if rep.Stats.Reattaches != 1 || rep.Stats.UpstreamResumes == 0 {
 		t.Fatalf("failover accounting: reattaches=%d resumes=%d",
 			rep.Stats.Reattaches, rep.Stats.UpstreamResumes)
+	}
+}
+
+// TestShareTraceCausalPath asserts — from the drill's exported trace JSON
+// alone, with no access to the in-process recorders — the full causal
+// path of a delivery through the two-tier stack: a share-tier subscribe
+// whose residual fragment admission parents the gateway-tier subscribe
+// and admit hops, plus the mid-outage cache-replay hop, the crash and the
+// WAL-replay recovery. It also pins determinism: two runs of the same
+// seed produce byte-identical exports, regardless of -parallel level or
+// what else the test binary is running.
+func TestShareTraceCausalPath(t *testing.T) {
+	run := func() *ShareReport {
+		rep, err := RunShareScenario(ShareRunConfig{Seed: 7, WALDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep, rep2 := run(), run()
+	if len(rep.Traces) == 0 {
+		t.Fatal("drill exported no trace JSON")
+	}
+	if !bytes.Equal(rep.Traces, rep2.Traces) {
+		t.Fatalf("trace export is not deterministic across identical runs:\nrun1 %d bytes, run2 %d bytes",
+			len(rep.Traces), len(rep2.Traces))
+	}
+
+	var exp tracing.Export
+	if err := json.Unmarshal(rep.Traces, &exp); err != nil {
+		t.Fatalf("trace export is not a tracing.Export: %v", err)
+	}
+	if exp.Spans == 0 || len(exp.Traces) == 0 {
+		t.Fatalf("empty trace export: %d spans across %d traces", exp.Spans, len(exp.Traces))
+	}
+
+	// Walk every trace for one whose spans chain share/subscribe ->
+	// share/residual-admit -> gateway/subscribe -> gateway/admit by
+	// parent links, proving the context rode the fragment admission
+	// across the tier boundary.
+	causal := false
+	sawReplay := false
+	for _, tr := range exp.Traces {
+		if tr.Trace == 0 {
+			continue
+		}
+		byID := map[uint64]tracing.Span{}
+		for _, s := range tr.Spans {
+			byID[s.ID] = s
+		}
+		for _, s := range tr.Spans {
+			if s.Tier == tracing.TierGateway && s.Kind == tracing.KindAdmit {
+				gwSub, ok := byID[s.Parent]
+				if !ok || gwSub.Tier != tracing.TierGateway || gwSub.Kind != tracing.KindSubscribe {
+					continue
+				}
+				frag, ok := byID[gwSub.Parent]
+				if !ok || frag.Tier != tracing.TierShare || frag.Kind != tracing.KindResidualAdmit {
+					continue
+				}
+				shSub, ok := byID[frag.Parent]
+				if ok && shSub.Tier == tracing.TierShare && shSub.Kind == tracing.KindSubscribe {
+					causal = true
+				}
+			}
+			if s.Tier == tracing.TierShare && s.Kind == tracing.KindCacheReplay && s.CacheHit {
+				sawReplay = true
+			}
+		}
+	}
+	if !causal {
+		t.Error("no trace chains share/subscribe -> residual-admit -> gateway/subscribe -> admit")
+	}
+	if !sawReplay {
+		t.Error("the mid-outage cache replay left no cache-replay span")
+	}
+
+	// The tier-level trace (trace 0) must carry the crash and the WAL
+	// replay that recovered from it — the flight recorder outlives the
+	// gateway it was recording.
+	kinds := map[string]bool{}
+	for _, tr := range exp.Traces {
+		if tr.Trace != 0 {
+			continue
+		}
+		for _, s := range tr.Spans {
+			kinds[s.Kind] = true
+		}
+	}
+	if !kinds[tracing.KindCrash] {
+		t.Error("tier-level trace lacks the crash span")
+	}
+	if !kinds[tracing.KindWALReplay] {
+		t.Error("tier-level trace lacks the wal-replay span")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/tracing"
 )
 
 // Defaults for Config zero values.
@@ -81,6 +82,15 @@ type Config struct {
 	// watermark against stuck-but-not-crashed shards (zero value uses the
 	// resilience defaults).
 	Breaker resilience.BreakerConfig
+	// Tracer, when set, records the router's causal spans (subscribe,
+	// shard fan-out, merge/degraded releases, breaker transitions,
+	// reattaches) into a caller-owned flight recorder; nil disables
+	// tracing at this tier.
+	Tracer *tracing.Recorder
+	// ShardTracer, when set, supplies shard i's gateway flight recorder.
+	// Caller-owned recorders survive shard crashes, so a recovered shard
+	// keeps appending to the same ring its predecessor used.
+	ShardTracer func(shard int) *tracing.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +218,12 @@ type tree struct {
 	pending  map[sim.Time]*epochAcc
 	released sim.Time // newest released epoch instant
 	broken   error    // set when upstream establishment failed
+	// trace/spanID are the materializing subscriber's causal context: a
+	// shared tree's fan-out and release spans belong to the trace that
+	// first established it (later subscribers get dedup-hit spans on
+	// their own traces).
+	trace  uint64
+	spanID uint64
 }
 
 func (t *tree) acc(at sim.Time) *epochAcc {
@@ -236,6 +252,9 @@ type rcmd struct {
 	// deadline (or Config.MailboxDeadline when zero) is shed at commit.
 	at       time.Time
 	deadline time.Duration
+	// trace is the subscriber-propagated causal context (zero derives one
+	// at commit when tracing is enabled).
+	trace tracing.Context
 }
 
 // remainingBudget is the unspent part of the staging deadline, forwarded
@@ -393,6 +412,10 @@ func (r *Router) buildShard(i int) (*shard, error) {
 	if r.cfg.WALDir != "" {
 		gcfg.WALPath = filepath.Join(r.cfg.WALDir, fmt.Sprintf("shard-%d.wal", i))
 	}
+	if r.cfg.ShardTracer != nil {
+		gcfg.Tracer = r.cfg.ShardTracer(i)
+		gcfg.TraceShard = i + 1
+	}
 	if hook := r.cfg.OnShardSim; hook != nil {
 		idx := i
 		gcfg.OnSim = func(s *network.Simulation) { hook(idx, s) }
@@ -429,6 +452,35 @@ func (r *Router) Now() sim.Time {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.now
+}
+
+// nowMS is the router's virtual clock in milliseconds (callers hold r.mu).
+func (r *Router) nowMS() int64 { return time.Duration(r.now).Milliseconds() }
+
+// traceBreaker records a tier-level breaker transition span when a
+// shard's circuit breaker changed state across an observation.
+func (r *Router) traceBreaker(sh *shard, pre resilience.BreakerState) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	post := sh.brk.State()
+	if post == pre {
+		return
+	}
+	var kind string
+	switch {
+	case post == resilience.BreakerOpen && pre != resilience.BreakerOpen:
+		kind = tracing.KindBreakerOpen
+	case post == resilience.BreakerClosed && pre != resilience.BreakerClosed:
+		kind = tracing.KindBreakerClose
+	default:
+		return // closed→half-open probes are not span-worthy
+	}
+	r.cfg.Tracer.Record(tracing.Span{
+		Kind:  kind,
+		Shard: sh.idx,
+		AtMS:  r.nowMS(),
+	})
 }
 
 // HomeShard returns the shard a session name hashes to.
@@ -663,10 +715,16 @@ type Sub struct {
 	ring     []gateway.Update // parked tail while detached
 	detached bool
 	reason   gateway.CloseReason
+	// trace is the subscription's causal-trace identity (0 when the
+	// router was built without a Tracer).
+	trace uint64
 }
 
 // ID returns the subscription id (unique within the router).
 func (s *Sub) ID() gateway.SubID { return s.id }
+
+// TraceID reports the subscription's causal-trace identity (0 untraced).
+func (s *Sub) TraceID() uint64 { return s.trace }
 
 // Key returns the canonical downstream query text.
 func (s *Sub) Key() string { return s.key }
@@ -795,6 +853,14 @@ func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
 // budget is forwarded to the shard gateways' own mailboxes. Zero falls
 // back to Config.MailboxDeadline.
 func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ticket, error) {
+	return s.SubscribeAsyncTraced(q, budget, tracing.Context{})
+}
+
+// SubscribeAsyncTraced is SubscribeAsyncBudget with a subscriber-propagated
+// causal-trace context: the router's subscribe span parents on tc.Span, and
+// the context rides the shard fan-out so every tier's spans join one trace.
+// A zero context derives a deterministic trace at commit.
+func (s *Session) SubscribeAsyncTraced(q query.Query, budget time.Duration, tc tracing.Context) (*Ticket, error) {
 	r := s.r
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -806,7 +872,7 @@ func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ti
 	}
 	s.seq++
 	c := &rcmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan rres, 1),
-		at: time.Now(), deadline: budget}
+		at: time.Now(), deadline: budget, trace: tc}
 	r.staged = append(r.staged, c)
 	return &Ticket{r: r, done: c.done}, nil
 }
@@ -820,11 +886,18 @@ func (s *Session) SubscribeQuery(text string) (gateway.ServerSub, error) {
 // deadline_ms budget rides the staged command through the router and on
 // to the shard mailboxes.
 func (s *Session) SubscribeQueryBudget(text string, budget time.Duration) (gateway.ServerSub, error) {
+	return s.SubscribeQueryTraced(text, budget, 0)
+}
+
+// SubscribeQueryTraced implements gateway.TracedSubscriber: the wire
+// trace_id (or a derived trace) keys every router and shard span this
+// subscription produces.
+func (s *Session) SubscribeQueryTraced(text string, budget time.Duration, trace uint64) (gateway.ServerSub, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	tk, err := s.SubscribeAsyncBudget(q, budget)
+	tk, err := s.SubscribeAsyncTraced(q, budget, tracing.Context{Trace: trace})
 	if err != nil {
 		return nil, err
 	}
@@ -995,6 +1068,7 @@ func (r *Router) Advance(d time.Duration) (int, error) {
 		preState[sh.idx] = sh.brk.State()
 		if sh.stalled || preState[sh.idx] == resilience.BreakerOpen {
 			sh.brk.Observe(false)
+			r.traceBreaker(sh, preState[sh.idx])
 			continue
 		}
 		advanced[sh.idx] = true
@@ -1029,6 +1103,7 @@ func (r *Router) Advance(d time.Duration) (int, error) {
 			r.now = sh.vnow
 		}
 		sh.brk.Observe(true)
+		r.traceBreaker(sh, preState[sh.idx])
 		if preState[sh.idx] == resilience.BreakerHalfOpen {
 			// The probe succeeded: the breaker closed, so replay the quanta
 			// the shard sat out while open. Coverage returns to 1.0 once its
@@ -1123,6 +1198,24 @@ func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
 	}
 	key := gateway.CanonicalKey(q)
 	r.stats.Subscribes++
+	// Causal trace: a subscriber-propagated context wins; otherwise derive
+	// deterministically from the session name and staging sequence, so the
+	// same command sequence yields the same trace IDs on every run.
+	var trace, span uint64
+	if r.cfg.Tracer != nil {
+		trace = c.trace.Trace
+		if trace == 0 {
+			trace = tracing.TraceID(s.name, c.seq)
+		}
+		span = r.cfg.Tracer.Record(tracing.Span{
+			Trace:  trace,
+			Parent: c.trace.Span,
+			Kind:   tracing.KindSubscribe,
+			Shard:  tracing.NoShard,
+			AtMS:   r.nowMS(),
+			Seq:    c.seq,
+		})
+	}
 	tr := r.trees[key]
 	shared := tr != nil
 	if tr == nil {
@@ -1139,12 +1232,26 @@ func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
 					sl.shard, sl.shard*r.spn+1, (sl.shard+1)*r.spn)
 			}
 		}
-		tr = &tree{key: key, p: p}
+		tr = &tree{key: key, p: p, trace: trace, spanID: span}
 		rem := c.remainingBudget()
 		for i, sl := range p.slices {
 			sh := r.shards[sl.shard]
 			up := &upstream{sh: sh, tr: tr, slice: i}
-			tk, err := sh.sess.SubscribeAsyncBudget(sl.q, rem)
+			// Fan-out span per slice; the shard gateway's subscribe span
+			// parents on it, stitching router→shard in one trace.
+			shardCtx := tracing.Context{}
+			if r.cfg.Tracer != nil {
+				fanID := r.cfg.Tracer.Record(tracing.Span{
+					Trace:  trace,
+					Parent: span,
+					Kind:   tracing.KindShardFanout,
+					Shard:  sl.shard,
+					AtMS:   r.nowMS(),
+					Note:   key,
+				})
+				shardCtx = tracing.Context{Trace: trace, Span: fanID}
+			}
+			tk, err := sh.sess.SubscribeAsyncTraced(sl.q, rem, shardCtx)
 			if err != nil {
 				return nil, nil, fmt.Errorf("federation: shard %d subscribe: %w", sl.shard, err)
 			}
@@ -1154,6 +1261,16 @@ func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
 		r.trees[key] = tr
 	} else {
 		r.stats.DedupHits++
+		if r.cfg.Tracer != nil {
+			r.cfg.Tracer.Record(tracing.Span{
+				Trace:  trace,
+				Parent: span,
+				Kind:   tracing.KindDedupHit,
+				Shard:  tracing.NoShard,
+				AtMS:   r.nowMS(),
+				Note:   key,
+			})
+		}
 	}
 	r.nextSub++
 	sub := &Sub{
@@ -1164,6 +1281,7 @@ func (r *Router) applySubscribeLocked(c *rcmd) (*Sub, *tree, error) {
 		shared: shared,
 		ch:     make(chan gateway.Update, r.cfg.Buffer),
 		seq:    0,
+		trace:  trace,
 	}
 	if !s.attached {
 		sub.detached = true
@@ -1394,9 +1512,11 @@ func (r *Router) releaseEpochLocked(tr *tree, acc *epochAcc) {
 	// fraction on every delivered update.
 	spanned := tr.p.shardSet()
 	covered := 0
+	var coveredMask uint64
 	for _, idx := range spanned {
 		if r.shards[idx].watermark() > acc.at {
 			covered++
+			coveredMask |= 1 << uint(idx)
 		}
 	}
 	degraded := covered < len(spanned)
@@ -1406,6 +1526,26 @@ func (r *Router) releaseEpochLocked(tr *tree, acc *epochAcc) {
 	}
 	if degraded {
 		r.stats.DegradedEpochs++
+	}
+	if r.cfg.Tracer != nil && tr.trace != 0 {
+		// One release span per epoch on the materializing trace; DurMS is
+		// the virtual watermark wait from the epoch's instant to release.
+		kind := tracing.KindMergeRelease
+		if degraded {
+			kind = tracing.KindDegraded
+		}
+		at := time.Duration(acc.at).Milliseconds()
+		r.cfg.Tracer.Record(tracing.Span{
+			Trace:    tr.trace,
+			Parent:   tr.spanID,
+			Kind:     kind,
+			Shard:    tracing.NoShard,
+			AtMS:     at,
+			DurMS:    r.nowMS() - at,
+			Seq:      uint64(len(spanned)),
+			Degraded: degraded,
+			Coverage: coverage,
+		})
 	}
 	aggs := acc.finish(tr.p)
 	var evicted []*Sub
@@ -1421,6 +1561,10 @@ func (r *Router) releaseEpochLocked(tr *tree, acc *epochAcc) {
 			Degraded: degraded,
 			Coverage: coverage,
 			Enqueued: time.Now(),
+		}
+		if sub.trace != 0 {
+			u.Trace = sub.trace
+			u.Prov = tracing.Prov{Shards: coveredMask}
 		}
 		if sub.detached {
 			sub.pushRing(u)
@@ -1652,6 +1796,14 @@ func (r *Router) reattachLocked(sh *shard) error {
 				go func() { _, _ = tk.Wait() }()
 			}
 		}
+	}
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Record(tracing.Span{
+			Kind:  tracing.KindReattach,
+			Shard: sh.idx,
+			AtMS:  r.nowMS(),
+			Seq:   uint64(len(sh.ups)),
+		})
 	}
 	return nil
 }

@@ -52,6 +52,16 @@ type BudgetSubscriber interface {
 	SubscribeQueryBudget(text string, budget time.Duration) (ServerSub, error)
 }
 
+// TracedSubscriber is the optional ServerSession extension for causal
+// tracing: a wire subscribe carrying trace_id (and possibly a deadline
+// budget) lands here, and the trace context rides down the tier chain so
+// every hop's span joins the same trace. A zero trace lets the backend
+// derive one deterministically. Sessions without the extension just drop
+// the trace, exactly as pre-tracing builds did.
+type TracedSubscriber interface {
+	SubscribeQueryTraced(text string, budget time.Duration, trace uint64) (ServerSub, error)
+}
+
 // BrownoutReporter is the optional Backend extension exposing the
 // brownout degradation ladder. The server's pacer coalesces ticks at
 // LevelBatching and the connection handlers shed new subscribes at
@@ -84,6 +94,14 @@ func (s gwSession) SubscribeQuery(text string) (ServerSub, error) {
 
 func (s gwSession) SubscribeQueryBudget(text string, budget time.Duration) (ServerSub, error) {
 	sub, err := s.Session.SubscribeQueryBudget(text, budget)
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (s gwSession) SubscribeQueryTraced(text string, budget time.Duration, trace uint64) (ServerSub, error) {
+	sub, err := s.Session.SubscribeQueryTraced(text, budget, trace)
 	if err != nil {
 		return nil, err
 	}

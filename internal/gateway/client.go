@@ -208,6 +208,10 @@ type RetryConfig struct {
 	// Deadline, when positive, rides the wire as the subscribe's mailbox
 	// deadline budget.
 	Deadline time.Duration
+	// TraceID, when nonzero, pins the subscription's causal-trace identity
+	// (rides the wire as trace_id); zero lets the server derive one, echoed
+	// back on the TypeSubscribed response.
+	TraceID uint64
 	// Sleep replaces time.Sleep between attempts (tests inject a
 	// recorder).
 	Sleep func(time.Duration)
@@ -235,7 +239,7 @@ func (c *Client) SubscribeRetry(queryText, tag string, rc RetryConfig) (Response
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		req := Request{Op: OpSubscribe, Query: queryText, Tag: tag}
+		req := Request{Op: OpSubscribe, Query: queryText, Tag: tag, TraceID: rc.TraceID}
 		if rc.Deadline > 0 {
 			req.DeadlineMS = rc.Deadline.Milliseconds()
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/topology"
+	"repro/internal/tracing"
 )
 
 // Binary wire codec for the serving hot path.
@@ -275,6 +276,15 @@ func (r *frameReader) count(min int) int {
 	return int(n)
 }
 
+// more reports whether optional trailing fields remain. Frames from
+// pre-tracing peers end exactly where the mandatory fields do and decode
+// unchanged; encoders append the trace/provenance trailer only on traced
+// traffic (trace id nonzero), so untraced frames stay byte-identical to the
+// pre-tracing encoding.
+func (r *frameReader) more() bool {
+	return r.err == nil && r.off < len(r.b)
+}
+
 func (r *frameReader) finish() error {
 	if r.err != nil {
 		return r.err
@@ -334,6 +344,53 @@ func readBinaryFrame(br *bufio.Reader, scratch []byte) ([]byte, error) {
 	return scratch, nil
 }
 
+// appendProvTrailer encodes the optional trace/provenance trailer of a
+// delivered-result frame: trace id, shard mask, fragment counts, then one
+// flags byte packing the cache-hit bit (bit 0) under the brownout rung
+// (bits 1..7). Appended only when trace is nonzero.
+func appendProvTrailer(b []byte, trace uint64, p tracing.Prov) []byte {
+	b = binary.AppendUvarint(b, trace)
+	b = binary.AppendUvarint(b, p.Shards)
+	b = binary.AppendUvarint(b, uint64(p.Frags))
+	b = binary.AppendUvarint(b, uint64(p.Reused))
+	flags := byte(p.Rung) << 1
+	if p.CacheHit {
+		flags |= 1
+	}
+	return append(b, flags)
+}
+
+// wireProvOf converts a response's JSON-form provenance back to the packed
+// form the binary trailer encodes; nil means an all-zero record.
+func wireProvOf(p *WireProv) tracing.Prov {
+	if p == nil {
+		return tracing.Prov{}
+	}
+	return tracing.Prov{
+		Shards:   p.ShardMask,
+		Frags:    uint16(p.Frags),
+		Reused:   uint16(p.Reused),
+		CacheHit: p.CacheHit,
+		Rung:     uint8(p.Rung),
+	}
+}
+
+// decodeProvTrailer parses the trailer appendProvTrailer wrote, populating
+// the response's TraceID and (when non-empty) Prov.
+func decodeProvTrailer(r *frameReader, resp *Response) {
+	resp.TraceID = r.uvarint()
+	var p WireProv
+	p.ShardMask = r.uvarint()
+	p.Frags = int(r.uvarint())
+	p.Reused = int(r.uvarint())
+	flags := r.byte()
+	p.CacheHit = flags&1 != 0
+	p.Rung = int(flags >> 1)
+	if r.err == nil && p != (WireProv{}) {
+		resp.Prov = &p
+	}
+}
+
 // --- Request ---
 
 // appendRequestFrame encodes one client request as a binary frame.
@@ -352,6 +409,9 @@ func appendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 	b = appendString(b, req.Tag)
 	b = appendString(b, req.Wire)
 	b = binary.AppendVarint(b, req.DeadlineMS)
+	if req.TraceID != 0 {
+		b = binary.AppendUvarint(b, req.TraceID)
+	}
 	return b, nil
 }
 
@@ -376,6 +436,9 @@ func decodeRequestPayload(p []byte) (Request, error) {
 	req.Tag = r.str()
 	req.Wire = r.str()
 	req.DeadlineMS = r.varint()
+	if r.more() {
+		req.TraceID = r.uvarint()
+	}
 	return req, r.finish()
 }
 
@@ -411,6 +474,9 @@ func appendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 		b = appendBool(b, resp.Shared)
 		b = appendBool(b, resp.Resumed)
 		b = appendString(b, resp.Canonical)
+		if resp.TraceID != 0 {
+			b = binary.AppendUvarint(b, resp.TraceID)
+		}
 	case TypeRows:
 		b = binary.AppendVarint(b, int64(resp.Sub))
 		b = binary.AppendUvarint(b, resp.Seq)
@@ -433,6 +499,9 @@ func appendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 				}
 			}
 		}
+		if resp.TraceID != 0 {
+			b = appendProvTrailer(b, resp.TraceID, wireProvOf(resp.Prov))
+		}
 	case TypeAgg:
 		b = binary.AppendVarint(b, int64(resp.Sub))
 		b = binary.AppendUvarint(b, resp.Seq)
@@ -451,6 +520,9 @@ func appendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 			b = binary.AppendVarint(b, a.Group)
 			b = appendFloat(b, a.Value)
 			b = appendBool(b, a.Empty)
+		}
+		if resp.TraceID != 0 {
+			b = appendProvTrailer(b, resp.TraceID, wireProvOf(resp.Prov))
 		}
 	case TypeClosed:
 		b = binary.AppendVarint(b, int64(resp.Sub))
@@ -503,6 +575,9 @@ func appendUpdateFrame(buf []byte, u *Update) []byte {
 				}
 			}
 		}
+		if u.Trace != 0 {
+			b = appendProvTrailer(b, u.Trace, u.Prov)
+		}
 		return b
 	}
 	b = append(b, WireVersion, frameRespAgg)
@@ -519,6 +594,9 @@ func appendUpdateFrame(buf []byte, u *Update) []byte {
 		b = binary.AppendVarint(b, a.Group)
 		b = appendFloat(b, a.Value)
 		b = appendBool(b, a.Empty)
+	}
+	if u.Trace != 0 {
+		b = appendProvTrailer(b, u.Trace, u.Prov)
 	}
 	return b
 }
@@ -558,6 +636,9 @@ func decodeResponsePayload(p []byte) (Response, error) {
 		resp.Shared = r.bool()
 		resp.Resumed = r.bool()
 		resp.Canonical = r.str()
+		if r.more() {
+			resp.TraceID = r.uvarint()
+		}
 	case TypeRows:
 		resp.Sub = SubID(r.varint())
 		resp.Seq = r.uvarint()
@@ -581,6 +662,9 @@ func decodeResponsePayload(p []byte) (Response, error) {
 				resp.Rows = append(resp.Rows, row)
 			}
 		}
+		if r.more() {
+			decodeProvTrailer(&r, &resp)
+		}
 	case TypeAgg:
 		resp.Sub = SubID(r.varint())
 		resp.Seq = r.uvarint()
@@ -600,6 +684,9 @@ func decodeResponsePayload(p []byte) (Response, error) {
 					Empty: r.bool(),
 				})
 			}
+		}
+		if r.more() {
+			decodeProvTrailer(&r, &resp)
 		}
 	case TypeClosed:
 		resp.Sub = SubID(r.varint())
@@ -682,6 +769,9 @@ func appendWALFrame(buf []byte, rec *walRecord) ([]byte, error) {
 	b = appendString(b, rec.Token)
 	b = binary.AppendVarint(b, int64(rec.Sub))
 	b = appendString(b, rec.Query)
+	if rec.Trace != 0 {
+		b = binary.AppendUvarint(b, rec.Trace)
+	}
 	return b, nil
 }
 
@@ -702,6 +792,9 @@ func decodeWALPayload(p []byte) (walRecord, error) {
 	rec.Token = r.str()
 	rec.Sub = SubID(r.varint())
 	rec.Query = r.str()
+	if r.more() {
+		rec.Trace = r.uvarint()
+	}
 	return rec, r.finish()
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/tracing"
 )
 
 // encodeFrame is the test-side convenience wrapper around the two-step
@@ -144,6 +145,18 @@ func TestUpdateFrameMatchesGenericEncoder(t *testing.T) {
 			{Agg: query.Agg{Op: query.Max, Attr: field.AttrLight}, Group: 2, Value: 733.5},
 			{Agg: query.Agg{Op: query.Avg, Attr: field.AttrTemp}, Empty: true},
 		}},
+		// Traced deliveries carry the provenance trailer on both paths.
+		{Sub: 9, QueryID: 5, Seq: 3, At: 4096 * time.Millisecond,
+			Trace: 0xDEADBEEF,
+			Prov:  tracing.Prov{Shards: 0b101, Frags: 3, Reused: 2, CacheHit: true, Rung: 1},
+			Rows: []query.Row{
+				{Node: 5, Values: map[field.Attr]float64{field.AttrLight: 512.25}},
+			}},
+		{Sub: 10, QueryID: 6, Seq: 4, At: 6144 * time.Millisecond,
+			Trace: 7,
+			Aggs: []query.AggResult{
+				{Agg: query.Agg{Op: query.Max, Attr: field.AttrLight}, Value: 12.5},
+			}},
 	}
 	for _, u := range updates {
 		fast := sealFrame(appendUpdateFrame(nil, &u))
@@ -174,6 +187,20 @@ func TestAppendUpdateFrameZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("appendUpdateFrame allocates %.1f objects per frame, want 0", allocs)
+	}
+
+	// Tracing must not reintroduce allocations: a traced update's
+	// provenance trailer rides the same pre-grown buffer.
+	u.Trace = 0xDEADBEEF
+	u.Prov = tracing.Prov{Shards: 0b11, Frags: 2, Reused: 1, CacheHit: true, Rung: 1}
+	allocs = testing.AllocsPerRun(100, func() {
+		frame := sealFrame(appendUpdateFrame(buf[:0], &u))
+		if len(frame) == 0 {
+			t.Fatal("empty frame")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("traced appendUpdateFrame allocates %.1f objects per frame, want 0", allocs)
 	}
 }
 
@@ -236,6 +263,18 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(append([]byte{}, sealFrame(b3)...))
 	f.Add([]byte{FrameMagic, 0x03, WireVersion, frameReqPing, 0x00})
 	f.Add([]byte{})
+	// Frames with trace/provenance trailers seed the optional-suffix paths.
+	tracedReq := Request{Op: OpSubscribe, Query: "SELECT light", Tag: "t", TraceID: 0xDEADBEEF}
+	b4, _ := appendRequestFrame(nil, &tracedReq)
+	f.Add(append([]byte{}, sealFrame(b4)...))
+	tracedResp := Response{Type: TypeRows, Sub: 2, Seq: 5, AtMS: 4096, TraceID: 7,
+		Prov: &WireProv{ShardMask: 0b11, Frags: 2, Reused: 1, CacheHit: true, Rung: 1},
+		Rows: []WireRow{{Node: 3, Values: map[string]float64{"light": 512.25}}}}
+	b5, _ := appendResponseFrame(nil, &tracedResp)
+	f.Add(append([]byte{}, sealFrame(b5)...))
+	tracedWAL := walRecord{Op: walOpSubscribe, At: 2048, Sess: "a", Sub: 1, Query: "q", Trace: 9}
+	b6, _ := appendWALFrame(nil, &tracedWAL)
+	f.Add(append([]byte{}, sealFrame(b6)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_ = decodeFrame(data) // must not panic
@@ -268,15 +307,16 @@ func FuzzDecodeFrame(f *testing.F) {
 // FuzzRequestRoundTrip fuzzes the structured side: every field combination
 // of a request must survive encode→frame→decode bit-exact.
 func FuzzRequestRoundTrip(f *testing.F) {
-	f.Add(uint8(1), "alice", "tok", "SELECT light", int64(7), uint64(42), "tag", "binary")
-	f.Add(uint8(6), "", "", "", int64(-1), uint64(0), "", "")
-	f.Fuzz(func(t *testing.T, opCode uint8, client, token, qtext string, sub int64, after uint64, tag, wire string) {
+	f.Add(uint8(1), "alice", "tok", "SELECT light", int64(7), uint64(42), "tag", "binary", uint64(0))
+	f.Add(uint8(6), "", "", "", int64(-1), uint64(0), "", "", uint64(0))
+	f.Add(uint8(1), "alice", "", "SELECT light", int64(0), uint64(0), "t", "", uint64(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, opCode uint8, client, token, qtext string, sub int64, after uint64, tag, wire string, trace uint64) {
 		op, ok := codeToOp[opCode%7]
 		if !ok {
 			t.Skip()
 		}
 		want := Request{Op: op, Client: client, Token: token, Query: qtext,
-			Sub: SubID(sub), After: after, Tag: tag, Wire: wire}
+			Sub: SubID(sub), After: after, Tag: tag, Wire: wire, TraceID: trace}
 		b, err := appendRequestFrame(nil, &want)
 		if err != nil {
 			t.Fatal(err)

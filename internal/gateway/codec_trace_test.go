@@ -1,0 +1,193 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestTraceTrailerRoundTrip: frames carrying the optional trace/provenance
+// trailer must round-trip bit-exact through the binary codec — the trailer
+// is real wire surface, not a debug side channel.
+func TestTraceTrailerRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms", Tag: "s1", TraceID: 0xDEADBEEF},
+		{Op: OpSubscribe, Query: "SELECT MAX(light)", Tag: "s2", DeadlineMS: 1500, TraceID: 1},
+	}
+	for _, want := range reqs {
+		frame := encodeFrame(t, func(b []byte) ([]byte, error) {
+			return appendRequestFrame(b, &want)
+		})
+		got, err := decodeRequestPayload(stripFrame(t, frame))
+		if err != nil {
+			t.Fatalf("traced %s: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("traced %s round trip:\n got %+v\nwant %+v", want.Op, got, want)
+		}
+	}
+
+	resps := []Response{
+		{Type: TypeSubscribed, Tag: "s1", Sub: 2, QueryID: 9, Canonical: "SELECT light", TraceID: 0xDEADBEEF},
+		{Type: TypeRows, Sub: 2, Seq: 5, AtMS: 4096, TraceID: 0xDEADBEEF,
+			Prov: &WireProv{ShardMask: 0b101, Frags: 3, Reused: 2, CacheHit: true, Rung: 2},
+			Rows: []WireRow{{Node: 3, Values: map[string]float64{"light": 512.25}}}},
+		{Type: TypeAgg, Sub: 4, Seq: 8, AtMS: 8192, TraceID: 7,
+			Prov: &WireProv{Frags: 1},
+			Aggs: []WireAgg{{Agg: "MAX(light)", Group: 2, Value: 733.5}}},
+		// Traced but provenance-free: the trailer's all-zero prov record
+		// must decode back to a nil Prov, not a zero-valued one.
+		{Type: TypeRows, Sub: 6, Seq: 2, AtMS: 2048, TraceID: 42,
+			Rows: []WireRow{{Node: 1, Values: map[string]float64{"light": 100}}}},
+		// Trace plus degraded coverage on one frame.
+		{Type: TypeAgg, Sub: 6, Seq: 3, AtMS: 4096, Degraded: true, Coverage: 0.75, TraceID: 11,
+			Prov: &WireProv{ShardMask: 0b11},
+			Aggs: []WireAgg{{Agg: "AVG(temp)", Empty: true}}},
+	}
+	for _, want := range resps {
+		frame := encodeFrame(t, func(b []byte) ([]byte, error) {
+			return appendResponseFrame(b, &want)
+		})
+		got, err := decodeResponsePayload(stripFrame(t, frame))
+		if err != nil {
+			t.Fatalf("traced %s: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("traced %s round trip:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+
+	rec := walRecord{Op: walOpSubscribe, At: 2048, Sess: "alice", Sub: 3,
+		Query: "SELECT light EPOCH DURATION 2048ms", Trace: 0xDEADBEEF}
+	frame := encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendWALFrame(b, &rec)
+	})
+	got, err := decodeWALPayload(stripFrame(t, frame))
+	if err != nil {
+		t.Fatalf("traced wal record: %v", err)
+	}
+	if got != rec {
+		t.Errorf("traced wal record round trip:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+// TestUntracedFramesMatchLegacyEncoding pins backward compatibility from
+// both directions. Encoding: an untraced frame carries no trailer, so the
+// traced encoding of the same frame is the untraced bytes plus a pure
+// suffix — a pre-tracing decoder reading prefix fields sees an identical
+// frame. Decoding: a trailer-less payload (exactly what a pre-tracing peer
+// emits) decodes with a zero TraceID, a nil Prov, and a zero WAL trace.
+func TestUntracedFramesMatchLegacyEncoding(t *testing.T) {
+	plainReq := Request{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms", Tag: "s"}
+	tracedReq := plainReq
+	tracedReq.TraceID = 0xDEADBEEF
+	plainP := stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendRequestFrame(b, &plainReq)
+	}))
+	tracedP := stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendRequestFrame(b, &tracedReq)
+	}))
+	if !bytes.HasPrefix(tracedP, plainP) || len(tracedP) == len(plainP) {
+		t.Errorf("request trace trailer is not a pure suffix:\nplain  %x\ntraced %x", plainP, tracedP)
+	}
+	if got, err := decodeRequestPayload(plainP); err != nil || got.TraceID != 0 {
+		t.Errorf("legacy request payload: trace = %d, err = %v; want 0, nil", got.TraceID, err)
+	}
+
+	plainResp := Response{Type: TypeRows, Sub: 2, Seq: 5, AtMS: 4096, Rows: []WireRow{
+		{Node: 3, Values: map[string]float64{"light": 512.25}},
+	}}
+	tracedResp := plainResp
+	tracedResp.TraceID = 7
+	tracedResp.Prov = &WireProv{ShardMask: 0b11, Frags: 2}
+	plainP = stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendResponseFrame(b, &plainResp)
+	}))
+	tracedP = stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendResponseFrame(b, &tracedResp)
+	}))
+	if !bytes.HasPrefix(tracedP, plainP) || len(tracedP) == len(plainP) {
+		t.Errorf("response prov trailer is not a pure suffix:\nplain  %x\ntraced %x", plainP, tracedP)
+	}
+	got, err := decodeResponsePayload(plainP)
+	if err != nil || got.TraceID != 0 || got.Prov != nil {
+		t.Errorf("legacy rows payload: trace = %d, prov = %+v, err = %v; want 0, nil, nil",
+			got.TraceID, got.Prov, err)
+	}
+
+	plainRec := walRecord{Op: walOpSubscribe, At: 2048, Sess: "a", Sub: 1, Query: "q"}
+	tracedRec := plainRec
+	tracedRec.Trace = 9
+	plainP = stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendWALFrame(b, &plainRec)
+	}))
+	tracedP = stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendWALFrame(b, &tracedRec)
+	}))
+	if !bytes.HasPrefix(tracedP, plainP) || len(tracedP) == len(plainP) {
+		t.Errorf("wal trace trailer is not a pure suffix:\nplain  %x\ntraced %x", plainP, tracedP)
+	}
+	if rec, err := decodeWALPayload(plainP); err != nil || rec.Trace != 0 {
+		t.Errorf("legacy wal payload: trace = %d, err = %v; want 0, nil", rec.Trace, err)
+	}
+}
+
+// TestTraceJSONBinaryCrossDecode: a traced frame marshalled on the JSON
+// wire and one round-tripped through the binary codec must decode to the
+// same structure — the two wire modes agree on trace and provenance.
+func TestTraceJSONBinaryCrossDecode(t *testing.T) {
+	req := Request{Op: OpSubscribe, Query: "SELECT light EPOCH DURATION 2048ms",
+		Tag: "s1", DeadlineMS: 250, TraceID: 0xDEADBEEF}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaJSON Request
+	if err := json.Unmarshal(raw, &viaJSON); err != nil {
+		t.Fatal(err)
+	}
+	viaBinary, err := decodeRequestPayload(stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendRequestFrame(b, &req)
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaJSON, viaBinary) {
+		t.Errorf("request wires disagree:\njson   %+v\nbinary %+v", viaJSON, viaBinary)
+	}
+
+	resp := Response{Type: TypeRows, Sub: 2, Seq: 5, AtMS: 4096, TraceID: 0xDEADBEEF,
+		Prov: &WireProv{ShardMask: 0b101, Frags: 3, Reused: 2, CacheHit: true, Rung: 1},
+		Rows: []WireRow{{Node: 3, Values: map[string]float64{"light": 512.25}}}}
+	raw, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var respJSON Response
+	if err := json.Unmarshal(raw, &respJSON); err != nil {
+		t.Fatal(err)
+	}
+	respBinary, err := decodeResponsePayload(stripFrame(t, encodeFrame(t, func(b []byte) ([]byte, error) {
+		return appendResponseFrame(b, &resp)
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(respJSON, respBinary) {
+		t.Errorf("response wires disagree:\njson   %+v\nbinary %+v", respJSON, respBinary)
+	}
+
+	// Untraced JSON omits the fields entirely — no trace keys leak into
+	// the pre-tracing JSON schema.
+	plain := Response{Type: TypeRows, Sub: 2, Seq: 5, AtMS: 4096, Rows: []WireRow{
+		{Node: 3, Values: map[string]float64{"light": 512.25}},
+	}}
+	raw, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("trace_id")) || bytes.Contains(raw, []byte("prov")) {
+		t.Errorf("untraced JSON frame leaks trace keys: %s", raw)
+	}
+}

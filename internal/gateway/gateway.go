@@ -56,6 +56,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // defaultEnergy prices exported node activity; the serving tier has no
@@ -151,6 +152,17 @@ type Config struct {
 	// moves when MaxStaged is set (without a bound there is no pressure
 	// signal).
 	Brownout resilience.BrownoutConfig
+	// Tracer, when set, is this tier's causal-trace flight recorder: every
+	// committed subscription is assigned a deterministic trace context and
+	// the admit/commit/fan-out/replay hops record bounded spans into the
+	// ring. The recorder is caller-owned, so it survives a crash of the
+	// gateway underneath it and can be dumped afterwards. Nil disables
+	// tracing entirely (every hook is a nil-receiver no-op).
+	Tracer *tracing.Recorder
+	// TraceShard stamps recorded spans with this gateway's shard ordinal
+	// in a federated deployment, offset by one: 0 (the zero value) means
+	// "not a shard member", k means shard k-1.
+	TraceShard int
 }
 
 // SubID identifies one subscription within a gateway.
@@ -221,6 +233,13 @@ type Update struct {
 	// are zero on single-gateway and fully-covered updates.
 	Degraded bool
 	Coverage float64
+	// Trace is the subscription's causal trace ID (zero when the serving
+	// stack runs untraced); Prov is the compact provenance record every
+	// tier stamps on the way up — origin shards, cache-hit flag, fragment
+	// reuse and the brownout rung at fan-out. Both are plain values, so
+	// stamping costs no allocation on the delivery hot path.
+	Trace uint64
+	Prov  tracing.Prov
 	// Enqueued is the wall-clock instant the gateway fanned the update
 	// out, for client-observed latency measurement. It never feeds back
 	// into the simulation.
@@ -248,6 +267,14 @@ type Subscription struct {
 	detached bool     // session detached: deliveries go to the resume ring
 	evict    bool     // stalled past the buffer bound; removed at next Advance
 	ring     []Update // bounded resume buffer while detached (cap = Config.Buffer)
+
+	// Causal-trace context, assigned at commit (loop-owned, immutable
+	// after): the trace ID stamped on every delivery, the subscribe span
+	// later hops parent to, and the admit instant for first-result
+	// latency. All zero when the gateway runs untraced.
+	trace     uint64
+	spanID    uint64
+	admitAtMS int64
 }
 
 // ID returns the subscription's gateway-wide identifier.
@@ -269,6 +296,12 @@ func (s *Subscription) Updates() <-chan Update { return s.ch }
 
 // Reason reports why the stream ended. Only valid after Updates is closed.
 func (s *Subscription) Reason() CloseReason { return s.reason }
+
+// TraceID returns the subscription's causal trace ID (zero when the
+// gateway runs untraced). Assigned at the commit that admitted the
+// subscription, deterministically from the session name and SubID unless
+// the subscriber propagated its own context.
+func (s *Subscription) TraceID() uint64 { return s.trace }
 
 // Session is one registered client. Its methods may be called from any
 // goroutine; commands issued from a single goroutine apply in issue order.
@@ -465,6 +498,10 @@ type command struct {
 	// shed commands leave no WAL record, so replay stays exact.
 	at       time.Time
 	deadline time.Duration
+	// trace is the subscriber-propagated causal context (subscribe only):
+	// the upstream trace ID and the span the commit should parent to. A
+	// zero context derives a fresh deterministic trace at commit.
+	trace tracing.Context
 }
 
 type result struct {
@@ -806,6 +843,16 @@ func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
 // command immediately when Config.MaxStaged or the brownout ladder says
 // the mailbox is full — that error comes back from this call, not Wait.
 func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ticket, error) {
+	return s.SubscribeAsyncTraced(q, budget, tracing.Context{})
+}
+
+// SubscribeAsyncTraced is SubscribeAsyncBudget with an explicit causal
+// trace context: tc.Trace becomes the subscription's trace ID and tc.Span
+// the parent of the commit's subscribe span, so an upstream tier (the
+// federation router, the share coordinator, a wire client quoting
+// trace_id) threads one causal path through this gateway. A zero context
+// derives a fresh deterministic trace at commit.
+func (s *Session) SubscribeAsyncTraced(q query.Query, budget time.Duration, tc tracing.Context) (*Ticket, error) {
 	n, key, err := canonicalize(q)
 	if err != nil {
 		return nil, err
@@ -819,6 +866,7 @@ func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ti
 		done:     make(chan result, 1),
 		at:       time.Now(),
 		deadline: budget,
+		trace:    tc,
 	}
 	if err := s.g.send(c); err != nil {
 		return nil, err
@@ -844,11 +892,17 @@ func (s *Session) SubscribeQuery(text string) (*Subscription, error) {
 // SubscribeQueryBudget is SubscribeQuery with a mailbox deadline budget
 // (see SubscribeAsyncBudget).
 func (s *Session) SubscribeQueryBudget(text string, budget time.Duration) (*Subscription, error) {
+	return s.SubscribeQueryTraced(text, budget, 0)
+}
+
+// SubscribeQueryTraced is SubscribeQueryBudget with a wire-propagated
+// trace ID (see SubscribeAsyncTraced); zero derives a fresh trace.
+func (s *Session) SubscribeQueryTraced(text string, budget time.Duration, trace uint64) (*Subscription, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	t, err := s.SubscribeAsyncBudget(q, budget)
+	t, err := s.SubscribeAsyncTraced(q, budget, tracing.Context{Trace: trace})
 	if err != nil {
 		return nil, err
 	}
@@ -1225,7 +1279,9 @@ func (g *Gateway) loop() {
 			g.sweepEvicted()
 			applied := g.commit()
 			g.reap()
+			updatesBefore := g.stats.Updates
 			g.sim.Run(m.d)
+			g.traceFanout(g.stats.Updates - updatesBefore)
 			g.refill(m.d)
 			g.walAdvance()
 			m.reply <- advanceInfo{applied: applied, now: g.sim.Engine().Now(), err: g.walErr}
@@ -1473,12 +1529,13 @@ func (g *Gateway) commit() int {
 		switch c.kind {
 		case cmdSubscribe:
 			if err := g.checkDeadline(c, wall); err != nil {
+				g.traceShed(c, now, "deadline")
 				c.done <- result{err: err}
 				continue
 			}
 			sub, err := g.applySubscribe(c)
 			if err == nil {
-				g.walAppend(walRecord{Op: walOpSubscribe, At: now, Sess: c.sess.name, Sub: sub.id, Query: c.key})
+				g.walAppend(walRecord{Op: walOpSubscribe, At: now, Sess: c.sess.name, Sub: sub.id, Query: c.key, Trace: sub.trace})
 			}
 			c.done <- result{sub: sub, err: err}
 		case cmdUnsubscribe:
@@ -1540,7 +1597,94 @@ func (g *Gateway) applySubscribe(c *command) (*Subscription, error) {
 	}
 	g.nextSub++
 	s.tokens--
+	g.traceAdmit(sub, c.trace)
 	return sub, nil
+}
+
+// traceShard is the shard ordinal stamped on this gateway's spans
+// (tracing.NoShard unless the serve CLI mounted it as a federation
+// member).
+func (g *Gateway) traceShard() int {
+	if g.cfg.TraceShard > 0 {
+		return g.cfg.TraceShard - 1
+	}
+	return tracing.NoShard
+}
+
+func (g *Gateway) nowMS() int64 {
+	return time.Duration(g.sim.Engine().Now()).Milliseconds()
+}
+
+// traceAdmit assigns the committed subscription its causal trace context
+// and records the subscribe hop plus its admit/dedup-hit child span. tc
+// is the subscriber-propagated context; a zero context derives the trace
+// deterministically from the session name and SubID, so the same command
+// sequence yields the same IDs on every run and after every recovery.
+func (g *Gateway) traceAdmit(sub *Subscription, tc tracing.Context) {
+	if g.cfg.Tracer == nil {
+		return
+	}
+	sub.trace = tc.Trace
+	if sub.trace == 0 {
+		sub.trace = tracing.TraceID(sub.sess.name, uint64(sub.id))
+	}
+	at := g.nowMS()
+	sub.admitAtMS = at
+	shard := g.traceShard()
+	sub.spanID = g.cfg.Tracer.Record(tracing.Span{
+		Trace:  sub.trace,
+		Parent: tc.Span,
+		Kind:   tracing.KindSubscribe,
+		Shard:  shard,
+		AtMS:   at,
+		Seq:    uint64(sub.id),
+	})
+	kind := tracing.KindAdmit
+	if sub.shared {
+		kind = tracing.KindDedupHit
+	}
+	g.cfg.Tracer.Record(tracing.Span{
+		Trace:  sub.trace,
+		Parent: sub.spanID,
+		Kind:   kind,
+		Shard:  shard,
+		AtMS:   at,
+		Note:   sub.key.String(),
+	})
+}
+
+// traceFanout records one tier-level span per Advance round that
+// delivered anything: the fan-out burst size and the brownout rung it
+// ran under. Tier-level spans carry trace 0 and group together in
+// exports.
+func (g *Gateway) traceFanout(delivered int64) {
+	if g.cfg.Tracer == nil || delivered <= 0 {
+		return
+	}
+	g.cfg.Tracer.Record(tracing.Span{
+		Kind:  tracing.KindFanout,
+		Shard: g.traceShard(),
+		AtMS:  g.nowMS(),
+		Seq:   uint64(delivered),
+		Rung:  g.stats.BrownoutLevel,
+	})
+}
+
+// traceShed records an admission-shed hop for subscribers that
+// propagated a trace context; derived traces do not exist yet at shed
+// time, so untraced sheds stay metric-only.
+func (g *Gateway) traceShed(c *command, atNS int64, why string) {
+	if g.cfg.Tracer == nil || c.trace.Trace == 0 {
+		return
+	}
+	g.cfg.Tracer.Record(tracing.Span{
+		Trace:  c.trace.Trace,
+		Parent: c.trace.Span,
+		Kind:   tracing.KindShed,
+		Shard:  g.traceShard(),
+		AtMS:   time.Duration(atNS).Milliseconds(),
+		Note:   why,
+	})
 }
 
 // admitSub runs the dedup-or-admit path and inserts the subscription. It is
@@ -1716,6 +1860,27 @@ func (g *Gateway) onAggs(ua core.UserAgg) {
 func (g *Gateway) push(sub *Subscription, u Update) {
 	sub.seq++
 	u.Seq = sub.seq
+	// Provenance stamping is plain value writes — no allocation on the
+	// fan-out hot path, whether tracing is mounted or not.
+	u.Trace = sub.trace
+	u.Prov.Rung = uint8(g.stats.BrownoutLevel)
+	if g.cfg.TraceShard > 0 {
+		u.Prov.Shards = 1 << uint(g.cfg.TraceShard-1)
+	}
+	if sub.seq == 1 && sub.trace != 0 && !g.replaying {
+		// One bounded span per subscription: the first delivered result,
+		// with the admit-to-first-result latency as the hop duration.
+		at := time.Duration(u.At).Milliseconds()
+		g.cfg.Tracer.Record(tracing.Span{
+			Trace:  sub.trace,
+			Parent: sub.spanID,
+			Kind:   tracing.KindFirstResult,
+			Shard:  g.traceShard(),
+			AtMS:   at,
+			DurMS:  at - sub.admitAtMS,
+			Seq:    1,
+		})
+	}
 	if sub.detached {
 		g.ringPush(sub, u)
 		g.stats.Updates++
@@ -1809,8 +1974,16 @@ func (g *Gateway) export() obs.RunExport {
 			SyntheticQueries: opt.SyntheticCount(),
 		}
 	}
+	if g.cfg.Tracer != nil {
+		exp.Traces = tracing.Collect(g.cfg.Tracer)
+	}
 	return exp
 }
+
+// Tracer returns the flight recorder the gateway was mounted with (nil
+// when untraced). The recorder is caller-owned and remains readable
+// after Close or Crash.
+func (g *Gateway) Tracer() *tracing.Recorder { return g.cfg.Tracer }
 
 // shutdown ends every session, fails the staged commands and snapshots the
 // final state for post-Close reads. The WAL is flushed and closed cleanly;
@@ -1867,6 +2040,13 @@ func (g *Gateway) crash() {
 		c.done <- result{err: ErrClosed}
 	}
 	g.staged = nil
+	// The flight recorder is caller-owned and survives the crash; the
+	// crash itself is the last span this incarnation records.
+	g.cfg.Tracer.Record(tracing.Span{
+		Kind:  tracing.KindCrash,
+		Shard: g.traceShard(),
+		AtMS:  g.nowMS(),
+	})
 
 	if g.wal != nil {
 		g.wal.f.Close() // no flush: simulate losing the process mid-stream

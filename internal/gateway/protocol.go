@@ -57,6 +57,12 @@ type Request struct {
 	// TypeError response carrying Code "overloaded" and a retry-after
 	// hint, instead of being applied late. Zero means the server default.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// TraceID optionally pins the causal-trace identity of an OpSubscribe:
+	// every span and provenance record the serving tiers emit for this
+	// subscription carries it. Zero lets the server derive a deterministic
+	// trace ID from the session name and subscription id. Optional on the
+	// wire — pre-tracing peers simply omit it.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // Response types.
@@ -146,6 +152,34 @@ type Response struct {
 	// spanned shards); Coverage is then the contributing fraction.
 	Degraded bool    `json:"degraded,omitempty"`
 	Coverage float64 `json:"coverage,omitempty"`
+	// TraceID is the subscription's causal-trace identity: on TypeSubscribed
+	// it echoes the trace the serving tier assigned (client-pinned or
+	// derived), and on TypeRows/TypeAgg it keys the delivery into
+	// /tracez?trace=<id>. Zero when tracing is disabled — the frame is then
+	// byte-identical to the pre-tracing encoding.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Prov is the delivery's compact provenance record (TypeRows, TypeAgg):
+	// which federation shards contributed, cross-query sharing reuse, cache
+	// replay, and the brownout rung in force. Present only on traced
+	// deliveries with something to report.
+	Prov *WireProv `json:"prov,omitempty"`
+}
+
+// WireProv is the provenance record stamped on traced deliveries: enough to
+// reconstruct where a result came from without fetching the full trace.
+type WireProv struct {
+	// ShardMask is a bitmask of contributing federation shards (bit k =
+	// shard k); zero outside federated deployments.
+	ShardMask uint64 `json:"shard_mask,omitempty"`
+	// Frags and Reused count the subscription's partial-aggregate fragments
+	// and how many were satisfied by cross-query sharing (CSE hits).
+	Frags  int `json:"frags,omitempty"`
+	Reused int `json:"reused,omitempty"`
+	// CacheHit marks epochs replayed from the gateway's windowed result
+	// cache rather than computed live.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Rung is the brownout rung in force when the epoch was delivered.
+	Rung int `json:"rung,omitempty"`
 }
 
 // CodeOverloaded is the Response.Code for admission-control rejections.
@@ -155,6 +189,20 @@ const CodeOverloaded = "overloaded"
 func wireUpdate(u Update) Response {
 	r := Response{Sub: u.Sub, Seq: u.Seq, AtMS: int64(u.At.Milliseconds()),
 		Degraded: u.Degraded, Coverage: u.Coverage}
+	// Provenance rides only on traced deliveries, mirroring the binary
+	// encoder: untraced output stays byte-identical to the pre-tracing wire.
+	if u.Trace != 0 {
+		r.TraceID = u.Trace
+		if !u.Prov.Empty() {
+			r.Prov = &WireProv{
+				ShardMask: u.Prov.Shards,
+				Frags:     int(u.Prov.Frags),
+				Reused:    int(u.Prov.Reused),
+				CacheHit:  u.Prov.CacheHit,
+				Rung:      int(u.Prov.Rung),
+			}
+		}
+	}
 	if u.Rows != nil || u.Aggs == nil {
 		r.Type = TypeRows
 		r.Rows = make([]WireRow, 0, len(u.Rows))

@@ -1,0 +1,10 @@
+//go:build race
+
+package gateway
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Benchmarks measured under race instrumentation carry per-op
+// overhead that distorts fine-grained ratios, and sync.Pool deliberately
+// drops Puts at random under race — tests sensitive to either consult
+// this to relax their bounds.
+const raceEnabled = true

@@ -271,6 +271,16 @@ func (w *connWriter) flush() error {
 	return w.bw.Flush()
 }
 
+// traceIDOf reports a subscription's assigned causal-trace identity via
+// the optional accessor every traced backend's sub implements; zero (and
+// an omitted wire field) when the backend does not trace.
+func traceIDOf(sub ServerSub) uint64 {
+	if t, ok := sub.(interface{ TraceID() uint64 }); ok {
+		return t.TraceID()
+	}
+	return 0
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -485,6 +495,7 @@ func (s *Server) handle(conn net.Conn) {
 				Shared:    sub.Shared(),
 				Canonical: sub.Key(),
 				Resumed:   true,
+				TraceID:   traceIDOf(sub),
 			})
 		case OpPing:
 			_ = w.write(Response{Type: TypePong, Tag: req.Tag})
@@ -501,8 +512,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			var sub ServerSub
 			var err error
-			if bs, ok := sess.(BudgetSubscriber); ok && req.DeadlineMS > 0 {
-				sub, err = bs.SubscribeQueryBudget(req.Query, time.Duration(req.DeadlineMS)*time.Millisecond)
+			budget := time.Duration(req.DeadlineMS) * time.Millisecond
+			if ts, ok := sess.(TracedSubscriber); ok {
+				// The traced path subsumes the budget path: trace and
+				// deadline ride down the tier chain together.
+				sub, err = ts.SubscribeQueryTraced(req.Query, budget, req.TraceID)
+			} else if bs, ok := sess.(BudgetSubscriber); ok && req.DeadlineMS > 0 {
+				sub, err = bs.SubscribeQueryBudget(req.Query, budget)
 			} else {
 				sub, err = sess.SubscribeQuery(req.Query)
 			}
@@ -519,6 +535,7 @@ func (s *Server) handle(conn net.Conn) {
 				QueryID:   sub.QueryID(),
 				Shared:    sub.Shared(),
 				Canonical: sub.Key(),
+				TraceID:   traceIDOf(sub),
 			})
 		case OpUnsubscribe:
 			if sess == nil {

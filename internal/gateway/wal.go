@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/query"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // Crash recovery for the serving tier.
@@ -63,6 +64,12 @@ type walRecord struct {
 	// Query is the canonical query text (walOpSubscribe) — the same string
 	// CanonicalKey produces, so the dedup cache rebuilds identically.
 	Query string `json:"query,omitempty"`
+	// Trace is the subscription's causal trace ID (walOpSubscribe; zero
+	// when untraced). Persisting it keeps subscriber-propagated trace
+	// contexts stable across crash recovery; derived IDs would replay
+	// identically anyway. Optional on the wire, so pre-tracing logs
+	// recover cleanly.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // wal is the append handle. All methods run on the gateway loop goroutine.
@@ -307,6 +314,15 @@ func Recover(cfg Config) (*Gateway, error) {
 		s.tokens = g.cfg.Burst
 	}
 	g.stats.Recoveries++
+	// The recovery hop: one tier-level span saying how much log the
+	// rebuild replayed and how much virtual time it re-derived.
+	g.cfg.Tracer.Record(tracing.Span{
+		Kind:  tracing.KindWALReplay,
+		Shard: g.traceShard(),
+		AtMS:  time.Duration(now).Milliseconds(),
+		Seq:   uint64(len(recs)),
+		Note:  fmt.Sprintf("replayed %d records to %v", len(recs), time.Duration(lastNow)),
+	})
 	g.walLog = lifecycleRecords(recs)
 	w, err := rewriteWAL(cfg.WALPath, compactLog(g.walLog, now))
 	if err != nil {
@@ -364,8 +380,22 @@ func (g *Gateway) replay(r walRecord) error {
 		if r.Sub >= g.nextSub {
 			g.nextSub = r.Sub + 1
 		}
-		_, err = g.admitSub(s, r.Sub, n, key, nil)
-		return err
+		sub, err := g.admitSub(s, r.Sub, n, key, nil)
+		if err != nil {
+			return err
+		}
+		// Restore the causal trace context without re-recording admit
+		// spans: the original run already recorded them into the
+		// caller-owned flight recorder, which survived the crash.
+		if g.cfg.Tracer != nil {
+			sub.trace = r.Trace
+			if sub.trace == 0 {
+				sub.trace = tracing.TraceID(s.name, uint64(sub.id))
+			}
+			sub.admitAtMS = time.Duration(r.At).Milliseconds()
+			sub.spanID = tracing.SpanID(sub.trace, g.cfg.Tracer.Tier(), tracing.KindSubscribe, g.traceShard(), sub.admitAtMS)
+		}
+		return nil
 	case walOpUnsubscribe:
 		s := g.sessions[r.Sess]
 		if s == nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/tracing"
 )
 
 // Study is one named row set inside a sweep export — typically one figure or
@@ -170,6 +171,12 @@ type RunExport struct {
 	Gateway   *GatewayMetrics `json:"gateway,omitempty"`
 	Spans     *SpanSummary    `json:"spans,omitempty"`
 	Series    *Series         `json:"series,omitempty"`
+	// Traces is the causal-trace export collected from the serving
+	// tiers' flight recorders (internal/tracing); chaos drills and the
+	// serve bench assert on causal paths through it. Deterministic:
+	// byte-identical at any parallelism for the same seed and command
+	// sequence.
+	Traces *tracing.Export `json:"traces,omitempty"`
 }
 
 // CollectFinal flattens a metrics collector into the export form. simTime is

@@ -11,6 +11,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 var errLifetime = fmt.Errorf("share: LIFETIME is not supported for subscriptions (the coordinator cancels fragments when their last reference drops)")
@@ -67,6 +68,10 @@ type Config struct {
 	// subscribes, mirroring the gateway's: zero disables, a per-command
 	// budget (SubscribeAsyncBudget / wire deadline_ms) overrides.
 	MailboxDeadline time.Duration
+	// Tracer, when set, records the coordinator's causal spans (subscribe,
+	// fragment CSE hit vs residual admission, cache replay) into a
+	// caller-owned flight recorder; nil disables tracing at this tier.
+	Tracer *tracing.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +183,9 @@ type cachedEpoch struct {
 	aggs     []query.AggResult
 	degraded bool
 	coverage float64
+	// shards is the provenance shard mask OR'd over the contributing
+	// upstream updates (zero when the upstream tier is untraced).
+	shards uint64
 }
 
 // fragRef ties a fragment to one referencing tree and its planned index.
@@ -215,6 +223,9 @@ type shareTree struct {
 	released sim.Time // newest instant delivered (or seeded by replay)
 	ring     []cachedEpoch
 	broken   error
+	// reused counts the fragments satisfied by cross-query sharing when
+	// the tree was established (provenance: Prov.Reused on deliveries).
+	reused int
 }
 
 func (tr *shareTree) acc(at sim.Time) *shareAcc {
@@ -251,6 +262,9 @@ type scmd struct {
 	// time is shed with resilience.ErrOverloaded.
 	at       time.Time
 	deadline time.Duration
+	// trace is the subscriber-propagated causal context (zero derives one
+	// at commit when tracing is enabled).
+	trace tracing.Context
 }
 
 type sres struct {
@@ -416,10 +430,17 @@ type Sub struct {
 	ring     []gateway.Update // parked tail while detached
 	detached bool
 	reason   gateway.CloseReason
+	// trace/spanID are the subscription's causal-trace identity and its
+	// subscribe span (parent for the cache-replay span); zero untraced.
+	trace  uint64
+	spanID uint64
 }
 
 // ID returns the subscription id (unique within the coordinator).
 func (s *Sub) ID() gateway.SubID { return s.id }
+
+// TraceID reports the subscription's causal-trace identity (0 untraced).
+func (s *Sub) TraceID() uint64 { return s.trace }
 
 // Key returns the canonical downstream query text.
 func (s *Sub) Key() string { return s.key }
@@ -531,6 +552,15 @@ func (s *Session) SubscribeAsync(q query.Query) (*Ticket, error) {
 // deadline must not cancel another's stream. Zero falls back to
 // Config.MailboxDeadline.
 func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ticket, error) {
+	return s.SubscribeAsyncTraced(q, budget, tracing.Context{})
+}
+
+// SubscribeAsyncTraced is SubscribeAsyncBudget with a subscriber-propagated
+// causal-trace context: the coordinator's subscribe span parents on
+// tc.Span, and the context rides residual fragment admissions upstream so
+// every tier's spans join one trace. A zero context derives a
+// deterministic trace at commit.
+func (s *Session) SubscribeAsyncTraced(q query.Query, budget time.Duration, tc tracing.Context) (*Ticket, error) {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -542,7 +572,7 @@ func (s *Session) SubscribeAsyncBudget(q query.Query, budget time.Duration) (*Ti
 	}
 	s.seq++
 	cmd := &scmd{kind: cmdSubscribe, sess: s, seq: s.seq, q: q, done: make(chan sres, 1),
-		at: time.Now(), deadline: budget}
+		at: time.Now(), deadline: budget, trace: tc}
 	c.staged = append(c.staged, cmd)
 	return &Ticket{done: cmd.done}, nil
 }
@@ -554,11 +584,18 @@ func (s *Session) SubscribeQuery(text string) (gateway.ServerSub, error) {
 
 // SubscribeQueryBudget implements gateway.BudgetSubscriber.
 func (s *Session) SubscribeQueryBudget(text string, budget time.Duration) (gateway.ServerSub, error) {
+	return s.SubscribeQueryTraced(text, budget, 0)
+}
+
+// SubscribeQueryTraced implements gateway.TracedSubscriber: the wire
+// trace_id (or a derived trace) keys every coordinator and upstream span
+// this subscription produces.
+func (s *Session) SubscribeQueryTraced(text string, budget time.Duration, trace uint64) (gateway.ServerSub, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	tk, err := s.SubscribeAsyncBudget(q, budget)
+	tk, err := s.SubscribeAsyncTraced(q, budget, tracing.Context{Trace: trace})
 	if err != nil {
 		return nil, err
 	}
@@ -782,6 +819,7 @@ func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
 		return pendingAck{}, err
 	}
 	c.stats.Subscribes++
+	trace, subSpan := c.traceSubscribeLocked(cmd)
 	tr := c.trees[p.key]
 	newTree := tr == nil
 	if newTree {
@@ -789,7 +827,8 @@ func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
 		for i, fq := range p.frags {
 			fr := c.frags[fq.key]
 			if fr == nil {
-				fr, err = c.materializeLocked(fq)
+				fctx := c.traceFragLocked(trace, subSpan, tracing.KindResidualAdmit, fq.key)
+				fr, err = c.materializeLocked(fq, fctx)
 				if err != nil {
 					// Roll back the references this tree already took.
 					for _, held := range tr.frags {
@@ -800,6 +839,8 @@ func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
 				tr.fresh = true
 				c.stats.FragmentsCreated++
 			} else {
+				c.traceFragLocked(trace, subSpan, tracing.KindCSEHit, fq.key)
+				tr.reused++
 				c.stats.FragmentsReused++
 			}
 			fr.refs++
@@ -809,6 +850,18 @@ func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
 		c.trees[p.key] = tr
 	} else {
 		c.stats.DedupHits++
+		if c.cfg.Tracer != nil && trace != 0 {
+			c.cfg.Tracer.Record(tracing.Span{
+				Trace:  trace,
+				Parent: subSpan,
+				Kind:   tracing.KindDedupHit,
+				Shard:  tracing.NoShard,
+				AtMS:   c.nowMS(),
+				Frags:  len(tr.frags),
+				Reused: tr.reused,
+				Note:   p.key,
+			})
+		}
 	}
 	c.nextSub++
 	sub := &Sub{
@@ -817,6 +870,8 @@ func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
 		id:     c.nextSub,
 		key:    p.key,
 		shared: !newTree,
+		trace:  trace,
+		spanID: subSpan,
 		ch:     make(chan gateway.Update, c.cfg.Buffer),
 	}
 	if !s.attached {
@@ -828,10 +883,61 @@ func (c *Coordinator) applySubscribeLocked(cmd *scmd) (pendingAck, error) {
 	return pendingAck{c: cmd, sub: sub, tr: tr, newTree: newTree}, nil
 }
 
+// traceSubscribeLocked assigns a committed subscribe its causal trace
+// (propagated or derived from session name + staged seq) and records the
+// share tier's subscribe hop. Returns zeros when tracing is off.
+func (c *Coordinator) traceSubscribeLocked(cmd *scmd) (trace, span uint64) {
+	if c.cfg.Tracer == nil {
+		return 0, 0
+	}
+	trace = cmd.trace.Trace
+	if trace == 0 {
+		trace = tracing.TraceID(cmd.sess.name, cmd.seq)
+	}
+	span = c.cfg.Tracer.Record(tracing.Span{
+		Trace:  trace,
+		Parent: cmd.trace.Span,
+		Kind:   tracing.KindSubscribe,
+		Shard:  tracing.NoShard,
+		AtMS:   c.nowMS(),
+		Seq:    cmd.seq,
+	})
+	return trace, span
+}
+
+// traceFragLocked records one fragment hop (residual-admit or cse-hit)
+// and returns the context a residual admission carries upstream, so the
+// upstream tier's spans parent on the fragment hop that caused them.
+func (c *Coordinator) traceFragLocked(trace, parent uint64, kind, key string) tracing.Context {
+	if c.cfg.Tracer == nil || trace == 0 {
+		return tracing.Context{}
+	}
+	id := c.cfg.Tracer.Record(tracing.Span{
+		Trace:  trace,
+		Parent: parent,
+		Kind:   kind,
+		Shard:  tracing.NoShard,
+		AtMS:   c.nowMS(),
+		Note:   key,
+	})
+	return tracing.Context{Trace: trace, Span: id}
+}
+
+// nowMS is the coordinator's virtual clock in milliseconds (zero when the
+// upstream is down; spans recorded during an outage still order by Seq).
+func (c *Coordinator) nowMS() int64 {
+	now, err := c.up.Now()
+	if err != nil {
+		return 0
+	}
+	return time.Duration(now).Milliseconds()
+}
+
 // materializeLocked admits one new fragment upstream: it picks (or grows)
 // an upstream session with quota headroom and stages the subscribe; the
-// ticket resolves after the upstream's next Advance.
-func (c *Coordinator) materializeLocked(fq fragQuery) (*fragment, error) {
+// ticket resolves after the upstream's next Advance. fctx, when live,
+// rides the admission so the upstream tier joins the fragment's trace.
+func (c *Coordinator) materializeLocked(fq fragQuery, fctx tracing.Context) (*fragment, error) {
 	idx := -1
 	for i, load := range c.upLoad {
 		if load < c.cfg.UpstreamQuota {
@@ -848,7 +954,13 @@ func (c *Coordinator) materializeLocked(fq fragQuery) (*fragment, error) {
 		c.upLoad = append(c.upLoad, 0)
 		idx = len(c.upSess) - 1
 	}
-	tk, err := c.upSess[idx].SubscribeAsync(fq.q)
+	var tk UpstreamTicket
+	var err error
+	if ts, ok := c.upSess[idx].(tracedUpstreamSession); ok && fctx.Trace != 0 {
+		tk, err = ts.SubscribeAsyncTraced(fq.q, fctx)
+	} else {
+		tk, err = c.upSess[idx].SubscribeAsync(fq.q)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("share: fragment subscribe: %w", err)
 	}
@@ -1017,8 +1129,23 @@ func (c *Coordinator) replayLocked(acks []pendingAck) {
 		}
 		c.stats.CacheHits++
 		for _, e := range tr.ring {
-			c.pushLocked(tr, a.sub, e)
+			c.pushLocked(tr, a.sub, e, true)
 			c.stats.ReplayedEpochs++
+		}
+		if c.cfg.Tracer != nil && a.sub.trace != 0 {
+			oldest := time.Duration(tr.ring[0].at).Milliseconds()
+			newest := time.Duration(tr.ring[len(tr.ring)-1].at).Milliseconds()
+			c.cfg.Tracer.Record(tracing.Span{
+				Trace:    a.sub.trace,
+				Parent:   a.sub.spanID,
+				Kind:     tracing.KindCacheReplay,
+				Shard:    tracing.NoShard,
+				AtMS:     c.nowMS(),
+				DurMS:    newest - oldest,
+				Seq:      uint64(len(tr.ring)),
+				CacheHit: true,
+				Frags:    len(tr.frags),
+			})
 		}
 	}
 }
@@ -1049,14 +1176,15 @@ func (c *Coordinator) synthesizeLocked(tr *shareTree) {
 			for _, e := range fr.ring {
 				if e.at == at {
 					acc.add(i, gateway.Update{At: at, Rows: e.rows, Aggs: e.aggs,
-						Degraded: e.degraded, Coverage: e.coverage})
+						Degraded: e.degraded, Coverage: e.coverage,
+						Prov: tracing.Prov{Shards: e.shards}})
 					break
 				}
 			}
 		}
 		rows, aggs := acc.finish(tr.p)
 		tr.ring = append(tr.ring, cachedEpoch{at: at, rows: rows, aggs: aggs,
-			degraded: acc.degraded, coverage: acc.cov()})
+			degraded: acc.degraded, coverage: acc.cov(), shards: acc.shards})
 		tr.released = at
 	}
 }
@@ -1092,7 +1220,7 @@ func (c *Coordinator) drainLocked() {
 func (c *Coordinator) mergeLocked(fr *fragment, u gateway.Update) {
 	if c.cfg.Window > 0 {
 		fr.ring = append(fr.ring, cachedEpoch{at: u.At, rows: u.Rows, aggs: u.Aggs,
-			degraded: u.Degraded, coverage: u.Coverage})
+			degraded: u.Degraded, coverage: u.Coverage, shards: u.Prov.Shards})
 		if len(fr.ring) > c.cfg.Window {
 			fr.ring = append(fr.ring[:0], fr.ring[len(fr.ring)-c.cfg.Window:]...)
 		}
@@ -1162,7 +1290,7 @@ func (c *Coordinator) releaseEpochLocked(tr *shareTree, acc *shareAcc) {
 	}
 	rows, aggs := acc.finish(tr.p)
 	e := cachedEpoch{at: acc.at, rows: rows, aggs: aggs,
-		degraded: acc.degraded, coverage: acc.cov()}
+		degraded: acc.degraded, coverage: acc.cov(), shards: acc.shards}
 	if c.cfg.Window > 0 {
 		tr.ring = append(tr.ring, e)
 		if len(tr.ring) > c.cfg.Window {
@@ -1171,7 +1299,7 @@ func (c *Coordinator) releaseEpochLocked(tr *shareTree, acc *shareAcc) {
 	}
 	var evicted []*Sub
 	for _, sub := range tr.subs {
-		if !c.pushLocked(tr, sub, e) {
+		if !c.pushLocked(tr, sub, e, false) {
 			evicted = append(evicted, sub)
 		}
 	}
@@ -1183,7 +1311,9 @@ func (c *Coordinator) releaseEpochLocked(tr *shareTree, acc *shareAcc) {
 
 // pushLocked delivers one epoch to one subscriber without blocking,
 // reporting false when the subscriber has stalled past its buffer bound.
-func (c *Coordinator) pushLocked(tr *shareTree, sub *Sub, e cachedEpoch) bool {
+// replay marks cache-window deliveries so the provenance record
+// distinguishes them from live releases.
+func (c *Coordinator) pushLocked(tr *shareTree, sub *Sub, e cachedEpoch, replay bool) bool {
 	sub.seq++
 	u := gateway.Update{
 		Sub:      sub.id,
@@ -1195,6 +1325,18 @@ func (c *Coordinator) pushLocked(tr *shareTree, sub *Sub, e cachedEpoch) bool {
 		Degraded: e.degraded,
 		Coverage: e.coverage,
 		Enqueued: time.Now(),
+	}
+	if sub.trace != 0 {
+		u.Trace = sub.trace
+		u.Prov = tracing.Prov{
+			Shards:   e.shards,
+			Frags:    uint16(len(tr.frags)),
+			Reused:   uint16(tr.reused),
+			CacheHit: replay,
+		}
+		if p := c.cfg.Pressure; p != nil {
+			u.Prov.Rung = uint8(p())
+		}
 	}
 	if sub.detached {
 		sub.pushRingLocked(u)

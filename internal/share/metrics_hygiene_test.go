@@ -1,0 +1,153 @@
+package share
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+	"repro/internal/tracing"
+)
+
+// TestMetricsHygieneFullStack is the registry-wide hygiene gate: it mounts
+// every metric family the serving stack can expose — gateway, share,
+// federation and tracing — on one registry over live, loaded tiers, then
+// walks the full gather and holds each family to the naming contract
+// (ttmqo_ prefix, help text, unit-suffix conventions) and the whole scrape
+// to the strict decoder-side validator.
+func TestMetricsHygieneFullStack(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	// Stack 1: share coordinator over a single traced gateway.
+	gwRec := tracing.New(tracing.TierGateway, 0)
+	shareRec := tracing.New(tracing.TierShare, 0)
+	c, gw := newTestCoord(t, gateway.Config{Tracer: gwRec}, Config{Window: 3, Tracer: shareRec})
+	gateway.RegisterMetrics(reg, func() *gateway.Gateway { return gw })
+	RegisterMetrics(reg, func() *Coordinator { return c })
+
+	// Stack 2: a second coordinator over a sharded federation router,
+	// feeding the router/shard families and the router-tier recorder.
+	routerRec := tracing.New(tracing.TierRouter, 0)
+	shardRecs := map[int]*tracing.Recorder{}
+	rt, err := federation.New(federation.Config{
+		Shards: 2, Side: 3, Seed: 1,
+		Tracer: routerRec,
+		ShardTracer: func(i int) *tracing.Recorder {
+			if shardRecs[i] == nil {
+				shardRecs[i] = tracing.New(tracing.TierGateway, 0)
+			}
+			return shardRecs[i]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	fc, err := New(Config{Upstream: OverRouter(rt), Sensors: 16, Cell: testCell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fc.Close() })
+	federation.RegisterMetrics(reg, func() *federation.Router { return rt })
+	tracing.RegisterMetrics(reg, func() []*tracing.Recorder {
+		recs := []*tracing.Recorder{gwRec, shareRec, routerRec}
+		for i := 0; i < 2; i++ {
+			recs = append(recs, shardRecs[i])
+		}
+		return recs
+	})
+
+	// Load both stacks: overlapping queries through the share planner and a
+	// shard-straddling query through the router, plus enough epochs that
+	// deliveries, caches and histograms all have data.
+	sess, err := c.Register("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageShare(t, sess, "SELECT SUM(light) WHERE nodeid >= 1 AND nodeid <= 8 EPOCH DURATION 8192ms")
+	stageShare(t, sess, "SELECT SUM(light) WHERE nodeid >= 5 AND nodeid <= 12 EPOCH DURATION 8192ms")
+	fsess, err := fc.Register("fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageShare(t, fsess, "SELECT SUM(light) WHERE nodeid >= 5 AND nodeid <= 12 EPOCH DURATION 8192ms")
+	for i := 0; i < 8; i++ {
+		advance(t, c, 8192*time.Millisecond)
+		if _, err := fc.Advance(8192 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fams := reg.Gather()
+	if len(fams) == 0 {
+		t.Fatal("loaded registry gathered no families")
+	}
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if seen[f.Name] {
+			t.Errorf("family %s gathered twice", f.Name)
+		}
+		seen[f.Name] = true
+		if !strings.HasPrefix(f.Name, "ttmqo_") {
+			t.Errorf("family %s lacks the ttmqo_ namespace prefix", f.Name)
+		}
+		if strings.TrimSpace(f.Help) == "" {
+			t.Errorf("family %s has no help text", f.Name)
+		}
+		switch f.Kind {
+		case telemetry.KindCounter:
+			if !strings.HasSuffix(f.Name, "_total") {
+				t.Errorf("counter %s does not end in _total", f.Name)
+			}
+		case telemetry.KindGauge:
+			if strings.HasSuffix(f.Name, "_total") {
+				t.Errorf("gauge %s ends in _total", f.Name)
+			}
+		case telemetry.KindHistogram:
+			if !strings.HasSuffix(f.Name, "_seconds") {
+				t.Errorf("histogram %s does not carry a _seconds unit suffix", f.Name)
+			}
+			if len(f.Bounds) == 0 {
+				t.Errorf("histogram %s has no buckets", f.Name)
+			}
+		}
+		if len(f.Samples) == 0 {
+			t.Errorf("family %s gathered no samples from the loaded stack", f.Name)
+		}
+	}
+
+	// The composed scrape must survive the strict decoder — the same
+	// validator the admin smoke test runs over the wire.
+	text := reg.Exposition()
+	samples, err := telemetry.ParseExposition(text)
+	if err != nil {
+		t.Fatalf("full-stack exposition fails the strict validator: %v", err)
+	}
+
+	// One marker family per tier proves nothing silently failed to mount,
+	// and the tracing plane reports every tier's flight recorder.
+	for _, name := range []string{
+		"ttmqo_gateway_up",
+		"ttmqo_share_trees",
+		"ttmqo_router_up",
+		"ttmqo_resilience_brownout_level",
+		"ttmqo_query_time_to_first_result_seconds_count",
+		"ttmqo_trace_hop_latency_seconds_count",
+	} {
+		if _, ok := telemetry.FindSample(samples, name); !ok {
+			t.Errorf("scrape lacks %s", name)
+		}
+	}
+	for _, tier := range []string{tracing.TierGateway, tracing.TierShare, tracing.TierRouter} {
+		s, ok := telemetry.FindSample(samples, "ttmqo_trace_spans_recorded_total", "tier", tier)
+		if !ok {
+			t.Errorf("scrape lacks ttmqo_trace_spans_recorded_total{tier=%q}", tier)
+			continue
+		}
+		if s.Value <= 0 {
+			t.Errorf("tier %s recorded no spans under load", tier)
+		}
+	}
+}

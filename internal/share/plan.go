@@ -182,6 +182,9 @@ type shareAcc struct {
 	// any fragment's was, at the worst fragment's coverage fraction.
 	degraded bool
 	coverage float64
+	// shards is the provenance shard mask OR'd over contributing
+	// fragments (zero when the upstream tier is untraced).
+	shards uint64
 }
 
 func newShareAcc(at sim.Time) *shareAcc {
@@ -202,6 +205,7 @@ func (a *shareAcc) cov() float64 {
 // add folds one fragment's epoch into the accumulator.
 func (a *shareAcc) add(idx int, u gateway.Update) {
 	a.got[idx] = true
+	a.shards |= u.Prov.Shards
 	if u.Degraded {
 		a.degraded = true
 		if u.Coverage < a.coverage {

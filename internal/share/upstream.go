@@ -7,6 +7,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/query"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // Upstream is the surface the coordinator drives fragments against: a
@@ -37,6 +38,14 @@ type UpstreamSession interface {
 // UpstreamTicket resolves to a fragment stream at the next Advance.
 type UpstreamTicket interface {
 	Wait() (UpstreamSub, error)
+}
+
+// tracedUpstreamSession is the optional UpstreamSession extension for
+// causal tracing: a residual fragment admission carries the coordinator's
+// trace context upstream so the gateway/router spans it causes join the
+// fragment's trace. Both built-in adapters implement it.
+type tracedUpstreamSession interface {
+	SubscribeAsyncTraced(q query.Query, tc tracing.Context) (UpstreamTicket, error)
 }
 
 // UpstreamSub is one live fragment stream.
@@ -84,6 +93,14 @@ func (s gwUpSession) Token() string { return s.s.Token() }
 
 func (s gwUpSession) SubscribeAsync(q query.Query) (UpstreamTicket, error) {
 	tk, err := s.s.SubscribeAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	return gwTicket{tk}, nil
+}
+
+func (s gwUpSession) SubscribeAsyncTraced(q query.Query, tc tracing.Context) (UpstreamTicket, error) {
+	tk, err := s.s.SubscribeAsyncTraced(q, 0, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +175,14 @@ func (s fedUpSession) Token() string { return s.s.Token() }
 
 func (s fedUpSession) SubscribeAsync(q query.Query) (UpstreamTicket, error) {
 	tk, err := s.s.SubscribeAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	return fedTicket{tk}, nil
+}
+
+func (s fedUpSession) SubscribeAsyncTraced(q query.Query, tc tracing.Context) (UpstreamTicket, error) {
+	tk, err := s.s.SubscribeAsyncTraced(q, 0, tc)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,22 @@ type AdminConfig struct {
 	Status func() any
 	// Trace writes recent trace events as text to /tracez.
 	Trace func(io.Writer)
+	// TraceJSON serves /tracez?trace=<id>: the JSON export for one trace
+	// (or the whole flight-recorder contents for the literal "all"),
+	// false when the id is unknown. Optional; nil disables the export.
+	TraceJSON func(id string) ([]byte, bool)
+}
+
+// StatusSections is the composed /statusz document: one section per
+// mounted serving tier plus resilience and tracing summaries. Sections
+// hold any JSON-marshalable snapshot; nil sections are omitted, so every
+// deployment shape serves the same schema with only its tiers present.
+type StatusSections struct {
+	Gateway    any `json:"gateway,omitempty"`
+	Federation any `json:"federation,omitempty"`
+	Share      any `json:"share,omitempty"`
+	Resilience any `json:"resilience,omitempty"`
+	Tracing    any `json:"tracing,omitempty"`
 }
 
 // Admin is the operator-facing HTTP plane: Prometheus metrics, health and
@@ -141,7 +157,21 @@ func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (a *Admin) handleTracez(w http.ResponseWriter, _ *http.Request) {
+func (a *Admin) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("trace"); id != "" {
+		if a.cfg.TraceJSON == nil {
+			http.Error(w, "trace export disabled", http.StatusNotFound)
+			return
+		}
+		doc, ok := a.cfg.TraceJSON(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown trace %q", id), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if a.cfg.Trace == nil {
 		io.WriteString(w, "trace disabled\n")

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -72,6 +73,89 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if code, body := adminGet(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestAdminStatusSections: the composed /statusz document carries one key
+// per mounted tier, omits absent tiers, and round-trips as JSON.
+func TestAdminStatusSections(t *testing.T) {
+	a := NewAdmin(AdminConfig{
+		Registry: NewRegistry(),
+		Status: func() any {
+			return StatusSections{
+				Gateway:    map[string]any{"alive": true},
+				Share:      map[string]any{"trees": 2},
+				Resilience: map[string]any{"brownout_level": 0},
+				Tracing:    []map[string]any{{"tier": "gateway", "recorded": 5}},
+			}
+		},
+	})
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"gateway", "share", "resilience", "tracing"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("/statusz lacks the %s section: %s", key, body)
+		}
+	}
+	// Unmounted tiers are omitted, not served as null.
+	if _, ok := doc["federation"]; ok {
+		t.Errorf("/statusz serves a federation section this deployment never mounted: %s", body)
+	}
+}
+
+// TestAdminTraceExport covers /tracez?trace=<id>: the JSON export path,
+// the unknown-trace 404, and the 404 when no export hook is mounted.
+func TestAdminTraceExport(t *testing.T) {
+	a := NewAdmin(AdminConfig{
+		Registry: NewRegistry(),
+		Trace:    func(w io.Writer) { io.WriteString(w, "tree view\n") },
+		TraceJSON: func(id string) ([]byte, bool) {
+			if id == "42" || id == "all" {
+				return []byte(`{"spans": 1}` + "\n"), true
+			}
+			return nil, false
+		},
+	})
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	if code, body := adminGet(t, srv, "/tracez"); code != http.StatusOK || !strings.Contains(body, "tree view") {
+		t.Fatalf("/tracez = %d %q, want the text tree", code, body)
+	}
+	code, body := adminGet(t, srv, "/tracez?trace=42")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez?trace=42 = %d (%s), want 200", code, body)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace export is not JSON: %v\n%s", err, body)
+	}
+	if code, _ := adminGet(t, srv, "/tracez?trace=all"); code != http.StatusOK {
+		t.Fatalf("/tracez?trace=all = %d, want 200", code)
+	}
+	if code, body := adminGet(t, srv, "/tracez?trace=999"); code != http.StatusNotFound || !strings.Contains(body, "unknown trace") {
+		t.Fatalf("/tracez?trace=999 = %d %q, want 404 unknown trace", code, body)
+	}
+
+	// Without a TraceJSON hook the export path 404s while the text view
+	// still serves.
+	bare := NewAdmin(AdminConfig{Registry: NewRegistry()})
+	bareSrv := httptest.NewServer(bare.Handler())
+	defer bareSrv.Close()
+	if code, body := adminGet(t, bareSrv, "/tracez?trace=1"); code != http.StatusNotFound || !strings.Contains(body, "disabled") {
+		t.Fatalf("/tracez?trace=1 without a hook = %d %q, want 404 disabled", code, body)
+	}
+	if code, _ := adminGet(t, bareSrv, "/tracez"); code != http.StatusOK {
+		t.Fatalf("/tracez without hooks = %d, want 200", code)
 	}
 }
 

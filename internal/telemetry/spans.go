@@ -29,22 +29,53 @@ func (s QuerySpan) TTFR() (time.Duration, bool) {
 	return s.FirstAt - s.AdmitAt, true
 }
 
-// SpanLog records per-query lifecycle spans. It is internally locked:
-// the simulation loop writes while HTTP handlers snapshot.
+// DefaultSpanLogCapacity bounds a SpanLog built by NewSpanLog. Long
+// serving runs admit an unbounded stream of queries; the span log is an
+// observability window, not an archive, so it retains the most recent
+// spans and counts what it dropped.
+const DefaultSpanLogCapacity = 4096
+
+// SpanLog records per-query lifecycle spans, bounded to a fixed number of
+// live entries with FIFO eviction in admission order. It is internally
+// locked: the simulation loop writes while HTTP handlers snapshot.
 type SpanLog struct {
-	mu    sync.Mutex
-	spans map[int]*QuerySpan
-	order []int
+	mu      sync.Mutex
+	spans   map[int]*QuerySpan
+	order   []int
+	head    int // index of the oldest live entry in order
+	cap     int
+	evicted uint64
 }
 
-// NewSpanLog returns an empty span log.
+// NewSpanLog returns an empty span log bounded to DefaultSpanLogCapacity.
 func NewSpanLog() *SpanLog {
-	return &SpanLog{spans: map[int]*QuerySpan{}}
+	return NewSpanLogCap(DefaultSpanLogCapacity)
+}
+
+// NewSpanLogCap returns an empty span log retaining at most capacity
+// spans (values < 1 are clamped to 1).
+func NewSpanLogCap(capacity int) *SpanLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanLog{spans: map[int]*QuerySpan{}, cap: capacity}
 }
 
 func (l *SpanLog) get(id int, at time.Duration) *QuerySpan {
 	s, ok := l.spans[id]
 	if !ok {
+		if len(l.spans) >= l.cap {
+			delete(l.spans, l.order[l.head])
+			l.order[l.head] = 0
+			l.head++
+			l.evicted++
+			// Compact the dead prefix once it dominates the slice, so the
+			// backing array stays O(cap) instead of growing forever.
+			if l.head > len(l.order)/2 {
+				l.order = append(l.order[:0], l.order[l.head:]...)
+				l.head = 0
+			}
+		}
 		s = &QuerySpan{QueryID: id, AdmitAt: at}
 		l.spans[id] = s
 		l.order = append(l.order, id)
@@ -94,20 +125,27 @@ func (l *SpanLog) Cancel(id int) {
 	l.mu.Unlock()
 }
 
-// Len returns the number of recorded spans.
+// Len returns the number of retained spans.
 func (l *SpanLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.spans)
 }
 
-// Snapshot returns a copy of every span in admission order; safe to call
-// from any goroutine.
+// Evicted returns how many spans the capacity bound has dropped.
+func (l *SpanLog) Evicted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// Snapshot returns a copy of every retained span in admission order; safe
+// to call from any goroutine.
 func (l *SpanLog) Snapshot() []QuerySpan {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]QuerySpan, 0, len(l.order))
-	for _, id := range l.order {
+	out := make([]QuerySpan, 0, len(l.order)-l.head)
+	for _, id := range l.order[l.head:] {
 		out = append(out, *l.spans[id])
 	}
 	return out

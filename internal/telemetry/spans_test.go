@@ -45,6 +45,62 @@ func TestSpanSnapshotIsCopy(t *testing.T) {
 	}
 }
 
+// TestSpanLogBounded pins the span log's memory flat across a serving-length
+// stream of admissions: the live map never outgrows the cap, the FIFO order
+// slice's backing array stays O(cap) under head compaction, evictions are
+// counted, and the survivors are exactly the most recent window in
+// admission order.
+func TestSpanLogBounded(t *testing.T) {
+	const capacity = 64
+	l := NewSpanLogCap(capacity)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		l.Admit(i, time.Duration(i), 0)
+		l.FirstResult(i, time.Duration(i+1))
+		if got := l.Len(); got > capacity {
+			t.Fatalf("span log grew to %d entries after %d admits (cap %d)", got, i+1, capacity)
+		}
+		if got := cap(l.order); got > 2*capacity+1 {
+			t.Fatalf("order backing array grew to %d slots after %d admits (cap %d)", got, i+1, capacity)
+		}
+	}
+	if got := l.Len(); got != capacity {
+		t.Fatalf("span log holds %d entries after a long run, want a full window of %d", got, capacity)
+	}
+	if got := l.Evicted(); got != n-capacity {
+		t.Fatalf("evicted = %d, want %d", got, n-capacity)
+	}
+
+	spans := l.Snapshot()
+	if len(spans) != capacity {
+		t.Fatalf("snapshot holds %d spans, want %d", len(spans), capacity)
+	}
+	for i, s := range spans {
+		if want := n - capacity + i; s.QueryID != want {
+			t.Fatalf("snapshot[%d].QueryID = %d, want %d (most recent window in order)", i, s.QueryID, want)
+		}
+		if !s.HasResult {
+			t.Fatalf("surviving span %d lost its result mark", s.QueryID)
+		}
+	}
+
+	// Updates to an evicted span must not resurrect it oversized: a late
+	// FirstResult for a dropped id re-admits it through the same bound.
+	l.FirstResult(0, time.Duration(n))
+	if got := l.Len(); got != capacity {
+		t.Fatalf("late update for an evicted span grew the log to %d (cap %d)", got, capacity)
+	}
+
+	// A degenerate capacity clamps instead of breaking eviction.
+	tiny := NewSpanLogCap(0)
+	for i := 0; i < 10; i++ {
+		tiny.Admit(i, time.Duration(i), 0)
+	}
+	if got := tiny.Len(); got != 1 {
+		t.Fatalf("clamped log holds %d entries, want 1", got)
+	}
+}
+
 // TestSpanLogConcurrent exercises writer/reader races under -race.
 func TestSpanLogConcurrent(t *testing.T) {
 	l := NewSpanLog()

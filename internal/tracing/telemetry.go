@@ -1,0 +1,55 @@
+package tracing
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics mounts the tracing plane's metric families on reg and
+// installs a gather hook syncing them from the live flight recorders.
+// recorders() is read through on every gather so the serve CLI can swap
+// tiers (crash drills rebuild gateways) without re-registering; nil
+// entries are skipped. The per-hop latency histogram is rebuilt from the
+// surviving spans each gather — the flight recorder is the authoritative
+// bounded window, and a histogram over it stays a pure function of the
+// committed command sequence.
+func RegisterMetrics(reg *telemetry.Registry, recorders func() []*Recorder) {
+	recordedFam := reg.NewCounter("ttmqo_trace_spans_recorded_total",
+		"causal-trace spans recorded into per-tier flight recorders", "tier")
+	droppedFam := reg.NewCounter("ttmqo_trace_spans_dropped_total",
+		"causal-trace spans evicted from the bounded flight-recorder rings", "tier")
+	hopFam := reg.NewHistogram("ttmqo_trace_hop_latency_seconds",
+		"virtual-time duration of traced hops (cache replays, watermark waits, first results)",
+		HopLatencyBounds, "tier")
+
+	reg.OnGather(func() {
+		// Several recorders can share a tier label (every shard gateway is
+		// tier "gateway"), so totals accumulate per tier before the
+		// monotonic Set.
+		rec := map[string]uint64{}
+		drop := map[string]uint64{}
+		reset := map[string]bool{}
+		for _, r := range recorders() {
+			if r == nil {
+				continue
+			}
+			tier := r.Tier()
+			rc, dr := r.Stats()
+			rec[tier] += rc
+			drop[tier] += dr
+			h := hopFam.Histogram(tier)
+			if !reset[tier] {
+				h.Reset()
+				reset[tier] = true
+			}
+			for _, s := range r.Snapshot() {
+				if s.DurMS > 0 {
+					h.Observe(float64(s.DurMS) / 1000)
+				}
+			}
+		}
+		for tier, v := range rec {
+			recordedFam.Counter(tier).Set(float64(v))
+		}
+		for tier, v := range drop {
+			droppedFam.Counter(tier).Set(float64(v))
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package tracing
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestDeterministicIDs: trace and span IDs are pure functions of their
+// causal coordinates, never zero, and distinct coordinates hash apart.
+func TestDeterministicIDs(t *testing.T) {
+	if got, again := TraceID("alice", 3), TraceID("alice", 3); got != again || got == 0 {
+		t.Fatalf("TraceID not a stable non-zero function: %d vs %d", got, again)
+	}
+	if TraceID("alice", 3) == TraceID("alice", 4) {
+		t.Fatal("different subscriptions share a trace ID")
+	}
+	if TraceID("alice", 3) == TraceID("bob", 3) {
+		t.Fatal("different sessions share a trace ID")
+	}
+	a := SpanID(7, TierGateway, KindAdmit, NoShard, 2048)
+	if a == 0 || a != SpanID(7, TierGateway, KindAdmit, NoShard, 2048) {
+		t.Fatalf("SpanID not a stable non-zero function: %d", a)
+	}
+	for _, other := range []uint64{
+		SpanID(8, TierGateway, KindAdmit, NoShard, 2048),  // trace
+		SpanID(7, TierShare, KindAdmit, NoShard, 2048),    // tier
+		SpanID(7, TierGateway, KindFanout, NoShard, 2048), // kind
+		SpanID(7, TierGateway, KindAdmit, 2, 2048),        // shard
+		SpanID(7, TierGateway, KindAdmit, NoShard, 4096),  // time
+	} {
+		if other == a {
+			t.Fatalf("span IDs collide across distinct coordinates: %d", a)
+		}
+	}
+}
+
+// TestRecorderRing: the flight recorder holds the most recent spans in
+// insertion order, evicts FIFO past capacity, and counts what it dropped.
+func TestRecorderRing(t *testing.T) {
+	r := New(TierGateway, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{Trace: 1, Kind: KindFanout, Shard: NoShard, AtMS: int64(i), Seq: uint64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(snap))
+	}
+	for i, s := range snap {
+		if want := int64(6 + i); s.AtMS != want {
+			t.Fatalf("snapshot[%d].AtMS = %d, want %d (most recent window in order)", i, s.AtMS, want)
+		}
+		if s.Tier != TierGateway {
+			t.Fatalf("recorder did not stamp its tier: %q", s.Tier)
+		}
+		if s.ID == 0 {
+			t.Fatal("recorded span kept a zero ID")
+		}
+	}
+	recorded, dropped := r.Stats()
+	if recorded != 10 || dropped != 6 {
+		t.Fatalf("stats = (%d recorded, %d dropped), want (10, 6)", recorded, dropped)
+	}
+
+	// An explicit ID and tier are preserved, and Record echoes the ID.
+	if id := r.Record(Span{Trace: 2, ID: 99, Tier: TierShare, Kind: KindSubscribe, Shard: NoShard}); id != 99 {
+		t.Fatalf("Record returned %d for an explicit ID, want 99", id)
+	}
+	last := r.Snapshot()[3]
+	if last.ID != 99 || last.Tier != TierShare {
+		t.Fatalf("explicit ID/tier not preserved: %+v", last)
+	}
+}
+
+// TestNilRecorderSafe: every method on a nil recorder is a no-op — that is
+// the whole mechanism for running a tier untraced.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if id := r.Record(Span{Trace: 1, Kind: KindAdmit}); id != 0 {
+		t.Fatalf("nil Record returned %d, want 0", id)
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil Snapshot returned %v", s)
+	}
+	if rec, drop := r.Stats(); rec != 0 || drop != 0 {
+		t.Fatalf("nil Stats = (%d, %d)", rec, drop)
+	}
+	if tier := r.Tier(); tier != "" {
+		t.Fatalf("nil Tier = %q", tier)
+	}
+	e := Collect(r, nil)
+	if e.Spans != 0 || len(e.Traces) != 0 {
+		t.Fatalf("Collect over nil recorders produced %+v", e)
+	}
+}
+
+// TestCollectDeterministic: the export groups spans by trace, sorts both
+// traces and spans on the total order regardless of recorder order, and
+// its JSON form is byte-stable.
+func TestCollectDeterministic(t *testing.T) {
+	build := func(order []int) *Export {
+		gw := New(TierGateway, 0)
+		sh := New(TierShare, 0)
+		spans := []Span{
+			{Trace: 2, Kind: KindSubscribe, Shard: NoShard, AtMS: 1024},
+			{Trace: 1, Kind: KindAdmit, Shard: NoShard, AtMS: 2048},
+			{Trace: 1, Kind: KindSubscribe, Shard: NoShard, AtMS: 1024},
+			{Trace: 0, Kind: KindFanout, Shard: NoShard, AtMS: 4096},
+		}
+		for _, idx := range order {
+			rec := gw
+			if idx%2 == 1 {
+				rec = sh
+			}
+			rec.Record(spans[idx])
+		}
+		return Collect(sh, gw)
+	}
+	e1 := build([]int{0, 1, 2, 3})
+	e2 := build([]int{3, 2, 1, 0})
+	if !bytes.Equal(e1.JSON(), e2.JSON()) {
+		t.Fatalf("export depends on recording order:\n%s\nvs\n%s", e1.JSON(), e2.JSON())
+	}
+	if e1.Spans != 4 || len(e1.Traces) != 3 {
+		t.Fatalf("export shape: %d spans across %d traces, want 4 across 3", e1.Spans, len(e1.Traces))
+	}
+	for i := 1; i < len(e1.Traces); i++ {
+		if e1.Traces[i-1].Trace >= e1.Traces[i].Trace {
+			t.Fatal("traces not sorted by ID")
+		}
+	}
+	tr, ok := e1.Trace(1)
+	if !ok || len(tr.Spans) != 2 {
+		t.Fatalf("Trace(1) = %+v, %v", tr, ok)
+	}
+	if tr.Spans[0].Kind != KindSubscribe || tr.Spans[1].Kind != KindAdmit {
+		t.Fatalf("spans not sorted on (AtMS, ...): %+v", tr.Spans)
+	}
+	if _, ok := e1.Trace(42); ok {
+		t.Fatal("Trace(42) found a trace that was never recorded")
+	}
+}
+
+// TestRenderTrees: the text renderer nests children under their parents
+// and labels the tier-event group.
+func TestRenderTrees(t *testing.T) {
+	r := New(TierShare, 0)
+	root := r.Record(Span{Trace: 5, Kind: KindSubscribe, Shard: NoShard, AtMS: 1024})
+	r.Record(Span{Trace: 5, Parent: root, Kind: KindResidualAdmit, Shard: NoShard, AtMS: 2048, Note: "frag"})
+	r.Record(Span{Trace: 0, Kind: KindCrash, Shard: NoShard, AtMS: 4096})
+
+	var sb strings.Builder
+	RenderTrees(&sb, Collect(r))
+	out := sb.String()
+	for _, want := range []string{
+		"3 spans across 2 traces",
+		"tier events (untraced):",
+		"trace 0000000000000005 (2 spans):",
+		"share/subscribe",
+		"share/subscribe\n    +2.048s   share/residual-admit",
+		"(Δ1.024s)",
+		"frag",
+		"share/crash",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trees lack %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProvShardList covers the bitmask expansion and the empty check.
+func TestProvShardList(t *testing.T) {
+	if (Prov{}).Empty() != true {
+		t.Fatal("zero Prov not Empty")
+	}
+	if (Prov{CacheHit: true}).Empty() {
+		t.Fatal("cache-hit Prov reported Empty")
+	}
+	if got := (Prov{}).ShardList(); got != nil {
+		t.Fatalf("empty mask expanded to %v", got)
+	}
+	p := Prov{Shards: 1<<0 | 1<<3 | 1<<63}
+	if got, want := p.ShardList(), []int{0, 3, 63}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ShardList = %v, want %v", got, want)
+	}
+}
